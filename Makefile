@@ -1,0 +1,48 @@
+# Convenience targets for the migflow reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro repro-quick examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+repro:
+	$(GO) run ./cmd/repro
+
+repro-quick:
+	$(GO) run ./cmd/repro -quick
+
+# CSV series for plotting.
+repro-csv:
+	$(GO) run ./cmd/repro -csv figures
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/loadbalance
+	$(GO) run ./examples/bigsim
+	$(GO) run ./examples/faulttolerance
+
+cover:
+	$(GO) test ./... -coverpkg=./internal/... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt
+	rm -rf figures

@@ -1,0 +1,41 @@
+// Bigsim regenerates Figure 11: BigSim simulation time per step for a
+// fixed target machine across simulating-PE counts. The full paper
+// configuration (200,000 target processors) is reachable with
+// -x 63 -y 63 -z 51; the default is laptop-sized.
+//
+// Usage: bigsim [-x 20 -y 20 -z 10] [-steps 5] [-pes 1,2,4,8,16,32,64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"migflow/internal/harness"
+)
+
+func main() {
+	x := flag.Int("x", 20, "target torus X")
+	y := flag.Int("y", 20, "target torus Y")
+	z := flag.Int("z", 10, "target torus Z")
+	steps := flag.Int("steps", 5, "MD timesteps")
+	pes := flag.String("pes", "4,8,16,32,64", "comma-separated simulating PE counts")
+	flag.Parse()
+
+	var counts []int
+	for _, s := range strings.Split(*pes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad -pes entry %q: %v", s, err)
+		}
+		counts = append(counts, n)
+	}
+	if _, err := harness.Figure11(os.Stdout, *x, *y, *z, *steps, counts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(Figure 11 used 200,000 target processors on LeMieux; -x 63 -y 63 -z 51")
+	fmt.Println(" reproduces that scale given a few GB of memory for the 202k ULTs.)")
+}

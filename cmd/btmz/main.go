@@ -1,0 +1,87 @@
+// Btmz regenerates Figure 12: the NAS BT-MZ multi-zone benchmark with
+// and without AMPI thread-migration load balancing, across the
+// paper's problem classes and rank/PE configurations.
+//
+// Usage: btmz [-steps 20] [-lb greedy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"migflow/internal/harness"
+	"migflow/internal/loadbalance"
+	"migflow/internal/npb"
+	"migflow/internal/trace"
+)
+
+func main() {
+	steps := flag.Int("steps", 20, "solver timesteps")
+	lbName := flag.String("lb", "greedy", "load balancer: greedy | refine | rotate")
+	showTrace := flag.Bool("trace", false, "print per-PE utilization traces for B.64,8PE")
+	flag.Parse()
+
+	if *showTrace {
+		traceReport(*steps, *lbName)
+		return
+	}
+	if *lbName == "greedy" {
+		if _, err := harness.Figure12(os.Stdout, *steps); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	strat, err := loadbalance.ByName(*lbName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BT-MZ with %s load balancing\n", strat.Name())
+	fmt.Printf("%-10s %14s %14s %9s\n", "case", "noLB time(ms)", "LB time(ms)", "speedup")
+	for _, p := range npb.Cases(*steps, nil) {
+		base, err := npb.Run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := p
+		q.LB = strat
+		r, err := npb.Run(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %14.2f %14.2f %8.2fx\n",
+			p.Label(), base.TimeNs/1e6, r.TimeNs/1e6, base.TimeNs/r.TimeNs)
+	}
+}
+
+// traceReport prints per-PE utilization for the worst Figure 12 case
+// with and without the chosen balancer — a Projections-style summary
+// from the trace subsystem.
+func traceReport(steps int, lbName string) {
+	strat, err := loadbalance.ByName(lbName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, withLB := range []bool{false, true} {
+		p := npb.Params{Class: npb.ClassB, NProcs: 64, NPEs: 8, Steps: steps, Trace: true}
+		label := "without LB"
+		if withLB {
+			p.LB = strat
+			label = "with " + strat.Name() + " LB"
+		}
+		r, err := npb.Run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("B.64,8PE %s — per-PE utilization (busy fraction of span):\n", label)
+		for _, st := range trace.Utilization(r.Trace, p.NPEs) {
+			bar := strings.Repeat("#", int(st.Fraction()*40))
+			fmt.Printf("  PE %d %6.1f%% %-40s (%d switches)\n", st.PE, st.Fraction()*100, bar, st.Switches)
+		}
+		c := r.Trace.Counts()
+		fmt.Printf("  events: %d switches, %d migrations; modeled time %.1f ms\n\n",
+			c[trace.EvSwitchIn], c[trace.EvMigrateOut], r.TimeNs/1e6)
+	}
+}

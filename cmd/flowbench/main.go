@@ -1,0 +1,45 @@
+// Flowbench regenerates Figures 4-8: context-switch time versus the
+// number of flows for processes, kernel threads, user-level (Cth)
+// threads, migratable AMPI threads and event-driven objects, on any
+// emulated platform.
+//
+// Usage:
+//
+//	flowbench [-platform linux-x86] [-rounds 3] [-max 8192]
+//	flowbench -all   # all five paper platforms (Figures 4-8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"migflow/internal/harness"
+)
+
+func main() {
+	plat := flag.String("platform", "linux-x86", "platform profile (see internal/platform)")
+	all := flag.Bool("all", false, "run the five Figure 4-8 platforms")
+	rounds := flag.Int("rounds", 3, "yield rounds per measurement")
+	max := flag.Int("max", 8192, "largest flow count")
+	flag.Parse()
+
+	var counts []int
+	for n := 2; n <= *max; n *= 2 {
+		counts = append(counts, n)
+	}
+	platforms := []string{*plat}
+	if *all {
+		platforms = []string{"linux-x86", "mac-g5", "sun-solaris9", "ibm-sp", "alpha-es45"}
+	}
+	for i, p := range platforms {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== Figure %d ==\n", 4+i)
+		if _, err := harness.FigureSwitchCurves(os.Stdout, p, counts, *rounds); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Limits regenerates Table 2: the practical limits on the number of
+// processes, kernel threads and user-level threads, probed by
+// creating flows against each platform's simulated kernel until
+// creation fails.
+//
+// Usage: limits [-cap 100000]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"migflow/internal/harness"
+)
+
+func main() {
+	cap := flag.Int("cap", 100000, "probe ceiling (paper reports 'N+' at the ceiling)")
+	flag.Parse()
+	if _, err := harness.Table2(os.Stdout, *cap); err != nil {
+		log.Fatal(err)
+	}
+}

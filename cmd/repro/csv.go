@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"migflow/internal/flows"
+	"migflow/internal/harness"
+	"migflow/internal/npb"
+)
+
+// CSV export: when -csv DIR is given, every figure's data series is
+// also written as a plotting-ready CSV file in DIR.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func csvSwitchCurves(dir, file string, curves map[flows.Kind][]flows.Point, counts []int) error {
+	header := []string{"flows"}
+	for _, k := range flows.Kinds() {
+		header = append(header, string(k)+"_ns_per_switch")
+	}
+	var rows [][]string
+	for _, n := range counts {
+		row := []string{strconv.Itoa(n)}
+		for _, k := range flows.Kinds() {
+			cell := ""
+			for _, pt := range curves[k] {
+				if pt.Flows == n {
+					cell = ftoa(pt.NsPerYield)
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(dir, file, header, rows)
+}
+
+func csvFig9(dir string, pts []harness.Fig9Point) error {
+	header := []string{"strategy", "stack_bytes", "sim_ns_per_switch", "wall_ns_per_switch"}
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Strategy, strconv.FormatUint(p.StackSize, 10), ftoa(p.VirtualNs), ftoa(p.WallNs),
+		})
+	}
+	return writeCSV(dir, "fig9_stack_size.csv", header, rows)
+}
+
+func csvFig11(dir string, pts []harness.Fig11Point) error {
+	header := []string{"sim_pes", "ults_per_pe", "sim_ns_per_step", "wall_ns_total"}
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			strconv.Itoa(p.SimPEs), strconv.Itoa(p.ThreadsPE), ftoa(p.StepTimeNs), ftoa(p.WallNs),
+		})
+	}
+	return writeCSV(dir, "fig11_bigsim.csv", header, rows)
+}
+
+func csvFig12(dir string, pairs [][2]*npb.Result) error {
+	header := []string{"case", "no_lb_ms", "lb_ms", "speedup", "no_lb_imbalance", "lb_imbalance", "ranks_moved"}
+	var rows [][]string
+	for _, pr := range pairs {
+		base, lb := pr[0], pr[1]
+		rows = append(rows, []string{
+			base.Params.Label(),
+			ftoa(base.TimeNs / 1e6), ftoa(lb.TimeNs / 1e6),
+			ftoa(base.TimeNs / lb.TimeNs),
+			ftoa(base.Imbalance), ftoa(lb.Imbalance),
+			strconv.Itoa(lb.MovedRanks),
+		})
+	}
+	return writeCSV(dir, "fig12_btmz.csv", header, rows)
+}
+
+func csvTable2(dir string, rows []harness.Table2Row, platforms []string) error {
+	header := append([]string{"mechanism"}, platforms...)
+	var out [][]string
+	for _, r := range rows {
+		row := []string{string(r.Kind)}
+		for _, p := range platforms {
+			row = append(row, strconv.Itoa(r.Limits[p]))
+		}
+		out = append(out, row)
+	}
+	return writeCSV(dir, "table2_limits.csv", header, out)
+}
+
+func csvNote(dir string) {
+	fmt.Printf("\n(CSV series written to %s)\n", dir)
+}

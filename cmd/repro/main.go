@@ -1,0 +1,101 @@
+// Repro regenerates the paper's entire evaluation section — both
+// tables and every figure — in one run, printing each artifact in
+// order. This is the one-command reproduction entry point; see
+// EXPERIMENTS.md for the paper-versus-measured discussion.
+//
+// Usage: repro [-quick] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"migflow/internal/harness"
+	"migflow/internal/platform"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sweeps (seconds instead of minutes)")
+	csvDir := flag.String("csv", "", "also write plotting-ready CSV series into this directory")
+	flag.Parse()
+
+	counts := []int{2, 8, 32, 128, 512, 2048, 8192}
+	sizes := []uint64{8 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20}
+	fig11PEs := []int{1, 2, 4, 8, 16, 32, 64}
+	torus := [3]int{25, 25, 16} // 10,000 target processors
+	steps, swaps, switches := 20, 2_000_000, 200
+	if *quick {
+		counts = []int{2, 32, 512}
+		sizes = []uint64{8 << 10, 128 << 10, 2 << 20}
+		fig11PEs = []int{1, 4, 16}
+		torus = [3]int{10, 10, 10}
+		steps, swaps, switches = 8, 200_000, 50
+	}
+
+	section := func(name string) { fmt.Printf("\n================ %s ================\n", name) }
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	csvIf := func(err error) {
+		if *csvDir != "" {
+			check(err)
+		}
+	}
+
+	section("Table 1 (§3.4.4)")
+	harness.Table1(os.Stdout)
+
+	section("Table 2 (§4.1)")
+	t2, err := harness.Table2(os.Stdout, 100000)
+	check(err)
+	if *csvDir != "" {
+		csvIf(csvTable2(*csvDir, t2, platform.Table2Order()))
+	}
+
+	figNames := []string{"Figure 4 (Linux x86)", "Figure 5 (Mac G5)", "Figure 6 (Solaris)", "Figure 7 (IBM SP)", "Figure 8 (Alpha)"}
+	for i, p := range []string{"linux-x86", "mac-g5", "sun-solaris9", "ibm-sp", "alpha-es45"} {
+		section(figNames[i] + " (§4.1)")
+		curves, err := harness.FigureSwitchCurves(os.Stdout, p, counts, 3)
+		check(err)
+		if *csvDir != "" {
+			csvIf(csvSwitchCurves(*csvDir, fmt.Sprintf("fig%d_%s.csv", 4+i, p), curves, counts))
+		}
+	}
+
+	section("Blocking-call models (§2.2-2.3)")
+	_, err = harness.BlockingModels(os.Stdout, platform.LinuxX86())
+	check(err)
+
+	section("Address-space capacity (§3.4.2)")
+	_, err = harness.IsoCapacity(os.Stdout, []uint64{64 << 10, 256 << 10, 1 << 20}, 100000)
+	check(err)
+
+	section("Figure 9 (§4.2)")
+	f9, err := harness.Figure9(os.Stdout, sizes, switches)
+	check(err)
+	if *csvDir != "" {
+		csvIf(csvFig9(*csvDir, f9))
+	}
+
+	section("Figure 10 / §4.3")
+	harness.Figure10(os.Stdout, swaps)
+
+	section("Figure 11 (§4.4)")
+	f11, err := harness.Figure11(os.Stdout, torus[0], torus[1], torus[2], 5, fig11PEs)
+	check(err)
+	if *csvDir != "" {
+		csvIf(csvFig11(*csvDir, f11))
+	}
+
+	section("Figure 12 (§4.5)")
+	f12, err := harness.Figure12(os.Stdout, steps)
+	check(err)
+	if *csvDir != "" {
+		csvIf(csvFig12(*csvDir, f12))
+		csvNote(*csvDir)
+	}
+}

@@ -1,0 +1,31 @@
+// Stackbench regenerates Figure 9: context-switch time versus stack
+// size for the three migratable-thread techniques (stack copying,
+// isomalloc, memory aliasing), in both simulated time (the 2006
+// platform's cost model) and wall-clock time (this repository's real
+// memcpy/remap work).
+//
+// Usage: stackbench [-switches 200] [-min 8192] [-max 8388608]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"migflow/internal/harness"
+)
+
+func main() {
+	switches := flag.Int("switches", 200, "yields per thread per measurement")
+	min := flag.Uint64("min", 8<<10, "smallest stack in bytes")
+	max := flag.Uint64("max", 8<<20, "largest stack in bytes")
+	flag.Parse()
+
+	var sizes []uint64
+	for s := *min; s <= *max; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	if _, err := harness.Figure9(os.Stdout, sizes, *switches); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,16 @@
+// Package migflow is a from-scratch Go reproduction of "Multiple
+// Flows of Control in Migratable Parallel Programs" (Gengbin Zheng,
+// Orion Sky Lawlor, Laxmikant V. Kalé — ICPP 2006): the four
+// flow-of-control mechanisms the paper studies, the three migratable
+// user-level thread techniques (stack copying, isomalloc, memory
+// aliasing), and the Charm++/Converse/AMPI-style runtime stack they
+// live in, evaluated by a benchmark harness that regenerates every
+// table and figure of the paper.
+//
+// Start with README.md for the architecture tour, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results. The library lives under internal/;
+// runnable entry points are cmd/repro (the whole evaluation),
+// cmd/{flowbench,stackbench,limits,bigsim,btmz} (per-figure tools)
+// and examples/ (API walkthroughs).
+package migflow

@@ -1,0 +1,55 @@
+// Bigsim: the §4.4 scenario — simulate a large target machine running
+// a molecular-dynamics-style code, with one user-level thread per
+// simulated target processor, and show the Figure 11 scaling of
+// simulation time per step with the number of simulating processors.
+//
+// Run with: go run ./examples/bigsim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"migflow/internal/bigsim"
+)
+
+func main() {
+	x := flag.Int("x", 16, "target torus X")
+	y := flag.Int("y", 16, "target torus Y")
+	z := flag.Int("z", 16, "target torus Z")
+	steps := flag.Int("steps", 5, "MD timesteps")
+	flag.Parse()
+
+	targets := *x * *y * *z
+	fmt.Printf("simulating a %d-target-processor machine (%dx%dx%d torus), one ULT each\n\n",
+		targets, *x, *y, *z)
+	fmt.Printf("%6s %14s %14s %10s %12s\n", "simPEs", "ULTs/simPE", "time/step(ms)", "speedup", "wall(ms)")
+
+	var base float64
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		if p > targets {
+			break
+		}
+		cfg := bigsim.DefaultConfig()
+		cfg.X, cfg.Y, cfg.Z = *x, *y, *z
+		cfg.SimPEs = p
+		sim, err := bigsim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		stats := sim.RunParallel(*steps) // one goroutine per simulating PE
+		wall := time.Since(start)
+		sim.Close()
+		mean := bigsim.MeanStepTime(stats)
+		if base == 0 {
+			base = mean
+		}
+		fmt.Printf("%6d %14d %14.3f %9.2fx %12.1f\n",
+			p, targets/p, mean/1e6, base/mean, float64(wall.Microseconds())/1000)
+	}
+	fmt.Println("\ntime/step is simulated (virtual) time: max over simulating PEs of")
+	fmt.Println("their serial execution of resident target threads plus messaging.")
+}

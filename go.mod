@@ -1,0 +1,3 @@
+module migflow
+
+go 1.22

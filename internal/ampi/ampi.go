@@ -1,0 +1,386 @@
+// Package ampi is an Adaptive-MPI-like layer (§4.1, §4.5): each MPI
+// rank is a migratable user-level thread (isomalloc stack + heap,
+// privatized globals via swap-global), so ranks vastly outnumber
+// processors and the runtime migrates them for load balance without
+// any change to "application" code.
+//
+// The API mirrors the MPI calls the paper names: blocking send and
+// receive, barrier, allreduce, MPI_Yield, and MPI_Migrate — the
+// collective that measures per-rank loads, runs a balancer, and moves
+// threads.
+package ampi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"migflow/internal/comm"
+	"migflow/internal/converse"
+	"migflow/internal/core"
+	"migflow/internal/loadbalance"
+	"migflow/internal/migrate"
+	"migflow/internal/swapglobal"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Internal tags (user tags must be ≥ 0).
+const (
+	tagBarrier = -100 - iota
+	tagBarrierRelease
+	tagReduce
+	tagReduceResult
+)
+
+// Options configures a Job.
+type Options struct {
+	// Strategy is the rank threads' stack technique; default
+	// isomalloc (the configuration §4.5 benchmarks).
+	Strategy converse.StackStrategy
+	// StackSize per rank (default converse.DefaultStackSize).
+	StackSize uint64
+	// Globals optionally privatizes a module's globals per rank; the
+	// machine must have been booted with the same layout.
+	Globals *swapglobal.Layout
+	// BlockPlacement maps rank r to PE r·P/N (contiguous rank
+	// blocks, AMPI's default mapping) instead of round-robin r mod P.
+	BlockPlacement bool
+}
+
+// Job is one AMPI program: size ranks running body, mapped
+// round-robin over the machine's PEs.
+type Job struct {
+	m    *core.Machine
+	opts Options
+	body func(*Rank)
+
+	ranks []*Rank
+
+	mu       sync.Mutex
+	lbPlans  map[uint64]loadbalance.Plan // epoch → plan
+	lbEpochs map[uint64]int              // epoch → ranks arrived
+	traffic  map[[2]int]float64          // rank pair (lo,hi) → bytes
+}
+
+// Rank is one MPI rank: a migratable thread plus a tag/source-matched
+// mailbox. The methods on Rank are the MPI interface; they may only
+// be called from inside the rank's own body.
+type Rank struct {
+	job  *Job
+	rank int
+	th   *converse.Thread
+	ctx  *converse.Ctx
+
+	mu      sync.Mutex
+	mbox    []*comm.Message
+	waiting *matchSpec
+
+	epoch uint64 // MPI_Migrate epochs completed
+}
+
+type matchSpec struct {
+	src, tag int
+}
+
+// NewJob creates size ranks on machine m. Rank r is born on PE
+// r mod NumPEs ("AMPI requires the number of AMPI migratable threads
+// to be much larger than the actual number of processors").
+func NewJob(m *core.Machine, size int, opts Options, body func(*Rank)) (*Job, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("ampi: size %d must be ≥ 1", size)
+	}
+	if opts.Strategy == nil {
+		opts.Strategy = migrate.Isomalloc{}
+	}
+	j := &Job{
+		m: m, opts: opts, body: body,
+		lbPlans:  make(map[uint64]loadbalance.Plan),
+		lbEpochs: make(map[uint64]int),
+		traffic:  make(map[[2]int]float64),
+	}
+	for r := 0; r < size; r++ {
+		rank := &Rank{job: j, rank: r}
+		peIdx := r % m.NumPEs()
+		if opts.BlockPlacement {
+			peIdx = r * m.NumPEs() / size
+		}
+		pe := m.PE(peIdx)
+		th, err := pe.Sched.CthCreate(converse.ThreadOptions{
+			Strategy:  opts.Strategy,
+			StackSize: opts.StackSize,
+			Globals:   opts.Globals,
+		}, func(c *converse.Ctx) {
+			rank.ctx = c
+			j.body(rank)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ampi: creating rank %d: %w", r, err)
+		}
+		rank.th = th
+		j.ranks = append(j.ranks, rank)
+		if err := m.RegisterEntity(comm.EntityID(th.ID()), pe.Index, rank.deliver); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// Start makes every rank runnable.
+func (j *Job) Start() {
+	for _, r := range j.ranks {
+		r.th.Scheduler().Start(r.th)
+	}
+}
+
+// Run starts the job and drives the machine to quiescence
+// (deterministic single-goroutine mode).
+func (j *Job) Run() {
+	j.Start()
+	j.m.RunUntilQuiescent()
+}
+
+// Size returns the number of ranks.
+func (j *Job) Size() int { return len(j.ranks) }
+
+// Machine returns the underlying machine.
+func (j *Job) Machine() *core.Machine { return j.m }
+
+// Rank returns rank r's handle (for inspection in tests/harnesses).
+func (j *Job) Rank(r int) *Rank { return j.ranks[r] }
+
+// Done reports whether every rank thread has exited.
+func (j *Job) Done() bool {
+	for _, r := range j.ranks {
+		if r.th.State() != converse.Exited {
+			return false
+		}
+	}
+	return true
+}
+
+// entity returns a rank's comm identity (its thread id, which the
+// machine's migration path forwards automatically).
+func (j *Job) entity(rank int) comm.EntityID {
+	return comm.EntityID(j.ranks[rank].th.ID())
+}
+
+// ---------------------------------------------------------------
+// Rank: the MPI interface
+
+// Rank returns the caller's rank number.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the job's rank count.
+func (r *Rank) Size() int { return len(r.job.ranks) }
+
+// PE returns the processor the rank currently runs on.
+func (r *Rank) PE() int { return r.ctx.PE().Index }
+
+// Thread exposes the underlying migratable thread.
+func (r *Rank) Thread() *converse.Thread { return r.th }
+
+// Ctx exposes the converse context (stack frames, malloc, work).
+func (r *Rank) Ctx() *converse.Ctx { return r.ctx }
+
+// Yield is MPI_Yield: give other ranks on this PE the processor.
+func (r *Rank) Yield() { r.ctx.Yield() }
+
+// Work models ns nanoseconds of local computation.
+func (r *Rank) Work(ns float64) { r.ctx.Work(ns) }
+
+// Wtime is MPI_Wtime: the rank's current virtual time in seconds
+// (the clock of whichever PE the rank currently runs on).
+func (r *Rank) Wtime() float64 { return r.ctx.PE().Clock.Now() / 1e9 }
+
+// Send sends data to rank dest with the given tag (tag ≥ 0). It is
+// buffered-asynchronous, like an eager-protocol MPI_Send.
+func (r *Rank) Send(dest, tag int, data []byte) error {
+	if tag < 0 {
+		return fmt.Errorf("ampi: Send tag %d must be ≥ 0", tag)
+	}
+	return r.send(dest, tag, data)
+}
+
+func (r *Rank) send(dest, tag int, data []byte) error {
+	if dest < 0 || dest >= len(r.job.ranks) {
+		return fmt.Errorf("ampi: Send to rank %d of %d", dest, len(r.job.ranks))
+	}
+	if tag >= 0 && dest != r.rank {
+		// Application traffic feeds the communication graph the
+		// comm-aware balancer consumes (collectives excluded).
+		pair := [2]int{r.rank, dest}
+		if pair[0] > pair[1] {
+			pair[0], pair[1] = pair[1], pair[0]
+		}
+		r.job.mu.Lock()
+		r.job.traffic[pair] += float64(len(data)) + 64 // payload + envelope
+		r.job.mu.Unlock()
+	}
+	pe := r.ctx.PE()
+	msg := &comm.Message{
+		To:       r.job.entity(dest),
+		From:     r.job.entity(r.rank),
+		Tag:      tag,
+		Data:     data,
+		SendTime: pe.Clock.Now(),
+	}
+	return r.job.m.Network().Endpoint(pe.Index).Send(msg)
+}
+
+// deliver is the machine's per-entity handler: mailbox append plus
+// wakeup if the rank is blocked on a matching Recv.
+func (r *Rank) deliver(_ int, msg *comm.Message) {
+	r.mu.Lock()
+	r.mbox = append(r.mbox, msg)
+	wake := r.waiting != nil && r.matchesLocked(r.waiting, msg)
+	if wake {
+		r.waiting = nil
+	}
+	r.mu.Unlock()
+	if wake {
+		r.th.Awaken()
+	}
+}
+
+func (r *Rank) matchesLocked(spec *matchSpec, m *comm.Message) bool {
+	if spec.tag != AnyTag && spec.tag != m.Tag {
+		return false
+	}
+	if spec.src != AnySource && r.job.entity(spec.src) != m.From {
+		return false
+	}
+	return true
+}
+
+// takeLocked removes and returns the oldest matching message.
+func (r *Rank) takeLocked(spec *matchSpec) *comm.Message {
+	for i, m := range r.mbox {
+		if r.matchesLocked(spec, m) {
+			r.mbox = append(r.mbox[:i], r.mbox[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// Recv blocks until a message from src (or AnySource) with tag (or
+// AnyTag) arrives and returns its payload and sender rank.
+func (r *Rank) Recv(src, tag int) ([]byte, int, error) {
+	if tag < 0 && tag != AnyTag {
+		return nil, 0, fmt.Errorf("ampi: Recv tag %d must be ≥ 0 or AnyTag", tag)
+	}
+	m := r.recv(src, tag)
+	return m.Data, r.senderRank(m), nil
+}
+
+func (r *Rank) recv(src, tag int) *comm.Message {
+	spec := &matchSpec{src: src, tag: tag}
+	for {
+		r.mu.Lock()
+		if m := r.takeLocked(spec); m != nil {
+			r.mu.Unlock()
+			// The receiver cannot proceed before the message's
+			// arrival: synchronize the PE clock at consume time.
+			r.ctx.PE().Clock.AdvanceTo(m.Arrival)
+			return m
+		}
+		r.waiting = spec
+		r.mu.Unlock()
+		r.ctx.Suspend()
+	}
+}
+
+func (r *Rank) senderRank(m *comm.Message) int {
+	for i := range r.job.ranks {
+		if r.job.entity(i) == m.From {
+			return i
+		}
+	}
+	return -1
+}
+
+// Barrier blocks until every rank has entered it (flat gather-release
+// through rank 0).
+func (r *Rank) Barrier() error {
+	n := len(r.job.ranks)
+	if n == 1 {
+		return nil
+	}
+	if r.rank == 0 {
+		for i := 1; i < n; i++ {
+			r.recv(AnySource, tagBarrier)
+		}
+		for i := 1; i < n; i++ {
+			if err := r.send(i, tagBarrierRelease, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := r.send(0, tagBarrier, nil); err != nil {
+		return err
+	}
+	r.recv(0, tagBarrierRelease)
+	return nil
+}
+
+// Allreduce combines each rank's value with op ("sum", "max", "min")
+// and returns the result on every rank.
+func (r *Rank) Allreduce(op string, v float64) (float64, error) {
+	combine := func(a, b float64) float64 { return a + b }
+	switch op {
+	case "sum":
+	case "max":
+		combine = func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		}
+	case "min":
+		combine = func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		}
+	default:
+		return 0, fmt.Errorf("ampi: unknown reduction op %q", op)
+	}
+	n := len(r.job.ranks)
+	if n == 1 {
+		return v, nil
+	}
+	if r.rank == 0 {
+		acc := v
+		for i := 1; i < n; i++ {
+			m := r.recv(AnySource, tagReduce)
+			acc = combine(acc, f64(m.Data))
+		}
+		for i := 1; i < n; i++ {
+			if err := r.send(i, tagReduceResult, f64bytes(acc)); err != nil {
+				return 0, err
+			}
+		}
+		return acc, nil
+	}
+	if err := r.send(0, tagReduce, f64bytes(v)); err != nil {
+		return 0, err
+	}
+	m := r.recv(0, tagReduceResult)
+	return f64(m.Data), nil
+}
+
+func f64bytes(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func f64(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }

@@ -1,0 +1,171 @@
+package ampi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Additional internal collective tags (continuing the block in
+// ampi.go; user tags are ≥ 0).
+const (
+	tagBcast = -200 - iota
+	tagReduceRoot
+	tagGather
+	tagScatter
+	tagAlltoall
+)
+
+// Bcast broadcasts root's data to every rank and returns the received
+// copy (root returns its own data). Flat tree, like the paper-era
+// AMPI default for small communicators.
+func (r *Rank) Bcast(root int, data []byte) ([]byte, error) {
+	if root < 0 || root >= len(r.job.ranks) {
+		return nil, fmt.Errorf("ampi: Bcast root %d of %d", root, len(r.job.ranks))
+	}
+	if r.rank == root {
+		for i := range r.job.ranks {
+			if i == root {
+				continue
+			}
+			if err := r.send(i, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	m := r.recv(root, tagBcast)
+	return m.Data, nil
+}
+
+// Reduce combines every rank's value at root with op ("sum", "max",
+// "min"); only root receives the result (other ranks get 0).
+func (r *Rank) Reduce(root int, op string, v float64) (float64, error) {
+	combine, err := combiner(op)
+	if err != nil {
+		return 0, err
+	}
+	if root < 0 || root >= len(r.job.ranks) {
+		return 0, fmt.Errorf("ampi: Reduce root %d of %d", root, len(r.job.ranks))
+	}
+	if r.rank != root {
+		return 0, r.send(root, tagReduceRoot, f64bytes(v))
+	}
+	acc := v
+	for i := 1; i < len(r.job.ranks); i++ {
+		m := r.recv(AnySource, tagReduceRoot)
+		acc = combine(acc, f64(m.Data))
+	}
+	return acc, nil
+}
+
+// Gather collects every rank's data at root, indexed by rank; only
+// root receives the slice (others get nil).
+func (r *Rank) Gather(root int, data []byte) ([][]byte, error) {
+	if root < 0 || root >= len(r.job.ranks) {
+		return nil, fmt.Errorf("ampi: Gather root %d of %d", root, len(r.job.ranks))
+	}
+	if r.rank != root {
+		return nil, r.send(root, tagGather, data)
+	}
+	out := make([][]byte, len(r.job.ranks))
+	out[root] = data
+	for i := 1; i < len(r.job.ranks); i++ {
+		m := r.recv(AnySource, tagGather)
+		out[r.senderRank(m)] = m.Data
+	}
+	return out, nil
+}
+
+// Scatter distributes chunks[i] from root to rank i and returns the
+// caller's chunk. Root must pass len(chunks) == Size(); other ranks
+// pass nil.
+func (r *Rank) Scatter(root int, chunks [][]byte) ([]byte, error) {
+	if root < 0 || root >= len(r.job.ranks) {
+		return nil, fmt.Errorf("ampi: Scatter root %d of %d", root, len(r.job.ranks))
+	}
+	if r.rank == root {
+		if len(chunks) != len(r.job.ranks) {
+			return nil, fmt.Errorf("ampi: Scatter: %d chunks for %d ranks", len(chunks), len(r.job.ranks))
+		}
+		for i, c := range chunks {
+			if i == root {
+				continue
+			}
+			if err := r.send(i, tagScatter, c); err != nil {
+				return nil, err
+			}
+		}
+		return chunks[root], nil
+	}
+	m := r.recv(root, tagScatter)
+	return m.Data, nil
+}
+
+// Alltoall exchanges chunks[i] with every rank i and returns the
+// received chunks indexed by sender. Every rank must pass Size()
+// chunks.
+func (r *Rank) Alltoall(chunks [][]byte) ([][]byte, error) {
+	n := len(r.job.ranks)
+	if len(chunks) != n {
+		return nil, fmt.Errorf("ampi: Alltoall: %d chunks for %d ranks", len(chunks), n)
+	}
+	out := make([][]byte, n)
+	out[r.rank] = chunks[r.rank]
+	for i := 0; i < n; i++ {
+		if i == r.rank {
+			continue
+		}
+		// Tag the payload with the sender rank (AnySource arrival
+		// order is arbitrary).
+		buf := make([]byte, 4+len(chunks[i]))
+		binary.LittleEndian.PutUint32(buf, uint32(r.rank))
+		copy(buf[4:], chunks[i])
+		if err := r.send(i, tagAlltoall, buf); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		m := r.recv(AnySource, tagAlltoall)
+		if len(m.Data) < 4 {
+			return nil, fmt.Errorf("ampi: Alltoall: runt message")
+		}
+		from := int(binary.LittleEndian.Uint32(m.Data))
+		if from < 0 || from >= n {
+			return nil, fmt.Errorf("ampi: Alltoall: bad sender %d", from)
+		}
+		out[from] = m.Data[4:]
+	}
+	return out, nil
+}
+
+// Sendrecv performs a simultaneous send and receive — the halo-
+// exchange primitive. It is deadlock-free for rings and pairs because
+// sends are eager-buffered.
+func (r *Rank) Sendrecv(dest, sendTag int, data []byte, src, recvTag int) ([]byte, int, error) {
+	if err := r.Send(dest, sendTag, data); err != nil {
+		return nil, 0, err
+	}
+	return r.Recv(src, recvTag)
+}
+
+func combiner(op string) (func(a, b float64) float64, error) {
+	switch op {
+	case "sum":
+		return func(a, b float64) float64 { return a + b }, nil
+	case "max":
+		return func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		}, nil
+	case "min":
+		return func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		}, nil
+	}
+	return nil, fmt.Errorf("ampi: unknown reduction op %q", op)
+}

@@ -1,0 +1,315 @@
+package ampi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBcast(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	const ranks = 5
+	var mu sync.Mutex
+	got := make([][]byte, ranks)
+	j, err := NewJob(m, ranks, Options{}, func(r *Rank) {
+		var data []byte
+		if r.Rank() == 2 {
+			data = []byte("from root two")
+		}
+		out, err := r.Bcast(2, data)
+		if err != nil {
+			t.Errorf("rank %d Bcast: %v", r.Rank(), err)
+			return
+		}
+		mu.Lock()
+		got[r.Rank()] = out
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	for rk, d := range got {
+		if string(d) != "from root two" {
+			t.Errorf("rank %d got %q", rk, d)
+		}
+	}
+}
+
+func TestBcastBadRoot(t *testing.T) {
+	m := newMachine(t, 1, nil)
+	var errs error
+	j, err := NewJob(m, 1, Options{}, func(r *Rank) {
+		_, errs = r.Bcast(5, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	if errs == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+func TestReduceAtRoot(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	const ranks = 6
+	var rootGot float64
+	j, err := NewJob(m, ranks, Options{}, func(r *Rank) {
+		v, err := r.Reduce(0, "max", float64(r.Rank()*10))
+		if err != nil {
+			t.Errorf("Reduce: %v", err)
+			return
+		}
+		if r.Rank() == 0 {
+			rootGot = v
+		} else if v != 0 {
+			t.Errorf("non-root rank %d got %g", r.Rank(), v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	if rootGot != 50 {
+		t.Errorf("root max = %g, want 50", rootGot)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	m := newMachine(t, 3, nil)
+	const ranks = 4
+	var gathered [][]byte
+	var mu sync.Mutex
+	scattered := make(map[int]string)
+	j, err := NewJob(m, ranks, Options{}, func(r *Rank) {
+		// Gather rank names at root 1.
+		out, err := r.Gather(1, []byte(fmt.Sprintf("rank-%d", r.Rank())))
+		if err != nil {
+			t.Errorf("Gather: %v", err)
+			return
+		}
+		if r.Rank() == 1 {
+			gathered = out
+		}
+		// Scatter chunks from root 1.
+		var chunks [][]byte
+		if r.Rank() == 1 {
+			for i := 0; i < ranks; i++ {
+				chunks = append(chunks, []byte(fmt.Sprintf("chunk-%d", i)))
+			}
+		}
+		c, err := r.Scatter(1, chunks)
+		if err != nil {
+			t.Errorf("Scatter: %v", err)
+			return
+		}
+		mu.Lock()
+		scattered[r.Rank()] = string(c)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	if len(gathered) != ranks {
+		t.Fatalf("gathered %d", len(gathered))
+	}
+	for i, d := range gathered {
+		if string(d) != fmt.Sprintf("rank-%d", i) {
+			t.Errorf("gathered[%d] = %q", i, d)
+		}
+	}
+	for i := 0; i < ranks; i++ {
+		if scattered[i] != fmt.Sprintf("chunk-%d", i) {
+			t.Errorf("scattered[%d] = %q", i, scattered[i])
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	m := newMachine(t, 1, nil)
+	var err1 error
+	j, err := NewJob(m, 2, Options{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			_, err1 = r.Scatter(0, [][]byte{{1}}) // wrong chunk count
+			// Unblock rank 1 (its Scatter waits for a chunk).
+			_ = r.Send(1, 0, nil)
+		} else {
+			_, _, _ = r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 would block in Scatter; to keep it simple rank 1 never
+	// calls Scatter in this test.
+	j.Run()
+	if err1 == nil {
+		t.Error("wrong chunk count accepted")
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	const ranks = 4
+	var mu sync.Mutex
+	results := make(map[int][][]byte)
+	j, err := NewJob(m, ranks, Options{}, func(r *Rank) {
+		chunks := make([][]byte, ranks)
+		for i := range chunks {
+			chunks[i] = []byte(fmt.Sprintf("%d->%d", r.Rank(), i))
+		}
+		out, err := r.Alltoall(chunks)
+		if err != nil {
+			t.Errorf("Alltoall: %v", err)
+			return
+		}
+		mu.Lock()
+		results[r.Rank()] = out
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	for rk := 0; rk < ranks; rk++ {
+		for from := 0; from < ranks; from++ {
+			want := fmt.Sprintf("%d->%d", from, rk)
+			if string(results[rk][from]) != want {
+				t.Errorf("rank %d from %d = %q, want %q", rk, from, results[rk][from], want)
+			}
+		}
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	const ranks = 5
+	var mu sync.Mutex
+	froms := make(map[int]int)
+	j, err := NewJob(m, ranks, Options{}, func(r *Rank) {
+		next := (r.Rank() + 1) % ranks
+		prev := (r.Rank() + ranks - 1) % ranks
+		data, from, err := r.Sendrecv(next, 3, []byte{byte(r.Rank())}, prev, 3)
+		if err != nil {
+			t.Errorf("Sendrecv: %v", err)
+			return
+		}
+		if int(data[0]) != prev {
+			t.Errorf("rank %d payload from %d", r.Rank(), data[0])
+		}
+		mu.Lock()
+		froms[r.Rank()] = from
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	for rk, from := range froms {
+		if from != (rk+ranks-1)%ranks {
+			t.Errorf("rank %d got from %d", rk, from)
+		}
+	}
+}
+
+func TestNonblocking(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	j, err := NewJob(m, 2, Options{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			req, err := r.Isend(1, 9, []byte("overlapped"))
+			if err != nil {
+				t.Errorf("Isend: %v", err)
+				return
+			}
+			if !req.Test() {
+				t.Error("eager Isend should be complete")
+			}
+			if err := r.Waitall([]*Request{req}); err != nil {
+				t.Errorf("Waitall: %v", err)
+			}
+		} else {
+			req, err := r.Irecv(0, 9)
+			if err != nil {
+				t.Errorf("Irecv: %v", err)
+				return
+			}
+			r.Work(1000) // "overlap" computation
+			data, from, err := r.Wait(req)
+			if err != nil || string(data) != "overlapped" || from != 0 {
+				t.Errorf("Wait = %q/%d/%v", data, from, err)
+			}
+			// Waiting again returns the same completed result.
+			if d2, _, _ := r.Wait(req); !bytes.Equal(d2, data) {
+				t.Error("second Wait changed result")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	if !j.Done() {
+		t.Fatal("job hung")
+	}
+}
+
+func TestNonblockingValidation(t *testing.T) {
+	m := newMachine(t, 1, nil)
+	j, err := NewJob(m, 2, Options{}, func(r *Rank) {
+		if r.Rank() != 0 {
+			return
+		}
+		if _, err := r.Isend(1, -1, nil); err == nil {
+			t.Error("negative Isend tag accepted")
+		}
+		if _, err := r.Irecv(0, -5); err == nil {
+			t.Error("negative Irecv tag accepted")
+		}
+		// Wait on another rank's request.
+		other := &Request{rank: r.job.Rank(1)}
+		if _, _, err := r.Wait(other); err == nil {
+			t.Error("cross-rank Wait accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+}
+
+func TestIrecvTestBeforeArrival(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	j, err := NewJob(m, 2, Options{}, func(r *Rank) {
+		if r.Rank() == 1 {
+			req, err := r.Irecv(0, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if req.Test() {
+				t.Error("Test true before any message")
+			}
+			// Tell rank 0 to send, then wait.
+			if err := r.Send(0, 5, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := r.Wait(req); err != nil {
+				t.Error(err)
+			}
+		} else {
+			_, _, _ = r.Recv(1, 5)
+			_ = r.Send(1, 4, []byte("now"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	if !j.Done() {
+		t.Fatal("job hung")
+	}
+}

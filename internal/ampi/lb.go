@@ -1,0 +1,138 @@
+package ampi
+
+import (
+	"fmt"
+
+	"migflow/internal/converse"
+	"migflow/internal/loadbalance"
+)
+
+// Migrate is MPI_Migrate: a collective load-balancing point. Every
+// rank must call it. The runtime measures each rank's CPU time since
+// the previous Migrate, runs the strategy once per epoch, and each
+// rank then migrates to its assigned PE (threads move with isomalloc
+// + swap-global, so the "application" code above this call never
+// changes — the §4.5 configuration). It returns the number of ranks
+// the plan moved.
+func (r *Rank) Migrate(strategy loadbalance.Strategy) (int, error) {
+	if strategy == nil {
+		return 0, fmt.Errorf("ampi: Migrate: nil strategy")
+	}
+	// Everyone must have finished the epoch's work before loads are
+	// read.
+	if err := r.Barrier(); err != nil {
+		return 0, err
+	}
+	epoch := r.epoch
+	r.epoch++
+	plan := r.job.planForEpoch(epoch, strategy)
+	moved := 0
+	for _, to := range plan {
+		_ = to
+		moved++
+	}
+	if dest, ok := plan[uint64(r.th.ID())]; ok && dest != r.PE() {
+		r.ctx.MigrateTo(dest)
+	}
+	// Re-synchronize so no rank races ahead while others are still
+	// in flight, then reset the load measurements for the next epoch.
+	if err := r.Barrier(); err != nil {
+		return 0, err
+	}
+	r.th.ResetCPUTime()
+	return moved, nil
+}
+
+// planForEpoch computes (once per epoch) the strategy's plan from the
+// measured per-rank loads. The load database is exactly what the
+// paper's runtime gathers: thread id, current PE, consumed CPU time.
+func (j *Job) planForEpoch(epoch uint64, strategy loadbalance.Strategy) loadbalance.Plan {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if p, ok := j.lbPlans[epoch]; ok {
+		return p
+	}
+	items := make([]loadbalance.Item, 0, len(j.ranks))
+	for _, rk := range j.ranks {
+		items = append(items, loadbalance.Item{
+			ID:   uint64(rk.th.ID()),
+			PE:   rk.th.Scheduler().PE().Index,
+			Load: rk.th.CPUTime(),
+		})
+	}
+	p := strategy.Plan(items, j.m.NumPEs())
+	j.lbPlans[epoch] = p
+	return p
+}
+
+// Rebalance is the runtime-driven balancing mode: called from
+// *outside* the job at a quiescent point, it plans over the measured
+// loads and moves ranks with forced (external) migration — no
+// MPI_Migrate call appears in the application at all. Ranks blocked
+// in Recv keep waiting on their new PE. It returns the number of
+// ranks moved.
+func (j *Job) Rebalance(strategy loadbalance.Strategy) (int, error) {
+	if strategy == nil {
+		return 0, fmt.Errorf("ampi: Rebalance: nil strategy")
+	}
+	var plan loadbalance.Plan
+	if ca, ok := strategy.(loadbalance.CommAware); ok {
+		plan = ca.PlanComm(j.LoadDatabase(), j.CommGraph(), j.m.NumPEs())
+	} else {
+		plan = strategy.Plan(j.LoadDatabase(), j.m.NumPEs())
+	}
+	moved := 0
+	for _, rk := range j.ranks {
+		if rk.th.State() == converse.Exited {
+			continue
+		}
+		dest, ok := plan[uint64(rk.th.ID())]
+		if !ok || dest == rk.th.Scheduler().PE().Index {
+			continue
+		}
+		if err := j.m.MigrateExternal(rk.th, dest); err != nil {
+			return moved, fmt.Errorf("ampi: Rebalance: rank %d: %w", rk.rank, err)
+		}
+		moved++
+	}
+	for _, rk := range j.ranks {
+		rk.th.ResetCPUTime()
+	}
+	return moved, nil
+}
+
+// CommGraph returns the measured application traffic between ranks
+// as edges keyed by thread id — the input to communication-aware
+// balancing.
+func (j *Job) CommGraph() []loadbalance.Edge {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	edges := make([]loadbalance.Edge, 0, len(j.traffic))
+	for pair, bytes := range j.traffic {
+		edges = append(edges, loadbalance.Edge{
+			A:     uint64(j.ranks[pair[0]].th.ID()),
+			B:     uint64(j.ranks[pair[1]].th.ID()),
+			Bytes: bytes,
+		})
+	}
+	return edges
+}
+
+// LoadDatabase returns the current measured loads (for harness
+// reporting).
+func (j *Job) LoadDatabase() []loadbalance.Item {
+	items := make([]loadbalance.Item, 0, len(j.ranks))
+	for _, rk := range j.ranks {
+		items = append(items, loadbalance.Item{
+			ID:   uint64(rk.th.ID()),
+			PE:   rk.th.Scheduler().PE().Index,
+			Load: rk.th.CPUTime(),
+		})
+	}
+	return items
+}
+
+// PELoads sums the measured load per PE.
+func (j *Job) PELoads() []float64 {
+	return loadbalance.PELoads(j.LoadDatabase(), j.m.NumPEs(), nil)
+}

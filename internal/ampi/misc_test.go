@@ -1,0 +1,140 @@
+package ampi
+
+import (
+	"testing"
+
+	"migflow/internal/loadbalance"
+)
+
+func TestYieldAndWtime(t *testing.T) {
+	m := newMachine(t, 1, nil)
+	var order []int
+	var t0, t1 float64
+	for id := 0; id < 2; id++ {
+		id := id
+		j, err := NewJob(m, 1, Options{}, func(r *Rank) {
+			order = append(order, id)
+			t0 = r.Wtime()
+			r.Yield() // MPI_Yield: let the other job's rank run
+			r.Work(1e6)
+			t1 = r.Wtime()
+			order = append(order, id)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Start()
+	}
+	m.RunUntilQuiescent()
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	// Yield interleaved the two single-rank jobs on the one PE.
+	if order[0] == order[1] {
+		t.Errorf("no interleave: %v", order)
+	}
+	if !(t1 > t0) {
+		t.Errorf("Wtime did not advance: %g → %g", t0, t1)
+	}
+	if t1-t0 < 1e-3 { // 1e6 ns = 1e-3 s
+		t.Errorf("Wtime delta %g s, want ≥ 0.001", t1-t0)
+	}
+}
+
+func TestCombinerOps(t *testing.T) {
+	for _, op := range []string{"sum", "max", "min"} {
+		f, err := combiner(op)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		got := f(3, 5)
+		switch op {
+		case "sum":
+			if got != 8 {
+				t.Errorf("sum = %g", got)
+			}
+		case "max":
+			if got != 5 {
+				t.Errorf("max = %g", got)
+			}
+		case "min":
+			if got != 3 {
+				t.Errorf("min = %g", got)
+			}
+		}
+		// Symmetric check with reversed args.
+		if op == "max" && f(5, 3) != 5 {
+			t.Error("max not symmetric")
+		}
+		if op == "min" && f(5, 3) != 3 {
+			t.Error("min not symmetric")
+		}
+	}
+	if _, err := combiner("mode"); err == nil {
+		t.Error("unknown combiner accepted")
+	}
+}
+
+func TestReduceBadRootAndOp(t *testing.T) {
+	m := newMachine(t, 1, nil)
+	j, err := NewJob(m, 1, Options{}, func(r *Rank) {
+		if _, err := r.Reduce(9, "sum", 1); err == nil {
+			t.Error("bad Reduce root accepted")
+		}
+		if _, err := r.Reduce(0, "median", 1); err == nil {
+			t.Error("bad Reduce op accepted")
+		}
+		if _, err := r.Gather(9, nil); err == nil {
+			t.Error("bad Gather root accepted")
+		}
+		if _, err := r.Scatter(9, nil); err == nil {
+			t.Error("bad Scatter root accepted")
+		}
+		if _, err := r.Alltoall(nil); err == nil {
+			t.Error("bad Alltoall chunks accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+}
+
+func TestSendrecvBadArgs(t *testing.T) {
+	m := newMachine(t, 1, nil)
+	j, err := NewJob(m, 1, Options{}, func(r *Rank) {
+		if _, _, err := r.Sendrecv(99, 1, nil, 0, 1); err == nil {
+			t.Error("bad Sendrecv dest accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+}
+
+func TestLoadDatabaseShape(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	j, err := NewJob(m, 4, Options{}, func(r *Rank) {
+		r.Work(float64(1000 * (r.Rank() + 1)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	db := j.LoadDatabase()
+	if len(db) != 4 {
+		t.Fatalf("db = %v", db)
+	}
+	var total float64
+	for _, it := range db {
+		total += it.Load
+	}
+	if total != 1000+2000+3000+4000 {
+		t.Errorf("total load = %g", total)
+	}
+	if loads := j.PELoads(); len(loads) != 2 {
+		t.Errorf("PELoads = %v", loads)
+	}
+	_ = loadbalance.Imbalance(j.PELoads())
+}

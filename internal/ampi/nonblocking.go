@@ -1,0 +1,79 @@
+package ampi
+
+import "fmt"
+
+// Request is a nonblocking-operation handle (MPI_Request). Sends
+// complete immediately (eager buffering, like small-message MPI);
+// receives complete at Wait.
+type Request struct {
+	rank *Rank
+	recv *matchSpec // nil for sends
+	done bool
+	data []byte
+	from int
+}
+
+// Isend starts a nonblocking send. With eager buffering the data is
+// already on the wire when Isend returns, so the request is complete;
+// the handle exists for MPI-shaped code.
+func (r *Rank) Isend(dest, tag int, data []byte) (*Request, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("ampi: Isend tag %d must be ≥ 0", tag)
+	}
+	if err := r.send(dest, tag, data); err != nil {
+		return nil, err
+	}
+	return &Request{rank: r, done: true}, nil
+}
+
+// Irecv posts a nonblocking receive; matching happens at Wait. (Real
+// MPI matches at arrival; for the post-compute-wait pattern the
+// semantics coincide. Overlapping wildcard Irecvs should Wait in
+// post order.)
+func (r *Rank) Irecv(src, tag int) (*Request, error) {
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("ampi: Irecv tag %d must be ≥ 0 or AnyTag", tag)
+	}
+	return &Request{rank: r, recv: &matchSpec{src: src, tag: tag}}, nil
+}
+
+// Test reports whether the request has completed, without blocking.
+func (q *Request) Test() bool {
+	if q.done {
+		return true
+	}
+	q.rank.mu.Lock()
+	defer q.rank.mu.Unlock()
+	for _, m := range q.rank.mbox {
+		if q.rank.matchesLocked(q.recv, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Wait blocks until the request completes and, for receives, returns
+// the payload and sender rank.
+func (r *Rank) Wait(q *Request) ([]byte, int, error) {
+	if q.rank != r {
+		return nil, 0, fmt.Errorf("ampi: Wait on another rank's request")
+	}
+	if q.done {
+		return q.data, q.from, nil
+	}
+	m := r.recv(q.recv.src, q.recv.tag)
+	q.done = true
+	q.data = m.Data
+	q.from = r.senderRank(m)
+	return q.data, q.from, nil
+}
+
+// Waitall completes every request in order.
+func (r *Rank) Waitall(qs []*Request) error {
+	for _, q := range qs {
+		if _, _, err := r.Wait(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}

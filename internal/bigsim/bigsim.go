@@ -1,0 +1,423 @@
+// Package bigsim is a BigSim-like parallel machine simulator (§4.4):
+// it predicts the per-timestep behaviour of a molecular-dynamics-style
+// application running on a huge *target* machine (e.g. 200,000
+// processors) using a much smaller *simulating* machine — by giving
+// every simulated target processor its own user-level thread, exactly
+// the many-flows-per-processor scenario the paper motivates ("50,000
+// separate target processors ... clearly not feasible using either
+// processes or kernel threads").
+//
+// Each target processor owns one patch of an X×Y×Z torus of atom
+// cells. Per timestep it computes forces (modeled work proportional
+// to its atoms) and exchanges ghost atoms with its six torus
+// neighbours. The simulating machine's virtual clocks record each
+// simulating PE's serial execution of its resident target threads,
+// so "simulation time per step" is max-over-PEs of (compute + thread
+// switching + message handling) — the quantity Figure 11 plots
+// against the number of simulating processors.
+package bigsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"migflow/internal/comm"
+	"migflow/internal/platform"
+	"migflow/internal/simclock"
+)
+
+// Config sizes the simulation.
+type Config struct {
+	// Target torus dimensions: X*Y*Z target processors.
+	X, Y, Z int
+	// SimPEs is the number of simulating processors.
+	SimPEs int
+	// AtomsPerCell scales per-step compute work.
+	AtomsPerCell int
+	// WorkPerAtomNs is modeled force-computation cost per atom per
+	// step.
+	WorkPerAtomNs float64
+	// GhostBytes is the per-neighbour ghost message size.
+	GhostBytes int
+	// Latency models the simulating machine's interconnect; zero
+	// value selects comm.DefaultLatency.
+	Latency comm.LatencyModel
+	// Platform supplies ULT switch costs; nil selects Alpha ES45
+	// (LeMieux, the machine of Figure 11).
+	Platform *platform.Profile
+
+	// Target machine model — what BigSim *predicts*. TargetWorkNs is
+	// the per-cell compute time per step on one target processor;
+	// TargetLatency is the target interconnect. Zero values select a
+	// Blue-Gene-like node: 3 µs of work per cell, 5 µs + 1 ns/byte
+	// links.
+	TargetWorkNs  float64
+	TargetLatency comm.LatencyModel
+}
+
+// DefaultConfig returns a small but representative configuration.
+func DefaultConfig() Config {
+	return Config{
+		X: 20, Y: 20, Z: 10, SimPEs: 4,
+		AtomsPerCell: 200, WorkPerAtomNs: 25,
+		GhostBytes: 2048,
+	}
+}
+
+// tproc is one simulated target processor: a user-level thread
+// (parked goroutine) owning one torus cell.
+type tproc struct {
+	id     int
+	simPE  int
+	resume chan struct{}
+	parked chan struct{}
+	ghosts int // ghost messages received for the upcoming step
+	steps  int
+	done   bool
+
+	// tclock is the *target* machine's virtual time on this target
+	// processor — the quantity BigSim exists to predict. It advances
+	// by target work and waits on target message arrivals,
+	// independently of how target processors are packed onto
+	// simulating PEs.
+	tclock float64
+}
+
+// StepStats reports one simulated timestep.
+type StepStats struct {
+	Step int
+	// TimeNs is the simulation time for the step: the maximum over
+	// simulating PEs of their virtual execution time (Figure 11's
+	// y-axis).
+	TimeNs float64
+	// PredictedTargetNs is the *predicted target machine* time for
+	// the step — BigSim's output. It must be identical no matter how
+	// many simulating PEs run the simulation.
+	PredictedTargetNs float64
+	// Messages crossed between simulating PEs this step.
+	CrossPEMessages int
+	// IntraPEMessages stayed within one simulating PE.
+	IntraPEMessages int
+}
+
+// Simulator runs the target machine.
+type Simulator struct {
+	cfg    Config
+	procs  []*tproc
+	byPE   [][]*tproc
+	clocks []*simclock.Clock
+	lat    comm.LatencyModel
+	prof   *platform.Profile
+
+	// mail[i] counts ghosts delivered to target proc i for the next
+	// step (contents abstracted: MD forces are modeled work). Atomic:
+	// StepParallel posts from all simulating PEs concurrently.
+	mail []atomic.Int64
+
+	// recvPending[pe] accumulates message-handling time (float64
+	// bits) each simulating PE owes at the start of its next step.
+	recvPending []atomic.Uint64
+
+	// Target-time prediction: ghost arrival times (target clock,
+	// float64 bits) for the current and next step, double-buffered so
+	// a step's posts constrain only the *next* step.
+	arrNow  []atomic.Uint64
+	arrNext []atomic.Uint64
+
+	stepCross, stepIntra atomic.Int64
+}
+
+// atomicMaxFloat raises a (float64-bits) atomic to at least v.
+func atomicMaxFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// atomicAddFloat adds v to a float64-bits atomic.
+func atomicAddFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if a.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// New builds the simulator: T = X*Y*Z target threads block-mapped
+// onto SimPEs simulating processors.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.X < 1 || cfg.Y < 1 || cfg.Z < 1 {
+		return nil, fmt.Errorf("bigsim: bad torus %dx%dx%d", cfg.X, cfg.Y, cfg.Z)
+	}
+	if cfg.SimPEs < 1 {
+		return nil, fmt.Errorf("bigsim: SimPEs %d must be ≥ 1", cfg.SimPEs)
+	}
+	if cfg.Latency == (comm.LatencyModel{}) {
+		cfg.Latency = comm.DefaultLatency
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = platform.AlphaES45()
+	}
+	if cfg.TargetWorkNs == 0 {
+		cfg.TargetWorkNs = 3000
+	}
+	if cfg.TargetLatency == (comm.LatencyModel{}) {
+		cfg.TargetLatency = comm.LatencyModel{Alpha: 5000, BetaPerByte: 1}
+	}
+	t := cfg.X * cfg.Y * cfg.Z
+	if t < cfg.SimPEs {
+		return nil, fmt.Errorf("bigsim: %d target processors on %d simulating PEs", t, cfg.SimPEs)
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		byPE:        make([][]*tproc, cfg.SimPEs),
+		clocks:      make([]*simclock.Clock, cfg.SimPEs),
+		lat:         cfg.Latency,
+		prof:        cfg.Platform,
+		mail:        make([]atomic.Int64, t),
+		recvPending: make([]atomic.Uint64, cfg.SimPEs),
+		arrNow:      make([]atomic.Uint64, t),
+		arrNext:     make([]atomic.Uint64, t),
+	}
+	for pe := range s.clocks {
+		s.clocks[pe] = simclock.New()
+	}
+	for i := 0; i < t; i++ {
+		// Block mapping: contiguous slabs of the torus per PE.
+		pe := i * cfg.SimPEs / t
+		p := &tproc{
+			id: i, simPE: pe,
+			resume: make(chan struct{}),
+			parked: make(chan struct{}),
+		}
+		s.procs = append(s.procs, p)
+		s.byPE[pe] = append(s.byPE[pe], p)
+		go s.run(p)
+	}
+	return s, nil
+}
+
+// NumTargets returns the simulated processor count.
+func (s *Simulator) NumTargets() int { return len(s.procs) }
+
+// coords maps a target id to torus coordinates.
+func (s *Simulator) coords(id int) (x, y, z int) {
+	x = id % s.cfg.X
+	y = (id / s.cfg.X) % s.cfg.Y
+	z = id / (s.cfg.X * s.cfg.Y)
+	return
+}
+
+// neighbor returns the torus neighbour of id along (dx,dy,dz).
+func (s *Simulator) neighbor(id, dx, dy, dz int) int {
+	x, y, z := s.coords(id)
+	x = (x + dx + s.cfg.X) % s.cfg.X
+	y = (y + dy + s.cfg.Y) % s.cfg.Y
+	z = (z + dz + s.cfg.Z) % s.cfg.Z
+	return x + s.cfg.X*(y+s.cfg.Y*z)
+}
+
+// run is a target thread's life: each resume executes one timestep
+// (compute + post ghosts) and parks — the MD flow of control.
+func (s *Simulator) run(p *tproc) {
+	for {
+		<-p.resume
+		if p.done {
+			p.parked <- struct{}{}
+			return
+		}
+		clock := s.clocks[p.simPE]
+		// User-level thread dispatch cost for this flow.
+		clock.Advance(s.prof.UThreadSwitch.At(len(s.byPE[p.simPE])))
+		// Force computation over the cell's atoms.
+		clock.Advance(float64(s.cfg.AtomsPerCell) * s.cfg.WorkPerAtomNs)
+		// Target-machine prediction: this step cannot begin before
+		// last step's ghosts arrived on the target network, and costs
+		// the target processor its per-cell work.
+		if arr := math.Float64frombits(s.arrNow[p.id].Load()); arr > p.tclock {
+			p.tclock = arr
+		}
+		p.tclock += s.cfg.TargetWorkNs
+		// Ghost exchange with the six torus neighbours.
+		for _, d := range [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+			s.post(p, s.neighbor(p.id, d[0], d[1], d[2]))
+		}
+		p.steps++
+		p.parked <- struct{}{}
+	}
+}
+
+// post records a ghost message from p to target proc dst and charges
+// send/receive costs.
+func (s *Simulator) post(p *tproc, dst int) {
+	s.mail[dst].Add(1)
+	// Target-network arrival constrains dst's NEXT step on the
+	// target machine (always over the target network: every cell is
+	// its own target processor).
+	atomicMaxFloat(&s.arrNext[dst], p.tclock+s.cfg.TargetLatency.Cost(s.cfg.GhostBytes))
+	dpe := s.procs[dst].simPE
+	if dpe == p.simPE {
+		// Intra-PE: a queue operation, no wire.
+		s.clocks[p.simPE].Advance(120)
+		s.stepIntra.Add(1)
+		return
+	}
+	// Cross-PE: the sender pays injection overhead now; the receiver
+	// pays handling time at the start of its next step. (Wire latency
+	// itself overlaps with the step's computation.)
+	cost := s.lat.Cost(s.cfg.GhostBytes)
+	s.clocks[p.simPE].Advance(cost * 0.1)
+	atomicAddFloat(&s.recvPending[dpe], cost*0.15)
+	s.stepCross.Add(1)
+}
+
+// stepPrologue resets per-step state and returns the pre-step clock
+// and target-time marks.
+func (s *Simulator) stepPrologue() (before []float64, tBefore float64) {
+	s.stepCross.Store(0)
+	s.stepIntra.Store(0)
+	before = make([]float64, len(s.clocks))
+	for pe, c := range s.clocks {
+		before[pe] = c.Now()
+	}
+	// Validate the previous step's exchange completed: every cell has
+	// its six ghosts (except before the first step).
+	if s.procs[0].steps > 0 {
+		for i := range s.mail {
+			if n := s.mail[i].Load(); n != 6 {
+				panic(fmt.Sprintf("bigsim: cell %d has %d ghosts, want 6", i, n))
+			}
+			s.mail[i].Store(0)
+		}
+	}
+	// Rotate the target-arrival buffers: last step's posts constrain
+	// this step.
+	s.arrNow, s.arrNext = s.arrNext, s.arrNow
+	for i := range s.arrNext {
+		s.arrNext[i].Store(0)
+	}
+	for _, p := range s.procs {
+		if p.tclock > tBefore {
+			tBefore = p.tclock
+		}
+	}
+	// Drain every PE's inbound ghost handling before any PE runs:
+	// last step's cross-PE messages are charged at this step's start,
+	// independent of the order (or concurrency) in which PEs execute.
+	for pe := range s.recvPending {
+		s.clocks[pe].Advance(math.Float64frombits(s.recvPending[pe].Swap(0)))
+	}
+	return before, tBefore
+}
+
+// runPE runs one simulating PE's resident target threads serially.
+func (s *Simulator) runPE(pe int) {
+	for _, p := range s.byPE[pe] {
+		p.resume <- struct{}{}
+		<-p.parked
+	}
+}
+
+func (s *Simulator) stepEpilogue(before []float64, tBefore float64) StepStats {
+	var maxDelta float64
+	for pe, c := range s.clocks {
+		if d := c.Now() - before[pe]; d > maxDelta {
+			maxDelta = d
+		}
+	}
+	var tAfter float64
+	for _, p := range s.procs {
+		if p.tclock > tAfter {
+			tAfter = p.tclock
+		}
+	}
+	return StepStats{
+		Step:              s.procs[0].steps,
+		TimeNs:            maxDelta,
+		PredictedTargetNs: tAfter - tBefore,
+		CrossPEMessages:   int(s.stepCross.Load()),
+		IntraPEMessages:   int(s.stepIntra.Load()),
+	}
+}
+
+// Step advances the whole target machine one MD timestep, driving the
+// simulating PEs from this goroutine (deterministic).
+func (s *Simulator) Step() StepStats {
+	before, tBefore := s.stepPrologue()
+	for pe := range s.byPE {
+		s.runPE(pe)
+	}
+	return s.stepEpilogue(before, tBefore)
+}
+
+// StepParallel advances one timestep with every simulating PE driven
+// by its own goroutine — real SMP execution of the simulation, which
+// non-exclusive (isomalloc-style) threads permit: "multiple threads
+// can run simultaneously, which allows the straightforward
+// exploitation of SMP machines". Virtual results, including the
+// target-time prediction, are identical to Step.
+func (s *Simulator) StepParallel() StepStats {
+	before, tBefore := s.stepPrologue()
+	var wg sync.WaitGroup
+	for pe := range s.byPE {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			s.runPE(pe)
+		}(pe)
+	}
+	wg.Wait()
+	return s.stepEpilogue(before, tBefore)
+}
+
+// Run executes steps timesteps and returns per-step stats.
+func (s *Simulator) Run(steps int) []StepStats {
+	out := make([]StepStats, 0, steps)
+	for i := 0; i < steps; i++ {
+		out = append(out, s.Step())
+	}
+	return out
+}
+
+// RunParallel executes steps timesteps with the parallel driver.
+func (s *Simulator) RunParallel(steps int) []StepStats {
+	out := make([]StepStats, 0, steps)
+	for i := 0; i < steps; i++ {
+		out = append(out, s.StepParallel())
+	}
+	return out
+}
+
+// Close terminates the target threads.
+func (s *Simulator) Close() {
+	for _, p := range s.procs {
+		p.done = true
+		p.resume <- struct{}{}
+		<-p.parked
+	}
+}
+
+// MeanStepTime averages TimeNs over stats (skipping the warm-up first
+// step, which has no inbound ghosts).
+func MeanStepTime(stats []StepStats) float64 {
+	if len(stats) <= 1 {
+		if len(stats) == 1 {
+			return stats[0].TimeNs
+		}
+		return 0
+	}
+	var sum float64
+	for _, st := range stats[1:] {
+		sum += st.TimeNs
+	}
+	return sum / float64(len(stats)-1)
+}

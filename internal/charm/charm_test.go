@@ -1,0 +1,295 @@
+package charm
+
+import (
+	"testing"
+
+	"migflow/internal/core"
+	"migflow/internal/loadbalance"
+	"migflow/internal/pup"
+)
+
+// counter is a chare that counts tokens and forwards them around a
+// ring until they have made `laps` full laps.
+type counter struct {
+	Index int
+	Seen  uint64
+	Laps  uint64
+	ring  *Array // rebound by the test after migration (code, not state)
+	done  func(index int)
+}
+
+func (c *counter) Pup(p *pup.PUPer) error {
+	if err := p.Int(&c.Index); err != nil {
+		return err
+	}
+	if err := p.Uint64(&c.Seen); err != nil {
+		return err
+	}
+	return p.Uint64(&c.Laps)
+}
+
+const entryToken = 1
+
+func (c *counter) Recv(ctx *Ctx, entry int, data []byte) {
+	if entry != entryToken {
+		return
+	}
+	c.Seen++
+	next := (ctx.Index() + 1) % ctx.Len()
+	if next == 0 {
+		c.Laps++
+		if c.Laps >= 2 {
+			if c.done != nil {
+				c.done(ctx.Index())
+			}
+			return
+		}
+	}
+	if err := ctx.Send(next, entryToken, nil); err != nil {
+		panic(err)
+	}
+}
+
+func newMachine(t testing.TB, pes int) *core.Machine {
+	t.Helper()
+	m, err := core.NewMachine(core.Config{NumPEs: pes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArrayValidation(t *testing.T) {
+	m := newMachine(t, 2)
+	if _, err := NewArray(m, 0, func(int) Element { return &counter{} }); err == nil {
+		t.Error("zero elements accepted")
+	}
+}
+
+func TestRingOfChares(t *testing.T) {
+	m := newMachine(t, 2)
+	finished := -1
+	els := make([]*counter, 4)
+	a, err := NewArray(m, 4, func(i int) Element {
+		els[i] = &counter{Index: i, done: func(idx int) { finished = idx }}
+		return els[i]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elements placed round robin.
+	for i := 0; i < 4; i++ {
+		if a.PEOf(i) != i%2 {
+			t.Errorf("element %d on PE %d", i, a.PEOf(i))
+		}
+	}
+	if err := a.Send(0, 0, entryToken, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	if finished == -1 {
+		t.Fatal("ring never completed")
+	}
+	// Two laps: element 0 saw the initial token plus one wrap... each
+	// element saw 2 tokens.
+	for i, el := range els {
+		if el.Seen != 2 {
+			t.Errorf("element %d saw %d tokens", i, el.Seen)
+		}
+	}
+	if a.Delivers() != 8 {
+		t.Errorf("delivers = %d, want 8", a.Delivers())
+	}
+	if a.Len() != 4 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestBroadcastAndReduction(t *testing.T) {
+	m := newMachine(t, 3)
+	type red struct{ v float64 }
+	result := make(chan red, 1)
+	a, err := NewArray(m, 6, func(i int) Element {
+		return elementFunc(func(ctx *Ctx, entry int, data []byte) {
+			// Contribute index+1 to a sum reduction.
+			err := ctx.Contribute(1, "sum", float64(ctx.Index()+1), func(v float64) {
+				result <- red{v}
+			})
+			if err != nil {
+				t.Errorf("contribute: %v", err)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Broadcast(0, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	select {
+	case r := <-result:
+		if r.v != 21 {
+			t.Errorf("reduction = %g, want 21", r.v)
+		}
+	default:
+		t.Fatal("reduction never completed")
+	}
+}
+
+// elementFunc adapts a function to Element with empty state.
+type elementFunc func(ctx *Ctx, entry int, data []byte)
+
+func (f elementFunc) Pup(*pup.PUPer) error                { return nil }
+func (f elementFunc) Recv(c *Ctx, entry int, data []byte) { f(c, entry, data) }
+
+func TestReductionOpMismatch(t *testing.T) {
+	m := newMachine(t, 1)
+	a, err := NewArray(m, 2, func(i int) Element { return elementFunc(func(*Ctx, int, []byte) {}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Contribute(9, "sum", 1, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Contribute(9, "max", 1, func(float64) {}); err == nil {
+		t.Error("op mismatch accepted")
+	}
+	if err := a.Contribute(10, "max", 1, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Contribute(10, "median", 1, func(float64) {}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+// tally is a stateful chare that only counts deliveries.
+type tally struct{ Seen uint64 }
+
+func (c *tally) Pup(p *pup.PUPer) error { return p.Uint64(&c.Seen) }
+func (c *tally) Recv(ctx *Ctx, entry int, data []byte) {
+	c.Seen++
+	ctx.Work(10)
+}
+
+// TestElementMigration migrates a stateful chare mid-run: its state
+// (the Seen counter) must survive the PUP round trip, its messages
+// must forward, and execution must continue on the new PE.
+func TestElementMigration(t *testing.T) {
+	m := newMachine(t, 2)
+	var el *tally
+	a, err := NewArray(m, 1, func(i int) Element {
+		c := &tally{}
+		if el == nil {
+			el = c // remember only the original object
+		}
+		return c
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accumulate state.
+	if err := a.Send(0, 0, entryToken, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	if el.Seen != 1 {
+		t.Fatalf("Seen = %d", el.Seen)
+	}
+	if err := a.MigrateElement(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.PEOf(0) != 1 {
+		t.Errorf("element on PE %d after migration", a.PEOf(0))
+	}
+	// The replacement object must carry the old state.
+	if err := a.Send(0, 0, entryToken, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	// el points at the OLD object; fetch the live one.
+	live := a.elements[0].(*tally)
+	if live.Seen != 2 {
+		t.Errorf("migrated element Seen = %d, want 2 (state lost?)", live.Seen)
+	}
+	if live == el {
+		t.Error("element object not rebuilt through PUP")
+	}
+	// Directory errors.
+	if err := a.MigrateElement(5, 0); err == nil {
+		t.Error("bad index accepted")
+	}
+	if err := a.MigrateElement(0, 9); err == nil {
+		t.Error("bad destination accepted")
+	}
+	// Destination clock advanced by the shipped bytes.
+	if m.PE(1).Clock.Now() == 0 {
+		t.Error("migration charged no network time")
+	}
+}
+
+// weighted is a chare whose entry method does work proportional to
+// its index — a graded load like BT-MZ zones.
+type weighted struct{ Index int }
+
+func (c *weighted) Pup(p *pup.PUPer) error { return p.Int(&c.Index) }
+func (c *weighted) Recv(ctx *Ctx, entry int, data []byte) {
+	ctx.Work(float64((c.Index + 1) * 10000))
+}
+
+// TestArrayRebalance measures graded chare loads and migrates
+// elements to even them out — object-level LB on the event-driven
+// layer.
+func TestArrayRebalance(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := NewArray(m, 8, func(i int) Element { return &weighted{Index: i} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One measurement round. Round-robin placement puts the heavy
+	// elements (odd indices) all on PE 1.
+	if err := a.Broadcast(0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	before := loadbalance.Imbalance(a.PELoads())
+	moved, err := a.Rebalance(loadbalance.GreedyLB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("no elements moved")
+	}
+	// Second round on the new placement: loads even out.
+	if err := a.Broadcast(0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	after := loadbalance.Imbalance(a.PELoads())
+	if !(after < before) {
+		t.Errorf("imbalance %g → %g", before, after)
+	}
+	if after > 1.2 {
+		t.Errorf("post-LB imbalance %g", after)
+	}
+	// Elements still alive and stateful after migration.
+	for i := 0; i < 8; i++ {
+		if got := a.elements[i].(*weighted).Index; got != i {
+			t.Errorf("element %d state = %d after rebalance", i, got)
+		}
+	}
+	if _, err := a.Rebalance(nil); err == nil {
+		t.Error("nil strategy accepted")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	m := newMachine(t, 1)
+	a, err := NewArray(m, 2, func(i int) Element { return elementFunc(func(*Ctx, int, []byte) {}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(0, 7, 0, nil); err == nil {
+		t.Error("bad element index accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package charm
+
+import (
+	"fmt"
+
+	"migflow/internal/comm"
+	"migflow/internal/core"
+	"migflow/internal/pup"
+)
+
+// Checkpointing chare arrays (§3: "Migration techniques can also be
+// used to implement checkpoint/restart for fault tolerance — under
+// this model, checkpointing is simply migration to disk or the local
+// memory of a remote processor"). Event-driven objects are between
+// entry methods whenever the machine is quiescent, so a checkpoint is
+// exactly the PUP image of every element plus its placement.
+
+// arrayImage is the wire form of a whole array.
+type arrayImage struct {
+	N     int
+	PEs   []uint64
+	Elems [][]byte
+}
+
+func (im *arrayImage) Pup(p *pup.PUPer) error {
+	if err := p.Int(&im.N); err != nil {
+		return err
+	}
+	if err := p.Uint64s(&im.PEs); err != nil {
+		return err
+	}
+	n := uint32(len(im.Elems))
+	if err := p.Uint32(&n); err != nil {
+		return err
+	}
+	if p.IsUnpacking() {
+		im.Elems = make([][]byte, n)
+	}
+	for i := range im.Elems {
+		if err := p.Bytes(&im.Elems[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint serializes the whole array — every element through its
+// Pup method, plus current placement. Take checkpoints at quiescence
+// (e.g. after Machine.RunUntilQuiescent); an element mid-flight
+// (migrating) is an error.
+func (a *Array) Checkpoint() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	im := &arrayImage{N: a.n}
+	for i := 0; i < a.n; i++ {
+		el := a.elements[i]
+		if el == nil {
+			return nil, fmt.Errorf("charm: Checkpoint: element %d is migrating", i)
+		}
+		data, err := pup.Pack(el)
+		if err != nil {
+			return nil, fmt.Errorf("charm: Checkpoint: element %d: %w", i, err)
+		}
+		im.Elems = append(im.Elems, data)
+		im.PEs = append(im.PEs, uint64(a.pe[i]))
+	}
+	return pup.Pack(im)
+}
+
+// BuddyCheckpoint is the paper's double in-memory checkpoint:
+// "checkpointing is simply migration to disk or the local memory of a
+// remote processor". Each element's image is kept twice — in its home
+// PE's memory and in its buddy's ((home+1) mod P) — so the loss of
+// any single PE leaves at least one copy of every element's
+// checkpoint on a survivor.
+type BuddyCheckpoint struct {
+	n      int
+	homePE []int // first copy lives here
+	buddy  []int // second copy lives here
+	images [][]byte
+}
+
+// CheckpointToBuddies captures every element twice: one image copy in
+// the element's home PE memory, one in its buddy's. Take at
+// quiescence.
+func (a *Array) CheckpointToBuddies() (*BuddyCheckpoint, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	numPEs := a.m.NumPEs()
+	if numPEs < 2 {
+		return nil, fmt.Errorf("charm: buddy checkpoint needs ≥ 2 PEs")
+	}
+	ck := &BuddyCheckpoint{n: a.n}
+	for i := 0; i < a.n; i++ {
+		el := a.elements[i]
+		if el == nil {
+			return nil, fmt.Errorf("charm: CheckpointToBuddies: element %d is migrating", i)
+		}
+		data, err := pup.Pack(el)
+		if err != nil {
+			return nil, fmt.Errorf("charm: CheckpointToBuddies: element %d: %w", i, err)
+		}
+		ck.images = append(ck.images, data)
+		ck.homePE = append(ck.homePE, a.pe[i])
+		ck.buddy = append(ck.buddy, (a.pe[i]+1)%numPEs)
+	}
+	return ck, nil
+}
+
+// SurvivesFailure reports whether losing PE failed leaves a complete
+// checkpoint: every element keeps at least one of its two copies.
+// With distinct home and buddy PEs this always holds for a single
+// failure — the point of doubling.
+func (ck *BuddyCheckpoint) SurvivesFailure(failed int) bool {
+	for i := 0; i < ck.n; i++ {
+		if ck.homePE[i] == failed && ck.buddy[i] == failed {
+			return false
+		}
+	}
+	return true
+}
+
+// RestoreFromBuddies rolls the whole array back to the checkpoint —
+// the consistent cut — after PE failed is lost: every element is
+// rebuilt from a surviving copy, and elements that lived on the
+// failed PE restart on their buddies (where their second copy already
+// sits, so no post-failure transfer from a dead node is needed).
+func (a *Array) RestoreFromBuddies(ck *BuddyCheckpoint, failed int) error {
+	if ck.n != a.n {
+		return fmt.Errorf("charm: RestoreFromBuddies: checkpoint has %d elements, array %d", ck.n, a.n)
+	}
+	if !ck.SurvivesFailure(failed) {
+		return fmt.Errorf("charm: RestoreFromBuddies: both copies of some element were on PE %d", failed)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := 0; i < a.n; i++ {
+		fresh := a.factory(i)
+		if err := pup.Unpack(ck.images[i], fresh); err != nil {
+			return fmt.Errorf("charm: RestoreFromBuddies: element %d: %w", i, err)
+		}
+		a.elements[i] = fresh
+		dest := ck.homePE[i]
+		if dest == failed {
+			dest = ck.buddy[i] // restart where the surviving copy sits
+		}
+		if a.pe[i] != dest {
+			if err := a.m.Network().MigrateEntity(a.entities[i], dest); err != nil {
+				return err
+			}
+			a.pe[i] = dest
+		}
+	}
+	return nil
+}
+
+// RestoreArray rebuilds an array on machine m from a checkpoint:
+// every element is factory-fresh and then unpacked from its image,
+// placed on its recorded PE (folded modulo the new machine's size, so
+// a checkpoint restores onto a smaller machine too — restart after
+// losing nodes).
+func RestoreArray(m *core.Machine, factory Factory, data []byte) (*Array, error) {
+	var im arrayImage
+	if err := pup.Unpack(data, &im); err != nil {
+		return nil, fmt.Errorf("charm: RestoreArray: %w", err)
+	}
+	if im.N <= 0 || len(im.Elems) != im.N || len(im.PEs) != im.N {
+		return nil, fmt.Errorf("charm: RestoreArray: malformed image (n=%d elems=%d pes=%d)", im.N, len(im.Elems), len(im.PEs))
+	}
+	a := &Array{
+		m: m, n: im.N, factory: factory,
+		entities:   make([]comm.EntityID, im.N),
+		elements:   make([]Element, im.N),
+		pe:         make([]int, im.N),
+		loadNs:     make([]float64, im.N),
+		reductions: make(map[int]*reduction),
+	}
+	for i := 0; i < im.N; i++ {
+		el := factory(i)
+		if err := pup.Unpack(im.Elems[i], el); err != nil {
+			return nil, fmt.Errorf("charm: RestoreArray: element %d: %w", i, err)
+		}
+		a.elements[i] = el
+		a.pe[i] = int(im.PEs[i]) % m.NumPEs()
+		a.entities[i] = newEntityID()
+		i := i
+		if err := m.RegisterEntity(a.entities[i], a.pe[i], func(pe int, msg *comm.Message) {
+			a.dispatch(i, pe, msg)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,208 @@
+package charm
+
+import (
+	"testing"
+
+	"migflow/internal/core"
+)
+
+func TestCheckpointRestore(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := NewArray(m, 4, func(i int) Element { return &tally{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build up state: 3 deliveries to element 1, one to element 3.
+	for i := 0; i < 3; i++ {
+		if err := a.Send(0, 1, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Send(0, 3, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+
+	blob, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate past the checkpoint.
+	if err := a.Send(0, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	if a.elements[1].(*tally).Seen != 4 {
+		t.Fatalf("pre-restore state = %d", a.elements[1].(*tally).Seen)
+	}
+
+	// Restore into a brand-new machine: the checkpointed state, not
+	// the mutated one.
+	m2, err := core.NewMachine(core.Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestoreArray(m2, func(i int) Element { return &tally{} }, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("restored Len = %d", b.Len())
+	}
+	if got := b.elements[1].(*tally).Seen; got != 3 {
+		t.Errorf("restored element 1 Seen = %d, want 3", got)
+	}
+	if got := b.elements[3].(*tally).Seen; got != 1 {
+		t.Errorf("restored element 3 Seen = %d, want 1", got)
+	}
+	if got := b.elements[0].(*tally).Seen; got != 0 {
+		t.Errorf("restored element 0 Seen = %d, want 0", got)
+	}
+	// Placement preserved.
+	for i := 0; i < 4; i++ {
+		if b.PEOf(i) != a.PEOf(i) {
+			t.Errorf("element %d restored on PE %d, was %d", i, b.PEOf(i), a.PEOf(i))
+		}
+	}
+	// The restored array is live: messages keep working.
+	if err := b.Send(0, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	m2.RunUntilQuiescent()
+	if got := b.elements[1].(*tally).Seen; got != 4 {
+		t.Errorf("restored array not live: Seen = %d", got)
+	}
+	// And the original is unaffected by the restore.
+	if a.elements[1].(*tally).Seen != 4 {
+		t.Error("original array mutated by restore")
+	}
+}
+
+// TestRestoreOntoSmallerMachine folds placements onto the surviving
+// PEs — restart after losing nodes.
+func TestRestoreOntoSmallerMachine(t *testing.T) {
+	m := newMachine(t, 4)
+	a, err := NewArray(m, 8, func(i int) Element { return &tally{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := core.NewMachine(core.Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestoreArray(m2, func(i int) Element { return &tally{} }, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if pe := b.PEOf(i); pe < 0 || pe >= 2 {
+			t.Errorf("element %d on PE %d of a 2-PE machine", i, pe)
+		}
+	}
+}
+
+// TestBuddyCheckpointSurvivesPEFailure walks the §3 double in-memory
+// checkpoint story: checkpoint to buddies, lose a PE, roll everything
+// back to the consistent cut with failed elements re-homed.
+func TestBuddyCheckpointSurvivesPEFailure(t *testing.T) {
+	m := newMachine(t, 3)
+	a, err := NewArray(m, 6, func(i int) Element { return &tally{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State: 2 ticks everywhere.
+	for round := 0; round < 2; round++ {
+		if err := a.Broadcast(0, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RunUntilQuiescent()
+	ck, err := a.CheckpointToBuddies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 3; pe++ {
+		if !ck.SurvivesFailure(pe) {
+			t.Errorf("checkpoint does not survive losing PE %d", pe)
+		}
+	}
+	// Progress past the checkpoint (these ticks will be rolled back).
+	if err := a.Broadcast(0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	// PE 0 "fails": restore the consistent cut.
+	if err := a.RestoreFromBuddies(ck, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if got := a.elements[i].(*tally).Seen; got != 2 {
+			t.Errorf("element %d rolled back to %d ticks, want 2", i, got)
+		}
+		if a.PEOf(i) == 0 {
+			t.Errorf("element %d still homed on the failed PE", i)
+		}
+	}
+	// The restored array keeps running on the survivors.
+	if err := a.Broadcast(1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	for i := 0; i < 6; i++ {
+		if got := a.elements[i].(*tally).Seen; got != 3 {
+			t.Errorf("element %d after restart = %d ticks, want 3", i, got)
+		}
+	}
+}
+
+func TestBuddyCheckpointValidation(t *testing.T) {
+	m1 := newMachine(t, 1)
+	a1, err := NewArray(m1, 2, func(i int) Element { return &tally{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a1.CheckpointToBuddies(); err == nil {
+		t.Error("buddy checkpoint on one PE accepted")
+	}
+	m, _ := core.NewMachine(core.Config{NumPEs: 2})
+	a, err := NewArray(m, 2, func(i int) Element { return &tally{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := a.CheckpointToBuddies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewArray(m, 3, func(i int) Element { return &tally{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreFromBuddies(ck, 0); err == nil {
+		t.Error("size-mismatched restore accepted")
+	}
+}
+
+func TestCheckpointWhileMigratingFails(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := NewArray(m, 2, func(i int) Element { return &tally{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	a.elements[0] = nil // simulate in-flight migration
+	a.mu.Unlock()
+	if _, err := a.Checkpoint(); err == nil {
+		t.Error("checkpoint of migrating element accepted")
+	}
+}
+
+func TestRestoreMalformed(t *testing.T) {
+	m := newMachine(t, 2)
+	if _, err := RestoreArray(m, func(i int) Element { return &tally{} }, []byte{1, 2, 3}); err == nil {
+		t.Error("garbage blob accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package charm
+
+import (
+	"fmt"
+
+	"migflow/internal/loadbalance"
+)
+
+// Object-level load balancing — the lineage the paper cites for
+// event-driven objects ([11] "Handling application-induced load
+// imbalance using parallel objects", [41]): measure each chare's
+// consumed work, plan with a strategy, and migrate elements. Because
+// chares only hold state between entry methods, any quiescent moment
+// is a safe balancing point.
+
+// LoadDatabase returns the measured per-element loads (element index
+// as ID).
+func (a *Array) LoadDatabase() []loadbalance.Item {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	items := make([]loadbalance.Item, a.n)
+	for i := 0; i < a.n; i++ {
+		items[i] = loadbalance.Item{ID: uint64(i), PE: a.pe[i], Load: a.loadNs[i]}
+	}
+	return items
+}
+
+// PELoads sums measured element loads per PE.
+func (a *Array) PELoads() []float64 {
+	return loadbalance.PELoads(a.LoadDatabase(), a.m.NumPEs(), nil)
+}
+
+// Rebalance plans over the measured loads and migrates elements
+// accordingly, then resets the measurements for the next epoch. Call
+// at quiescence. It returns the number of elements moved.
+func (a *Array) Rebalance(strategy loadbalance.Strategy) (int, error) {
+	if strategy == nil {
+		return 0, fmt.Errorf("charm: Rebalance: nil strategy")
+	}
+	plan := strategy.Plan(a.LoadDatabase(), a.m.NumPEs())
+	moved := 0
+	for i := 0; i < a.n; i++ {
+		dest, ok := plan[uint64(i)]
+		if !ok || dest == a.PEOf(i) {
+			continue
+		}
+		if err := a.MigrateElement(i, dest); err != nil {
+			return moved, fmt.Errorf("charm: Rebalance: element %d: %w", i, err)
+		}
+		moved++
+	}
+	a.mu.Lock()
+	for i := range a.loadNs {
+		a.loadNs[i] = 0
+	}
+	a.mu.Unlock()
+	return moved, nil
+}

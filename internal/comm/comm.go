@@ -1,0 +1,276 @@
+// Package comm is the location-independent communication subsystem of
+// §3.1.2: migratable entities (threads, chares, AMPI ranks) send to
+// *names*, not processors. A distributed directory with per-PE
+// location caches routes messages; when an entity migrates, stale
+// cache entries cause one extra forwarding hop, after which the
+// sender's cache is corrected — so "object or thread migration with
+// ongoing point-to-point communication" works at any time.
+//
+// Delivery is in-order per (sender PE, destination entity) pair and
+// carries virtual timestamps from a latency model, so the simulated
+// machine's communication costs appear on the virtual clock.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EntityID names a migratable communication endpoint,
+// location-independently.
+type EntityID uint64
+
+// Message is one network message.
+type Message struct {
+	To   EntityID
+	From EntityID
+	Tag  int
+	Data []byte
+
+	// SendTime is the sender's virtual clock at Send; Arrival is
+	// SendTime plus per-hop latency, set by the network.
+	SendTime float64
+	Arrival  float64
+
+	// Hops counts delivery attempts; >1 means forwarding happened.
+	Hops int
+}
+
+// LatencyModel charges alpha + beta*bytes nanoseconds per hop — the
+// standard postal model.
+type LatencyModel struct {
+	Alpha       float64 // ns per message
+	BetaPerByte float64 // ns per byte
+}
+
+// Cost returns the virtual nanoseconds one hop of n bytes takes.
+func (m LatencyModel) Cost(n int) float64 { return m.Alpha + m.BetaPerByte*float64(n) }
+
+// DefaultLatency approximates the paper's Myrinet-class cluster
+// interconnect: ~10 µs latency, ~4 ns/byte (≈250 MB/s).
+var DefaultLatency = LatencyModel{Alpha: 10_000, BetaPerByte: 4}
+
+// Network connects NumPEs endpoints through a directory.
+type Network struct {
+	lat       LatencyModel
+	endpoints []*Endpoint
+
+	mu  sync.Mutex
+	loc map[EntityID]int // authoritative entity locations
+
+	// stats
+	sent     uint64
+	forwards uint64
+	bytes    uint64
+}
+
+// NewNetwork builds a network of numPEs endpoints.
+func NewNetwork(numPEs int, lat LatencyModel) *Network {
+	n := &Network{lat: lat, loc: make(map[EntityID]int)}
+	for pe := 0; pe < numPEs; pe++ {
+		n.endpoints = append(n.endpoints, &Endpoint{
+			net:   n,
+			pe:    pe,
+			cache: make(map[EntityID]int),
+		})
+	}
+	for _, e := range n.endpoints {
+		e.cond = sync.NewCond(&e.mu)
+	}
+	return n
+}
+
+// NumPEs returns the endpoint count.
+func (n *Network) NumPEs() int { return len(n.endpoints) }
+
+// Endpoint returns PE pe's endpoint.
+func (n *Network) Endpoint(pe int) *Endpoint { return n.endpoints[pe] }
+
+// Latency returns the network's latency model.
+func (n *Network) Latency() LatencyModel { return n.lat }
+
+// Register places entity id on PE pe. Registering an existing entity
+// is an error; use MigrateEntity to move it.
+func (n *Network) Register(id EntityID, pe int) error {
+	if pe < 0 || pe >= len(n.endpoints) {
+		return fmt.Errorf("comm: Register(%d): PE %d out of range", id, pe)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.loc[id]; ok {
+		return fmt.Errorf("comm: entity %d already registered on PE %d", id, old)
+	}
+	n.loc[id] = pe
+	return nil
+}
+
+// Deregister removes an entity (exit).
+func (n *Network) Deregister(id EntityID) {
+	n.mu.Lock()
+	delete(n.loc, id)
+	n.mu.Unlock()
+}
+
+// Locate returns the authoritative location of id.
+func (n *Network) Locate(id EntityID) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	pe, ok := n.loc[id]
+	if !ok {
+		return 0, fmt.Errorf("comm: entity %d is not registered", id)
+	}
+	return pe, nil
+}
+
+// MigrateEntity moves id's authoritative location to PE to. Old cache
+// entries at other PEs go stale and are corrected lazily on the next
+// forwarded message.
+func (n *Network) MigrateEntity(id EntityID, to int) error {
+	if to < 0 || to >= len(n.endpoints) {
+		return fmt.Errorf("comm: MigrateEntity(%d): PE %d out of range", id, to)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.loc[id]; !ok {
+		return fmt.Errorf("comm: entity %d is not registered", id)
+	}
+	n.loc[id] = to
+	return nil
+}
+
+// Stats returns (messages sent, forwarding hops, payload bytes).
+func (n *Network) Stats() (sent, forwards, bytes uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.forwards, n.bytes
+}
+
+// Endpoint is one PE's attachment to the network: an inbox plus a
+// location cache.
+type Endpoint struct {
+	net *Network
+	pe  int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inbox []*Message
+	cache map[EntityID]int
+	hook  func() // optional wakeup hook (scheduler integration)
+}
+
+// PE returns the endpoint's processor index.
+func (e *Endpoint) PE() int { return e.pe }
+
+// SetWakeHook registers fn to run (without locks held) whenever a
+// message arrives — the converse scheduler uses it to wake its loop.
+func (e *Endpoint) SetWakeHook(fn func()) {
+	e.mu.Lock()
+	e.hook = fn
+	e.mu.Unlock()
+}
+
+// Send routes msg from this endpoint's PE toward msg.To, charging one
+// hop of latency per delivery attempt. Stale location caches produce
+// forwarding hops; the cache self-corrects afterwards.
+func (e *Endpoint) Send(msg *Message) error {
+	if msg == nil {
+		return fmt.Errorf("comm: Send(nil)")
+	}
+	// Where do we *think* the entity is?
+	e.mu.Lock()
+	dest, cached := e.cache[msg.To]
+	e.mu.Unlock()
+	if !cached {
+		var err error
+		dest, err = e.net.Locate(msg.To)
+		if err != nil {
+			return err
+		}
+	}
+	msg.Hops++
+	msg.Arrival = msg.SendTime + e.net.lat.Cost(len(msg.Data))
+	if msg.Hops == 1 {
+		e.net.mu.Lock()
+		e.net.sent++
+		e.net.bytes += uint64(len(msg.Data))
+		e.net.mu.Unlock()
+	}
+
+	target := e.net.endpoints[dest]
+	// The entity may have moved since our cache entry: the target PE
+	// checks authority and forwards if needed.
+	actual, err := e.net.Locate(msg.To)
+	if err != nil {
+		return err
+	}
+	if actual != dest {
+		// Stale: the wrong PE received it and forwards. Correct our
+		// cache and re-send from the wrong PE, costing another hop.
+		e.net.mu.Lock()
+		e.net.forwards++
+		e.net.mu.Unlock()
+		e.mu.Lock()
+		e.cache[msg.To] = actual
+		e.mu.Unlock()
+		fwd := e.net.endpoints[dest]
+		msg.SendTime = msg.Arrival // forwarding leaves on arrival
+		return fwd.forward(msg, actual)
+	}
+	e.mu.Lock()
+	e.cache[msg.To] = dest
+	e.mu.Unlock()
+	target.deliver(msg)
+	return nil
+}
+
+// forward re-sends a misdelivered message from this PE to the
+// authoritative location.
+func (e *Endpoint) forward(msg *Message, to int) error {
+	msg.Hops++
+	msg.Arrival = msg.SendTime + e.net.lat.Cost(len(msg.Data))
+	e.net.endpoints[to].deliver(msg)
+	return nil
+}
+
+// deliver appends msg to the inbox and wakes any waiter.
+func (e *Endpoint) deliver(msg *Message) {
+	e.mu.Lock()
+	e.inbox = append(e.inbox, msg)
+	hook := e.hook
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// Poll removes and returns the oldest inbox message, or nil.
+func (e *Endpoint) Poll() *Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.inbox) == 0 {
+		return nil
+	}
+	m := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return m
+}
+
+// Recv blocks until a message arrives and returns it.
+func (e *Endpoint) Recv() *Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.inbox) == 0 {
+		e.cond.Wait()
+	}
+	m := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return m
+}
+
+// Pending returns the inbox depth.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.inbox)
+}

@@ -1,0 +1,129 @@
+package converse
+
+import (
+	"fmt"
+
+	"migflow/internal/mem"
+	"migflow/internal/platform"
+	"migflow/internal/simclock"
+	"migflow/internal/swapglobal"
+	"migflow/internal/trace"
+	"migflow/internal/vmem"
+)
+
+// Address-space layout of one PE's job process. Every PE lays its
+// process image out identically (same executable everywhere), which
+// is what lets stack-copy and memory-alias threads assume a common
+// canonical stack address.
+const (
+	// SysHeapBase is where the ordinary (non-migratable) process heap
+	// lives: runtime-internal allocations from outside thread context.
+	SysHeapBase vmem.Addr = 0x0100_0000
+	// SysHeapSize is the system heap's extent.
+	SysHeapSize uint64 = 16 << 20
+	// GOTBase is where the Global Offset Table is mapped.
+	GOTBase vmem.Addr = 0x0800_0000
+	// CanonicalStackBase is the shared stack address used by the
+	// exclusive strategies (stack copy, memory aliasing).
+	CanonicalStackBase vmem.Addr = 0x1000_0000
+	// MaxStackSize bounds a single thread stack (the canonical
+	// region's extent): 8 MiB, a typical system stack limit.
+	MaxStackSize uint64 = 8 << 20
+)
+
+// PEConfig configures one PE.
+type PEConfig struct {
+	Index     int
+	Profile   *platform.Profile
+	Clock     *simclock.Clock    // shared or per-PE virtual clock
+	IsoRegion mem.IsoRegion      // machine-wide isomalloc region
+	Globals   *swapglobal.Layout // optional swap-global module layout
+}
+
+// PE bundles one simulated processor's job-process resources: its
+// address space, isomalloc slot, system heap, malloc interposer,
+// optional GOT, and user-level thread scheduler.
+type PE struct {
+	Index int
+	Prof  *platform.Profile
+	Clock *simclock.Clock
+	Space *vmem.Space
+	Iso   *mem.IsoAllocator
+	Sys   *mem.Heap
+	Inter *mem.Interposer
+	GOT   *swapglobal.GOT
+	Sched *Scheduler
+
+	// Trace, when non-nil, receives scheduler events (Projections-
+	// style instrumentation). Set it before running threads.
+	Trace *trace.Log
+
+	// exclusiveIn tracks the thread currently switched in under an
+	// exclusive strategy, enforcing the one-active-thread rule.
+	exclusiveIn *Thread
+}
+
+// NewPE boots one PE: creates the address space sized by the
+// platform, reserves the isomalloc region (this is where 32-bit
+// platforms fail when the region is too large), installs the system
+// heap and optionally the GOT, and starts an empty scheduler.
+func NewPE(cfg PEConfig) (*PE, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("converse: NewPE: nil profile")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.New()
+	}
+	space := vmem.NewSpace(cfg.Profile.VirtLimit)
+	if cfg.IsoRegion.NumPEs == 0 {
+		return nil, fmt.Errorf("converse: NewPE: empty isomalloc region")
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.IsoRegion.NumPEs {
+		return nil, fmt.Errorf("converse: NewPE: index %d outside region's %d PEs", cfg.Index, cfg.IsoRegion.NumPEs)
+	}
+	// Reserve the whole machine-wide region locally: remote threads'
+	// addresses are "claimed only in principle" (§3.4.2) but must be
+	// free for use should a remote thread migrate in.
+	if err := space.Reserve(cfg.IsoRegion.Start, cfg.IsoRegion.Size); err != nil {
+		return nil, fmt.Errorf("converse: PE %d cannot reserve isomalloc region: %w", cfg.Index, err)
+	}
+	sys, err := mem.NewHeap(space, vmem.Range{Start: SysHeapBase, Length: SysHeapSize})
+	if err != nil {
+		return nil, err
+	}
+	pe := &PE{
+		Index: cfg.Index,
+		Prof:  cfg.Profile,
+		Clock: cfg.Clock,
+		Space: space,
+		Iso:   mem.NewIsoAllocator(cfg.IsoRegion, cfg.Index),
+		Sys:   sys,
+		Inter: mem.NewInterposer(mem.AsAllocator(sys)),
+	}
+	if cfg.Globals != nil && cfg.Globals.NumGlobals() > 0 {
+		got, err := swapglobal.Install(space, GOTBase, cfg.Globals)
+		if err != nil {
+			return nil, err
+		}
+		pe.GOT = got
+	}
+	pe.Sched = newScheduler(pe)
+	return pe, nil
+}
+
+// acquireExclusive enforces the one-active-thread rule of exclusive
+// strategies (§3.4.1: "there can only be one thread active in each
+// address space").
+func (pe *PE) acquireExclusive(t *Thread) error {
+	if pe.exclusiveIn != nil && pe.exclusiveIn != t {
+		return fmt.Errorf("converse: PE %d: thread %d already active at the canonical stack address", pe.Index, pe.exclusiveIn.ID())
+	}
+	pe.exclusiveIn = t
+	return nil
+}
+
+func (pe *PE) releaseExclusive(t *Thread) {
+	if pe.exclusiveIn == t {
+		pe.exclusiveIn = nil
+	}
+}

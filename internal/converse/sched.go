@@ -1,0 +1,490 @@
+package converse
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"migflow/internal/mem"
+	"migflow/internal/swapglobal"
+	"migflow/internal/trace"
+	"migflow/internal/vmem"
+)
+
+// Scheduler is one PE's user-level thread scheduler: a priority ready
+// queue plus the context-switch path (strategy switch-in/out, GOT
+// swap, malloc-interposer enter/exit, virtual cost charging). Exactly
+// one thread runs at a time per scheduler — a processor executes one
+// flow of control at a time.
+type Scheduler struct {
+	pe *PE
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   readyQueue
+	seq     uint64 // FIFO tiebreak within a priority
+	live    int    // threads created and not yet exited/migrated away
+	threads map[ID]*Thread
+	current *Thread
+	stop    bool
+
+	switches uint64 // context switches performed (stats)
+
+	// onMigrate is invoked (without locks) when a running thread
+	// requests migration; wired by the machine layer.
+	onMigrate func(t *Thread, dest int)
+
+	// onIdle, when set, is invoked (without locks) each time the
+	// ready queue empties during Run; return false to stop the loop.
+	onIdle func() bool
+}
+
+func newScheduler(pe *PE) *Scheduler {
+	s := &Scheduler{pe: pe, threads: make(map[ID]*Thread)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Threads returns a snapshot of the threads this scheduler owns
+// (created here or adopted, not yet exited or migrated away).
+func (s *Scheduler) Threads() []*Thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Thread, 0, len(s.threads))
+	for _, t := range s.threads {
+		out = append(out, t)
+	}
+	return out
+}
+
+// PE returns the owning PE.
+func (s *Scheduler) PE() *PE { return s.pe }
+
+// Switches returns the number of context switches performed.
+func (s *Scheduler) Switches() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.switches
+}
+
+// Live returns the number of threads owned by this scheduler.
+func (s *Scheduler) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// ReadyLen returns the ready-queue depth.
+func (s *Scheduler) ReadyLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready.Len()
+}
+
+// SetMigrateHandler wires the machine-level migration engine.
+func (s *Scheduler) SetMigrateHandler(fn func(t *Thread, dest int)) {
+	s.mu.Lock()
+	s.onMigrate = fn
+	s.mu.Unlock()
+}
+
+// SetIdleHandler wires a callback run when the ready queue drains;
+// returning false stops Run. The machine layer uses it to poll the
+// network.
+func (s *Scheduler) SetIdleHandler(fn func() bool) {
+	s.mu.Lock()
+	s.onIdle = fn
+	s.mu.Unlock()
+}
+
+// CthCreate creates a migratable user-level thread on this PE running
+// body, charging the platform's thread-creation cost and enforcing
+// its practical user-thread limit (Table 2).
+func (s *Scheduler) CthCreate(opts ThreadOptions, body func(*Ctx)) (*Thread, error) {
+	if body == nil {
+		return nil, fmt.Errorf("converse: CthCreate: nil body")
+	}
+	if opts.Strategy == nil {
+		return nil, fmt.Errorf("converse: CthCreate: nil stack strategy")
+	}
+	size := opts.StackSize
+	if size == 0 {
+		size = DefaultStackSize
+	}
+	size = vmem.RoundUpPages(size)
+	if size > MaxStackSize {
+		return nil, fmt.Errorf("converse: CthCreate: stack %d exceeds maximum %d", size, MaxStackSize)
+	}
+	s.mu.Lock()
+	if lim := s.pe.Prof.MaxUserThreads; lim.Bounded() && s.live >= lim.N {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("converse: PE %d at the platform's user-thread limit (%d)", s.pe.Index, lim.N)
+	}
+	s.live++
+	s.mu.Unlock()
+
+	stack, err := opts.Strategy.New(s.pe, size)
+	if err != nil {
+		s.decLive()
+		return nil, err
+	}
+	t := &Thread{
+		id:       ID(nextThreadID.Add(1)),
+		body:     body,
+		prio:     opts.Priority,
+		state:    Created,
+		sched:    s,
+		resume:   make(chan struct{}),
+		parked:   make(chan outcome),
+		strategy: opts.Strategy,
+		stack:    stack,
+		sp:       stack.Base().Add(size), // empty stack: sp at the top
+		heap:     mem.NewThreadHeap(s.pe.Iso, s.pe.Space, opts.ArenaPages),
+	}
+	t.ctx = Ctx{t: t}
+	if opts.Globals != nil {
+		if s.pe.GOT == nil {
+			opts.Strategy.Release(s.pe, stack)
+			s.decLive()
+			return nil, fmt.Errorf("converse: thread wants privatized globals but PE %d has no GOT", s.pe.Index)
+		}
+		inst, err := swapglobal.NewInstance(opts.Globals, t.heap)
+		if err != nil {
+			opts.Strategy.Release(s.pe, stack)
+			s.decLive()
+			return nil, err
+		}
+		t.globals = inst
+	}
+	s.pe.Clock.Advance(s.pe.Prof.UThreadCreate)
+	s.mu.Lock()
+	s.threads[t.id] = t
+	s.mu.Unlock()
+	s.trace(trace.EvCreate, t, uint64(size))
+	go t.run()
+	return t, nil
+}
+
+func (s *Scheduler) decLive() {
+	s.mu.Lock()
+	s.live--
+	s.mu.Unlock()
+}
+
+// Start enqueues a Created thread.
+func (s *Scheduler) Start(t *Thread) {
+	t.mu.Lock()
+	if t.state != Created {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("converse: Start on %s thread %d", t.state, t.id))
+	}
+	t.state = Ready
+	t.mu.Unlock()
+	s.enqueue(t)
+}
+
+// enqueue adds a Ready thread to the priority queue.
+func (s *Scheduler) enqueue(t *Thread) {
+	s.mu.Lock()
+	s.seq++
+	heap.Push(&s.ready, readyItem{t: t, prio: t.prio, seq: s.seq})
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Evict prepares a non-running thread for external (forced)
+// migration: a Ready thread is removed from the queue, a Suspended
+// thread is left parked; either way the thread ends in the Migrating
+// state with all state quiescent in simulated memory. wasSuspended
+// tells the destination whether to re-enqueue (Ready) or re-park
+// (Suspended) on arrival. Running or Exited threads cannot be
+// evicted.
+func (s *Scheduler) Evict(t *Thread) (wasSuspended bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.state {
+	case Ready:
+		if !s.removeReady(t) {
+			return false, fmt.Errorf("converse: Evict: thread %d claims Ready but is not queued on PE %d", t.id, s.pe.Index)
+		}
+		t.state = Migrating
+		return false, nil
+	case Suspended:
+		t.state = Migrating
+		return true, nil
+	}
+	return false, fmt.Errorf("converse: Evict: thread %d is %s; only Ready or Suspended threads can be evicted", t.id, t.state)
+}
+
+// removeReady deletes t from the ready queue.
+func (s *Scheduler) removeReady(t *Thread) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.ready {
+		if s.ready[i].t == t {
+			heap.Remove(&s.ready, i)
+			return true
+		}
+	}
+	return false
+}
+
+// AdoptSuspended takes ownership of an externally migrated thread
+// that was Suspended at eviction: it returns to the Suspended state
+// on this scheduler, to be woken by its pending event as usual. If a
+// wake raced in during the flight, it is honoured immediately.
+func (s *Scheduler) AdoptSuspended(t *Thread) {
+	t.mu.Lock()
+	t.sched = s
+	if t.wakePending {
+		t.wakePending = false
+		t.state = Ready
+		t.mu.Unlock()
+		s.mu.Lock()
+		s.live++
+		s.mu.Unlock()
+		s.enqueue(t)
+		return
+	}
+	t.state = Suspended
+	t.mu.Unlock()
+	s.mu.Lock()
+	s.live++
+	s.threads[t.id] = t
+	s.mu.Unlock()
+}
+
+// Adopt takes ownership of a migrated-in thread and makes it
+// runnable; the migration engine calls it after Reinstall.
+func (s *Scheduler) Adopt(t *Thread) {
+	t.mu.Lock()
+	t.sched = s
+	t.state = Ready
+	t.mu.Unlock()
+	s.mu.Lock()
+	s.live++
+	s.threads[t.id] = t
+	s.mu.Unlock()
+	s.enqueue(t)
+}
+
+// Disown releases ownership of a thread that migrated away; the
+// migration engine calls it on the source scheduler.
+func (s *Scheduler) Disown(t *Thread) {
+	s.mu.Lock()
+	s.live--
+	delete(s.threads, t.id)
+	s.mu.Unlock()
+}
+
+// RunUntilIdle runs ready threads until the queue drains (suspended
+// threads may remain). It is the single-PE test-and-example driver;
+// multi-PE machines use Run with an idle handler.
+func (s *Scheduler) RunUntilIdle() {
+	for {
+		t := s.tryDequeue()
+		if t == nil {
+			return
+		}
+		s.runThread(t)
+	}
+}
+
+// Run executes threads until Stop is called, blocking in the idle
+// handler (or the queue condvar) when nothing is runnable.
+func (s *Scheduler) Run() {
+	for {
+		s.mu.Lock()
+		for s.ready.Len() == 0 && !s.stop {
+			idle := s.onIdle
+			if idle != nil {
+				s.mu.Unlock()
+				if !idle() {
+					return
+				}
+				s.mu.Lock()
+				continue
+			}
+			s.cond.Wait()
+		}
+		if s.stop {
+			s.mu.Unlock()
+			return
+		}
+		item := heap.Pop(&s.ready).(readyItem)
+		s.mu.Unlock()
+		s.runThread(item.t)
+	}
+}
+
+// Stop makes Run return once the current thread stops running.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	s.stop = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) tryDequeue() *Thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ready.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&s.ready).(readyItem).t
+}
+
+// runThread performs one full context switch cycle: switch the thread
+// in, run it until it stops, switch it out, and dispatch on why it
+// stopped.
+func (s *Scheduler) runThread(t *Thread) {
+	if err := s.switchIn(t); err != nil {
+		// A switch-in failure is a runtime bug (e.g. two exclusive
+		// threads); surface it loudly.
+		panic(fmt.Sprintf("converse: PE %d switch-in of thread %d: %v", s.pe.Index, t.id, err))
+	}
+	t.mu.Lock()
+	t.state = Running
+	t.mu.Unlock()
+	t.resume <- struct{}{}
+	out := <-t.parked
+	s.switchOut(t)
+
+	switch out {
+	case outYield:
+		t.mu.Lock()
+		t.state = Ready
+		t.mu.Unlock()
+		s.enqueue(t)
+	case outSuspend:
+		t.mu.Lock()
+		if t.wakePending {
+			t.wakePending = false
+			t.state = Ready
+			t.mu.Unlock()
+			s.enqueue(t)
+		} else {
+			t.state = Suspended
+			t.mu.Unlock()
+		}
+	case outMigrate:
+		t.mu.Lock()
+		t.state = Migrating
+		dest := t.migrateTo
+		t.mu.Unlock()
+		s.mu.Lock()
+		h := s.onMigrate
+		s.mu.Unlock()
+		if h == nil {
+			panic(fmt.Sprintf("converse: thread %d requested migration but PE %d has no migration handler", t.id, s.pe.Index))
+		}
+		h(t, dest)
+	case outExit:
+		s.trace(trace.EvExit, t, 0)
+		s.reap(t)
+	}
+}
+
+// switchIn makes t's world visible: stack (strategy), globals (GOT
+// swap), heap (interposer), and charges the platform's per-switch
+// cost for a migratable ULT.
+func (s *Scheduler) switchIn(t *Thread) error {
+	if t.strategy.Exclusive() {
+		if err := s.pe.acquireExclusive(t); err != nil {
+			return err
+		}
+	}
+	if err := t.strategy.SwitchIn(s.pe, t.stack, t.StackBytesUsed()); err != nil {
+		return err
+	}
+	if t.globals != nil {
+		if err := s.pe.GOT.Swap(t.globals.Image()); err != nil {
+			return err
+		}
+	}
+	s.pe.Inter.Enter(t.heap)
+	s.mu.Lock()
+	n := s.ready.Len() + 1
+	s.current = t
+	s.switches++
+	s.mu.Unlock()
+	cost, err := s.pe.Prof.SwitchCost(t.CostKind())
+	if err != nil {
+		return err
+	}
+	s.pe.Clock.Advance(cost.At(n))
+	s.trace(trace.EvSwitchIn, t, 0)
+	return nil
+}
+
+// trace records a scheduler event if the PE has a log attached.
+func (s *Scheduler) trace(kind trace.Kind, t *Thread, arg uint64) {
+	if s.pe.Trace == nil {
+		return
+	}
+	s.pe.Trace.Record(trace.Event{
+		TimeNs: s.pe.Clock.Now(),
+		PE:     s.pe.Index,
+		Kind:   kind,
+		Thread: uint64(t.id),
+		Arg:    arg,
+	})
+}
+
+// switchOut hides t's world again.
+func (s *Scheduler) switchOut(t *Thread) {
+	s.trace(trace.EvSwitchOut, t, 0)
+	s.pe.Inter.Exit()
+	if err := t.strategy.SwitchOut(s.pe, t.stack, t.StackBytesUsed()); err != nil {
+		panic(fmt.Sprintf("converse: PE %d switch-out of thread %d: %v", s.pe.Index, t.id, err))
+	}
+	if t.strategy.Exclusive() {
+		s.pe.releaseExclusive(t)
+	}
+	s.mu.Lock()
+	s.current = nil
+	s.mu.Unlock()
+}
+
+// reap releases an exited thread's resources. Stacks and heap slabs
+// return to their allocators only on the birth PE; a thread that dies
+// away from home keeps its address ranges reserved (mirroring the
+// paper's runtime).
+func (s *Scheduler) reap(t *Thread) {
+	if t.globals != nil {
+		_ = t.globals.Release(t.heap)
+	}
+	_ = t.heap.ReleaseAll()
+	_ = t.strategy.Release(s.pe, t.stack)
+	s.mu.Lock()
+	s.live--
+	delete(s.threads, t.id)
+	s.mu.Unlock()
+}
+
+// readyQueue is a priority heap: lower priority value runs first,
+// FIFO within a priority.
+type readyItem struct {
+	t    *Thread
+	prio int
+	seq  uint64
+}
+
+type readyQueue []readyItem
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)   { *q = append(*q, x.(readyItem)) }
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"migflow/internal/comm"
+)
+
+func TestDeregisterEntity(t *testing.T) {
+	m, err := NewMachine(Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handled := 0
+	if err := m.RegisterEntity(42, 1, func(int, *comm.Message) { handled++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Network().Endpoint(0).Send(&comm.Message{To: 42}); err != nil {
+		t.Fatal(err)
+	}
+	m.Pump(1)
+	if handled != 1 {
+		t.Fatalf("handled = %d", handled)
+	}
+	m.DeregisterEntity(42)
+	if err := m.Network().Endpoint(0).Send(&comm.Message{To: 42}); err == nil {
+		t.Error("send to deregistered entity accepted")
+	}
+	if _, err := m.Network().Locate(42); err == nil {
+		t.Error("entity still in the directory")
+	}
+	// Double-register after deregister works.
+	if err := m.RegisterEntity(42, 0, func(int, *comm.Message) {}); err != nil {
+		t.Errorf("re-register: %v", err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package core assembles the whole simulated parallel machine: N PEs
+// (each a converse scheduler over its own simulated address space and
+// isomalloc slot), the location-independent network, and the thread
+// migration engine, wired so a thread's MigrateTo moves its state
+// through PUP across address spaces and its messages keep arriving.
+//
+// This is the runtime a user of the library boots first; everything
+// in the paper's evaluation runs on top of a Machine.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"migflow/internal/comm"
+	"migflow/internal/converse"
+	"migflow/internal/mem"
+	"migflow/internal/migrate"
+	"migflow/internal/platform"
+	"migflow/internal/simclock"
+	"migflow/internal/swapglobal"
+	"migflow/internal/trace"
+	"migflow/internal/vmem"
+)
+
+// Config configures a Machine.
+type Config struct {
+	// NumPEs is the processor count (required, ≥ 1).
+	NumPEs int
+	// Platform profile; defaults to the Opteron cluster node.
+	Platform *platform.Profile
+	// Globals optionally declares the job's swap-global module.
+	Globals *swapglobal.Layout
+	// Latency is the interconnect model; defaults to
+	// comm.DefaultLatency (Myrinet-class).
+	Latency comm.LatencyModel
+	// IsoSlotPages is each PE's isomalloc slot size in pages;
+	// defaults to 16384 pages (64 MiB) per PE.
+	IsoSlotPages uint64
+}
+
+// DefaultIsoSlotPages is the per-PE isomalloc slot if unset.
+const DefaultIsoSlotPages = 16384
+
+// Machine is one booted parallel machine.
+type Machine struct {
+	cfg    Config
+	pes    []*converse.PE
+	net    *comm.Network
+	layout *swapglobal.Layout
+
+	mu         sync.Mutex
+	migrations uint64
+	migBytes   uint64
+
+	// tlog, when enabled, receives scheduler and migration events.
+	tlog *trace.Log
+
+	// delivery is the fallback invoked for pumped messages whose
+	// entity has no dedicated handler.
+	delivery func(pe int, msg *comm.Message)
+	// handlers routes pumped messages by destination entity
+	// (registered by AMPI ranks, chare elements, ...).
+	handlers map[comm.EntityID]func(pe int, msg *comm.Message)
+}
+
+// NewMachine boots the machine: one address space, kernel heap,
+// isomalloc slot, (optional) GOT and scheduler per PE, all agreeing
+// on the isomalloc region, plus the network and migration wiring.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.NumPEs < 1 {
+		return nil, fmt.Errorf("core: NumPEs %d must be ≥ 1", cfg.NumPEs)
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = platform.Opteron()
+	}
+	if cfg.Latency == (comm.LatencyModel{}) {
+		cfg.Latency = comm.DefaultLatency
+	}
+	if cfg.IsoSlotPages == 0 {
+		cfg.IsoSlotPages = DefaultIsoSlotPages
+	}
+	region, err := mem.NewIsoRegion(mem.DefaultIsoBase,
+		uint64(cfg.NumPEs)*cfg.IsoSlotPages*vmem.PageSize, cfg.NumPEs)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:      cfg,
+		net:      comm.NewNetwork(cfg.NumPEs, cfg.Latency),
+		layout:   cfg.Globals,
+		handlers: make(map[comm.EntityID]func(int, *comm.Message)),
+	}
+	for i := 0; i < cfg.NumPEs; i++ {
+		pe, err := converse.NewPE(converse.PEConfig{
+			Index:     i,
+			Profile:   cfg.Platform,
+			Clock:     simclock.New(),
+			IsoRegion: region,
+			Globals:   cfg.Globals,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: booting PE %d: %w", i, err)
+		}
+		m.pes = append(m.pes, pe)
+	}
+	for i, pe := range m.pes {
+		i, pe := i, pe
+		pe.Sched.SetMigrateHandler(func(t *converse.Thread, dest int) {
+			if err := m.migrateThread(t, i, dest); err != nil {
+				panic(fmt.Sprintf("core: migrating thread %d from PE %d to %d: %v", t.ID(), i, dest, err))
+			}
+		})
+	}
+	return m, nil
+}
+
+// NumPEs returns the processor count.
+func (m *Machine) NumPEs() int { return len(m.pes) }
+
+// PE returns processor i.
+func (m *Machine) PE(i int) *converse.PE { return m.pes[i] }
+
+// Network returns the machine's interconnect.
+func (m *Machine) Network() *comm.Network { return m.net }
+
+// Layout returns the job's swap-global module layout (may be nil).
+func (m *Machine) Layout() *swapglobal.Layout { return m.layout }
+
+// MaxTime returns the maximum virtual time across PE clocks — the
+// parallel execution time of the job so far.
+func (m *Machine) MaxTime() float64 {
+	var max float64
+	for _, pe := range m.pes {
+		if t := pe.Clock.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// EnableTracing attaches a fresh event log to every PE and returns
+// it. Call before running threads.
+func (m *Machine) EnableTracing() *trace.Log {
+	l := trace.New()
+	m.mu.Lock()
+	m.tlog = l
+	m.mu.Unlock()
+	for _, pe := range m.pes {
+		pe.Trace = l
+	}
+	return l
+}
+
+// MigrationStats returns (migrations performed, total serialized
+// bytes moved).
+func (m *Machine) MigrationStats() (count, bytes uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.migrations, m.migBytes
+}
+
+// SetDeliveryHandler registers the fallback function Pump calls for
+// arriving messages without a per-entity handler.
+func (m *Machine) SetDeliveryHandler(fn func(pe int, msg *comm.Message)) {
+	m.mu.Lock()
+	m.delivery = fn
+	m.mu.Unlock()
+}
+
+// RegisterEntity places a communication entity on a PE and routes its
+// incoming messages to handler. AMPI ranks and chare elements live in
+// this directory; migration keeps it current.
+func (m *Machine) RegisterEntity(id comm.EntityID, pe int, handler func(pe int, msg *comm.Message)) error {
+	if err := m.net.Register(id, pe); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.handlers[id] = handler
+	m.mu.Unlock()
+	return nil
+}
+
+// DeregisterEntity removes an entity and its handler.
+func (m *Machine) DeregisterEntity(id comm.EntityID) {
+	m.net.Deregister(id)
+	m.mu.Lock()
+	delete(m.handlers, id)
+	m.mu.Unlock()
+}
+
+// migrateThread executes one migration: PUP round trip between the
+// address spaces, ownership transfer, directory update, and network
+// cost charging (the image crosses the interconnect).
+func (m *Machine) migrateThread(t *converse.Thread, src, dest int) error {
+	if dest < 0 || dest >= len(m.pes) {
+		return fmt.Errorf("core: destination PE %d out of range", dest)
+	}
+	nbytes, err := migrate.MigrateNow(t, m.pes[src], m.pes[dest], m.layout)
+	if err != nil {
+		return err
+	}
+	// The image crossed the network: charge the postal model and
+	// synchronize the destination clock.
+	cost := m.net.Latency().Cost(nbytes)
+	arrive := m.pes[src].Clock.Now() + cost
+	m.pes[dest].Clock.AdvanceTo(arrive)
+	// Forward the thread's communication endpoint if registered.
+	if _, err := m.net.Locate(comm.EntityID(t.ID())); err == nil {
+		if err := m.net.MigrateEntity(comm.EntityID(t.ID()), dest); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	m.migrations++
+	m.migBytes += uint64(nbytes)
+	tlog := m.tlog
+	m.mu.Unlock()
+	if tlog != nil {
+		tlog.Record(trace.Event{TimeNs: m.pes[src].Clock.Now(), PE: src, Kind: trace.EvMigrateOut, Thread: uint64(t.ID()), Arg: uint64(dest)})
+		tlog.Record(trace.Event{TimeNs: arrive, PE: dest, Kind: trace.EvMigrateIn, Thread: uint64(t.ID()), Arg: uint64(nbytes)})
+	}
+	return nil
+}
+
+// Pump drains PE pe's network inbox through the delivery handler,
+// advancing the PE clock to each message's arrival time. It returns
+// the number of messages processed.
+// Pump does NOT advance the PE clock: a message's arrival time is
+// charged when it is *consumed* (AMPI Recv, chare dispatch), not when
+// the transport hands it over — otherwise a fast sender's timestamp
+// would serialize a receiver that still has independent work to do.
+func (m *Machine) Pump(pe int) int {
+	n := 0
+	for {
+		msg := m.net.Endpoint(pe).Poll()
+		if msg == nil {
+			return n
+		}
+		m.mu.Lock()
+		fn := m.handlers[msg.To]
+		if fn == nil {
+			fn = m.delivery
+		}
+		m.mu.Unlock()
+		if fn != nil {
+			fn(pe, msg)
+		}
+		n++
+	}
+}
+
+// RunUntilQuiescent drives all PEs deterministically from one
+// goroutine: round-robin each scheduler to idle and pump the network,
+// until no PE has ready threads and no messages are in flight.
+// Suspended threads may remain (they are not work).
+func (m *Machine) RunUntilQuiescent() {
+	for {
+		progress := false
+		for i, pe := range m.pes {
+			if m.Pump(i) > 0 {
+				progress = true
+			}
+			if pe.Sched.ReadyLen() > 0 {
+				pe.Sched.RunUntilIdle()
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// RunParallel runs every PE scheduler in its own goroutine — the
+// wall-clock execution mode. Each idle scheduler pumps its inbox and
+// re-checks; when done() reports true, all schedulers stop and
+// RunParallel returns. done is called concurrently and must be
+// thread-safe.
+func (m *Machine) RunParallel(done func() bool) {
+	var wg sync.WaitGroup
+	for i, pe := range m.pes {
+		i, pe := i, pe
+		pe.Sched.SetIdleHandler(func() bool {
+			if done() {
+				return false
+			}
+			if m.Pump(i) == 0 {
+				runtime.Gosched() // idle: let other PEs make progress
+			}
+			return true
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pe.Sched.Run()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"migflow/internal/comm"
+	"migflow/internal/converse"
+	"migflow/internal/migrate"
+	"migflow/internal/trace"
+)
+
+// MigrateExternal forcibly moves a non-running thread (Ready or
+// Suspended) from its current PE to dest, without the thread's
+// cooperation — the load balancer's and fault-tolerance layer's
+// migration primitive. Directory entries and network costs are
+// handled like a self-initiated migration.
+func (m *Machine) MigrateExternal(t *converse.Thread, dest int) error {
+	if dest < 0 || dest >= len(m.pes) {
+		return fmt.Errorf("core: MigrateExternal: PE %d out of range", dest)
+	}
+	src := t.Scheduler().PE()
+	if src.Index == dest {
+		return nil
+	}
+	nbytes, err := migrate.MigrateExternal(t, src, m.pes[dest], m.layout)
+	if err != nil {
+		return err
+	}
+	cost := m.net.Latency().Cost(nbytes)
+	m.pes[dest].Clock.AdvanceTo(src.Clock.Now() + cost)
+	if _, err := m.net.Locate(comm.EntityID(t.ID())); err == nil {
+		if err := m.net.MigrateEntity(comm.EntityID(t.ID()), dest); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	m.migrations++
+	m.migBytes += uint64(nbytes)
+	tlog := m.tlog
+	m.mu.Unlock()
+	if tlog != nil {
+		tlog.Record(trace.Event{TimeNs: src.Clock.Now(), PE: src.Index, Kind: trace.EvMigrateOut, Thread: uint64(t.ID()), Arg: uint64(dest)})
+		tlog.Record(trace.Event{TimeNs: src.Clock.Now() + cost, PE: dest, Kind: trace.EvMigrateIn, Thread: uint64(t.ID()), Arg: uint64(nbytes)})
+	}
+	return nil
+}
+
+// Vacate evacuates every thread from PE pe, spreading them round-
+// robin over the surviving PEs — the paper's proactive
+// fault-tolerance scenario ("to vacate a node that is expected to
+// fail or be shut down", §3). The PE must be quiescent (no Running
+// thread): call from outside the machine's scheduling loops, or
+// after RunUntilQuiescent. It returns how many threads moved.
+func (m *Machine) Vacate(pe int) (int, error) {
+	if pe < 0 || pe >= len(m.pes) {
+		return 0, fmt.Errorf("core: Vacate: PE %d out of range", pe)
+	}
+	if len(m.pes) < 2 {
+		return 0, fmt.Errorf("core: Vacate: no surviving PE to evacuate to")
+	}
+	moved := 0
+	next := 0
+	for _, t := range m.pes[pe].Sched.Threads() {
+		if next == pe {
+			next = (next + 1) % len(m.pes)
+		}
+		if err := m.MigrateExternal(t, next); err != nil {
+			return moved, fmt.Errorf("core: Vacate PE %d: thread %d: %w", pe, t.ID(), err)
+		}
+		moved++
+		next = (next + 1) % len(m.pes)
+	}
+	return moved, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"migflow/internal/converse"
+	"migflow/internal/migrate"
+	"migflow/internal/swapglobal"
+)
+
+// TestMigrateExternalReady forcibly moves a runnable thread between
+// PEs; it must run to completion on the destination with its state
+// intact.
+func TestMigrateExternalReady(t *testing.T) {
+	layout := swapglobal.NewLayout()
+	layout.Declare("x", 8)
+	m, err := NewMachine(Config{NumPEs: 2, Globals: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranOn := -1
+	var sawX uint64
+	th, err := m.PE(0).Sched.CthCreate(converse.ThreadOptions{
+		Strategy: migrate.Isomalloc{}, Globals: layout,
+	}, func(c *converse.Ctx) {
+		ranOn = c.PE().Index
+		sawX, _ = c.GlobalsGOT().LoadUint64("x")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PE(0).Sched.Start(th) // Ready on PE 0, never run
+	// Pre-set its privatized global directly through its instance.
+	addr, err := th.Globals().VarAddr("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PE(0).Space.WriteUint64(addr, 77); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MigrateExternal(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PE(0).Sched.ReadyLen(); got != 0 {
+		t.Errorf("source still has %d ready threads", got)
+	}
+	m.RunUntilQuiescent()
+	if ranOn != 1 {
+		t.Errorf("thread ran on PE %d, want 1", ranOn)
+	}
+	if sawX != 77 {
+		t.Errorf("global after forced migration = %d, want 77", sawX)
+	}
+}
+
+// TestMigrateExternalSuspended moves a thread blocked in Suspend; it
+// must keep waiting on the destination and resume there when woken.
+func TestMigrateExternalSuspended(t *testing.T) {
+	m, err := NewMachine(Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedOn := -1
+	th, err := m.PE(0).Sched.CthCreate(converse.ThreadOptions{Strategy: migrate.Isomalloc{}}, func(c *converse.Ctx) {
+		c.Suspend()
+		resumedOn = c.PE().Index
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PE(0).Sched.Start(th)
+	m.RunUntilQuiescent() // thread now Suspended on PE 0
+	if th.State() != converse.Suspended {
+		t.Fatalf("state = %s", th.State())
+	}
+	if err := m.MigrateExternal(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if th.State() != converse.Suspended {
+		t.Fatalf("state after external migration = %s, want suspended", th.State())
+	}
+	if m.PE(1).Sched.Live() != 1 || m.PE(0).Sched.Live() != 0 {
+		t.Errorf("ownership not transferred: live %d/%d", m.PE(0).Sched.Live(), m.PE(1).Sched.Live())
+	}
+	th.Awaken()
+	m.RunUntilQuiescent()
+	if resumedOn != 1 {
+		t.Errorf("resumed on PE %d, want 1", resumedOn)
+	}
+}
+
+// TestWakeDuringFlight delivers an Awaken between eviction and
+// adoption; the wake must not be lost.
+func TestWakeDuringFlight(t *testing.T) {
+	m, err := NewMachine(Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := false
+	th, err := m.PE(0).Sched.CthCreate(converse.ThreadOptions{Strategy: migrate.Isomalloc{}}, func(c *converse.Ctx) {
+		c.Suspend()
+		resumed = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PE(0).Sched.Start(th)
+	m.RunUntilQuiescent()
+	// Simulate the race: evict, wake mid-flight, then complete the
+	// move by hand.
+	if _, err := m.PE(0).Sched.Evict(th); err != nil {
+		t.Fatal(err)
+	}
+	th.Awaken() // in flight: must be remembered
+	im, err := migrate.Extract(th, m.PE(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := migrate.Install(th, m.PE(1), im, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.PE(0).Sched.Disown(th)
+	m.PE(1).Sched.AdoptSuspended(th)
+	if th.State() != converse.Ready {
+		t.Fatalf("state = %s, want ready (pending wake honoured)", th.State())
+	}
+	m.RunUntilQuiescent()
+	if !resumed {
+		t.Error("wake lost during flight")
+	}
+}
+
+func TestEvictValidation(t *testing.T) {
+	m, err := NewMachine(Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := m.PE(0).Sched.CthCreate(converse.ThreadOptions{Strategy: migrate.Isomalloc{}}, func(c *converse.Ctx) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Created (never started): not evictable.
+	if _, err := m.PE(0).Sched.Evict(th); err == nil {
+		t.Error("evicting a Created thread accepted")
+	}
+	m.PE(0).Sched.Start(th)
+	m.RunUntilQuiescent()
+	// Exited: not evictable.
+	if _, err := m.PE(0).Sched.Evict(th); err == nil {
+		t.Error("evicting an Exited thread accepted")
+	}
+}
+
+// TestVacate evacuates a full PE: runnable and suspended threads of
+// all three stack techniques all land on survivors and finish.
+func TestVacate(t *testing.T) {
+	m, err := NewMachine(Config{NumPEs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perStrat = 2
+	finished := 0
+	var threads []*converse.Thread
+	for _, strat := range migrate.All() {
+		for i := 0; i < perStrat; i++ {
+			th, err := m.PE(0).Sched.CthCreate(converse.ThreadOptions{Strategy: strat, StackSize: 4096 * 4}, func(c *converse.Ctx) {
+				c.Suspend() // park until the post-vacate wake
+				if c.PE().Index == 0 {
+					t.Error("thread resumed on the vacated PE")
+				}
+				finished++
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.PE(0).Sched.Start(th)
+			threads = append(threads, th)
+		}
+	}
+	m.RunUntilQuiescent() // all suspended on PE 0
+	moved, err := m.Vacate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 3*perStrat {
+		t.Errorf("moved %d, want %d", moved, 3*perStrat)
+	}
+	if m.PE(0).Sched.Live() != 0 {
+		t.Errorf("PE 0 still owns %d threads", m.PE(0).Sched.Live())
+	}
+	// Survivors share the evacuees.
+	if m.PE(1).Sched.Live()+m.PE(2).Sched.Live() != 3*perStrat {
+		t.Errorf("survivors own %d+%d", m.PE(1).Sched.Live(), m.PE(2).Sched.Live())
+	}
+	for _, th := range threads {
+		th.Awaken()
+	}
+	m.RunUntilQuiescent()
+	if finished != 3*perStrat {
+		t.Errorf("finished = %d", finished)
+	}
+}
+
+func TestVacateValidation(t *testing.T) {
+	m, err := NewMachine(Config{NumPEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Vacate(0); err == nil {
+		t.Error("vacating the only PE accepted")
+	}
+	if _, err := m.Vacate(5); err == nil {
+		t.Error("vacating a bad PE accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Package coro implements return-switch coroutines (§2.4.1): a
+// subroutine "suspends" by returning a label and "resumes" by being
+// called again with that label, dispatching on it to jump back to
+// where it left off — the Duff's-device coroutine trick of Tatham's
+// "Coroutines in C", without threads or stacks.
+//
+// Because the technique stores no machine state, a coroutine's entire
+// execution state is the label plus whatever locals the programmer
+// manually parks in the State — which is both why these objects are
+// trivially migratable (§3.2) and why the paper calls the style
+// "confusing, error-prone and tough to debug": forget to park a
+// local and it silently resets on every resume.
+package coro
+
+import (
+	"fmt"
+
+	"migflow/internal/pup"
+)
+
+// Begin is the label a fresh coroutine starts from.
+const Begin = 0
+
+// State is the manually-managed persistent state of one coroutine:
+// the resume label and a register file of named locals. It is
+// pup.Pupable, so a suspended coroutine can migrate as a few bytes.
+type State struct {
+	line   int
+	locals map[string]uint64
+}
+
+// NewState returns a state at Begin with no locals.
+func NewState() *State {
+	return &State{line: Begin, locals: make(map[string]uint64)}
+}
+
+// Line returns the saved resume label.
+func (s *State) Line() int { return s.line }
+
+// Get reads a parked local (zero if never set).
+func (s *State) Get(name string) uint64 { return s.locals[name] }
+
+// Set parks a local so it survives suspension.
+func (s *State) Set(name string, v uint64) { s.locals[name] = v }
+
+// Pup implements pup.Pupable.
+func (s *State) Pup(p *pup.PUPer) error {
+	if err := p.Int(&s.line); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(s.locals))
+	for k := range s.locals {
+		names = append(names, k)
+	}
+	// Canonical order for byte-stable packing.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	n := uint32(len(names))
+	if err := p.Uint32(&n); err != nil {
+		return err
+	}
+	if p.IsUnpacking() {
+		s.locals = make(map[string]uint64, n)
+		for i := uint32(0); i < n; i++ {
+			var k string
+			var v uint64
+			if err := p.String(&k); err != nil {
+				return err
+			}
+			if err := p.Uint64(&v); err != nil {
+				return err
+			}
+			s.locals[k] = v
+		}
+		return nil
+	}
+	for _, k := range names {
+		v := s.locals[k]
+		if err := p.String(&k); err != nil {
+			return err
+		}
+		if err := p.Uint64(&v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step is one activation of the coroutine body: it receives the
+// state (dispatch on s.Line() to resume) and an input value, and
+// returns the coroutine's yield. To suspend, return with next set to
+// the label to resume at and done=false; to finish, return done=true.
+type Step func(s *State, in uint64) (yield uint64, next int, done bool)
+
+// Coroutine pairs a body with its state.
+type Coroutine struct {
+	body Step
+	s    *State
+	done bool
+}
+
+// New returns a coroutine at Begin.
+func New(body Step) *Coroutine {
+	return &Coroutine{body: body, s: NewState()}
+}
+
+// Restore rebuilds a coroutine around migrated state — event-object
+// migration (§3.2): "copy these data structures to a new processor
+// and begin executing the next event". The body is code, present in
+// every process image; only the state moved.
+func Restore(body Step, s *State) *Coroutine {
+	return &Coroutine{body: body, s: s}
+}
+
+// State exposes the coroutine's state (for migration).
+func (c *Coroutine) State() *State { return c.s }
+
+// Done reports whether the coroutine has finished.
+func (c *Coroutine) Done() bool { return c.done }
+
+// Resume runs the body from its saved label. Resuming a finished
+// coroutine is an error.
+func (c *Coroutine) Resume(in uint64) (uint64, error) {
+	if c.done {
+		return 0, fmt.Errorf("coro: resume of finished coroutine")
+	}
+	yield, next, done := c.body(c.s, in)
+	c.s.line = next
+	c.done = done
+	return yield, nil
+}

@@ -1,0 +1,146 @@
+package coro
+
+import (
+	"testing"
+
+	"migflow/internal/pup"
+)
+
+// rangeCoro yields 0..n-1 then finishes, parking its counter in the
+// state (the return-switch pattern).
+func rangeCoro(n uint64) Step {
+	return func(s *State, _ uint64) (uint64, int, bool) {
+		switch s.Line() {
+		case Begin:
+			s.Set("i", 0)
+			fallthrough
+		case 1:
+			i := s.Get("i")
+			if i >= n {
+				return 0, 1, true
+			}
+			s.Set("i", i+1)
+			return i, 1, false
+		}
+		panic("bad label")
+	}
+}
+
+func TestGenerator(t *testing.T) {
+	c := New(rangeCoro(4))
+	var got []uint64
+	for !c.Done() {
+		v, err := c.Resume(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Done() {
+			got = append(got, v)
+		}
+	}
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Errorf("yields = %v", got)
+	}
+	if _, err := c.Resume(0); err == nil {
+		t.Error("resume after done accepted")
+	}
+}
+
+// TestAccumulator exercises passing values *into* a suspended
+// coroutine.
+func TestAccumulator(t *testing.T) {
+	acc := func(s *State, in uint64) (uint64, int, bool) {
+		sum := s.Get("sum") + in
+		s.Set("sum", sum)
+		return sum, 1, false
+	}
+	c := New(acc)
+	for _, v := range []uint64{5, 7, 9} {
+		if _, err := c.Resume(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.State().Get("sum"); got != 21 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+// TestMigration suspends a coroutine, PUPs its state across a
+// simulated migration, restores it against the same code, and
+// continues — the event-object migration story of §3.2.
+func TestMigration(t *testing.T) {
+	c := New(rangeCoro(6))
+	for i := 0; i < 3; i++ {
+		if _, err := c.Resume(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := pup.Pack(c.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Arrive" elsewhere: fresh state object, same body.
+	s2 := NewState()
+	if err := pup.Unpack(data, s2); err != nil {
+		t.Fatal(err)
+	}
+	c2 := Restore(rangeCoro(6), s2)
+	v, err := c2.Resume(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Errorf("resumed at %d, want 3 (continuing where it left off)", v)
+	}
+}
+
+// TestForgottenLocalResets documents the pitfall the paper warns
+// about: a local kept in a plain Go variable (not parked in State)
+// resets on every resume.
+func TestForgottenLocalResets(t *testing.T) {
+	buggy := func(s *State, _ uint64) (uint64, int, bool) {
+		i := uint64(0) // "local variable" not parked: reborn every call
+		i++
+		return i, 1, false
+	}
+	c := New(buggy)
+	a, _ := c.Resume(0)
+	b, _ := c.Resume(0)
+	if a != 1 || b != 1 {
+		t.Errorf("expected the bug: both resumes yield 1, got %d then %d", a, b)
+	}
+}
+
+func TestStatePupEmpty(t *testing.T) {
+	s := NewState()
+	data, err := pup.Pack(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewState()
+	s2.Set("junk", 1)
+	if err := pup.Unpack(data, s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Get("junk") != 0 {
+		t.Error("unpack did not replace locals")
+	}
+}
+
+func TestStatePupDeterministic(t *testing.T) {
+	s := NewState()
+	s.Set("b", 2)
+	s.Set("a", 1)
+	s.Set("c", 3)
+	d1, err := pup.Pack(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := pup.Pack(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Error("packing not deterministic")
+	}
+}

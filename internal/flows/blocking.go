@@ -1,0 +1,194 @@
+package flows
+
+import (
+	"container/heap"
+	"fmt"
+
+	"migflow/internal/platform"
+)
+
+// Blocking-call behaviour (§2.2-2.3). The paper's central tradeoff:
+//
+//   - Kernel threads (1:1): "when a kernel thread makes a blocking
+//     call, only that thread blocks" — but every switch pays kernel
+//     prices.
+//   - Pure user-level threads (N:1): "when a user-level thread makes
+//     a blocking call ... the kernel suspends the entire calling
+//     process, even though another user-level thread might be ready
+//     to run."
+//   - N:M scheduling maps N user threads onto M kernel entities:
+//     cheap user switches, and up to M concurrent blocking calls —
+//     but "there are two parties ... involved in each thread
+//     operation, which is complex", and the M+1-th blocking call
+//     stalls the processor.
+//   - Scheduler activations: the kernel upcalls on every block, so
+//     the user scheduler always keeps running — at an upcall cost.
+//
+// SimulateBlocking is a small discrete-event simulation of one
+// processor running n flows, each alternating CPU bursts with
+// blocking I/O, under each model. The makespans reproduce the
+// paper's qualitative ranking.
+
+// BlockingModel selects the threading model.
+type BlockingModel int
+
+// The four models of §2.2-2.3.
+const (
+	// Model1to1: one kernel thread per flow.
+	Model1to1 BlockingModel = iota
+	// ModelN1: pure user-level threads, blocking calls block the
+	// whole process.
+	ModelN1
+	// ModelNM: N user threads on M kernel entities.
+	ModelNM
+	// ModelActivations: scheduler activations — kernel upcalls
+	// replace stalls.
+	ModelActivations
+)
+
+func (m BlockingModel) String() string {
+	switch m {
+	case Model1to1:
+		return "1:1 kernel threads"
+	case ModelN1:
+		return "N:1 user threads"
+	case ModelNM:
+		return "N:M hybrid"
+	case ModelActivations:
+		return "scheduler activations"
+	}
+	return fmt.Sprintf("BlockingModel(%d)", int(m))
+}
+
+// BlockingWorkload describes the per-flow behaviour.
+type BlockingWorkload struct {
+	Flows     int     // concurrent flows on the processor
+	Bursts    int     // CPU bursts per flow
+	ComputeNs float64 // length of each burst
+	IONs      float64 // blocking I/O after each burst
+}
+
+// UpcallOverheadNs is the scheduler-activation upcall cost per block
+// — a lightweight kernel→user notification, cheaper than a full
+// kernel context switch but not free.
+const UpcallOverheadNs = 600
+
+// SimulateBlocking returns the virtual makespan of the workload on
+// one processor of the given platform under the model. m is the
+// kernel-entity count for ModelNM (ignored otherwise).
+func SimulateBlocking(model BlockingModel, prof *platform.Profile, w BlockingWorkload, m int) (float64, error) {
+	if w.Flows <= 0 || w.Bursts <= 0 {
+		return 0, fmt.Errorf("flows: SimulateBlocking: empty workload")
+	}
+	if model == ModelNM && m <= 0 {
+		return 0, fmt.Errorf("flows: SimulateBlocking: N:M needs m ≥ 1 kernel entities")
+	}
+
+	// Per-switch cost by model: kernel threads pay kernel prices,
+	// the user-level models pay ULT prices.
+	switchCost := prof.UThreadSwitch.At(w.Flows)
+	if model == Model1to1 {
+		switchCost = prof.KThreadSwitch.At(w.Flows)
+	}
+
+	type flowState struct {
+		burstsLeft int
+	}
+	flows := make([]flowState, w.Flows)
+	for i := range flows {
+		flows[i].burstsLeft = w.Bursts
+	}
+
+	// Ready queue (indices) and pending I/O completions (min-heap of
+	// times, paired with flow ids).
+	ready := make([]int, w.Flows)
+	for i := range ready {
+		ready[i] = i
+	}
+	io := &ioHeap{}
+	now := 0.0
+	blocked := 0 // flows currently in the kernel doing I/O
+
+	// canOverlap reports whether, with `blocked` flows already in
+	// blocking calls, the processor can keep executing ready flows.
+	canOverlap := func() bool {
+		switch model {
+		case ModelN1:
+			return false // the whole process is suspended
+		case ModelNM:
+			return blocked < m // one kernel entity must remain on-CPU
+		default:
+			return true
+		}
+	}
+
+	for len(ready) > 0 || io.Len() > 0 {
+		if len(ready) == 0 || !canOverlap() && blocked > 0 {
+			// Processor stalls until the next I/O completion.
+			if io.Len() == 0 {
+				return 0, fmt.Errorf("flows: SimulateBlocking: deadlock (no ready flows, no I/O)")
+			}
+			ev := heap.Pop(io).(ioEvent)
+			if ev.at > now {
+				now = ev.at
+			}
+			blocked--
+			if ev.flow >= 0 {
+				ready = append(ready, ev.flow)
+			}
+			continue
+		}
+		// Run the next ready flow for one burst.
+		f := ready[0]
+		ready = ready[1:]
+		now += switchCost + w.ComputeNs
+		flows[f].burstsLeft--
+		if flows[f].burstsLeft == 0 && w.IONs == 0 {
+			continue // finished
+		}
+		// Issue the blocking call (also after the last burst: the
+		// final write/flush).
+		if model == ModelActivations {
+			now += UpcallOverheadNs
+		}
+		if w.IONs > 0 {
+			blocked++
+			if flows[f].burstsLeft > 0 {
+				heap.Push(io, ioEvent{at: now + w.IONs, flow: f})
+			} else {
+				// Final I/O: completes off-CPU; nothing to requeue,
+				// but it still occupies a kernel entity until done.
+				heap.Push(io, ioEvent{at: now + w.IONs, flow: -1})
+			}
+		}
+	}
+	// Drain remaining completions: the job ends when the last I/O is
+	// done.
+	end := now
+	for io.Len() > 0 {
+		ev := heap.Pop(io).(ioEvent)
+		if ev.at > end {
+			end = ev.at
+		}
+	}
+	return end, nil
+}
+
+type ioEvent struct {
+	at   float64
+	flow int
+}
+
+type ioHeap []ioEvent
+
+func (h ioHeap) Len() int           { return len(h) }
+func (h ioHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h ioHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ioHeap) Push(x any)        { *h = append(*h, x.(ioEvent)) }
+func (h *ioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

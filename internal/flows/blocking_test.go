@@ -1,0 +1,111 @@
+package flows
+
+import (
+	"testing"
+
+	"migflow/internal/platform"
+)
+
+func blockingWorkload() BlockingWorkload {
+	return BlockingWorkload{Flows: 16, Bursts: 10, ComputeNs: 20_000, IONs: 100_000}
+}
+
+func simulate(t *testing.T, model BlockingModel, m int) float64 {
+	t.Helper()
+	v, err := SimulateBlocking(model, platform.LinuxX86(), blockingWorkload(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestBlockingModelRanking pins §2.2-2.3's qualitative result: pure
+// N:1 user threads serialize all blocking I/O and lose badly; 1:1
+// kernel threads, adequate N:M, and scheduler activations overlap
+// I/O with computation.
+func TestBlockingModelRanking(t *testing.T) {
+	n1 := simulate(t, ModelN1, 0)
+	k11 := simulate(t, Model1to1, 0)
+	nm := simulate(t, ModelNM, 8)
+	act := simulate(t, ModelActivations, 0)
+
+	w := blockingWorkload()
+	totalCompute := float64(w.Flows*w.Bursts) * w.ComputeNs
+	totalIO := float64(w.Flows*w.Bursts) * w.IONs
+
+	// N:1 pays every I/O serially.
+	if n1 < totalCompute+totalIO {
+		t.Errorf("N:1 = %g, should include all serialized I/O (≥ %g)", n1, totalCompute+totalIO)
+	}
+	// The overlapping models finish in far less than compute+IO.
+	for _, v := range []struct {
+		name string
+		got  float64
+	}{{"1:1", k11}, {"N:M", nm}, {"activations", act}} {
+		if v.got > totalCompute+totalIO/2 {
+			t.Errorf("%s = %g, overlap missing (bound %g)", v.name, v.got, totalCompute+totalIO/2)
+		}
+		if !(v.got < n1/2) {
+			t.Errorf("%s = %g not ≪ N:1 %g", v.name, v.got, n1)
+		}
+	}
+	// User-level switching beats kernel switching when both overlap.
+	if !(nm < k11) {
+		t.Errorf("N:M (%g) should beat 1:1 (%g) on switch costs", nm, k11)
+	}
+	if !(act < k11) {
+		t.Errorf("activations (%g) should beat 1:1 (%g)", act, k11)
+	}
+}
+
+// TestNMDegradesWithFewEntities: M=1 behaves like N:1 (the single
+// kernel entity blocks); growing M approaches full overlap.
+func TestNMDegradesWithFewEntities(t *testing.T) {
+	m1 := simulate(t, ModelNM, 1)
+	m2 := simulate(t, ModelNM, 2)
+	m8 := simulate(t, ModelNM, 8)
+	n1 := simulate(t, ModelN1, 0)
+	if !(m8 < m2 && m2 < m1) {
+		t.Errorf("N:M makespans not improving with M: m1=%g m2=%g m8=%g", m1, m2, m8)
+	}
+	// With one entity, nearly everything serializes, like N:1.
+	if m1 < n1*0.8 {
+		t.Errorf("N:M with M=1 (%g) should approach N:1 (%g)", m1, n1)
+	}
+}
+
+func TestBlockingComputeOnly(t *testing.T) {
+	w := BlockingWorkload{Flows: 4, Bursts: 3, ComputeNs: 1000, IONs: 0}
+	v, err := SimulateBlocking(ModelN1, platform.LinuxX86(), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No I/O: makespan = compute + switches, identical across models.
+	v2, err := SimulateBlocking(Model1to1, platform.LinuxX86(), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || v2 <= 0 {
+		t.Fatal("empty makespans")
+	}
+	if !(v < v2) {
+		t.Errorf("without I/O, ULT switching (%g) should still beat kernel switching (%g)", v, v2)
+	}
+}
+
+func TestBlockingValidation(t *testing.T) {
+	if _, err := SimulateBlocking(ModelN1, platform.LinuxX86(), BlockingWorkload{}, 0); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := SimulateBlocking(ModelNM, platform.LinuxX86(), blockingWorkload(), 0); err == nil {
+		t.Error("N:M with zero entities accepted")
+	}
+}
+
+func TestBlockingModelStrings(t *testing.T) {
+	for _, m := range []BlockingModel{Model1to1, ModelN1, ModelNM, ModelActivations, BlockingModel(9)} {
+		if m.String() == "" {
+			t.Error("empty model string")
+		}
+	}
+}

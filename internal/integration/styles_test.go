@@ -1,0 +1,302 @@
+// Package integration holds cross-layer scenario tests: whole-stack
+// flows that single-package tests cannot exercise.
+package integration
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"migflow/internal/ampi"
+	"migflow/internal/charm"
+	"migflow/internal/core"
+	"migflow/internal/coro"
+	"migflow/internal/pup"
+	"migflow/internal/sdag"
+)
+
+// The paper's §2 taxonomy: the same computation can be organized as
+// blocking threads, as an SDAG-coordinated event-driven object, or as
+// a hand-rolled return-switch coroutine. This test runs one program —
+// a 1-D Jacobi iteration with ghost exchange over a ring — in all
+// three styles and demands bit-identical numerical results.
+
+const (
+	nStrips  = 4
+	nCells   = 8
+	nIters   = 10
+	tagLeft  = 1
+	tagRight = 2
+)
+
+// jacobiInit gives strip i its initial cells.
+func jacobiInit(i int) []float64 {
+	g := make([]float64, nCells)
+	for j := range g {
+		if (i*nCells+j)%3 == 0 {
+			g[j] = float64(i + 1)
+		}
+	}
+	return g
+}
+
+// sweep advances one strip one iteration given its ghosts.
+func sweep(grid []float64, left, right float64) []float64 {
+	next := make([]float64, len(grid))
+	for i := range grid {
+		l, r := left, right
+		if i > 0 {
+			l = grid[i-1]
+		}
+		if i < len(grid)-1 {
+			r = grid[i+1]
+		}
+		next[i] = 0.5 * (l + r)
+	}
+	return next
+}
+
+func f64b(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func bf64(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+// checksum folds a final grid state into one comparable value.
+func checksum(grids [][]float64) []float64 {
+	var flat []float64
+	for _, g := range grids {
+		flat = append(flat, g...)
+	}
+	return flat
+}
+
+// Style 1: blocking AMPI threads.
+func runThreads(t *testing.T) []float64 {
+	m, err := core.NewMachine(core.Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grids := make([][]float64, nStrips)
+	j, err := ampi.NewJob(m, nStrips, ampi.Options{}, func(r *ampi.Rank) {
+		grid := jacobiInit(r.Rank())
+		left := (r.Rank() + nStrips - 1) % nStrips
+		right := (r.Rank() + 1) % nStrips
+		for it := 0; it < nIters; it++ {
+			if err := r.Send(left, tagRight, f64b(grid[0])); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+			if err := r.Send(right, tagLeft, f64b(grid[nCells-1])); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+			lb, _, err := r.Recv(left, tagLeft)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			rb, _, err := r.Recv(right, tagRight)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			grid = sweep(grid, bf64(lb), bf64(rb))
+		}
+		grids[r.Rank()] = grid
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	if !j.Done() {
+		t.Fatal("thread style hung")
+	}
+	return checksum(grids)
+}
+
+// Style 2: SDAG-coordinated chares.
+type sdagStrip struct {
+	index       int
+	grid        []float64
+	left, right float64
+	prog        *sdag.Executor
+	out         *[][]float64
+}
+
+func (s *sdagStrip) Pup(p *pup.PUPer) error { return p.Float64s(&s.grid) }
+
+func (s *sdagStrip) program(ctx *charm.Ctx) sdag.Stmt {
+	leftIdx := (s.index + nStrips - 1) % nStrips
+	rightIdx := (s.index + 1) % nStrips
+	return sdag.For(nIters, func(it int) sdag.Stmt {
+		ref := uint64(it)
+		return sdag.Seq(
+			sdag.Atomic(func() {
+				if err := ctx.Send(leftIdx, tagRight, refMsg(ref, s.grid[0])); err != nil {
+					panic(err)
+				}
+				if err := ctx.Send(rightIdx, tagLeft, refMsg(ref, s.grid[nCells-1])); err != nil {
+					panic(err)
+				}
+			}),
+			sdag.Overlap(
+				sdag.WhenRef(tagLeft, ref, func(m sdag.Msg) { s.left = m.(float64) }),
+				sdag.WhenRef(tagRight, ref, func(m sdag.Msg) { s.right = m.(float64) }),
+			),
+			sdag.Atomic(func() {
+				s.grid = sweep(s.grid, s.left, s.right)
+				if it == nIters-1 {
+					(*s.out)[s.index] = s.grid
+				}
+			}),
+		)
+	})
+}
+
+// refMsg encodes (ref, value) in the payload so the receiving strip
+// can route by iteration.
+func refMsg(ref uint64, v float64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, ref)
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(v))
+	return b
+}
+
+func (s *sdagStrip) Recv(ctx *charm.Ctx, entry int, data []byte) {
+	if s.prog == nil {
+		s.prog = sdag.Run(s.program(ctx))
+	}
+	if entry == 0 {
+		return // bootstrap
+	}
+	ref := binary.LittleEndian.Uint64(data)
+	v := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	s.prog.DeliverRef(entry, ref, v)
+}
+
+func runSDAG(t *testing.T) []float64 {
+	m, err := core.NewMachine(core.Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grids := make([][]float64, nStrips)
+	arr, err := charm.NewArray(m, nStrips, func(i int) charm.Element {
+		return &sdagStrip{index: i, grid: jacobiInit(i), out: &grids}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Broadcast(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilQuiescent()
+	for i, g := range grids {
+		if g == nil {
+			t.Fatalf("sdag strip %d never finished", i)
+		}
+	}
+	return checksum(grids)
+}
+
+// Style 3: return-switch coroutines driven by a hand-written
+// scheduler loop (the §2.4.1 style — all state parked manually; here
+// the grid lives beside the coroutine, the ghosts and iteration
+// counter in its State).
+func runCoro(t *testing.T) []float64 {
+	grids := make([][]float64, nStrips)
+	for i := range grids {
+		grids[i] = jacobiInit(i)
+	}
+	// The "network": ghost values posted for (strip, side, iter).
+	type key struct {
+		strip, side int
+		iter        uint64
+	}
+	mail := map[key]float64{}
+	post := func(strip, side int, iter uint64, v float64) { mail[key{strip, side, iter}] = v }
+
+	// The return-switch pattern: every suspension is a `return` with
+	// the label to resume at; every local that must survive lives in
+	// the State ("iter") — forget one and it silently resets (§2.4.1:
+	// "confusing, error-prone and tough to debug").
+	const (
+		labelSend = coro.Begin
+		labelWait = 1
+	)
+	mkStep := func(i int) coro.Step {
+		return func(s *coro.State, _ uint64) (uint64, int, bool) {
+			switch s.Line() {
+			case labelSend: // send ghosts for the current iteration
+				it := s.Get("iter")
+				left := (i + nStrips - 1) % nStrips
+				right := (i + 1) % nStrips
+				post(left, 1, it, grids[i][0])         // neighbour's right ghost
+				post(right, 0, it, grids[i][nCells-1]) // neighbour's left ghost
+				return 0, labelWait, false
+			case labelWait: // resume here until both ghosts arrived
+				it := s.Get("iter")
+				lk, rk := key{i, 0, it}, key{i, 1, it}
+				lv, lok := mail[lk]
+				rv, rok := mail[rk]
+				if !lok || !rok {
+					return 0, labelWait, false
+				}
+				delete(mail, lk)
+				delete(mail, rk)
+				grids[i] = sweep(grids[i], lv, rv)
+				s.Set("iter", it+1)
+				if it+1 == nIters {
+					return 0, labelWait, true
+				}
+				return 0, labelSend, false
+			}
+			panic("bad label")
+		}
+	}
+	var cs []*coro.Coroutine
+	for i := 0; i < nStrips; i++ {
+		cs = append(cs, coro.New(mkStep(i)))
+	}
+	// Scheduler: round-robin resume until all done.
+	for guard := 0; ; guard++ {
+		if guard > 100000 {
+			t.Fatal("coro style did not converge")
+		}
+		alldone := true
+		for _, c := range cs {
+			if !c.Done() {
+				alldone = false
+				if _, err := c.Resume(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if alldone {
+			break
+		}
+	}
+	return checksum(grids)
+}
+
+// TestThreeStylesAgree pins the §2 equivalence: the same computation
+// in thread, SDAG, and return-switch styles produces identical
+// numbers.
+func TestThreeStylesAgree(t *testing.T) {
+	a := runThreads(t)
+	b := runSDAG(t)
+	c := runCoro(t)
+	if len(a) != len(b) || len(b) != len(c) {
+		t.Fatalf("lengths: %d %d %d", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("threads vs sdag differ at %d: %g vs %g", i, a[i], b[i])
+		}
+		if math.Float64bits(a[i]) != math.Float64bits(c[i]) {
+			t.Fatalf("threads vs coro differ at %d: %g vs %g", i, a[i], c[i])
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package integration
+
+import (
+	"sync"
+	"testing"
+
+	"migflow/internal/ampi"
+	"migflow/internal/comm"
+	"migflow/internal/core"
+	"migflow/internal/loadbalance"
+	"migflow/internal/trace"
+)
+
+// TestJobSurvivesVacate composes the whole stack: an AMPI job runs a
+// phase, the runtime evacuates PE 0 while every rank is parked, and
+// the job finishes — including an Allreduce whose root migrated —
+// with correct results and a consistent trace.
+func TestJobSurvivesVacate(t *testing.T) {
+	m, err := core.NewMachine(core.Config{NumPEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlog := m.EnableTracing()
+	const ranks = 12
+	var mu sync.Mutex
+	sums := make([]float64, ranks)
+	endPE := make([]int, ranks)
+	j, err := ampi.NewJob(m, ranks, ampi.Options{}, func(r *ampi.Rank) {
+		r.Work(10_000)
+		// Wait for the controller's go-ahead (the vacate happens
+		// while everyone is parked here).
+		if _, _, err := r.Recv(ampi.AnySource, 9); err != nil {
+			t.Errorf("rank %d recv: %v", r.Rank(), err)
+			return
+		}
+		// Phase 2 includes a collective: its gather root (rank 0) was
+		// born on the vacated PE and has moved.
+		v, err := r.Allreduce("sum", float64(r.Rank()))
+		if err != nil {
+			t.Errorf("rank %d allreduce: %v", r.Rank(), err)
+			return
+		}
+		r.Work(10_000)
+		mu.Lock()
+		sums[r.Rank()] = v
+		endPE[r.Rank()] = r.PE()
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Start()
+	m.RunUntilQuiescent() // phase 1 done; all parked in Recv
+
+	if got := m.PE(0).Sched.Live(); got != 3 {
+		t.Fatalf("PE 0 owns %d ranks before vacate", got)
+	}
+	moved, err := m.Vacate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 3 {
+		t.Fatalf("moved %d", moved)
+	}
+	// Release every rank from the controller.
+	for i := 0; i < ranks; i++ {
+		msg := &comm.Message{To: comm.EntityID(j.Rank(i).Thread().ID()), Tag: 9}
+		if err := m.Network().Endpoint(1).Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RunUntilQuiescent()
+	if !j.Done() {
+		t.Fatal("job hung after vacate")
+	}
+	const want = float64(ranks * (ranks - 1) / 2)
+	for rk, s := range sums {
+		if s != want {
+			t.Errorf("rank %d allreduce = %g, want %g", rk, s, want)
+		}
+		if endPE[rk] == 0 {
+			t.Errorf("rank %d finished on the vacated PE", rk)
+		}
+	}
+	c := tlog.Counts()
+	if c[trace.EvMigrateOut] != 3 {
+		t.Errorf("trace migrations = %d, want 3", c[trace.EvMigrateOut])
+	}
+	// The evacuated machine can still rebalance onto the survivors.
+	if _, err := j.Rebalance(loadbalance.GreedyLB{}); err != nil {
+		t.Errorf("post-vacate rebalance: %v", err)
+	}
+}

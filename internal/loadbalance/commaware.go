@@ -1,0 +1,137 @@
+package loadbalance
+
+import "sort"
+
+// Communication-aware balancing — the paper's second use of migration
+// (§3): "Migration can improve communication performance, by moving
+// pieces of work that communicate with each other closer together."
+// The load database gains a communication graph; CommAwareLB trades
+// balance against cross-PE traffic.
+
+// Edge is measured traffic between two items (undirected, summed over
+// both directions).
+type Edge struct {
+	A, B  uint64
+	Bytes float64
+}
+
+// CommAware is implemented by strategies that can use a communication
+// graph; runtimes that track per-pair traffic call PlanComm instead
+// of Plan.
+type CommAware interface {
+	PlanComm(items []Item, edges []Edge, numPEs int) Plan
+}
+
+// CrossTraffic sums edge bytes whose endpoints land on different PEs
+// under the plan.
+func CrossTraffic(items []Item, edges []Edge, plan Plan) float64 {
+	loc := make(map[uint64]int, len(items))
+	for _, it := range items {
+		pe := it.PE
+		if to, ok := plan[it.ID]; ok {
+			pe = to
+		}
+		loc[it.ID] = pe
+	}
+	var cross float64
+	for _, e := range edges {
+		if loc[e.A] != loc[e.B] {
+			cross += e.Bytes
+		}
+	}
+	return cross
+}
+
+// CommAwareLB is a greedy balancer with communication affinity: items
+// are placed heaviest-first on the PE minimizing
+//
+//	projected load  −  Alpha × (bytes already co-located with the item)
+//
+// subject to a capacity ceiling of Slack × average load per PE
+// (default 1.15), which keeps affinity from chaining a whole
+// communication cluster onto one processor. Alpha converts bytes of
+// avoided traffic into nanoseconds of load the balancer will trade
+// (e.g. the per-byte wire cost); Alpha = 0 degenerates to GreedyLB.
+type CommAwareLB struct {
+	Alpha float64
+	// Slack bounds per-PE load at Slack × average; 0 means 1.15.
+	Slack float64
+}
+
+// Name implements Strategy.
+func (CommAwareLB) Name() string { return "commaware" }
+
+// Plan implements Strategy (no graph available: plain greedy).
+func (l CommAwareLB) Plan(items []Item, numPEs int) Plan {
+	return l.PlanComm(items, nil, numPEs)
+}
+
+// PlanComm implements CommAware.
+func (l CommAwareLB) PlanComm(items []Item, edges []Edge, numPEs int) Plan {
+	if numPEs <= 0 || len(items) == 0 {
+		return Plan{}
+	}
+	// Adjacency: item → (peer → bytes).
+	adj := make(map[uint64]map[uint64]float64, len(items))
+	for _, e := range edges {
+		if adj[e.A] == nil {
+			adj[e.A] = make(map[uint64]float64)
+		}
+		if adj[e.B] == nil {
+			adj[e.B] = make(map[uint64]float64)
+		}
+		adj[e.A][e.B] += e.Bytes
+		adj[e.B][e.A] += e.Bytes
+	}
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Load != sorted[j].Load {
+			return sorted[i].Load > sorted[j].Load
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	slack := l.Slack
+	if slack == 0 {
+		slack = 1.15
+	}
+	var total float64
+	for _, it := range items {
+		total += it.Load
+	}
+	ceil := slack * total / float64(numPEs)
+
+	loads := make([]float64, numPEs)
+	placed := make(map[uint64]int, len(items))
+	plan := make(Plan, len(items))
+	for _, it := range sorted {
+		best, bestScore := -1, 0.0
+		minPE := 0
+		for pe := 0; pe < numPEs; pe++ {
+			if loads[pe] < loads[minPE] {
+				minPE = pe
+			}
+			if loads[pe]+it.Load > ceil {
+				continue // over capacity: affinity may not overload
+			}
+			score := loads[pe] + it.Load
+			// Attraction: bytes to already-placed peers on pe.
+			for peer, bytes := range adj[it.ID] {
+				if p, ok := placed[peer]; ok && p == pe {
+					score -= l.Alpha * bytes
+				}
+			}
+			if best == -1 || score < bestScore {
+				best, bestScore = pe, score
+			}
+		}
+		if best == -1 {
+			best = minPE // nothing fits under the ceiling: least-loaded
+		}
+		loads[best] += it.Load
+		placed[it.ID] = best
+		if best != it.PE {
+			plan[it.ID] = best
+		}
+	}
+	return plan
+}

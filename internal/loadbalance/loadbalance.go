@@ -1,0 +1,255 @@
+// Package loadbalance implements the measurement-based load balancing
+// of §4.5: the runtime measures each migratable object's (or AMPI
+// thread's) consumed CPU time, a strategy computes a new
+// object-to-processor assignment, and thread migration carries it
+// out. Strategies mirror the classic Charm++ balancers: GreedyLB
+// (global re-map, longest-processing-time-first), RefineLB (move
+// objects off overloaded PEs only), and RotateLB (a correctness
+// shaker that moves every object).
+package loadbalance
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is one migratable unit in the load database.
+type Item struct {
+	ID   uint64  // stable identity (thread/chare id)
+	PE   int     // current processor
+	Load float64 // measured ns of work per step
+}
+
+// Plan maps item IDs to destination PEs; items absent from the map
+// stay where they are.
+type Plan map[uint64]int
+
+// Strategy computes a Plan from the measured load database.
+type Strategy interface {
+	Name() string
+	Plan(items []Item, numPEs int) Plan
+}
+
+// ByName returns the named strategy ("greedy", "refine", "rotate").
+func ByName(name string) (Strategy, error) {
+	switch name {
+	case "greedy":
+		return GreedyLB{}, nil
+	case "refine":
+		return RefineLB{Threshold: 1.05}, nil
+	case "rotate":
+		return RotateLB{}, nil
+	case "commaware":
+		// Alpha ≈ the interconnect's per-byte cost in ns (see
+		// comm.DefaultLatency): a byte kept on-node is a nanosecond
+		// of load the balancer may trade away.
+		return CommAwareLB{Alpha: 4}, nil
+	}
+	return nil, fmt.Errorf("loadbalance: unknown strategy %q", name)
+}
+
+// PELoads sums item loads per PE under an optional plan.
+func PELoads(items []Item, numPEs int, plan Plan) []float64 {
+	loads := make([]float64, numPEs)
+	for _, it := range items {
+		pe := it.PE
+		if plan != nil {
+			if to, ok := plan[it.ID]; ok {
+				pe = to
+			}
+		}
+		loads[pe] += it.Load
+	}
+	return loads
+}
+
+// Imbalance returns max/avg PE load — 1.0 is perfect balance. An
+// empty or zero-load set reports 1.0.
+func Imbalance(loads []float64) float64 {
+	var max, sum float64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 || len(loads) == 0 {
+		return 1
+	}
+	avg := sum / float64(len(loads))
+	return max / avg
+}
+
+// Migrations counts items a plan actually moves.
+func Migrations(items []Item, plan Plan) int {
+	n := 0
+	for _, it := range items {
+		if to, ok := plan[it.ID]; ok && to != it.PE {
+			n++
+		}
+	}
+	return n
+}
+
+// GreedyLB is the classic greedy balancer: assign items in
+// descending-load order, each to the currently least-loaded PE. It
+// produces near-optimal balance but ignores current placement, so it
+// migrates aggressively.
+type GreedyLB struct{}
+
+// Name implements Strategy.
+func (GreedyLB) Name() string { return "greedy" }
+
+// Plan implements Strategy.
+func (GreedyLB) Plan(items []Item, numPEs int) Plan {
+	if numPEs <= 0 {
+		return Plan{}
+	}
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Load != sorted[j].Load {
+			return sorted[i].Load > sorted[j].Load
+		}
+		return sorted[i].ID < sorted[j].ID // deterministic ties
+	})
+	loads := make([]float64, numPEs)
+	plan := make(Plan, len(items))
+	for _, it := range sorted {
+		best := 0
+		for pe := 1; pe < numPEs; pe++ {
+			if loads[pe] < loads[best] {
+				best = pe
+			}
+		}
+		loads[best] += it.Load
+		if best != it.PE {
+			plan[it.ID] = best
+		}
+	}
+	return plan
+}
+
+// RefineLB only moves items off PEs whose load exceeds Threshold ×
+// average, preferring the smallest sufficient items — fewer
+// migrations than GreedyLB at slightly worse balance.
+type RefineLB struct {
+	// Threshold is the overload ratio that triggers moves (e.g. 1.05
+	// = 5% above average). Zero means 1.05.
+	Threshold float64
+}
+
+// Name implements Strategy.
+func (r RefineLB) Name() string { return "refine" }
+
+// Plan implements Strategy: repeatedly move one item from the
+// most-loaded PE to the least-loaded PE — preferring the largest item
+// that fits under the threshold, falling back to the largest that
+// still strictly improves the maximum — until the maximum is within
+// threshold or no move helps.
+func (r RefineLB) Plan(items []Item, numPEs int) Plan {
+	if numPEs <= 0 || len(items) == 0 {
+		return Plan{}
+	}
+	thresh := r.Threshold
+	if thresh == 0 {
+		thresh = 1.05
+	}
+	loads := PELoads(items, numPEs, nil)
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	avg := total / float64(numPEs)
+	if avg == 0 {
+		return Plan{}
+	}
+	// Working assignment, updated as items move.
+	cur := make(map[uint64]int, len(items))
+	perPE := make([][]Item, numPEs)
+	for _, it := range items {
+		cur[it.ID] = it.PE
+		perPE[it.PE] = append(perPE[it.PE], it)
+	}
+	for pe := range perPE {
+		sort.Slice(perPE[pe], func(i, j int) bool {
+			if perPE[pe][i].Load != perPE[pe][j].Load {
+				return perPE[pe][i].Load < perPE[pe][j].Load
+			}
+			return perPE[pe][i].ID < perPE[pe][j].ID
+		})
+	}
+	for iter := 0; iter < 4*len(items); iter++ {
+		maxPE, minPE := 0, 0
+		for pe := 1; pe < numPEs; pe++ {
+			if loads[pe] > loads[maxPE] {
+				maxPE = pe
+			}
+			if loads[pe] < loads[minPE] {
+				minPE = pe
+			}
+		}
+		if loads[maxPE] <= thresh*avg || maxPE == minPE {
+			break
+		}
+		donors := perPE[maxPE]
+		pick := -1
+		for i := len(donors) - 1; i >= 0; i-- { // largest first
+			if loads[minPE]+donors[i].Load <= thresh*avg {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 {
+			for i := len(donors) - 1; i >= 0; i-- {
+				if loads[minPE]+donors[i].Load < loads[maxPE] {
+					pick = i
+					break
+				}
+			}
+		}
+		if pick == -1 {
+			break // no move improves the maximum
+		}
+		it := donors[pick]
+		perPE[maxPE] = append(donors[:pick], donors[pick+1:]...)
+		loads[maxPE] -= it.Load
+		loads[minPE] += it.Load
+		cur[it.ID] = minPE
+		// Keep the receiver's list sorted for future donations.
+		j := sort.Search(len(perPE[minPE]), func(k int) bool {
+			if perPE[minPE][k].Load != it.Load {
+				return perPE[minPE][k].Load > it.Load
+			}
+			return perPE[minPE][k].ID > it.ID
+		})
+		perPE[minPE] = append(perPE[minPE], Item{})
+		copy(perPE[minPE][j+1:], perPE[minPE][j:])
+		perPE[minPE][j] = it
+	}
+	plan := make(Plan)
+	for _, it := range items {
+		if cur[it.ID] != it.PE {
+			plan[it.ID] = cur[it.ID]
+		}
+	}
+	return plan
+}
+
+// RotateLB moves every item to (PE+1) mod numPEs — useless for
+// balance, invaluable for exercising migration machinery.
+type RotateLB struct{}
+
+// Name implements Strategy.
+func (RotateLB) Name() string { return "rotate" }
+
+// Plan implements Strategy.
+func (RotateLB) Plan(items []Item, numPEs int) Plan {
+	plan := make(Plan, len(items))
+	if numPEs <= 1 {
+		return plan
+	}
+	for _, it := range items {
+		plan[it.ID] = (it.PE + 1) % numPEs
+	}
+	return plan
+}

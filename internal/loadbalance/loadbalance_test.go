@@ -1,0 +1,206 @@
+package loadbalance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func skewed() []Item {
+	// Heavily imbalanced: all big items on PE 0, as BT-MZ creates.
+	return []Item{
+		{ID: 1, PE: 0, Load: 100},
+		{ID: 2, PE: 0, Load: 90},
+		{ID: 3, PE: 0, Load: 80},
+		{ID: 4, PE: 0, Load: 10},
+		{ID: 5, PE: 1, Load: 5},
+		{ID: 6, PE: 2, Load: 5},
+		{ID: 7, PE: 3, Load: 5},
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"greedy", "refine", "rotate", "commaware"} {
+		s, err := ByName(n)
+		if err != nil || s.Name() != n {
+			t.Errorf("ByName(%q) = %v/%v", n, s, err)
+		}
+	}
+	if _, err := ByName("psychic"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestImbalanceMetric(t *testing.T) {
+	if got := Imbalance([]float64{10, 10, 10}); got != 1 {
+		t.Errorf("balanced imbalance = %g", got)
+	}
+	if got := Imbalance([]float64{30, 0, 0}); got != 3 {
+		t.Errorf("imbalance = %g, want 3", got)
+	}
+	if got := Imbalance(nil); got != 1 {
+		t.Errorf("empty imbalance = %g", got)
+	}
+	if got := Imbalance([]float64{0, 0}); got != 1 {
+		t.Errorf("zero imbalance = %g", got)
+	}
+}
+
+func TestGreedyBalances(t *testing.T) {
+	items := skewed()
+	before := Imbalance(PELoads(items, 4, nil))
+	plan := GreedyLB{}.Plan(items, 4)
+	after := Imbalance(PELoads(items, 4, plan))
+	if !(after < before) {
+		t.Errorf("greedy did not improve: %g → %g", before, after)
+	}
+	if after > 1.5 {
+		t.Errorf("greedy left imbalance %g", after)
+	}
+}
+
+func TestRefineMovesLess(t *testing.T) {
+	items := skewed()
+	greedy := GreedyLB{}.Plan(items, 4)
+	refine := RefineLB{}.Plan(items, 4)
+	ib := Imbalance(PELoads(items, 4, refine))
+	if ib > 2.0 {
+		t.Errorf("refine left imbalance %g", ib)
+	}
+	if Migrations(items, refine) > Migrations(items, greedy) {
+		t.Errorf("refine migrated more (%d) than greedy (%d)",
+			Migrations(items, refine), Migrations(items, greedy))
+	}
+	if before := Imbalance(PELoads(items, 4, nil)); !(ib < before) {
+		t.Errorf("refine did not improve imbalance: %g → %g", before, ib)
+	}
+}
+
+func TestRefineNoopWhenBalanced(t *testing.T) {
+	items := []Item{
+		{ID: 1, PE: 0, Load: 10},
+		{ID: 2, PE: 1, Load: 10},
+		{ID: 3, PE: 2, Load: 10},
+	}
+	if plan := (RefineLB{}).Plan(items, 3); Migrations(items, plan) != 0 {
+		t.Errorf("refine moved items in a balanced system: %v", plan)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	items := skewed()
+	plan := RotateLB{}.Plan(items, 4)
+	for _, it := range items {
+		if plan[it.ID] != (it.PE+1)%4 {
+			t.Errorf("item %d: %d → %d", it.ID, it.PE, plan[it.ID])
+		}
+	}
+	if len(RotateLB{}.Plan(items, 1)) != 0 {
+		t.Error("rotate on one PE should be empty")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	for _, s := range []Strategy{GreedyLB{}, RefineLB{}, RotateLB{}} {
+		if p := s.Plan(nil, 4); len(p) != 0 {
+			t.Errorf("%s on no items: %v", s.Name(), p)
+		}
+		if p := s.Plan(skewed(), 0); len(p) != 0 {
+			t.Errorf("%s on zero PEs: %v", s.Name(), p)
+		}
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	items := skewed()
+	p1 := GreedyLB{}.Plan(items, 4)
+	p2 := GreedyLB{}.Plan(items, 4)
+	for id, pe := range p1 {
+		if p2[id] != pe {
+			t.Fatalf("nondeterministic plan at item %d", id)
+		}
+	}
+}
+
+// Property: for any random load set, greedy's post-plan maximum PE
+// load respects the LPT bound (≤ 4/3·OPT ≤ 4/3·max(avg, biggest
+// item)), it never noticeably worsens an already-random placement,
+// and every destination is a valid PE. (Greedy is NOT guaranteed to
+// beat every lucky placement exactly — LPT is a 4/3-approximation —
+// so the comparison carries the approximation slack.)
+func TestQuickGreedyLPTBound(t *testing.T) {
+	f := func(seed int64, nItems uint8, nPEs uint8) bool {
+		numPEs := int(nPEs%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]Item, int(nItems)+1)
+		var total, biggest float64
+		for i := range items {
+			items[i] = Item{ID: uint64(i + 1), PE: rng.Intn(numPEs), Load: float64(rng.Intn(1000) + 1)}
+			total += items[i].Load
+			if items[i].Load > biggest {
+				biggest = items[i].Load
+			}
+		}
+		optLower := total / float64(numPEs)
+		if biggest > optLower {
+			optLower = biggest
+		}
+		plan := GreedyLB{}.Plan(items, numPEs)
+		loads := PELoads(items, numPEs, plan)
+		var maxLoad float64
+		for _, l := range loads {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		if maxLoad > optLower*4.0/3.0+1e-9 {
+			return false // violates the LPT guarantee
+		}
+		// Never worse than the original placement beyond the
+		// approximation slack.
+		beforeMax := 0.0
+		for _, l := range PELoads(items, numPEs, nil) {
+			if l > beforeMax {
+				beforeMax = l
+			}
+		}
+		if maxLoad > beforeMax*4.0/3.0+1e-9 {
+			return false
+		}
+		for _, pe := range plan {
+			if pe < 0 || pe >= numPEs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: refine strictly reduces the max PE load whenever the
+// system is overloaded beyond threshold and a receiver exists.
+func TestQuickRefineReducesMax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numPEs := 4
+		items := make([]Item, 12)
+		for i := range items {
+			items[i] = Item{ID: uint64(i + 1), PE: 0, Load: float64(rng.Intn(100) + 1)}
+		}
+		before := PELoads(items, numPEs, nil)
+		plan := RefineLB{}.Plan(items, numPEs)
+		after := PELoads(items, numPEs, plan)
+		maxB, maxA := before[0], 0.0
+		for _, l := range after {
+			if l > maxA {
+				maxA = l
+			}
+		}
+		return maxA < maxB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

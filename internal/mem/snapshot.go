@@ -1,0 +1,227 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"migflow/internal/pup"
+	"migflow/internal/vmem"
+)
+
+// PageData is one page's contents in a heap image.
+type PageData struct {
+	VPN  uint64
+	Data []byte
+}
+
+// HeapImage is the serialized form of one heap arena: its region, its
+// live blocks (the allocation metadata that must travel with a
+// migrating thread) and the contents of its mapped pages.
+type HeapImage struct {
+	Start  uint64
+	Length uint64
+	Blocks []Block
+	Pages  []PageData
+}
+
+// Pup implements pup.Pupable.
+func (im *HeapImage) Pup(p *pup.PUPer) error {
+	if err := p.Uint64(&im.Start); err != nil {
+		return err
+	}
+	if err := p.Uint64(&im.Length); err != nil {
+		return err
+	}
+	nb := uint32(len(im.Blocks))
+	if err := p.Uint32(&nb); err != nil {
+		return err
+	}
+	if p.IsUnpacking() {
+		im.Blocks = make([]Block, nb)
+	}
+	for i := range im.Blocks {
+		a := uint64(im.Blocks[i].Addr)
+		if err := p.Uint64(&a); err != nil {
+			return err
+		}
+		if err := p.Uint64(&im.Blocks[i].Size); err != nil {
+			return err
+		}
+		im.Blocks[i].Addr = vmem.Addr(a)
+	}
+	np := uint32(len(im.Pages))
+	if err := p.Uint32(&np); err != nil {
+		return err
+	}
+	if p.IsUnpacking() {
+		im.Pages = make([]PageData, np)
+	}
+	for i := range im.Pages {
+		if err := p.Uint64(&im.Pages[i].VPN); err != nil {
+			return err
+		}
+		if err := p.Bytes(&im.Pages[i].Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the heap for migration: blocks plus mapped page
+// contents, read out of the current address space.
+func (h *Heap) Snapshot() (*HeapImage, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	im := &HeapImage{Start: uint64(h.region.Start), Length: h.region.Length}
+	for a, s := range h.allocs {
+		im.Blocks = append(im.Blocks, Block{a, s})
+	}
+	sort.Slice(im.Blocks, func(i, j int) bool { return im.Blocks[i].Addr < im.Blocks[j].Addr })
+	vpns := make([]uint64, 0, len(h.pageRef))
+	for vpn := range h.pageRef {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
+		data, err := h.space.CopyOut(vmem.Addr(vpn<<vmem.PageShift), vmem.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("mem: Snapshot: reading page %#x: %w", vpn, err)
+		}
+		im.Pages = append(im.Pages, PageData{VPN: vpn, Data: data})
+	}
+	return im, nil
+}
+
+// Detach unmaps the heap's pages from its current space without
+// touching metadata — the source-side teardown after Snapshot.
+func (h *Heap) Detach() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for vpn := range h.pageRef {
+		if err := h.space.Unmap(vmem.Addr(vpn<<vmem.PageShift), vmem.PageSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreHeap rebuilds a heap from an image in a destination space:
+// pages are mapped at identical addresses and filled, the free list
+// is reconstructed as the complement of the blocks.
+func RestoreHeap(space *vmem.Space, im *HeapImage) (*Heap, error) {
+	region := vmem.Range{Start: vmem.Addr(im.Start), Length: im.Length}
+	h, err := NewHeap(space, region)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild allocation metadata and the free-list complement.
+	h.free = nil
+	cursor := region.Start
+	for _, b := range im.Blocks {
+		if b.Addr < cursor || b.Addr.Add(b.Size) > region.End() {
+			return nil, fmt.Errorf("mem: RestoreHeap: block %s+%d outside region or overlapping", b.Addr, b.Size)
+		}
+		if b.Addr > cursor {
+			h.free = append(h.free, Block{cursor, uint64(b.Addr - cursor)})
+		}
+		h.allocs[b.Addr] = b.Size
+		h.allocatedBytes += b.Size
+		first := b.Addr.PageNum()
+		last := (b.Addr + vmem.Addr(b.Size) - 1).PageNum()
+		for vpn := first; vpn <= last; vpn++ {
+			h.pageRef[vpn]++
+		}
+		cursor = b.Addr.Add(b.Size)
+	}
+	if cursor < region.End() {
+		h.free = append(h.free, Block{cursor, uint64(region.End() - cursor)})
+	}
+	// Map and fill the pages.
+	for _, pg := range im.Pages {
+		if _, ok := h.pageRef[pg.VPN]; !ok {
+			return nil, fmt.Errorf("mem: RestoreHeap: image page %#x has no covering block", pg.VPN)
+		}
+		base := vmem.Addr(pg.VPN << vmem.PageShift)
+		if err := space.Map(base, vmem.PageSize, vmem.ProtRW); err != nil {
+			return nil, err
+		}
+		if err := space.Write(base, pg.Data); err != nil {
+			return nil, err
+		}
+	}
+	// Every referenced page must have arrived.
+	if len(im.Pages) != len(h.pageRef) {
+		return nil, fmt.Errorf("mem: RestoreHeap: image has %d pages, blocks need %d", len(im.Pages), len(h.pageRef))
+	}
+	return h, nil
+}
+
+// ThreadHeapImage is the serialized form of a whole thread heap.
+type ThreadHeapImage struct {
+	ArenaPages uint64
+	Arenas     []HeapImage
+}
+
+// Pup implements pup.Pupable.
+func (im *ThreadHeapImage) Pup(p *pup.PUPer) error {
+	if err := p.Uint64(&im.ArenaPages); err != nil {
+		return err
+	}
+	n := uint32(len(im.Arenas))
+	if err := p.Uint32(&n); err != nil {
+		return err
+	}
+	if p.IsUnpacking() {
+		im.Arenas = make([]HeapImage, n)
+	}
+	for i := range im.Arenas {
+		if err := im.Arenas[i].Pup(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot captures all arenas.
+func (t *ThreadHeap) Snapshot() (*ThreadHeapImage, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	im := &ThreadHeapImage{ArenaPages: t.arenaPages}
+	for _, h := range t.arenas {
+		hi, err := h.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		im.Arenas = append(im.Arenas, *hi)
+	}
+	return im, nil
+}
+
+// Detach unmaps every arena's pages from the source space. Slabs are
+// NOT freed: the thread's address ranges stay allocated machine-wide
+// while it lives, so migrating back later cannot collide.
+func (t *ThreadHeap) Detach() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, h := range t.arenas {
+		if err := h.Detach(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreThreadHeap rebuilds a thread heap on the destination PE from
+// an image: every arena's pages appear at identical addresses; new
+// arenas will come from the destination's allocator.
+func RestoreThreadHeap(iso *IsoAllocator, space *vmem.Space, im *ThreadHeapImage) (*ThreadHeap, error) {
+	t := NewThreadHeap(iso, space, im.ArenaPages)
+	for i := range im.Arenas {
+		h, err := RestoreHeap(space, &im.Arenas[i])
+		if err != nil {
+			return nil, err
+		}
+		t.arenas = append(t.arenas, h)
+	}
+	return t, nil
+}

@@ -1,0 +1,437 @@
+// Package migrate implements the paper's three thread-migration
+// techniques (§3.4) as converse.StackStrategy implementations, plus
+// the migration engine that extracts a thread's full migratable state
+// (stack, heap, privatized globals), serializes it with PUP, and
+// installs it on a destination PE:
+//
+//   - StackCopy (§3.4.1): every thread executes at one canonical
+//     stack address; each context switch copies the live stack bytes
+//     out/in. Migration is trivial; switching costs grow with stack
+//     use (Figure 9) and only one thread may be active per address
+//     space.
+//   - Isomalloc (§3.4.2, Figure 2): each stack gets globally unique
+//     addresses from the PE's isomalloc slot; context switches move
+//     nothing; migration copies pages to identical addresses. Costs
+//     virtual address space proportional to *all* threads machine-
+//     wide — fatal on 32-bit nodes.
+//   - MemoryAlias (§3.4.3, Figure 3): stacks live in physical frames;
+//     each switch maps the incoming thread's frames at the canonical
+//     address (one simulated mmap) instead of copying. Small address
+//     space use, no copying, but a per-switch remap cost and the
+//     exclusive-activation limit.
+package migrate
+
+import (
+	"fmt"
+
+	"migflow/internal/converse"
+	"migflow/internal/platform"
+	"migflow/internal/vmem"
+)
+
+// Strategy names (StackImage.Strategy values).
+const (
+	NameStackCopy = "stackcopy"
+	NameIsomalloc = "isomalloc"
+	NameMemAlias  = "memalias"
+)
+
+// ByName returns the named strategy.
+func ByName(name string) (converse.StackStrategy, error) {
+	switch name {
+	case NameStackCopy:
+		return StackCopy{}, nil
+	case NameIsomalloc:
+		return Isomalloc{}, nil
+	case NameMemAlias:
+		return MemoryAlias{}, nil
+	}
+	return nil, fmt.Errorf("migrate: unknown strategy %q", name)
+}
+
+// All returns the three strategies in Table 1 row order.
+func All() []converse.StackStrategy {
+	return []converse.StackStrategy{StackCopy{}, Isomalloc{}, MemoryAlias{}}
+}
+
+// checkSupported refuses techniques the platform cannot run,
+// enforcing Table 1 at thread-creation time ("No" fails; "Maybe"
+// fails too — no implementation exists on that machine).
+func checkSupported(pe *converse.PE, tech platform.Technique) error {
+	if s := pe.Prof.Supports(tech); s != platform.Yes {
+		return fmt.Errorf("migrate: %s is %s on %s", tech, s, pe.Prof.Name)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------
+// Stack copying (§3.4.1)
+
+// StackCopy is the naive technique: one system-wide stack address,
+// data copied in and out around every run.
+type StackCopy struct{}
+
+type stackCopyRef struct {
+	size    uint64
+	backing []byte // stack contents while switched out
+	in      bool
+}
+
+func (r *stackCopyRef) Base() vmem.Addr { return converse.CanonicalStackBase }
+func (r *stackCopyRef) Size() uint64    { return r.size }
+
+// Name implements converse.StackStrategy.
+func (StackCopy) Name() string { return NameStackCopy }
+
+// Exclusive implements converse.StackStrategy: only one stack-copy
+// thread can occupy the canonical address.
+func (StackCopy) Exclusive() bool { return true }
+
+// New allocates the thread's backing store. It fails on platforms
+// whose system stack base differs across nodes (stack-address
+// randomization) — the Table 1 restriction.
+func (StackCopy) New(pe *converse.PE, size uint64) (converse.StackRef, error) {
+	if err := checkSupported(pe, platform.StackCopy); err != nil {
+		return nil, err
+	}
+	return &stackCopyRef{size: size, backing: make([]byte, size)}, nil
+}
+
+// SwitchIn maps the canonical region and copies the live stack bytes
+// into place, charging the platform's memcpy cost for the bytes
+// moved.
+func (StackCopy) SwitchIn(pe *converse.PE, s converse.StackRef, used uint64) error {
+	r := s.(*stackCopyRef)
+	if r.in {
+		return fmt.Errorf("migrate: stackcopy: double switch-in")
+	}
+	if err := pe.Space.Map(r.Base(), r.size, vmem.ProtRW); err != nil {
+		return err
+	}
+	if used > 0 {
+		// The live region is the top `used` bytes (stacks grow down).
+		off := r.size - used
+		if err := pe.Space.Write(r.Base().Add(off), r.backing[off:]); err != nil {
+			return err
+		}
+	}
+	pe.Clock.Advance(pe.Prof.MemcpyPerKB * float64(used) / 1024)
+	r.in = true
+	return nil
+}
+
+// SwitchOut copies the live bytes back to the backing store and
+// unmaps the canonical region.
+func (StackCopy) SwitchOut(pe *converse.PE, s converse.StackRef, used uint64) error {
+	r := s.(*stackCopyRef)
+	if !r.in {
+		return fmt.Errorf("migrate: stackcopy: switch-out while not in")
+	}
+	if used > 0 {
+		off := r.size - used
+		if err := pe.Space.Read(r.Base().Add(off), r.backing[off:]); err != nil {
+			return err
+		}
+	}
+	if err := pe.Space.Unmap(r.Base(), r.size); err != nil {
+		return err
+	}
+	pe.Clock.Advance(pe.Prof.MemcpyPerKB * float64(used) / 1024)
+	r.in = false
+	return nil
+}
+
+// Extract ships the backing store; because every node uses the same
+// canonical address, "migrating a thread is simple".
+func (StackCopy) Extract(pe *converse.PE, s converse.StackRef) (*converse.StackImage, error) {
+	r := s.(*stackCopyRef)
+	if r.in {
+		return nil, fmt.Errorf("migrate: stackcopy: extract while switched in")
+	}
+	return &converse.StackImage{
+		Strategy: NameStackCopy,
+		Base:     uint64(r.Base()),
+		Size:     r.size,
+		Data:     r.backing,
+	}, nil
+}
+
+// Install recreates the backing store on the destination.
+func (StackCopy) Install(pe *converse.PE, im *converse.StackImage) (converse.StackRef, error) {
+	if err := checkSupported(pe, platform.StackCopy); err != nil {
+		return nil, err
+	}
+	if im.Base != uint64(converse.CanonicalStackBase) {
+		return nil, fmt.Errorf("migrate: stackcopy: image base %#x differs from canonical %#x — stack bases must agree across nodes",
+			im.Base, uint64(converse.CanonicalStackBase))
+	}
+	if uint64(len(im.Data)) != im.Size {
+		return nil, fmt.Errorf("migrate: stackcopy: image has %d bytes for a %d-byte stack", len(im.Data), im.Size)
+	}
+	backing := make([]byte, im.Size)
+	copy(backing, im.Data)
+	return &stackCopyRef{size: im.Size, backing: backing}, nil
+}
+
+// Release drops the backing store.
+func (StackCopy) Release(pe *converse.PE, s converse.StackRef) error {
+	r := s.(*stackCopyRef)
+	if r.in {
+		if err := pe.Space.Unmap(r.Base(), r.size); err != nil {
+			return err
+		}
+		r.in = false
+	}
+	r.backing = nil
+	return nil
+}
+
+// ---------------------------------------------------------------
+// Isomalloc (§3.4.2)
+
+// Isomalloc gives each stack globally-unique addresses; switches are
+// free, migration copies pages to identical addresses on the
+// destination. A PROT_NONE guard page sits below every stack, so
+// running off the bottom faults immediately instead of silently
+// corrupting the adjacent slab (another thread's stack or heap).
+type Isomalloc struct{}
+
+type isoRef struct {
+	base vmem.Addr // usable base (guard page sits just below)
+	size uint64
+}
+
+func (r *isoRef) Base() vmem.Addr { return r.base }
+func (r *isoRef) Size() uint64    { return r.size }
+
+// slab returns the underlying allocation (guard + stack).
+func (r *isoRef) slab() (vmem.Addr, uint64) {
+	return r.base - vmem.PageSize, r.size + vmem.PageSize
+}
+
+// Name implements converse.StackStrategy.
+func (Isomalloc) Name() string { return NameIsomalloc }
+
+// Exclusive implements converse.StackStrategy: unique addresses mean
+// any number of isomalloc threads can be active, "which allows the
+// straightforward exploitation of SMP machines".
+func (Isomalloc) Exclusive() bool { return false }
+
+// New carves a slab of globally-unique addresses from the PE's
+// isomalloc slot and maps it. On 32-bit platforms this is where
+// address space runs out.
+func (Isomalloc) New(pe *converse.PE, size uint64) (converse.StackRef, error) {
+	if err := checkSupported(pe, platform.Isomalloc); err != nil {
+		return nil, err
+	}
+	slabBase, err := pe.Iso.AllocSlab(size/vmem.PageSize + 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := mapIsoStack(pe, slabBase, size); err != nil {
+		_ = pe.Iso.FreeSlab(slabBase)
+		return nil, err
+	}
+	return &isoRef{base: slabBase + vmem.PageSize, size: size}, nil
+}
+
+// mapIsoStack installs the guard page and the usable stack region.
+func mapIsoStack(pe *converse.PE, slabBase vmem.Addr, size uint64) error {
+	if err := pe.Space.Map(slabBase, vmem.PageSize, vmem.ProtNone); err != nil {
+		return err
+	}
+	if err := pe.Space.Map(slabBase+vmem.PageSize, size, vmem.ProtRW); err != nil {
+		_ = pe.Space.Unmap(slabBase, vmem.PageSize)
+		return err
+	}
+	return nil
+}
+
+// SwitchIn is free: "no data needs to be moved when switching
+// threads".
+func (Isomalloc) SwitchIn(pe *converse.PE, s converse.StackRef, used uint64) error { return nil }
+
+// SwitchOut is likewise free.
+func (Isomalloc) SwitchOut(pe *converse.PE, s converse.StackRef, used uint64) error { return nil }
+
+// Extract copies the stack's pages out and unmaps them locally; the
+// addresses stay reserved machine-wide, so the destination can map
+// the same range.
+func (Isomalloc) Extract(pe *converse.PE, s converse.StackRef) (*converse.StackImage, error) {
+	r := s.(*isoRef)
+	data, err := pe.Space.CopyOut(r.base, r.size)
+	if err != nil {
+		return nil, err
+	}
+	slabBase, slabSize := r.slab()
+	if err := pe.Space.Unmap(slabBase, slabSize); err != nil {
+		return nil, err
+	}
+	// The slab is NOT returned to the allocator: the range belongs to
+	// the thread machine-wide for as long as it lives, so it stays
+	// free for the thread to map wherever it migrates.
+	return &converse.StackImage{
+		Strategy: NameIsomalloc,
+		Base:     uint64(r.base),
+		Size:     r.size,
+		Data:     data,
+	}, nil
+}
+
+// Install maps the same unique addresses on the destination and
+// restores the contents — no pointer inside the stack needs updating.
+func (Isomalloc) Install(pe *converse.PE, im *converse.StackImage) (converse.StackRef, error) {
+	if err := checkSupported(pe, platform.Isomalloc); err != nil {
+		return nil, err
+	}
+	base := vmem.Addr(im.Base)
+	if err := mapIsoStack(pe, base-vmem.PageSize, im.Size); err != nil {
+		return nil, err
+	}
+	if err := pe.Space.Write(base, im.Data); err != nil {
+		return nil, err
+	}
+	return &isoRef{base: base, size: im.Size}, nil
+}
+
+// Release unmaps the stack and, on the birth PE, returns the slab.
+func (Isomalloc) Release(pe *converse.PE, s converse.StackRef) error {
+	r := s.(*isoRef)
+	slabBase, slabSize := r.slab()
+	if err := pe.Space.Unmap(slabBase, slabSize); err != nil {
+		return err
+	}
+	// FreeSlab fails harmlessly when the thread dies away from home;
+	// the address range stays reserved, as in the paper's runtime.
+	_ = pe.Iso.FreeSlab(slabBase)
+	return nil
+}
+
+// ---------------------------------------------------------------
+// Memory aliasing (§3.4.3, Figure 3)
+
+// MemoryAlias stores each stack in physical frames and maps them at
+// the canonical address to run the thread — "simulating the copy
+// using the virtual memory hardware".
+//
+// UseMicrokernelExt enables the technique on machines without mmap
+// but with the paper's proposed microkernel extension (§3.4.4: "we
+// have shown our scheme for memory aliasing can be supported by
+// adding a small extension to the BlueGene/L microkernel to allow
+// user processes to remap their heap data over the stack location").
+type MemoryAlias struct {
+	UseMicrokernelExt bool
+}
+
+type aliasRef struct {
+	size   uint64
+	frames []*vmem.Frame
+	in     bool
+}
+
+func (r *aliasRef) Base() vmem.Addr { return converse.CanonicalStackBase }
+func (r *aliasRef) Size() uint64    { return r.size }
+
+// Name implements converse.StackStrategy.
+func (MemoryAlias) Name() string { return NameMemAlias }
+
+// Exclusive implements converse.StackStrategy: like stack copying,
+// only one thread can occupy the canonical address at a time.
+func (MemoryAlias) Exclusive() bool { return true }
+
+// supported checks Table 1 plus the microkernel-extension escape.
+func (m MemoryAlias) supported(pe *converse.PE) error {
+	if m.UseMicrokernelExt && pe.Prof.HeapRemapExt {
+		return nil // the paper's BG/L extension is in play
+	}
+	return checkSupported(pe, platform.MemoryAlias)
+}
+
+// New allocates the thread's physical frames; no virtual addresses
+// are consumed until the thread runs.
+func (m MemoryAlias) New(pe *converse.PE, size uint64) (converse.StackRef, error) {
+	if err := m.supported(pe); err != nil {
+		return nil, err
+	}
+	frames := make([]*vmem.Frame, size/vmem.PageSize)
+	for i := range frames {
+		frames[i] = vmem.NewFrame()
+	}
+	return &aliasRef{size: size, frames: frames}, nil
+}
+
+// SwitchIn maps the thread's frames at the canonical stack address —
+// one mmap call plus per-page page-table work, no data copied.
+func (MemoryAlias) SwitchIn(pe *converse.PE, s converse.StackRef, used uint64) error {
+	r := s.(*aliasRef)
+	if r.in {
+		return fmt.Errorf("migrate: memalias: double switch-in")
+	}
+	if err := pe.Space.MapFrames(r.Base(), r.frames, vmem.ProtRW); err != nil {
+		return err
+	}
+	pe.Clock.Advance(pe.Prof.MmapCall + pe.Prof.PageMapCost*float64(len(r.frames)))
+	r.in = true
+	return nil
+}
+
+// SwitchOut unmaps the canonical region; the frames retain the data.
+func (MemoryAlias) SwitchOut(pe *converse.PE, s converse.StackRef, used uint64) error {
+	r := s.(*aliasRef)
+	if !r.in {
+		return fmt.Errorf("migrate: memalias: switch-out while not in")
+	}
+	if err := pe.Space.Unmap(r.Base(), r.size); err != nil {
+		return err
+	}
+	pe.Clock.Advance(pe.Prof.MmapCall + pe.Prof.PageMapCost*float64(len(r.frames)))
+	r.in = false
+	return nil
+}
+
+// Extract serializes the frames' contents.
+func (MemoryAlias) Extract(pe *converse.PE, s converse.StackRef) (*converse.StackImage, error) {
+	r := s.(*aliasRef)
+	if r.in {
+		return nil, fmt.Errorf("migrate: memalias: extract while switched in")
+	}
+	data := make([]byte, 0, r.size)
+	for _, f := range r.frames {
+		data = append(data, f.Data()...)
+	}
+	return &converse.StackImage{
+		Strategy: NameMemAlias,
+		Base:     uint64(r.Base()),
+		Size:     r.size,
+		Data:     data,
+	}, nil
+}
+
+// Install rebuilds the frames on the destination.
+func (m MemoryAlias) Install(pe *converse.PE, im *converse.StackImage) (converse.StackRef, error) {
+	if err := m.supported(pe); err != nil {
+		return nil, err
+	}
+	if uint64(len(im.Data)) != im.Size {
+		return nil, fmt.Errorf("migrate: memalias: image has %d bytes for a %d-byte stack", len(im.Data), im.Size)
+	}
+	r := &aliasRef{size: im.Size, frames: make([]*vmem.Frame, im.Size/vmem.PageSize)}
+	for i := range r.frames {
+		r.frames[i] = vmem.NewFrame()
+		copy(r.frames[i].Data(), im.Data[uint64(i)*vmem.PageSize:])
+	}
+	return r, nil
+}
+
+// Release drops the frames.
+func (MemoryAlias) Release(pe *converse.PE, s converse.StackRef) error {
+	r := s.(*aliasRef)
+	if r.in {
+		if err := pe.Space.Unmap(r.Base(), r.size); err != nil {
+			return err
+		}
+		r.in = false
+	}
+	r.frames = nil
+	return nil
+}

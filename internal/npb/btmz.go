@@ -1,0 +1,372 @@
+// Package npb implements a synthetic analog of the NAS Parallel
+// Benchmark Multi-Zone BT ("BT-MZ", §4.5): the overall mesh is
+// partitioned into zones whose sizes are graded geometrically, so
+// zone work varies by more than an order of magnitude — "BT-MZ
+// creates the most dramatic load imbalance" in the suite. Zones are
+// assigned to AMPI ranks (migratable threads), ranks to PEs
+// round-robin; each step every rank solves its zones (modeled work
+// proportional to zone points) and exchanges boundary data with its
+// neighbour ranks.
+//
+// Run executes the benchmark with or without AMPI thread migration
+// (isomalloc + swap-global, exactly the §4.5 configuration) and
+// reports total execution time — the bars of Figure 12.
+package npb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"migflow/internal/ampi"
+	"migflow/internal/core"
+	"migflow/internal/loadbalance"
+	"migflow/internal/swapglobal"
+	"migflow/internal/trace"
+)
+
+// Class is a BT-MZ problem class: the zone grid and total work scale.
+// Real BT-MZ grades zone sizes so the largest-to-smallest ratio is
+// roughly 20; Ratio reproduces that.
+type Class struct {
+	Name   string
+	ZonesX int
+	ZonesY int
+	// WorkPerPointNs converts zone points to modeled solver time.
+	WorkPerPointNs float64
+	// Points is the total mesh points across all zones.
+	Points float64
+	// Ratio is largest/smallest zone size.
+	Ratio float64
+}
+
+// The standard BT-MZ classes used in Figure 12. Zone counts follow
+// the NPB spec (A: 4×4, B: 8×8); total points are scaled for
+// simulation.
+var (
+	ClassA = Class{Name: "A", ZonesX: 4, ZonesY: 4, WorkPerPointNs: 50, Points: 1 << 20, Ratio: 20}
+	ClassB = Class{Name: "B", ZonesX: 8, ZonesY: 8, WorkPerPointNs: 50, Points: 4 << 20, Ratio: 20}
+
+	// SPClassA and LUClassA model the suite's other two benchmarks:
+	// SP-MZ and LU-MZ partition their meshes into *equal-size* zones
+	// (Ratio 1), so they exhibit little load imbalance — the paper
+	// picks BT-MZ precisely because "BT-MZ creates the most dramatic
+	// load imbalance" among the three.
+	SPClassA = Class{Name: "SP-A", ZonesX: 4, ZonesY: 4, WorkPerPointNs: 50, Points: 1 << 20, Ratio: 1}
+	LUClassA = Class{Name: "LU-A", ZonesX: 4, ZonesY: 4, WorkPerPointNs: 80, Points: 1 << 20, Ratio: 1}
+)
+
+// ClassByName resolves "A", "B", "SP-A" or "LU-A".
+func ClassByName(name string) (Class, error) {
+	switch name {
+	case "A":
+		return ClassA, nil
+	case "B":
+		return ClassB, nil
+	case "SP-A":
+		return SPClassA, nil
+	case "LU-A":
+		return LUClassA, nil
+	}
+	return Class{}, fmt.Errorf("npb: unknown class %q", name)
+}
+
+// ZoneNeighbors returns zone z's 2-D grid neighbours (no wraparound:
+// the multi-zone meshes are bounded).
+func (c Class) ZoneNeighbors(z int) []int {
+	x, y := z%c.ZonesX, z/c.ZonesX
+	var out []int
+	if x > 0 {
+		out = append(out, z-1)
+	}
+	if x < c.ZonesX-1 {
+		out = append(out, z+1)
+	}
+	if y > 0 {
+		out = append(out, z-c.ZonesX)
+	}
+	if y < c.ZonesY-1 {
+		out = append(out, z+c.ZonesX)
+	}
+	return out
+}
+
+// NumZones returns the class's zone count.
+func (c Class) NumZones() int { return c.ZonesX * c.ZonesY }
+
+// ZoneSizes returns each zone's point count. Sizes grow
+// geometrically along x and y so that size(last)/size(first) ≈
+// Ratio, then are normalized to sum to Points.
+func (c Class) ZoneSizes() []float64 {
+	nx, ny := c.ZonesX, c.ZonesY
+	// Per-dimension growth factor: ratio^(1/((nx-1)+(ny-1))).
+	steps := float64(nx - 1 + ny - 1)
+	g := 1.0
+	if steps > 0 {
+		g = math.Pow(c.Ratio, 1/steps)
+	}
+	sizes := make([]float64, 0, nx*ny)
+	var sum float64
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			s := math.Pow(g, float64(x+y))
+			sizes = append(sizes, s)
+			sum += s
+		}
+	}
+	for i := range sizes {
+		sizes[i] *= c.Points / sum
+	}
+	return sizes
+}
+
+// AssignZones reproduces BT-MZ's own zone-to-process balancing:
+// zones sorted by size descending, each assigned greedily to the
+// least-loaded rank. Per-rank balance is good when ranks hold several
+// zones and degrades as ranks approach one-zone granularity — which,
+// combined with AMPI's block rank-to-PE mapping, produces the
+// "dramatic variation in execution times before load balancing"
+// across B.16/B.32/B.64 that Figure 12 shows.
+func AssignZones(sizes []float64, nranks int) [][]int {
+	idx := make([]int, len(sizes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if sizes[idx[a]] != sizes[idx[b]] {
+			return sizes[idx[a]] > sizes[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	loads := make([]float64, nranks)
+	out := make([][]int, nranks)
+	for _, z := range idx {
+		best := 0
+		for r := 1; r < nranks; r++ {
+			if loads[r] < loads[best] {
+				best = r
+			}
+		}
+		loads[best] += sizes[z]
+		out[best] = append(out[best], z)
+	}
+	return out
+}
+
+// Params configures one Figure 12 case, e.g. {ClassA, 8, 4} is
+// "A.8,4PE".
+type Params struct {
+	Class  Class
+	NProcs int // AMPI ranks
+	NPEs   int // physical processors
+	Steps  int // solver timesteps
+	// LB, when non-nil, triggers MPI_Migrate with this strategy after
+	// the warm-up step.
+	LB loadbalance.Strategy
+	// HaloBytes per neighbour exchange.
+	HaloBytes int
+	// Trace enables Projections-style event logging; the log lands in
+	// Result.Trace.
+	Trace bool
+}
+
+// Label renders the paper's case naming ("A.8,4PE").
+func (p Params) Label() string {
+	return fmt.Sprintf("%s.%d,%dPE", p.Class.Name, p.NProcs, p.NPEs)
+}
+
+// Result is one benchmark execution.
+type Result struct {
+	Params Params
+	// TimeNs is the modeled parallel execution time: per step, the
+	// maximum over PEs of the solver work that actually ran there
+	// (reflecting where each rank was at that moment, i.e. the
+	// migrations), plus halo-exchange latency, plus the one-time
+	// migration transfer cost.
+	TimeNs     float64
+	PELoads    []float64 // measured per-PE work (current placement)
+	Imbalance  float64   // max/avg of PELoads
+	Migrations uint64
+	MovedRanks int
+	// Trace is the event log when Params.Trace was set (nil
+	// otherwise).
+	Trace *trace.Log
+}
+
+// Run executes the benchmark on a fresh machine.
+func Run(p Params) (*Result, error) {
+	if p.NProcs < 1 || p.NPEs < 1 {
+		return nil, fmt.Errorf("npb: bad params %+v", p)
+	}
+	if p.NProcs > p.Class.NumZones() {
+		return nil, fmt.Errorf("npb: %d ranks exceed %d zones", p.NProcs, p.Class.NumZones())
+	}
+	if p.Steps == 0 {
+		p.Steps = 10
+	}
+	if p.HaloBytes == 0 {
+		p.HaloBytes = 4096
+	}
+	layout := swapglobal.NewLayout()
+	layout.Declare("step", 8) // the solver's "global" iteration counter
+	layout.Declare("residual", 8)
+	m, err := core.NewMachine(core.Config{NumPEs: p.NPEs, Globals: layout})
+	if err != nil {
+		return nil, err
+	}
+	var tlog *trace.Log
+	if p.Trace {
+		tlog = m.EnableTracing()
+	}
+	sizes := p.Class.ZoneSizes()
+	zones := AssignZones(sizes, p.NProcs)
+	// Zone ownership and per-rank halo pattern: one message per
+	// zone-neighbour pair that crosses ranks (both directions).
+	owner := make([]int, p.Class.NumZones())
+	for r, zs := range zones {
+		for _, z := range zs {
+			owner[z] = r
+		}
+	}
+	sendTo := make([][]int, p.NProcs) // rank → destination ranks, one per crossing pair
+	expectIn := make([]int, p.NProcs) // rank → inbound halo messages per step
+	for r, zs := range zones {
+		for _, z := range zs {
+			for _, nb := range p.Class.ZoneNeighbors(z) {
+				if owner[nb] != r {
+					sendTo[r] = append(sendTo[r], owner[nb])
+					expectIn[owner[nb]]++
+				}
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	moved := 0
+	// stepBusy[step][pe] accumulates solver work as it actually ran:
+	// the per-step parallel time is its max over PEs.
+	stepBusy := make([][]float64, p.Steps)
+	for i := range stepBusy {
+		stepBusy[i] = make([]float64, p.NPEs)
+	}
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	job, err := ampi.NewJob(m, p.NProcs, ampi.Options{Globals: layout, BlockPlacement: true}, func(r *ampi.Rank) {
+		// NOTE: the GOT is per-PE (part of the process image), so it
+		// must be re-fetched after any potential migration.
+		got := func() *swapglobal.GOT { return r.Ctx().GlobalsGOT() }
+		var myWork float64
+		for _, z := range zones[r.Rank()] {
+			myWork += sizes[z] * p.Class.WorkPerPointNs
+		}
+		halo := make([]byte, p.HaloBytes)
+		for step := 0; step < p.Steps; step++ {
+			// Privatized global: each rank tracks its own step
+			// counter, unchanged application style under AMPI.
+			if err := got().StoreUint64("step", uint64(step)); err != nil {
+				fail(err)
+				return
+			}
+			// Solve the rank's zones.
+			r.Work(myWork)
+			mu.Lock()
+			stepBusy[step][r.PE()] += myWork
+			mu.Unlock()
+			// Boundary exchange along the real zone adjacency: one
+			// halo message per crossing zone-neighbour pair, sent
+			// nonblocking, then receive the expected inbound count.
+			for _, dest := range sendTo[r.Rank()] {
+				if _, err := r.Isend(dest, 1, halo); err != nil {
+					fail(err)
+					return
+				}
+			}
+			for i := 0; i < expectIn[r.Rank()]; i++ {
+				if _, _, err := r.Recv(ampi.AnySource, 1); err != nil {
+					fail(err)
+					return
+				}
+			}
+			// After the first (measurement) step, rebalance.
+			if step == 0 && p.LB != nil {
+				n, err := r.Migrate(p.LB)
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				if n > moved {
+					moved = n
+				}
+				mu.Unlock()
+			}
+			if v, err := got().LoadUint64("step"); err != nil || v != uint64(step) {
+				fail(fmt.Errorf("rank %d: privatized step = %d/%v, want %d", r.Rank(), v, err, step))
+				return
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	job.Run()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if !job.Done() {
+		return nil, fmt.Errorf("npb: job did not complete (deadlock?)")
+	}
+	migs, migBytes := m.MigrationStats()
+	lat := m.Network().Latency()
+	var total float64
+	for _, busy := range stepBusy {
+		var max float64
+		for _, b := range busy {
+			if b > max {
+				max = b
+			}
+		}
+		// Per-step halo exchange: two neighbour messages on the
+		// critical path.
+		total += max + 2*lat.Cost(p.HaloBytes)
+	}
+	// Migration transfers cross the network once, spread over PEs.
+	if migs > 0 {
+		total += lat.Cost(int(migBytes)) / float64(p.NPEs)
+	}
+	// Per-PE measured work under the current (post-LB if any)
+	// placement: CPU time since the last Migrate reset.
+	loads := job.PELoads()
+	res := &Result{
+		Params:     p,
+		TimeNs:     total,
+		PELoads:    loads,
+		Imbalance:  loadbalance.Imbalance(loads),
+		Migrations: migs,
+		MovedRanks: moved,
+		Trace:      tlog,
+	}
+	return res, nil
+}
+
+// Cases returns the Figure 12 case list.
+func Cases(steps int, lb loadbalance.Strategy) []Params {
+	mk := func(c Class, nprocs, npes int) Params {
+		return Params{Class: c, NProcs: nprocs, NPEs: npes, Steps: steps, LB: lb}
+	}
+	return []Params{
+		mk(ClassA, 8, 4),
+		mk(ClassA, 16, 8),
+		mk(ClassB, 16, 8),
+		mk(ClassB, 32, 8),
+		mk(ClassB, 64, 8),
+	}
+}

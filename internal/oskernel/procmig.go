@@ -1,0 +1,68 @@
+package oskernel
+
+import (
+	"fmt"
+
+	"migflow/internal/pup"
+	"migflow/internal/vmem"
+)
+
+// Process migration (§3.3): "Because processes provide a well-defined
+// memory, kernel, and communication interface, process migration is
+// an old and widely implemented technique. Since the entire address
+// space is migrated, all the pointers in the user application are
+// still valid on the new processor."
+//
+// Following Mosix's split (§3.1.3), only the migratable user context
+// moves: the address space. Kernel state does not migrate — here that
+// means a process with live kernel threads refuses to move (their
+// scheduler state is kernel context), matching the single-threaded
+// restriction of classic process-migration systems.
+
+// MigrateProcess moves p from its kernel to dst: the whole address
+// space is serialized (PUP round trip — the bytes that would cross
+// the network), the source pid slot is released, and a new process
+// appears on dst with identical memory. It returns the new process
+// and the serialized byte count.
+func MigrateProcess(p *Process, dst *Kernel) (*Process, int, error) {
+	if p.k == dst {
+		return p, 0, nil
+	}
+	p.k.mu.Lock()
+	if p.exited {
+		p.k.mu.Unlock()
+		return nil, 0, fmt.Errorf("oskernel: MigrateProcess: process %d has exited", p.pid)
+	}
+	if len(p.threads) > 0 {
+		p.k.mu.Unlock()
+		return nil, 0, fmt.Errorf("oskernel: MigrateProcess: process %d has %d kernel threads (kernel state does not migrate)", p.pid, len(p.threads))
+	}
+	p.k.mu.Unlock()
+
+	im := p.space.Snapshot()
+	data, err := pup.Pack(im)
+	if err != nil {
+		return nil, 0, err
+	}
+	var im2 vmem.SpaceImage
+	if err := pup.Unpack(data, &im2); err != nil {
+		return nil, 0, err
+	}
+	// The destination must admit a new process (its own limits).
+	q, err := dst.Fork()
+	if err != nil {
+		return nil, 0, fmt.Errorf("oskernel: MigrateProcess: destination refused: %w", err)
+	}
+	space, err := vmem.RestoreSpace(&im2)
+	if err != nil {
+		q.Exit()
+		return nil, 0, err
+	}
+	// Charge the copy cost on both kernels' clocks (extract + install).
+	cost := dst.prof.MemcpyPerKB * float64(im2.Bytes()) / 1024
+	p.k.clock.Advance(cost)
+	dst.clock.Advance(cost)
+	q.space = space
+	p.Exit()
+	return q, len(data), nil
+}

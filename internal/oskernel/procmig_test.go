@@ -1,0 +1,161 @@
+package oskernel
+
+import (
+	"testing"
+
+	"migflow/internal/platform"
+	"migflow/internal/simclock"
+	"migflow/internal/vmem"
+)
+
+func TestMigrateProcess(t *testing.T) {
+	src := New(platform.Opteron(), simclock.New())
+	dst := New(platform.Opteron(), simclock.New())
+	p, err := src.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build up memory state: data page, read-only page, a reservation
+	// and a self-referential pointer.
+	sp := p.Space()
+	if err := sp.Reserve(0x4000_0000, 16*vmem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Map(0x1000, 2*vmem.PageSize, vmem.ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.WriteUint64(0x1000, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.WriteAddr(0x1008, 0x2010); err != nil { // pointer into page 2
+		t.Fatal(err)
+	}
+	if err := sp.WriteUint64(0x2010, 0xF00D); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Protect(0x2000, vmem.PageSize, vmem.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+
+	q, nbytes, err := MigrateProcess(p, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbytes == 0 {
+		t.Error("no bytes shipped")
+	}
+	if src.NumProcesses() != 0 || dst.NumProcesses() != 1 {
+		t.Errorf("process tables: src %d dst %d", src.NumProcesses(), dst.NumProcesses())
+	}
+	// All pointers still valid at identical addresses.
+	qs := q.Space()
+	if v, err := qs.ReadUint64(0x1000); err != nil || v != 0xCAFE {
+		t.Errorf("data = %#x/%v", v, err)
+	}
+	ptr, err := qs.ReadAddr(0x1008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := qs.ReadUint64(ptr); err != nil || v != 0xF00D {
+		t.Errorf("chased pointer = %#x/%v", v, err)
+	}
+	// Protections preserved.
+	if err := qs.Write(0x2000, []byte{1}); err == nil {
+		t.Error("read-only page writable after migration")
+	}
+	// Reservations preserved (isomalloc region claims travel too).
+	if err := qs.Reserve(0x4000_0000, vmem.PageSize); err == nil {
+		t.Error("reservation lost in migration")
+	}
+	// The copy cost hit both kernels' clocks.
+	if src.Clock().Now() == 0 || dst.Clock().Now() == 0 {
+		t.Error("migration charged no time")
+	}
+}
+
+func TestMigrateProcessSameKernelNoop(t *testing.T) {
+	k := New(platform.Opteron(), simclock.New())
+	p, err := k.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, n, err := MigrateProcess(p, k)
+	if err != nil || q != p || n != 0 {
+		t.Errorf("same-kernel migration: %v/%d/%v", q, n, err)
+	}
+}
+
+func TestMigrateProcessRefusals(t *testing.T) {
+	src := New(platform.Opteron(), simclock.New())
+	dst := New(platform.Opteron(), simclock.New())
+	// Threads present: kernel state does not migrate.
+	p, err := src.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateThread(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MigrateProcess(p, dst); err == nil {
+		t.Error("process with kernel threads migrated")
+	}
+	// Exited process.
+	p2, err := src.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Exit()
+	if _, _, err := MigrateProcess(p2, dst); err == nil {
+		t.Error("exited process migrated")
+	}
+	// Destination at its process limit.
+	full := New(platform.IBMSP(), simclock.New())
+	for i := 0; i < 100; i++ {
+		if _, err := full.Fork(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p3, err := src.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MigrateProcess(p3, full); err == nil {
+		t.Error("migration into a full kernel accepted")
+	}
+	// The source process must survive a refused migration.
+	if p3.Space() == nil || src.NumProcesses() == 0 {
+		t.Error("refused migration destroyed the source process")
+	}
+}
+
+func TestSpaceImagePupRoundTrip(t *testing.T) {
+	s := vmem.NewSpace(1 << 30)
+	if err := s.Map(0x1000, vmem.PageSize, vmem.ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteUint64(0x1100, 42); err != nil {
+		t.Fatal(err)
+	}
+	im := s.Snapshot()
+	if im.Bytes() != vmem.PageSize {
+		t.Errorf("Bytes = %d", im.Bytes())
+	}
+	s2, err := vmem.RestoreSpace(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s2.ReadUint64(0x1100); err != nil || v != 42 {
+		t.Errorf("restored value = %d/%v", v, err)
+	}
+	if s2.Limit() != 1<<30 {
+		t.Errorf("limit = %d", s2.Limit())
+	}
+	// Snapshot is a deep copy: mutating the original does not affect
+	// the restored space.
+	if err := s.WriteUint64(0x1100, 43); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s2.ReadUint64(0x1100); v != 42 {
+		t.Error("snapshot aliased the source frames")
+	}
+}

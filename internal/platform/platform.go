@@ -1,0 +1,366 @@
+// Package platform encodes the 2005/2006-era machines of the paper's
+// evaluation as data: per-mechanism context-switch cost curves
+// (Figures 4-8), practical limits on flows of control (Table 2), and
+// the capability predicates from which the portability matrix of
+// migratable-thread techniques (Table 1) is derived.
+//
+// The simulated kernel (internal/oskernel) charges these costs to a
+// virtual clock; the mechanisms themselves are real code. Absolute
+// numbers are calibrated to the paper's qualitative results (who
+// wins, growth with flow count, the sched_yield artifact on IBM SP
+// and Alpha); they are not measurements of this repository.
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostCurve models a context-switch (or dispatch) cost as a function
+// of the number of runnable flows: Base + PerFlowLog*log2(n) +
+// PerFlowLinear*n nanoseconds. The logarithmic term models tree-based
+// run queues and cache effects; the linear term models O(n) scanning
+// schedulers such as the pre-O(1) Linux 2.4 run queue.
+type CostCurve struct {
+	Base          float64 // ns at one flow
+	PerFlowLog    float64 // ns multiplied by log2(nflows)
+	PerFlowLinear float64 // ns per runnable flow
+}
+
+// At returns the per-switch cost in nanoseconds with n runnable flows.
+func (c CostCurve) At(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return c.Base + c.PerFlowLog*math.Log2(float64(n)) + c.PerFlowLinear*float64(n)
+}
+
+// Limit is a practical limit on the number of flows of a kind, as in
+// Table 2. Plus reproduces the paper's "90000+" entries: the probe
+// reached N without hitting the limit.
+type Limit struct {
+	N    int
+	Plus bool
+}
+
+func (l Limit) String() string {
+	if l.Plus {
+		return fmt.Sprintf("%d+", l.N)
+	}
+	return fmt.Sprintf("%d", l.N)
+}
+
+// Bounded reports whether creating more than N flows must fail.
+func (l Limit) Bounded() bool { return !l.Plus }
+
+// Profile describes one platform: identity, virtual-memory geometry,
+// kernel behaviour, limits, and cost curves.
+type Profile struct {
+	Name    string // stable key, e.g. "linux-x86"
+	Display string // e.g. "Linux 2.4 / 1.6 GHz Pentium M"
+
+	// Address-space geometry.
+	Bits      int    // pointer width: 32 or 64
+	VirtLimit uint64 // usable virtual bytes per process (0 = unlimited)
+
+	// Capabilities behind the Table 1 portability matrix.
+	HasMmap           bool // anonymous fixed-address mmap available
+	MmapEquivalent    bool // e.g. Windows MapViewOfFileEx: possible with small effort
+	HeapRemapExt      bool // BG/L microkernel extension remapping heap over stack
+	QuickThreadsPort  bool // the stack-copy implementation has been ported
+	FixedStackBase    bool // system stack base identical across nodes (no ASLR)
+	KernelThreadsOK   bool // pthreads supported at all (BG/L: no)
+	ProcessControlsOK bool // fork/system/exec supported (BG/L, ASCI Red: no)
+
+	// sched_yield fidelity: on IBM SP and Alpha the OS appeared to
+	// ignore repeated sched_yield calls, producing artificially low
+	// process/kernel-thread switch times (Figures 7 and 8).
+	YieldIgnored bool
+
+	// Table 2 practical limits.
+	MaxProcesses     Limit
+	MaxKernelThreads Limit
+	MaxUserThreads   Limit
+
+	// Figure 4-8 cost curves (ns/switch as a function of flows).
+	ProcSwitch    CostCurve
+	KThreadSwitch CostCurve
+	UThreadSwitch CostCurve
+	AMPISwitch    CostCurve
+	EventDispatch CostCurve
+
+	// Creation costs (ns).
+	ProcCreate    float64
+	KThreadCreate float64
+	UThreadCreate float64
+
+	// Micro-costs used by the migratable-thread strategies.
+	SyscallOverhead float64 // ns per syscall entry/exit (mmap, yield)
+	MmapCall        float64 // ns per mmap/munmap call (memory aliasing)
+	PageMapCost     float64 // ns per page of page-table update
+	MemcpyPerKB     float64 // ns to copy 1 KiB (stack copying)
+}
+
+// SwitchCost returns the per-switch cost curve for the named
+// mechanism kind ("process", "kthread", "uthread", "ampi", "event").
+func (p *Profile) SwitchCost(kind string) (CostCurve, error) {
+	switch kind {
+	case "process":
+		return p.ProcSwitch, nil
+	case "kthread":
+		return p.KThreadSwitch, nil
+	case "uthread":
+		return p.UThreadSwitch, nil
+	case "ampi":
+		return p.AMPISwitch, nil
+	case "event":
+		return p.EventDispatch, nil
+	}
+	return CostCurve{}, fmt.Errorf("platform: unknown mechanism kind %q", kind)
+}
+
+// MeasuredYieldCost returns the per-switch cost a sched_yield
+// microbenchmark *observes* for the given mechanism kind with n
+// runnable flows. On platforms whose kernels ignore repeated
+// sched_yield (IBM SP, Alpha — Figures 7 and 8), the observed cost of
+// process and kernel-thread "switches" collapses to the bare syscall
+// overhead because no switch actually happens; user-level mechanisms
+// are unaffected since their yields never enter the kernel.
+func (p *Profile) MeasuredYieldCost(kind string, n int) (float64, error) {
+	if p.YieldIgnored && (kind == "process" || kind == "kthread") {
+		return p.SyscallOverhead, nil
+	}
+	c, err := p.SwitchCost(kind)
+	if err != nil {
+		return 0, err
+	}
+	return c.At(n), nil
+}
+
+const (
+	gib = uint64(1) << 30
+)
+
+// unbounded marks Table 2 entries the paper reports as "N+".
+func unbounded(n int) Limit { return Limit{N: n, Plus: true} }
+func bounded(n int) Limit   { return Limit{N: n} }
+
+// Profiles returns all built-in platform profiles keyed by Name.
+func Profiles() map[string]*Profile {
+	ps := []*Profile{LinuxX86(), MacG5(), SunSolaris(), IBMSP(), AlphaES45(), IA64(), Opteron(), BlueGeneL(), Windows()}
+	m := make(map[string]*Profile, len(ps))
+	for _, p := range ps {
+		m[p.Name] = p
+	}
+	return m
+}
+
+// ByName returns the named profile or an error listing valid names.
+func ByName(name string) (*Profile, error) {
+	ps := Profiles()
+	if p, ok := ps[name]; ok {
+		return p, nil
+	}
+	names := make([]string, 0, len(ps))
+	for n := range ps {
+		names = append(names, n)
+	}
+	return nil, fmt.Errorf("platform: unknown platform %q (have %v)", name, names)
+}
+
+// LinuxX86 models the paper's x86 laptop: 1.6 GHz Pentium M, Linux
+// 2.4.25 / glibc 2.3.3 (Red Hat 9). The 2.4 scheduler scans the run
+// queue, so process/kthread switch cost grows linearly; RH9's
+// LinuxThreads caps pthreads per process at ~250 (Table 2).
+func LinuxX86() *Profile {
+	return &Profile{
+		Name: "linux-x86", Display: "Linux 2.4 (RH9) / 1.6 GHz Pentium M",
+		Bits: 32, VirtLimit: 3 * gib,
+		HasMmap: true, QuickThreadsPort: true, FixedStackBase: true,
+		KernelThreadsOK: true, ProcessControlsOK: true,
+		MaxProcesses:     bounded(8000),
+		MaxKernelThreads: bounded(250),
+		MaxUserThreads:   unbounded(90000),
+		ProcSwitch:       CostCurve{Base: 1900, PerFlowLog: 120, PerFlowLinear: 0.9},
+		KThreadSwitch:    CostCurve{Base: 1400, PerFlowLog: 100, PerFlowLinear: 0.8},
+		UThreadSwitch:    CostCurve{Base: 280, PerFlowLog: 35},
+		AMPISwitch:       CostCurve{Base: 480, PerFlowLog: 45},
+		EventDispatch:    CostCurve{Base: 55, PerFlowLog: 4},
+		ProcCreate:       250_000, KThreadCreate: 45_000, UThreadCreate: 2_500,
+		SyscallOverhead: 450, MmapCall: 2_800, PageMapCost: 12, MemcpyPerKB: 240,
+	}
+}
+
+// MacG5 models the Turing cluster nodes: 2 GHz PowerPC G5, Mac OS X.
+func MacG5() *Profile {
+	return &Profile{
+		Name: "mac-g5", Display: "Mac OS X / 2 GHz PowerPC G5",
+		Bits: 64, VirtLimit: 0,
+		HasMmap: true, QuickThreadsPort: false, FixedStackBase: true,
+		KernelThreadsOK: true, ProcessControlsOK: true,
+		MaxProcesses:     bounded(500),
+		MaxKernelThreads: bounded(7000),
+		MaxUserThreads:   unbounded(90000),
+		ProcSwitch:       CostCurve{Base: 4200, PerFlowLog: 260},
+		KThreadSwitch:    CostCurve{Base: 3100, PerFlowLog: 190},
+		UThreadSwitch:    CostCurve{Base: 430, PerFlowLog: 50},
+		AMPISwitch:       CostCurve{Base: 730, PerFlowLog: 65},
+		EventDispatch:    CostCurve{Base: 70, PerFlowLog: 5},
+		ProcCreate:       480_000, KThreadCreate: 90_000, UThreadCreate: 3_200,
+		SyscallOverhead: 700, MmapCall: 4_500, PageMapCost: 16, MemcpyPerKB: 210,
+	}
+}
+
+// SunSolaris models the 700 MHz SunBlade 1000 running Solaris 9.
+func SunSolaris() *Profile {
+	return &Profile{
+		Name: "sun-solaris9", Display: "Solaris 9 / 700 MHz SunBlade 1000",
+		Bits: 64, VirtLimit: 0,
+		HasMmap: true, QuickThreadsPort: true, FixedStackBase: true,
+		KernelThreadsOK: true, ProcessControlsOK: true,
+		MaxProcesses:     bounded(25000),
+		MaxKernelThreads: bounded(3000),
+		MaxUserThreads:   unbounded(90000),
+		ProcSwitch:       CostCurve{Base: 3400, PerFlowLog: 230},
+		KThreadSwitch:    CostCurve{Base: 2700, PerFlowLog: 170},
+		UThreadSwitch:    CostCurve{Base: 620, PerFlowLog: 70},
+		AMPISwitch:       CostCurve{Base: 940, PerFlowLog: 90},
+		EventDispatch:    CostCurve{Base: 120, PerFlowLog: 8},
+		ProcCreate:       600_000, KThreadCreate: 110_000, UThreadCreate: 5_000,
+		SyscallOverhead: 900, MmapCall: 5_200, PageMapCost: 21, MemcpyPerKB: 480,
+	}
+}
+
+// IBMSP models one 1.3 GHz Power4 "Regatta" node of cu.ncsa.uiuc.edu
+// running AIX 5.1. Its per-user process limit was only 100; repeated
+// sched_yield appeared to be ignored, so measured process and kernel
+// thread switch times were artificially low (Figure 7).
+func IBMSP() *Profile {
+	return &Profile{
+		Name: "ibm-sp", Display: "AIX 5.1 / 1.3 GHz Power4 (IBM SP)",
+		Bits: 64, VirtLimit: 0,
+		HasMmap: true, QuickThreadsPort: true, FixedStackBase: true,
+		KernelThreadsOK: true, ProcessControlsOK: true,
+		YieldIgnored:     true,
+		MaxProcesses:     bounded(100),
+		MaxKernelThreads: bounded(2000),
+		MaxUserThreads:   bounded(15000),
+		ProcSwitch:       CostCurve{Base: 2900, PerFlowLog: 200},
+		KThreadSwitch:    CostCurve{Base: 2300, PerFlowLog: 150},
+		UThreadSwitch:    CostCurve{Base: 520}, // flat on SP per the paper
+		AMPISwitch:       CostCurve{Base: 830},
+		EventDispatch:    CostCurve{Base: 80, PerFlowLog: 5},
+		ProcCreate:       420_000, KThreadCreate: 80_000, UThreadCreate: 4_100,
+		SyscallOverhead: 290, MmapCall: 3_900, PageMapCost: 15, MemcpyPerKB: 190,
+	}
+}
+
+// AlphaES45 models one 1 GHz ES45 AlphaServer node of lemieux.psc.edu
+// running Tru64; it also ignored repeated sched_yield (Figure 8) and
+// allowed more than 90000 kernel threads (Table 2).
+func AlphaES45() *Profile {
+	return &Profile{
+		Name: "alpha-es45", Display: "Tru64 / 1 GHz AlphaServer ES45",
+		Bits: 64, VirtLimit: 0,
+		HasMmap: true, QuickThreadsPort: true, FixedStackBase: true,
+		KernelThreadsOK: true, ProcessControlsOK: true,
+		YieldIgnored:     true,
+		MaxProcesses:     bounded(1000),
+		MaxKernelThreads: unbounded(90000),
+		MaxUserThreads:   unbounded(90000),
+		ProcSwitch:       CostCurve{Base: 2600, PerFlowLog: 180},
+		KThreadSwitch:    CostCurve{Base: 2100, PerFlowLog: 140},
+		UThreadSwitch:    CostCurve{Base: 680, PerFlowLog: 75},
+		AMPISwitch:       CostCurve{Base: 1050, PerFlowLog: 95},
+		EventDispatch:    CostCurve{Base: 90, PerFlowLog: 6},
+		ProcCreate:       380_000, KThreadCreate: 70_000, UThreadCreate: 3_800,
+		SyscallOverhead: 550, MmapCall: 3_600, PageMapCost: 14, MemcpyPerKB: 260,
+	}
+}
+
+// IA64 models an Itanium Linux node: 64-bit, no QuickThreads port
+// (Table 1 "Maybe" for stack copy), generous limits (Table 2).
+func IA64() *Profile {
+	return &Profile{
+		Name: "ia64", Display: "Linux / Itanium 2 (IA-64)",
+		Bits: 64, VirtLimit: 0,
+		HasMmap: true, QuickThreadsPort: false, FixedStackBase: true,
+		KernelThreadsOK: true, ProcessControlsOK: true,
+		MaxProcesses:     unbounded(50000),
+		MaxKernelThreads: unbounded(30000),
+		MaxUserThreads:   unbounded(50000),
+		ProcSwitch:       CostCurve{Base: 2400, PerFlowLog: 160},
+		KThreadSwitch:    CostCurve{Base: 1900, PerFlowLog: 130},
+		UThreadSwitch:    CostCurve{Base: 410, PerFlowLog: 45},
+		AMPISwitch:       CostCurve{Base: 690, PerFlowLog: 60},
+		EventDispatch:    CostCurve{Base: 65, PerFlowLog: 5},
+		ProcCreate:       300_000, KThreadCreate: 55_000, UThreadCreate: 2_900,
+		SyscallOverhead: 500, MmapCall: 3_100, PageMapCost: 13, MemcpyPerKB: 200,
+	}
+}
+
+// Opteron models a 2.2 GHz Athlon64/Opteron Linux node (the machine of
+// the 16/18 ns minimal-swap measurement in §4.3).
+func Opteron() *Profile {
+	return &Profile{
+		Name: "opteron", Display: "Linux / 2.2 GHz Opteron (x86-64)",
+		Bits: 64, VirtLimit: 0,
+		HasMmap: true, QuickThreadsPort: true, FixedStackBase: true,
+		KernelThreadsOK: true, ProcessControlsOK: true,
+		MaxProcesses:     bounded(8000),
+		MaxKernelThreads: bounded(2000),
+		MaxUserThreads:   unbounded(90000),
+		ProcSwitch:       CostCurve{Base: 1500, PerFlowLog: 100},
+		KThreadSwitch:    CostCurve{Base: 1100, PerFlowLog: 80},
+		UThreadSwitch:    CostCurve{Base: 210, PerFlowLog: 28},
+		AMPISwitch:       CostCurve{Base: 360, PerFlowLog: 38},
+		EventDispatch:    CostCurve{Base: 40, PerFlowLog: 3},
+		ProcCreate:       180_000, KThreadCreate: 35_000, UThreadCreate: 1_900,
+		SyscallOverhead: 350, MmapCall: 2_200, PageMapCost: 10, MemcpyPerKB: 160,
+	}
+}
+
+// BlueGeneL models a BG/L compute node: 32-bit PowerPC 440 under a
+// microkernel without fork/exec, without pthreads, and without mmap —
+// but with the paper's proposed heap-remap extension (§3.4.4), which
+// makes memory aliasing a "Maybe" while isomalloc stays impossible.
+func BlueGeneL() *Profile {
+	return &Profile{
+		Name: "bgl", Display: "Blue Gene/L microkernel / 700 MHz PPC440",
+		Bits: 32, VirtLimit: 1 * gib,
+		HasMmap: false, HeapRemapExt: true, QuickThreadsPort: false,
+		FixedStackBase:  true,
+		KernelThreadsOK: false, ProcessControlsOK: false,
+		MaxProcesses:     bounded(1), // one app image per node
+		MaxKernelThreads: bounded(0),
+		MaxUserThreads:   unbounded(40000),
+		UThreadSwitch:    CostCurve{Base: 900, PerFlowLog: 90},
+		AMPISwitch:       CostCurve{Base: 1300, PerFlowLog: 110},
+		EventDispatch:    CostCurve{Base: 150, PerFlowLog: 9},
+		UThreadCreate:    6_000,
+		SyscallOverhead:  800, PageMapCost: 25, MemcpyPerKB: 600,
+	}
+}
+
+// Windows models a 32-bit Windows node: no mmap, but MapViewOfFileEx
+// is an equivalent, so isomalloc and memory aliasing are "Maybe";
+// QuickThreads-based stack copy was ported ("Yes" in Table 1).
+func Windows() *Profile {
+	return &Profile{
+		Name: "windows", Display: "Windows / x86",
+		Bits: 32, VirtLimit: 2 * gib,
+		HasMmap: false, MmapEquivalent: true, QuickThreadsPort: true,
+		FixedStackBase:  true,
+		KernelThreadsOK: true, ProcessControlsOK: true,
+		MaxProcesses:     bounded(2000),
+		MaxKernelThreads: bounded(2000),
+		MaxUserThreads:   unbounded(50000),
+		ProcSwitch:       CostCurve{Base: 5200, PerFlowLog: 300},
+		KThreadSwitch:    CostCurve{Base: 2600, PerFlowLog: 170},
+		UThreadSwitch:    CostCurve{Base: 520, PerFlowLog: 55},
+		AMPISwitch:       CostCurve{Base: 860, PerFlowLog: 75},
+		EventDispatch:    CostCurve{Base: 75, PerFlowLog: 5},
+		ProcCreate:       900_000, KThreadCreate: 60_000, UThreadCreate: 3_000,
+		SyscallOverhead: 650, MmapCall: 5_000, PageMapCost: 19, MemcpyPerKB: 230,
+	}
+}

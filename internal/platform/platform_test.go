@@ -1,0 +1,218 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostCurveAt(t *testing.T) {
+	c := CostCurve{Base: 100, PerFlowLog: 10, PerFlowLinear: 2}
+	if got := c.At(1); got != 100+2 {
+		t.Errorf("At(1) = %g, want 102", got)
+	}
+	want := 100 + 10*math.Log2(8) + 2*8
+	if got := c.At(8); math.Abs(got-want) > 1e-9 {
+		t.Errorf("At(8) = %g, want %g", got, want)
+	}
+	// Clamp: n < 1 behaves like 1.
+	if got := c.At(0); got != c.At(1) {
+		t.Errorf("At(0) = %g, want At(1) = %g", got, c.At(1))
+	}
+}
+
+func TestCostCurvesMonotone(t *testing.T) {
+	for name, p := range Profiles() {
+		for _, kind := range []string{"process", "kthread", "uthread", "ampi", "event"} {
+			c, err := p.SwitchCost(kind)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			prev := c.At(1)
+			for _, n := range []int{2, 10, 100, 1000, 10000} {
+				cur := c.At(n)
+				if cur < prev {
+					t.Errorf("%s %s: cost decreased from %g to %g at n=%d", name, kind, prev, cur, n)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestSwitchCostUnknownKind(t *testing.T) {
+	if _, err := LinuxX86().SwitchCost("fiber"); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestProfilesLookup(t *testing.T) {
+	p, err := ByName("linux-x86")
+	if err != nil || p.Name != "linux-x86" {
+		t.Fatalf("ByName: %v, %v", p, err)
+	}
+	if _, err := ByName("vax"); err == nil {
+		t.Error("ByName of unknown platform should error")
+	}
+}
+
+// TestTable1MatchesPaper pins the derived portability matrix to the
+// paper's Table 1, cell for cell.
+func TestTable1MatchesPaper(t *testing.T) {
+	want := map[string][3]Support{ // StackCopy, Isomalloc, MemoryAlias
+		"linux-x86":    {Yes, Yes, Yes},
+		"ia64":         {Maybe, Yes, Yes},
+		"opteron":      {Yes, Yes, Yes},
+		"mac-g5":       {Maybe, Yes, Yes},
+		"ibm-sp":       {Yes, Yes, Yes},
+		"sun-solaris9": {Yes, Yes, Yes},
+		"alpha-es45":   {Yes, Yes, Yes},
+		"bgl":          {Maybe, No, Maybe},
+		"windows":      {Yes, Maybe, Maybe},
+	}
+	ps := Profiles()
+	for name, row := range want {
+		p, ok := ps[name]
+		if !ok {
+			t.Fatalf("missing profile %q", name)
+		}
+		for i, tech := range Techniques() {
+			if got := p.Supports(tech); got != row[i] {
+				t.Errorf("Table1[%s][%s] = %s, want %s", name, tech, got, row[i])
+			}
+		}
+	}
+	if len(Table1Order()) != len(want) {
+		t.Errorf("Table1Order has %d platforms, want %d", len(Table1Order()), len(want))
+	}
+}
+
+// TestTable2MatchesPaper pins the limits to the paper's Table 2.
+func TestTable2MatchesPaper(t *testing.T) {
+	type row struct{ proc, kthread, uthread Limit }
+	want := map[string]row{
+		"linux-x86":    {Limit{8000, false}, Limit{250, false}, Limit{90000, true}},
+		"sun-solaris9": {Limit{25000, false}, Limit{3000, false}, Limit{90000, true}},
+		"ibm-sp":       {Limit{100, false}, Limit{2000, false}, Limit{15000, false}},
+		"alpha-es45":   {Limit{1000, false}, Limit{90000, true}, Limit{90000, true}},
+		"mac-g5":       {Limit{500, false}, Limit{7000, false}, Limit{90000, true}},
+		"ia64":         {Limit{50000, true}, Limit{30000, true}, Limit{50000, true}},
+	}
+	ps := Profiles()
+	for name, w := range want {
+		p := ps[name]
+		if p.MaxProcesses != w.proc {
+			t.Errorf("%s MaxProcesses = %v, want %v", name, p.MaxProcesses, w.proc)
+		}
+		if p.MaxKernelThreads != w.kthread {
+			t.Errorf("%s MaxKernelThreads = %v, want %v", name, p.MaxKernelThreads, w.kthread)
+		}
+		if p.MaxUserThreads != w.uthread {
+			t.Errorf("%s MaxUserThreads = %v, want %v", name, p.MaxUserThreads, w.uthread)
+		}
+	}
+}
+
+// TestULTFastestExceptSPAndAlpha pins the headline qualitative result
+// of Figures 4-8: user-level threads switch fastest except on the two
+// machines whose kernels ignored sched_yield.
+func TestULTFastestExceptSPAndAlpha(t *testing.T) {
+	for name, p := range Profiles() {
+		if !p.KernelThreadsOK {
+			continue // BG/L has no kernel flows to compare against
+		}
+		for _, n := range []int{4, 64, 1024} {
+			u, _ := p.MeasuredYieldCost("uthread", n)
+			proc, _ := p.MeasuredYieldCost("process", n)
+			kt, _ := p.MeasuredYieldCost("kthread", n)
+			if p.YieldIgnored {
+				// Artifact: kernel flows *appear* faster.
+				if !(proc < u && kt < u) {
+					t.Errorf("%s (yield ignored) at n=%d: expected artificially low kernel times, got proc=%g kt=%g ult=%g", name, n, proc, kt, u)
+				}
+				// The true cost curves still rank ULTs fastest.
+				if !(p.UThreadSwitch.At(n) < p.ProcSwitch.At(n)) {
+					t.Errorf("%s at n=%d: true ULT cost should beat true process cost", name, n)
+				}
+			} else {
+				if !(u < proc && u < kt) {
+					t.Errorf("%s at n=%d: ULT not fastest: proc=%g kt=%g ult=%g", name, n, proc, kt, u)
+				}
+			}
+			// AMPI threads pay an overhead above plain Cth everywhere.
+			if a := p.AMPISwitch.At(n); a <= u {
+				t.Errorf("%s at n=%d: AMPI %g not above Cth %g", name, n, a, u)
+			}
+		}
+	}
+}
+
+func TestYieldIgnoredCurvesAreFlatArtifacts(t *testing.T) {
+	for _, p := range []*Profile{IBMSP(), AlphaES45()} {
+		if !p.YieldIgnored {
+			t.Fatalf("%s should have YieldIgnored", p.Name)
+		}
+	}
+	if LinuxX86().YieldIgnored {
+		t.Error("linux-x86 should not ignore sched_yield")
+	}
+}
+
+func TestVirtLimits(t *testing.T) {
+	for name, p := range Profiles() {
+		switch p.Bits {
+		case 32:
+			if p.VirtLimit == 0 || p.VirtLimit > 4<<30 {
+				t.Errorf("%s: 32-bit platform with virt limit %d", name, p.VirtLimit)
+			}
+		case 64:
+			if p.VirtLimit != 0 {
+				t.Errorf("%s: 64-bit platform should be unlimited, got %d", name, p.VirtLimit)
+			}
+		default:
+			t.Errorf("%s: bad Bits %d", name, p.Bits)
+		}
+	}
+}
+
+func TestLimitString(t *testing.T) {
+	if got := (Limit{90000, true}).String(); got != "90000+" {
+		t.Errorf("Limit+ string = %q", got)
+	}
+	if got := (Limit{250, false}).String(); got != "250" {
+		t.Errorf("Limit string = %q", got)
+	}
+	if (Limit{90000, true}).Bounded() {
+		t.Error("Plus limit should be unbounded")
+	}
+}
+
+func TestSupportStrings(t *testing.T) {
+	for _, s := range []Support{No, Maybe, Yes, Support(9)} {
+		if s.String() == "" {
+			t.Error("empty support string")
+		}
+	}
+	for _, tech := range append(Techniques(), Technique(9)) {
+		if tech.String() == "" {
+			t.Error("empty technique string")
+		}
+	}
+}
+
+// Property: cost curves are non-negative and non-decreasing for any
+// flow count.
+func TestQuickCurveNonDecreasing(t *testing.T) {
+	p := LinuxX86()
+	f := func(a, b uint16) bool {
+		n1, n2 := int(a)+1, int(b)+1
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		c := p.ProcSwitch
+		return c.At(n1) >= 0 && c.At(n1) <= c.At(n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

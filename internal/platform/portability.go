@@ -1,0 +1,99 @@
+package platform
+
+// Support is a cell of the paper's Table 1 portability matrix.
+type Support int
+
+// Support levels, in Table 1's vocabulary: "Yes" means implemented,
+// "Maybe" means no theoretical obstacle but no implementation, "No"
+// means the technique is impossible on the machine.
+const (
+	No Support = iota
+	Maybe
+	Yes
+)
+
+func (s Support) String() string {
+	switch s {
+	case No:
+		return "No"
+	case Maybe:
+		return "Maybe"
+	case Yes:
+		return "Yes"
+	}
+	return "?"
+}
+
+// Technique identifies one of the three migratable-thread techniques
+// of §3.4.
+type Technique int
+
+// The three thread-migration techniques.
+const (
+	StackCopy Technique = iota
+	Isomalloc
+	MemoryAlias
+)
+
+func (t Technique) String() string {
+	switch t {
+	case StackCopy:
+		return "Stack Copy"
+	case Isomalloc:
+		return "Isomalloc"
+	case MemoryAlias:
+		return "Memory Alias"
+	}
+	return "?"
+}
+
+// Techniques lists all three, in Table 1 row order.
+func Techniques() []Technique { return []Technique{StackCopy, Isomalloc, MemoryAlias} }
+
+// Supports derives a Table 1 cell from the platform's capability
+// predicates:
+//
+//   - Stack copy needs a QuickThreads port (implementation exists →
+//     Yes) and a fixed system stack base; it is never impossible.
+//   - Isomalloc needs fixed-address mmap; an equivalent call
+//     (MapViewOfFileEx) downgrades to Maybe; with neither it is
+//     impossible (BG/L).
+//   - Memory aliasing needs mmap too, but the paper showed a small
+//     microkernel extension suffices on BG/L, so a heap-remap
+//     extension (or an mmap equivalent) gives Maybe.
+func (p *Profile) Supports(t Technique) Support {
+	switch t {
+	case StackCopy:
+		if p.QuickThreadsPort && p.FixedStackBase {
+			return Yes
+		}
+		return Maybe
+	case Isomalloc:
+		if p.HasMmap {
+			return Yes
+		}
+		if p.MmapEquivalent {
+			return Maybe
+		}
+		return No
+	case MemoryAlias:
+		if p.HasMmap {
+			return Yes
+		}
+		if p.HeapRemapExt || p.MmapEquivalent {
+			return Maybe
+		}
+		return No
+	}
+	return No
+}
+
+// Table1Order lists platform names in the column order of Table 1.
+func Table1Order() []string {
+	return []string{"linux-x86", "ia64", "opteron", "mac-g5", "ibm-sp", "sun-solaris9", "alpha-es45", "bgl", "windows"}
+}
+
+// Table2Order lists platform names in the column order of Table 2.
+func Table2Order() []string {
+	return []string{"linux-x86", "sun-solaris9", "ibm-sp", "alpha-es45", "mac-g5", "ia64"}
+}

@@ -1,0 +1,305 @@
+// Package pup is a Go rendition of the Charm++ PUP (Pack/UnPack)
+// framework (§3.1.1): one traversal method per type drives three
+// operations — sizing, packing and unpacking — so migratable objects
+// describe their state once and get byte-exact serialization for
+// migration and checkpointing.
+//
+// All integers are encoded little-endian and fixed-width; variable
+// collections are length-prefixed with a uint32. The same Pup method
+// must visit the same fields in the same order in every mode; Seek-
+// style skipping is deliberately absent to keep encodings canonical.
+package pup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Mode selects what a PUPer traversal does.
+type Mode int
+
+// Traversal modes.
+const (
+	// Sizing counts the bytes a Packing traversal would produce.
+	Sizing Mode = iota
+	// Packing writes fields into the buffer.
+	Packing
+	// Unpacking reads fields back out of the buffer.
+	Unpacking
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sizing:
+		return "sizing"
+	case Packing:
+		return "packing"
+	case Unpacking:
+		return "unpacking"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Pupable is implemented by any type that can migrate: its Pup method
+// visits every field through p.
+type Pupable interface {
+	Pup(p *PUPer) error
+}
+
+// PUPer carries one traversal. Create with NewSizer, NewPacker or
+// NewUnpacker; or use the Size/Pack/Unpack helpers.
+type PUPer struct {
+	mode Mode
+	buf  []byte
+	off  int
+	size int
+}
+
+// NewSizer returns a sizing PUPer.
+func NewSizer() *PUPer { return &PUPer{mode: Sizing} }
+
+// NewPacker returns a packing PUPer writing into a buffer of exactly
+// size bytes.
+func NewPacker(size int) *PUPer { return &PUPer{mode: Packing, buf: make([]byte, size)} }
+
+// NewUnpacker returns an unpacking PUPer reading from data.
+func NewUnpacker(data []byte) *PUPer { return &PUPer{mode: Unpacking, buf: data} }
+
+// IsSizing reports whether the traversal is only measuring.
+func (p *PUPer) IsSizing() bool { return p.mode == Sizing }
+
+// IsPacking reports whether the traversal is serializing.
+func (p *PUPer) IsPacking() bool { return p.mode == Packing }
+
+// IsUnpacking reports whether the traversal is deserializing — used
+// by Pup methods that must allocate before filling ("if
+// p.IsUnpacking() { t.data = make(...) }").
+func (p *PUPer) IsUnpacking() bool { return p.mode == Unpacking }
+
+// Size returns the byte count accumulated by a sizing traversal.
+func (p *PUPer) Size() int { return p.size }
+
+// Buffer returns the packed bytes after a packing traversal.
+func (p *PUPer) Buffer() []byte { return p.buf }
+
+// Remaining returns unread bytes during unpacking.
+func (p *PUPer) Remaining() int { return len(p.buf) - p.off }
+
+func (p *PUPer) area(n int) ([]byte, error) {
+	switch p.mode {
+	case Sizing:
+		p.size += n
+		return nil, nil
+	case Packing:
+		if p.off+n > len(p.buf) {
+			return nil, fmt.Errorf("pup: pack overflow: need %d bytes at offset %d of %d", n, p.off, len(p.buf))
+		}
+	case Unpacking:
+		if p.off+n > len(p.buf) {
+			return nil, fmt.Errorf("pup: unpack underflow: need %d bytes at offset %d of %d", n, p.off, len(p.buf))
+		}
+	}
+	a := p.buf[p.off : p.off+n]
+	p.off += n
+	return a, nil
+}
+
+// Uint64 visits a fixed-width 64-bit unsigned field.
+func (p *PUPer) Uint64(v *uint64) error {
+	a, err := p.area(8)
+	if err != nil || a == nil {
+		return err
+	}
+	if p.mode == Packing {
+		binary.LittleEndian.PutUint64(a, *v)
+	} else {
+		*v = binary.LittleEndian.Uint64(a)
+	}
+	return nil
+}
+
+// Uint32 visits a 32-bit unsigned field.
+func (p *PUPer) Uint32(v *uint32) error {
+	a, err := p.area(4)
+	if err != nil || a == nil {
+		return err
+	}
+	if p.mode == Packing {
+		binary.LittleEndian.PutUint32(a, *v)
+	} else {
+		*v = binary.LittleEndian.Uint32(a)
+	}
+	return nil
+}
+
+// Int visits an int as a 64-bit two's-complement value.
+func (p *PUPer) Int(v *int) error {
+	u := uint64(int64(*v))
+	if err := p.Uint64(&u); err != nil {
+		return err
+	}
+	if p.mode == Unpacking {
+		*v = int(int64(u))
+	}
+	return nil
+}
+
+// Int64 visits an int64.
+func (p *PUPer) Int64(v *int64) error {
+	u := uint64(*v)
+	if err := p.Uint64(&u); err != nil {
+		return err
+	}
+	if p.mode == Unpacking {
+		*v = int64(u)
+	}
+	return nil
+}
+
+// Float64 visits a float64 (IEEE 754 bits).
+func (p *PUPer) Float64(v *float64) error {
+	u := math.Float64bits(*v)
+	if err := p.Uint64(&u); err != nil {
+		return err
+	}
+	if p.mode == Unpacking {
+		*v = math.Float64frombits(u)
+	}
+	return nil
+}
+
+// Bool visits a bool as one byte.
+func (p *PUPer) Bool(v *bool) error {
+	var b byte
+	if *v {
+		b = 1
+	}
+	if err := p.Byte(&b); err != nil {
+		return err
+	}
+	if p.mode == Unpacking {
+		*v = b != 0
+	}
+	return nil
+}
+
+// Byte visits a single byte.
+func (p *PUPer) Byte(v *byte) error {
+	a, err := p.area(1)
+	if err != nil || a == nil {
+		return err
+	}
+	if p.mode == Packing {
+		a[0] = *v
+	} else {
+		*v = a[0]
+	}
+	return nil
+}
+
+// Bytes visits a variable-length byte slice (uint32 length prefix).
+// Unpacking replaces *v with a fresh slice.
+func (p *PUPer) Bytes(v *[]byte) error {
+	n := uint32(len(*v))
+	if err := p.Uint32(&n); err != nil {
+		return err
+	}
+	if p.mode == Unpacking {
+		*v = make([]byte, n)
+	}
+	a, err := p.area(int(n))
+	if err != nil || a == nil {
+		return err
+	}
+	if p.mode == Packing {
+		copy(a, *v)
+	} else {
+		copy(*v, a)
+	}
+	return nil
+}
+
+// String visits a string (uint32 length prefix).
+func (p *PUPer) String(v *string) error {
+	b := []byte(*v)
+	if err := p.Bytes(&b); err != nil {
+		return err
+	}
+	if p.mode == Unpacking {
+		*v = string(b)
+	}
+	return nil
+}
+
+// Uint64s visits a variable-length []uint64.
+func (p *PUPer) Uint64s(v *[]uint64) error {
+	n := uint32(len(*v))
+	if err := p.Uint32(&n); err != nil {
+		return err
+	}
+	if p.mode == Unpacking {
+		*v = make([]uint64, n)
+	}
+	for i := range *v {
+		if err := p.Uint64(&(*v)[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Float64s visits a variable-length []float64.
+func (p *PUPer) Float64s(v *[]float64) error {
+	n := uint32(len(*v))
+	if err := p.Uint32(&n); err != nil {
+		return err
+	}
+	if p.mode == Unpacking {
+		*v = make([]float64, n)
+	}
+	for i := range *v {
+		if err := p.Float64(&(*v)[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size measures obj's packed size.
+func Size(obj Pupable) (int, error) {
+	p := NewSizer()
+	if err := obj.Pup(p); err != nil {
+		return 0, err
+	}
+	return p.Size(), nil
+}
+
+// Pack serializes obj with a sizing pass followed by a packing pass.
+func Pack(obj Pupable) ([]byte, error) {
+	n, err := Size(obj)
+	if err != nil {
+		return nil, err
+	}
+	p := NewPacker(n)
+	if err := obj.Pup(p); err != nil {
+		return nil, err
+	}
+	if p.off != n {
+		return nil, fmt.Errorf("pup: Pup wrote %d bytes but sized %d — traversal is mode-dependent", p.off, n)
+	}
+	return p.Buffer(), nil
+}
+
+// Unpack deserializes data into obj and requires the whole buffer to
+// be consumed.
+func Unpack(data []byte, obj Pupable) error {
+	p := NewUnpacker(data)
+	if err := obj.Pup(p); err != nil {
+		return err
+	}
+	if p.Remaining() != 0 {
+		return fmt.Errorf("pup: %d bytes left after unpacking — traversal is mode-dependent", p.Remaining())
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package pup
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// particle is a PUP example type exercising every visitor.
+type particle struct {
+	ID     uint64
+	Tag    uint32
+	Step   int
+	Delta  int64
+	Mass   float64
+	Alive  bool
+	Flag   byte
+	Name   string
+	Raw    []byte
+	Coords []float64
+	Hist   []uint64
+}
+
+func (pt *particle) Pup(p *PUPer) error {
+	if err := p.Uint64(&pt.ID); err != nil {
+		return err
+	}
+	if err := p.Uint32(&pt.Tag); err != nil {
+		return err
+	}
+	if err := p.Int(&pt.Step); err != nil {
+		return err
+	}
+	if err := p.Int64(&pt.Delta); err != nil {
+		return err
+	}
+	if err := p.Float64(&pt.Mass); err != nil {
+		return err
+	}
+	if err := p.Bool(&pt.Alive); err != nil {
+		return err
+	}
+	if err := p.Byte(&pt.Flag); err != nil {
+		return err
+	}
+	if err := p.String(&pt.Name); err != nil {
+		return err
+	}
+	if err := p.Bytes(&pt.Raw); err != nil {
+		return err
+	}
+	if err := p.Float64s(&pt.Coords); err != nil {
+		return err
+	}
+	return p.Uint64s(&pt.Hist)
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := &particle{
+		ID: 42, Tag: 7, Step: -3, Delta: -1 << 40, Mass: 6.02e23,
+		Alive: true, Flag: 0xAB, Name: "água", Raw: []byte{1, 2, 3},
+		Coords: []float64{1.5, -2.25, math.Inf(1)},
+		Hist:   []uint64{0, ^uint64(0)},
+	}
+	data, err := Pack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Size(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(data) {
+		t.Errorf("Size = %d, len(Pack) = %d", n, len(data))
+	}
+	out := &particle{}
+	if err := Unpack(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestEmptyCollections(t *testing.T) {
+	in := &particle{Raw: []byte{}, Coords: []float64{}, Hist: []uint64{}}
+	data, err := Pack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &particle{}
+	if err := Unpack(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Raw) != 0 || len(out.Coords) != 0 || len(out.Hist) != 0 {
+		t.Errorf("empty collections round-tripped non-empty: %+v", out)
+	}
+}
+
+func TestUnpackTruncatedFails(t *testing.T) {
+	in := &particle{Name: "x", Raw: []byte{1}}
+	data, err := Pack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Unpack(data[:len(data)-1], &particle{}); err == nil {
+		t.Error("truncated unpack should fail")
+	}
+}
+
+func TestUnpackTrailingGarbageFails(t *testing.T) {
+	in := &particle{}
+	data, err := Pack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Unpack(append(data, 0), &particle{}); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+// badPup sizes less than it packs.
+type badPup struct{ b bool }
+
+func (x *badPup) Pup(p *PUPer) error {
+	var v uint64
+	if x.b && p.IsSizing() {
+		return nil
+	}
+	return p.Uint64(&v)
+}
+
+func TestModeDependentTraversalDetected(t *testing.T) {
+	if _, err := Pack(&badPup{b: true}); err == nil {
+		t.Error("mode-dependent Pup should be detected at Pack")
+	}
+}
+
+func TestPackOverflowDetected(t *testing.T) {
+	p := NewPacker(4) // too small for a uint64
+	var v uint64
+	if err := p.Uint64(&v); err == nil {
+		t.Error("pack overflow should error")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{Sizing, Packing, Unpacking, Mode(9)} {
+		if m.String() == "" {
+			t.Error("empty mode string")
+		}
+	}
+}
+
+func TestModePredicates(t *testing.T) {
+	if !NewSizer().IsSizing() || NewSizer().IsPacking() {
+		t.Error("sizer predicates wrong")
+	}
+	if !NewPacker(0).IsPacking() {
+		t.Error("packer predicates wrong")
+	}
+	if !NewUnpacker(nil).IsUnpacking() {
+		t.Error("unpacker predicates wrong")
+	}
+}
+
+// Property: every particle round-trips exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(id uint64, tag uint32, step int, mass float64, name string, raw []byte, coords []float64) bool {
+		in := &particle{ID: id, Tag: tag, Step: step, Mass: mass, Name: name, Raw: raw, Coords: coords}
+		data, err := Pack(in)
+		if err != nil {
+			return false
+		}
+		out := &particle{}
+		if err := Unpack(data, out); err != nil {
+			return false
+		}
+		// NaN != NaN breaks DeepEqual; compare bits for mass.
+		if math.Float64bits(in.Mass) != math.Float64bits(out.Mass) {
+			return false
+		}
+		in.Mass, out.Mass = 0, 0
+		for i := range in.Coords {
+			if math.Float64bits(in.Coords[i]) != math.Float64bits(out.Coords[i]) {
+				return false
+			}
+			in.Coords[i], out.Coords[i] = 0, 0
+		}
+		if in.Raw == nil {
+			in.Raw = []byte{}
+		}
+		if in.Coords == nil {
+			in.Coords = []float64{}
+		}
+		if in.Hist == nil {
+			in.Hist = []uint64{}
+		}
+		out.Hist = in.Hist // both empty representations
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

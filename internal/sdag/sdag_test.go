@@ -1,0 +1,313 @@
+package sdag
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAtomicSeq(t *testing.T) {
+	var order []int
+	ex := Run(Seq(
+		Atomic(func() { order = append(order, 1) }),
+		Atomic(func() { order = append(order, 2) }),
+		Atomic(func() { order = append(order, 3) }),
+	))
+	if !ex.Finished() {
+		t.Fatal("pure-atomic program should finish synchronously")
+	}
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestWhenBlocksUntilDelivery(t *testing.T) {
+	var got Msg
+	ex := Run(When(7, func(m Msg) { got = m }))
+	if ex.Finished() {
+		t.Fatal("When finished without a message")
+	}
+	if ex.PendingWhens() != 1 {
+		t.Fatalf("PendingWhens = %d", ex.PendingWhens())
+	}
+	ex.Deliver(3, "wrong tag") // buffered, not matched
+	if ex.Finished() {
+		t.Fatal("wrong tag finished the When")
+	}
+	if ex.BufferedMessages() != 1 {
+		t.Errorf("BufferedMessages = %d", ex.BufferedMessages())
+	}
+	ex.Deliver(7, "payload")
+	if !ex.Finished() {
+		t.Fatal("not finished after matching delivery")
+	}
+	if got != "payload" {
+		t.Errorf("body got %v", got)
+	}
+}
+
+func TestEarlyMessageBuffered(t *testing.T) {
+	var got Msg
+	prog := Seq(
+		Atomic(func() {}),
+		When(1, func(m Msg) { got = m }),
+	)
+	ex := Run(prog)
+	// With the runtime already past the atomic, deliver then re-check.
+	ex.Deliver(1, 42)
+	if !ex.Finished() || got != 42 {
+		t.Errorf("finished=%v got=%v", ex.Finished(), got)
+	}
+	// And the true early case: message delivered before Run reaches
+	// the When — achieved with a When nested after another When.
+	var second Msg
+	ex2 := Run(Seq(
+		When(1, func(Msg) {}),
+		When(2, func(m Msg) { second = m }),
+	))
+	ex2.Deliver(2, "early") // program is still blocked on tag 1
+	if ex2.Finished() {
+		t.Fatal("finished out of order")
+	}
+	ex2.Deliver(1, "first")
+	if !ex2.Finished() || second != "early" {
+		t.Errorf("finished=%v second=%v", ex2.Finished(), second)
+	}
+}
+
+func TestOverlapAnyOrder(t *testing.T) {
+	for _, order := range [][2]int{{1, 2}, {2, 1}} {
+		var seen []int
+		ex := Run(Seq(
+			Overlap(
+				When(1, func(Msg) { seen = append(seen, 1) }),
+				When(2, func(Msg) { seen = append(seen, 2) }),
+			),
+			Atomic(func() { seen = append(seen, 99) }),
+		))
+		ex.Deliver(order[0], nil)
+		if ex.Finished() {
+			t.Fatal("overlap finished after one of two")
+		}
+		ex.Deliver(order[1], nil)
+		if !ex.Finished() {
+			t.Fatal("overlap not finished after both")
+		}
+		if seen[2] != 99 {
+			t.Errorf("continuation ran early: %v", seen)
+		}
+	}
+}
+
+func TestEmptyOverlap(t *testing.T) {
+	if !Run(Overlap()).Finished() {
+		t.Error("empty overlap should finish immediately")
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	var is []int
+	ex := Run(For(4, func(i int) Stmt {
+		return Atomic(func() { is = append(is, i) })
+	}))
+	if !ex.Finished() || fmt.Sprint(is) != "[0 1 2 3]" {
+		t.Errorf("finished=%v is=%v", ex.Finished(), is)
+	}
+}
+
+func TestForDeepDoesNotOverflowStack(t *testing.T) {
+	n := 0
+	ex := Run(For(200000, func(int) Stmt { return Atomic(func() { n++ }) }))
+	if !ex.Finished() || n != 200000 {
+		t.Errorf("finished=%v n=%d", ex.Finished(), n)
+	}
+}
+
+func TestWhile(t *testing.T) {
+	i := 0
+	ex := Run(While(func() bool { return i < 5 }, func() Stmt {
+		return Atomic(func() { i++ })
+	}))
+	if !ex.Finished() || i != 5 {
+		t.Errorf("finished=%v i=%d", ex.Finished(), i)
+	}
+}
+
+// TestFigure1Stencil runs the paper's exact example: MAX_ITER
+// iterations of send / overlap{when left, when right} / doWork, with
+// messages arriving in varying orders, including an iteration where
+// both strips arrive "early" (buffered during doWork of the previous
+// iteration is impossible here, but right-before-left order is).
+func TestFigure1Stencil(t *testing.T) {
+	const maxIter = 3
+	const (
+		tagLeft  = 1
+		tagRight = 2
+	)
+	var log []string
+	lifeCycle := For(maxIter, func(i int) Stmt {
+		return Seq(
+			Atomic(func() { log = append(log, fmt.Sprintf("send%d", i)) }),
+			Overlap(
+				When(tagLeft, func(m Msg) { log = append(log, fmt.Sprintf("left%d", i)) }),
+				When(tagRight, func(m Msg) { log = append(log, fmt.Sprintf("right%d", i)) }),
+			),
+			Atomic(func() { log = append(log, fmt.Sprintf("work%d", i)) }),
+		)
+	})
+	ex := Run(lifeCycle)
+	orders := [][2]int{{tagLeft, tagRight}, {tagRight, tagLeft}, {tagRight, tagLeft}}
+	for i := 0; i < maxIter; i++ {
+		if ex.Finished() {
+			t.Fatalf("finished before iteration %d", i)
+		}
+		ex.Deliver(orders[i][0], nil)
+		ex.Deliver(orders[i][1], nil)
+	}
+	if !ex.Finished() {
+		t.Fatalf("not finished: %s", ex)
+	}
+	want := "[send0 left0 right0 work0 send1 right1 left1 work1 send2 right2 left2 work2]"
+	if fmt.Sprint(log) != want {
+		t.Errorf("log = %v\nwant %s", log, want)
+	}
+}
+
+// TestStencilMessagesForNextIterationBuffered delivers both strips of
+// iteration 1 while iteration 0 is still waiting: they must buffer
+// and satisfy iteration 1's whens later (in-order tags).
+func TestStencilMessagesBufferAcrossIterations(t *testing.T) {
+	count := 0
+	prog := For(2, func(i int) Stmt {
+		return Overlap(
+			When(1, func(Msg) { count++ }),
+			When(2, func(Msg) { count++ }),
+		)
+	})
+	ex := Run(prog)
+	// All four messages up front, scrambled.
+	ex.Deliver(2, nil)
+	ex.Deliver(2, nil)
+	ex.Deliver(1, nil)
+	ex.Deliver(1, nil)
+	if !ex.Finished() || count != 4 {
+		t.Errorf("finished=%v count=%d", ex.Finished(), count)
+	}
+}
+
+func TestWhenRefMatching(t *testing.T) {
+	var got []uint64
+	ex := Run(Seq(
+		WhenRef(1, 7, func(m Msg) { got = append(got, 7) }),
+		WhenRef(1, 8, func(m Msg) { got = append(got, 8) }),
+	))
+	// Wrong ref buffers; right ref fires.
+	ex.DeliverRef(1, 8, nil)
+	if len(got) != 0 {
+		t.Fatalf("ref 8 fired the ref-7 when: %v", got)
+	}
+	if ex.BufferedMessages() != 1 {
+		t.Fatalf("buffered = %d", ex.BufferedMessages())
+	}
+	ex.DeliverRef(1, 7, nil)
+	// After ref 7 fires, the second when finds the buffered ref 8.
+	if !ex.Finished() || fmt.Sprint(got) != "[7 8]" {
+		t.Errorf("finished=%v got=%v", ex.Finished(), got)
+	}
+}
+
+func TestWhenUnfilteredMatchesAnyRef(t *testing.T) {
+	fired := false
+	ex := Run(When(1, func(Msg) { fired = true }))
+	ex.DeliverRef(1, 99, nil)
+	if !fired || !ex.Finished() {
+		t.Error("unfiltered When should match any ref")
+	}
+}
+
+// TestIterationRefnums is the idiom WhenRef exists for: two
+// overlapping iterations' ghost messages kept apart by refnum even
+// when they arrive out of order.
+func TestIterationRefnums(t *testing.T) {
+	var order []uint64
+	ex := Run(For(2, func(i int) Stmt {
+		iter := uint64(i)
+		return WhenRef(1, iter, func(Msg) { order = append(order, iter) })
+	}))
+	// Iteration 1's message arrives first: must buffer, not satisfy
+	// iteration 0's when.
+	ex.DeliverRef(1, 1, nil)
+	if len(order) != 0 {
+		t.Fatalf("iteration 1 message consumed early: %v", order)
+	}
+	ex.DeliverRef(1, 0, nil)
+	if !ex.Finished() || fmt.Sprint(order) != "[0 1]" {
+		t.Errorf("finished=%v order=%v", ex.Finished(), order)
+	}
+}
+
+func TestCaseFirstWins(t *testing.T) {
+	winner := -1
+	ex := Run(Seq(
+		Case(
+			When(1, func(Msg) { winner = 1 }),
+			When(2, func(Msg) { winner = 2 }),
+		),
+		Atomic(func() {}),
+	))
+	if ex.PendingWhens() != 2 {
+		t.Fatalf("pending = %d", ex.PendingWhens())
+	}
+	ex.Deliver(2, nil)
+	if !ex.Finished() || winner != 2 {
+		t.Fatalf("finished=%v winner=%d", ex.Finished(), winner)
+	}
+	// The losing alternative is cancelled: a later tag-1 message
+	// simply buffers.
+	ex.Deliver(1, nil)
+	if ex.BufferedMessages() != 1 {
+		t.Errorf("loser consumed a message after cancellation")
+	}
+	if winner != 2 {
+		t.Errorf("loser fired late: winner=%d", winner)
+	}
+}
+
+func TestCaseBufferedAlternative(t *testing.T) {
+	winner := -1
+	prog := Seq(
+		When(9, func(Msg) {}),
+		Case(
+			When(1, func(Msg) { winner = 1 }),
+			When(2, func(Msg) { winner = 2 }),
+		),
+	)
+	ex := Run(prog)
+	ex.Deliver(1, nil) // buffered: Case not reached yet
+	ex.Deliver(9, nil) // now the Case starts and finds tag 1 buffered
+	if !ex.Finished() || winner != 1 {
+		t.Errorf("finished=%v winner=%d", ex.Finished(), winner)
+	}
+}
+
+func TestCaseValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty Case", func() { Case() })
+	mustPanic("non-When child", func() { Case(Atomic(func() {})) })
+}
+
+func TestNopAndString(t *testing.T) {
+	ex := Run(Nop())
+	if !ex.Finished() {
+		t.Error("Nop did not finish")
+	}
+	if ex.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import "testing"
+
+func TestNilAndDisabled(t *testing.T) {
+	var nilLog *Log
+	nilLog.Record(Event{}) // must not panic
+	if nilLog.Enabled() {
+		t.Error("nil log enabled")
+	}
+	var zero Log
+	zero.Record(Event{Kind: EvCreate})
+	if zero.Len() != 0 {
+		t.Error("disabled log recorded")
+	}
+}
+
+func TestRecordAndCounts(t *testing.T) {
+	l := New()
+	if !l.Enabled() {
+		t.Fatal("new log disabled")
+	}
+	l.Record(Event{TimeNs: 1, PE: 0, Kind: EvCreate, Thread: 7})
+	l.Record(Event{TimeNs: 2, PE: 0, Kind: EvSwitchIn, Thread: 7})
+	l.Record(Event{TimeNs: 5, PE: 0, Kind: EvSwitchOut, Thread: 7})
+	l.Record(Event{TimeNs: 3, PE: 1, Kind: EvSwitchIn, Thread: 8})
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	c := l.Counts()
+	if c[EvSwitchIn] != 2 || c[EvCreate] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+	evs := l.Events()
+	// Sorted by PE then time.
+	if evs[0].PE != 0 || evs[3].PE != 1 {
+		t.Errorf("events not sorted: %v", evs)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	l := New()
+	// PE 0: busy 10..20 and 30..35 of span 10..40.
+	l.Record(Event{TimeNs: 10, PE: 0, Kind: EvSwitchIn})
+	l.Record(Event{TimeNs: 20, PE: 0, Kind: EvSwitchOut})
+	l.Record(Event{TimeNs: 30, PE: 0, Kind: EvSwitchIn})
+	l.Record(Event{TimeNs: 35, PE: 0, Kind: EvSwitchOut})
+	l.Record(Event{TimeNs: 40, PE: 0, Kind: EvExit})
+	stats := Utilization(l, 2)
+	if stats[0].BusyNs != 15 {
+		t.Errorf("busy = %g", stats[0].BusyNs)
+	}
+	if stats[0].SpanNs != 30 {
+		t.Errorf("span = %g", stats[0].SpanNs)
+	}
+	if f := stats[0].Fraction(); f != 0.5 {
+		t.Errorf("fraction = %g", f)
+	}
+	if stats[0].Switches != 2 {
+		t.Errorf("switches = %d", stats[0].Switches)
+	}
+	// PE 1 never seen.
+	if stats[1].Fraction() != 0 || stats[1].SpanNs != 0 {
+		t.Errorf("idle PE stats = %+v", stats[1])
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := EvCreate; k <= EvMigrateIn; k++ {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}

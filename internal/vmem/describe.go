@@ -1,0 +1,61 @@
+package vmem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mapping describes one contiguous run of pages with equal
+// protection — a line of the /proc/<pid>/maps analogue.
+type Mapping struct {
+	Range Range
+	Prot  Prot
+}
+
+// Mappings returns the space's mapped regions, coalesced into maximal
+// runs of equal protection, sorted by address.
+func (s *Space) Mappings() []Mapping {
+	s.mu.Lock()
+	vpns := make([]uint64, 0, len(s.pages))
+	prots := make(map[uint64]Prot, len(s.pages))
+	for vpn, m := range s.pages {
+		vpns = append(vpns, vpn)
+		prots[vpn] = m.prot
+	}
+	s.mu.Unlock()
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	var out []Mapping
+	for _, vpn := range vpns {
+		a := Addr(vpn << PageShift)
+		p := prots[vpn]
+		if n := len(out); n > 0 && out[n-1].Range.End() == a && out[n-1].Prot == p {
+			out[n-1].Range.Length += PageSize
+			continue
+		}
+		out = append(out, Mapping{Range: Range{Start: a, Length: PageSize}, Prot: p})
+	}
+	return out
+}
+
+// Describe renders the space like /proc/<pid>/maps: one line per
+// coalesced mapping plus the reservations — the debugging view of a
+// PE's memory layout.
+func (s *Space) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual in use: %d bytes", s.VirtualInUse())
+	if lim := s.Limit(); lim != 0 {
+		fmt.Fprintf(&b, " of %d", lim)
+	}
+	b.WriteByte('\n')
+	s.mu.Lock()
+	reserved := append([]Range(nil), s.reserved...)
+	s.mu.Unlock()
+	for _, r := range reserved {
+		fmt.Fprintf(&b, "%s-%s  reserved\n", r.Start, r.End())
+	}
+	for _, m := range s.Mappings() {
+		fmt.Fprintf(&b, "%s-%s  %s  %d pages\n", m.Range.Start, m.Range.End(), m.Prot, m.Range.Length/PageSize)
+	}
+	return b.String()
+}

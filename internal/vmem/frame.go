@@ -1,0 +1,33 @@
+package vmem
+
+// Frame is one page of simulated physical memory. Frames are
+// reference-counted so that memory-aliasing threads (§3.4.3) can map
+// the same physical page at two virtual addresses (the thread's
+// backing-store address and the canonical stack address) without
+// copying.
+//
+// Reference counts are manipulated only under the owning Space's lock
+// (or, for frames shared across spaces, under the locks of each space
+// in turn; counts themselves are not atomic because every mutation
+// happens inside a Space method).
+type Frame struct {
+	data [PageSize]byte
+	refs int
+}
+
+// NewFrame allocates one zeroed frame with a zero reference count; the
+// first Map that installs it takes the first reference.
+func NewFrame() *Frame { return new(Frame) }
+
+// Data returns the frame's backing bytes. Callers must not retain the
+// slice across Unmap of the last mapping.
+func (f *Frame) Data() []byte { return f.data[:] }
+
+// Refs returns the current mapping count (for tests and accounting).
+func (f *Frame) Refs() int { return f.refs }
+
+// mapping is one page-table entry: a frame plus its protection.
+type mapping struct {
+	frame *Frame
+	prot  Prot
+}

@@ -1,0 +1,341 @@
+package vmem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Space is one simulated virtual address space: a page table mapping
+// virtual page numbers to physical frames, plus reservation accounting
+// against a configurable virtual-size limit.
+//
+// In the simulated machine each OS process (and therefore each PE's
+// user-level-thread job) owns one Space. The Limit models the
+// platform's pointer width: 32-bit platforms get a ~3 GiB usable
+// limit, 64-bit platforms an effectively unbounded one. Reservations
+// model isomalloc's "claimed in principle, but never allocated
+// physical memory" regions (§3.4.2): they consume virtual size but no
+// frames.
+type Space struct {
+	mu sync.Mutex
+
+	// limit is the virtual-size budget in bytes (0 = unlimited).
+	limit uint64
+
+	pages map[uint64]*mapping
+
+	// reserved is a sorted, non-overlapping set of reserved ranges.
+	reserved []Range
+
+	// mappedOutside counts pages mapped outside any reserved range;
+	// together with reservedBytes it forms the virtual-size usage.
+	mappedOutside uint64
+	reservedBytes uint64
+}
+
+// Range is a half-open byte range [Start, Start+Length) of virtual
+// addresses.
+type Range struct {
+	Start  Addr
+	Length uint64
+}
+
+// End returns the first address past the range.
+func (r Range) End() Addr { return r.Start.Add(r.Length) }
+
+// Contains reports whether a lies inside the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Start && a < r.End() }
+
+// Overlaps reports whether two ranges share any address.
+func (r Range) Overlaps(o Range) bool {
+	return r.Start < o.End() && o.Start < r.End()
+}
+
+func (r Range) String() string {
+	return fmt.Sprintf("[%s,%s)", r.Start, r.End())
+}
+
+// NewSpace creates an address space with the given virtual-size limit
+// in bytes; limit 0 means unlimited (a 64-bit machine).
+func NewSpace(limit uint64) *Space {
+	return &Space{limit: limit, pages: make(map[uint64]*mapping)}
+}
+
+// Limit returns the configured virtual-size limit (0 = unlimited).
+func (s *Space) Limit() uint64 { return s.limit }
+
+// VirtualInUse returns the bytes of virtual address space currently
+// consumed (reservations plus pages mapped outside reservations).
+func (s *Space) VirtualInUse() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.virtualInUseLocked()
+}
+
+func (s *Space) virtualInUseLocked() uint64 {
+	return s.reservedBytes + s.mappedOutside*PageSize
+}
+
+// MappedPages returns the number of pages with frames installed.
+func (s *Space) MappedPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// inReserved reports whether virtual page vpn lies inside a reserved
+// range. Caller holds s.mu.
+func (s *Space) inReservedLocked(vpn uint64) bool {
+	a := Addr(vpn << PageShift)
+	i := sort.Search(len(s.reserved), func(i int) bool {
+		return s.reserved[i].End() > a
+	})
+	return i < len(s.reserved) && s.reserved[i].Contains(a)
+}
+
+// Reserve claims [a, a+length) as reserved virtual address space
+// without installing frames. The range must be page-aligned and must
+// not overlap an existing reservation. Reserving counts against the
+// space's virtual-size limit — this is how isomalloc regions exhaust
+// 32-bit address spaces.
+func (s *Space) Reserve(a Addr, length uint64) error {
+	if a.Offset() != 0 || length%PageSize != 0 || length == 0 {
+		return fmt.Errorf("vmem: Reserve(%s, %d): range must be non-empty and page-aligned", a, length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := Range{a, length}
+	for _, o := range s.reserved {
+		if r.Overlaps(o) {
+			return fmt.Errorf("vmem: Reserve(%s, %d): overlaps existing reservation %s", a, length, o)
+		}
+	}
+	if s.limit != 0 && s.virtualInUseLocked()+length > s.limit {
+		return &ErrExhausted{Limit: s.limit, Requested: length, InUse: s.virtualInUseLocked()}
+	}
+	s.reserved = append(s.reserved, r)
+	sort.Slice(s.reserved, func(i, j int) bool { return s.reserved[i].Start < s.reserved[j].Start })
+	s.reservedBytes += length
+	return nil
+}
+
+// Unreserve releases a reservation previously made with Reserve; the
+// range must exactly match. Pages mapped inside it remain mapped and
+// begin counting against the limit individually.
+func (s *Space) Unreserve(a Addr, length uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, o := range s.reserved {
+		if o.Start == a && o.Length == length {
+			s.reserved = append(s.reserved[:i], s.reserved[i+1:]...)
+			s.reservedBytes -= length
+			// Re-count pages mapped inside the released range.
+			for vpn := a.PageNum(); vpn < a.Add(length).PageNum(); vpn++ {
+				if _, ok := s.pages[vpn]; ok {
+					s.mappedOutside++
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("vmem: Unreserve(%s, %d): no such reservation", a, length)
+}
+
+// Map installs fresh zeroed frames over [a, a+length) with the given
+// protection, like anonymous mmap. The range must be page-aligned and
+// entirely unmapped.
+func (s *Space) Map(a Addr, length uint64, prot Prot) error {
+	return s.mapFrames(a, length, prot, nil)
+}
+
+// MapFrames installs the given existing frames at a, aliasing them:
+// their reference counts rise and writes through either mapping are
+// visible through the other. This is the mmap-the-thread's-pages-
+// onto-the-stack-address operation of memory-aliasing threads (Fig 3).
+func (s *Space) MapFrames(a Addr, frames []*Frame, prot Prot) error {
+	return s.mapFrames(a, uint64(len(frames))*PageSize, prot, frames)
+}
+
+func (s *Space) mapFrames(a Addr, length uint64, prot Prot, frames []*Frame) error {
+	if a.Offset() != 0 || length%PageSize != 0 || length == 0 {
+		return fmt.Errorf("vmem: Map(%s, %d): range must be non-empty and page-aligned", a, length)
+	}
+	if a == Nil {
+		return &Fault{Op: OpMap, Addr: a, Reason: "page zero is not mappable"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first, n := a.PageNum(), length/PageSize
+	outside := uint64(0)
+	for vpn := first; vpn < first+n; vpn++ {
+		if _, ok := s.pages[vpn]; ok {
+			return &Fault{Op: OpMap, Addr: Addr(vpn << PageShift), Reason: "already mapped"}
+		}
+		if !s.inReservedLocked(vpn) {
+			outside++
+		}
+	}
+	if s.limit != 0 && s.virtualInUseLocked()+outside*PageSize > s.limit {
+		return &ErrExhausted{Limit: s.limit, Requested: outside * PageSize, InUse: s.virtualInUseLocked()}
+	}
+	for i := uint64(0); i < n; i++ {
+		f := NewFrame()
+		if frames != nil {
+			f = frames[i]
+		}
+		f.refs++
+		s.pages[first+i] = &mapping{frame: f, prot: prot}
+	}
+	s.mappedOutside += outside
+	return nil
+}
+
+// Unmap removes the mappings over [a, a+length); frames whose last
+// mapping is removed are freed (their contents become unreachable).
+// Every page in the range must currently be mapped.
+func (s *Space) Unmap(a Addr, length uint64) error {
+	if a.Offset() != 0 || length%PageSize != 0 || length == 0 {
+		return fmt.Errorf("vmem: Unmap(%s, %d): range must be non-empty and page-aligned", a, length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first, n := a.PageNum(), length/PageSize
+	for vpn := first; vpn < first+n; vpn++ {
+		if _, ok := s.pages[vpn]; !ok {
+			return &Fault{Op: OpUnmap, Addr: Addr(vpn << PageShift), Reason: "not mapped"}
+		}
+	}
+	for vpn := first; vpn < first+n; vpn++ {
+		m := s.pages[vpn]
+		m.frame.refs--
+		delete(s.pages, vpn)
+		if !s.inReservedLocked(vpn) {
+			s.mappedOutside--
+		}
+	}
+	return nil
+}
+
+// Protect changes the protection of the already-mapped range.
+func (s *Space) Protect(a Addr, length uint64, prot Prot) error {
+	if a.Offset() != 0 || length%PageSize != 0 || length == 0 {
+		return fmt.Errorf("vmem: Protect(%s, %d): range must be non-empty and page-aligned", a, length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first, n := a.PageNum(), length/PageSize
+	for vpn := first; vpn < first+n; vpn++ {
+		if _, ok := s.pages[vpn]; !ok {
+			return &Fault{Op: OpMap, Addr: Addr(vpn << PageShift), Reason: "not mapped"}
+		}
+	}
+	for vpn := first; vpn < first+n; vpn++ {
+		s.pages[vpn].prot = prot
+	}
+	return nil
+}
+
+// Frames returns the frames backing [a, a+length) in order, for
+// aliasing into another location or extracting for migration. The
+// range must be page-aligned and fully mapped.
+func (s *Space) Frames(a Addr, length uint64) ([]*Frame, error) {
+	if a.Offset() != 0 || length%PageSize != 0 || length == 0 {
+		return nil, fmt.Errorf("vmem: Frames(%s, %d): range must be non-empty and page-aligned", a, length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first, n := a.PageNum(), length/PageSize
+	out := make([]*Frame, 0, n)
+	for vpn := first; vpn < first+n; vpn++ {
+		m, ok := s.pages[vpn]
+		if !ok {
+			return nil, &Fault{Op: OpRead, Addr: Addr(vpn << PageShift), Reason: "not mapped"}
+		}
+		out = append(out, m.frame)
+	}
+	return out, nil
+}
+
+// Mapped reports whether every page of [a, a+length) is mapped.
+func (s *Space) Mapped(a Addr, length uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if length == 0 {
+		length = 1
+	}
+	for vpn := a.PageNum(); vpn <= (a + Addr(length) - 1).PageNum(); vpn++ {
+		if _, ok := s.pages[vpn]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Read copies len(p) bytes starting at a into p, faulting on unmapped
+// or non-readable pages.
+func (s *Space) Read(a Addr, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(p) > 0 {
+		m, ok := s.pages[a.PageNum()]
+		if !ok {
+			return &Fault{Op: OpRead, Addr: a, Reason: "unmapped"}
+		}
+		if m.prot&ProtRead == 0 {
+			return &Fault{Op: OpRead, Addr: a, Reason: "protection"}
+		}
+		off := a.Offset()
+		n := copy(p, m.frame.data[off:])
+		p = p[n:]
+		a = a.Add(uint64(n))
+	}
+	return nil
+}
+
+// Write copies p into simulated memory starting at a, faulting on
+// unmapped or non-writable pages.
+func (s *Space) Write(a Addr, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(p) > 0 {
+		m, ok := s.pages[a.PageNum()]
+		if !ok {
+			return &Fault{Op: OpWrite, Addr: a, Reason: "unmapped"}
+		}
+		if m.prot&ProtWrite == 0 {
+			return &Fault{Op: OpWrite, Addr: a, Reason: "protection"}
+		}
+		off := a.Offset()
+		n := copy(m.frame.data[off:], p)
+		p = p[n:]
+		a = a.Add(uint64(n))
+	}
+	return nil
+}
+
+// CopyOut reads length bytes at a into a fresh buffer.
+func (s *Space) CopyOut(a Addr, length uint64) ([]byte, error) {
+	p := make([]byte, length)
+	if err := s.Read(a, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Zero clears [a, a+length), which must be writable.
+func (s *Space) Zero(a Addr, length uint64) error {
+	var zeros [PageSize]byte
+	for length > 0 {
+		n := uint64(PageSize)
+		if length < n {
+			n = length
+		}
+		if err := s.Write(a, zeros[:n]); err != nil {
+			return err
+		}
+		a = a.Add(n)
+		length -= n
+	}
+	return nil
+}
