@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro repro-quick examples cover clean
+.PHONY: all build vet test race bench bench-all repro repro-quick examples cover clean
 
 all: build vet test
 
@@ -18,7 +18,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Hot-path benchmarks; writes BENCH_hotpath.json (name → ns/op,
+# allocs/op) so before/after numbers ride along with each PR.
+HOTPATH_PKGS = ./internal/comm/ ./internal/core/ ./internal/vmem/
+
 bench:
+	$(GO) test -bench . -benchmem -run '^$$' $(HOTPATH_PKGS) | tee bench_output.txt
+	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_hotpath.json
+
+bench-all:
 	$(GO) test -bench . -benchmem ./...
 
 # Regenerate every table and figure of the paper's evaluation.

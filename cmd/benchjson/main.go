@@ -1,0 +1,70 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON object mapping benchmark name to its measured numbers, for
+// recording hot-path trajectories across PRs (see `make bench`).
+//
+// Usage: go test -bench . -benchmem ./... | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line's numbers.
+type Result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+}
+
+func main() {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Benchmark lines look like:
+		//   BenchmarkSend-8  1000  59.2 ns/op  12.3 MB/s  0 B/op  0 allocs/op
+		name := strings.SplitN(fields[0], "-", 2)[0]
+		var r Result
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+				ok = true
+			case "allocs/op":
+				r.AllocsPerOp = &v
+			case "B/op":
+				r.BytesPerOp = &v
+			case "MB/s":
+				r.MBPerSec = &v
+			}
+		}
+		if ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

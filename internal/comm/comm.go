@@ -9,11 +9,28 @@
 // Delivery is in-order per (sender PE, destination entity) pair and
 // carries virtual timestamps from a latency model, so the simulated
 // machine's communication costs appear on the virtual clock.
+//
+// The send/deliver path is the hottest in the runtime (every message
+// of every benchmark crosses it), so it is built to scale with PE
+// count instead of serializing on one lock:
+//
+//   - the location directory is striped into shards, and each shard
+//     is a copy-on-write map: Locate is one atomic load plus a map
+//     probe, with no lock; Register/MigrateEntity/Deregister copy the
+//     (small) shard under a per-shard mutex;
+//   - per-endpoint location caches are copy-on-write too, so a send
+//     reads its cache without locking and only writes it when the
+//     entry actually changes (first contact or after a migration);
+//   - message counters are atomics, not a mutex-guarded struct;
+//   - each inbox is a growable power-of-two ring buffer, so Poll does
+//     not shift (and re-allocate) a slice, and the condvar is only
+//     broadcast when a Recv is actually parked.
 package comm
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // EntityID names a migratable communication endpoint,
@@ -50,29 +67,38 @@ func (m LatencyModel) Cost(n int) float64 { return m.Alpha + m.BetaPerByte*float
 // interconnect: ~10 µs latency, ~4 ns/byte (≈250 MB/s).
 var DefaultLatency = LatencyModel{Alpha: 10_000, BetaPerByte: 4}
 
+// locShards stripes the directory; must be a power of two. Entity IDs
+// are dense (sequential thread IDs, rank numbers), so masking the low
+// bits spreads them evenly.
+const locShards = 64
+
+// locShard is one directory stripe: a copy-on-write map. Readers load
+// the current map with one atomic; writers clone it under the shard
+// mutex. Directory updates (registration, migration) are orders of
+// magnitude rarer than lookups, which makes the clone cost a good
+// trade for lock-free reads.
+type locShard struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[EntityID]int]
+}
+
 // Network connects NumPEs endpoints through a directory.
 type Network struct {
 	lat       LatencyModel
 	endpoints []*Endpoint
-
-	mu  sync.Mutex
-	loc map[EntityID]int // authoritative entity locations
+	shards    [locShards]locShard
 
 	// stats
-	sent     uint64
-	forwards uint64
-	bytes    uint64
+	sent     atomic.Uint64
+	forwards atomic.Uint64
+	bytes    atomic.Uint64
 }
 
 // NewNetwork builds a network of numPEs endpoints.
 func NewNetwork(numPEs int, lat LatencyModel) *Network {
-	n := &Network{lat: lat, loc: make(map[EntityID]int)}
+	n := &Network{lat: lat}
 	for pe := 0; pe < numPEs; pe++ {
-		n.endpoints = append(n.endpoints, &Endpoint{
-			net:   n,
-			pe:    pe,
-			cache: make(map[EntityID]int),
-		})
+		n.endpoints = append(n.endpoints, &Endpoint{net: n, pe: pe})
 	}
 	for _, e := range n.endpoints {
 		e.cond = sync.NewCond(&e.mu)
@@ -89,37 +115,74 @@ func (n *Network) Endpoint(pe int) *Endpoint { return n.endpoints[pe] }
 // Latency returns the network's latency model.
 func (n *Network) Latency() LatencyModel { return n.lat }
 
+func (n *Network) shard(id EntityID) *locShard {
+	return &n.shards[uint64(id)&(locShards-1)]
+}
+
 // Register places entity id on PE pe. Registering an existing entity
 // is an error; use MigrateEntity to move it.
 func (n *Network) Register(id EntityID, pe int) error {
 	if pe < 0 || pe >= len(n.endpoints) {
 		return fmt.Errorf("comm: Register(%d): PE %d out of range", id, pe)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if old, ok := n.loc[id]; ok {
-		return fmt.Errorf("comm: entity %d already registered on PE %d", id, old)
+	s := n.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.m.Load(); m != nil {
+		if old, ok := (*m)[id]; ok {
+			return fmt.Errorf("comm: entity %d already registered on PE %d", id, old)
+		}
 	}
-	n.loc[id] = pe
+	s.store(id, pe)
 	return nil
 }
 
 // Deregister removes an entity (exit).
 func (n *Network) Deregister(id EntityID) {
-	n.mu.Lock()
-	delete(n.loc, id)
-	n.mu.Unlock()
+	s := n.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.m.Load()
+	if old == nil {
+		return
+	}
+	if _, ok := (*old)[id]; !ok {
+		return
+	}
+	next := make(map[EntityID]int, len(*old))
+	for k, v := range *old {
+		if k != id {
+			next[k] = v
+		}
+	}
+	s.m.Store(&next)
 }
 
-// Locate returns the authoritative location of id.
-func (n *Network) Locate(id EntityID) (int, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	pe, ok := n.loc[id]
-	if !ok {
-		return 0, fmt.Errorf("comm: entity %d is not registered", id)
+// store clones the shard map with id set to pe. Caller holds s.mu.
+func (s *locShard) store(id EntityID, pe int) {
+	old := s.m.Load()
+	var next map[EntityID]int
+	if old == nil {
+		next = map[EntityID]int{id: pe}
+	} else {
+		next = make(map[EntityID]int, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+		next[id] = pe
 	}
-	return pe, nil
+	s.m.Store(&next)
+}
+
+// Locate returns the authoritative location of id. It takes no lock:
+// one atomic load of the entity's directory shard plus a map probe.
+func (n *Network) Locate(id EntityID) (int, error) {
+	if m := n.shard(id).m.Load(); m != nil {
+		if pe, ok := (*m)[id]; ok {
+			return pe, nil
+		}
+	}
+	return 0, fmt.Errorf("comm: entity %d is not registered", id)
 }
 
 // MigrateEntity moves id's authoritative location to PE to. Old cache
@@ -129,20 +192,25 @@ func (n *Network) MigrateEntity(id EntityID, to int) error {
 	if to < 0 || to >= len(n.endpoints) {
 		return fmt.Errorf("comm: MigrateEntity(%d): PE %d out of range", id, to)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.loc[id]; !ok {
+	s := n.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.m.Load()
+	if m == nil {
 		return fmt.Errorf("comm: entity %d is not registered", id)
 	}
-	n.loc[id] = to
+	if _, ok := (*m)[id]; !ok {
+		return fmt.Errorf("comm: entity %d is not registered", id)
+	}
+	s.store(id, to)
 	return nil
 }
 
 // Stats returns (messages sent, forwarding hops, payload bytes).
+// Sends and payload bytes are counted once per Send call — including
+// re-sends of a message that already carries hops — at entry.
 func (n *Network) Stats() (sent, forwards, bytes uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.sent, n.forwards, n.bytes
+	return n.sent.Load(), n.forwards.Load(), n.bytes.Load()
 }
 
 // Endpoint is one PE's attachment to the network: an inbox plus a
@@ -151,11 +219,18 @@ type Endpoint struct {
 	net *Network
 	pe  int
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	inbox []*Message
-	cache map[EntityID]int
-	hook  func() // optional wakeup hook (scheduler integration)
+	// cache is the PE's copy-on-write location cache: reads are one
+	// atomic load, and the map is cloned (under cacheMu) only when an
+	// entry actually changes — first contact with an entity, or the
+	// correction after a forwarding hop.
+	cacheMu sync.Mutex
+	cache   atomic.Pointer[map[EntityID]int]
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   msgRing
+	waiters int
+	hook    func() // optional wakeup hook (scheduler integration)
 }
 
 // PE returns the endpoint's processor index.
@@ -169,57 +244,73 @@ func (e *Endpoint) SetWakeHook(fn func()) {
 	e.mu.Unlock()
 }
 
+// noteLocation records id→pe in the location cache if the entry is
+// new or changed.
+func (e *Endpoint) noteLocation(id EntityID, pe int) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	old := e.cache.Load()
+	if old != nil {
+		if cur, ok := (*old)[id]; ok && cur == pe {
+			return
+		}
+	}
+	var next map[EntityID]int
+	if old == nil {
+		next = map[EntityID]int{id: pe}
+	} else {
+		next = make(map[EntityID]int, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+		next[id] = pe
+	}
+	e.cache.Store(&next)
+}
+
 // Send routes msg from this endpoint's PE toward msg.To, charging one
 // hop of latency per delivery attempt. Stale location caches produce
 // forwarding hops; the cache self-corrects afterwards.
+//
+// The cached location decides where the message physically goes
+// first; one authoritative directory lookup decides whether that PE
+// was the right one. A stale cache therefore costs a forwarding hop
+// from the wrong PE to the right one, exactly like the two-Locate
+// protocol it replaces, at half the directory traffic.
 func (e *Endpoint) Send(msg *Message) error {
 	if msg == nil {
 		return fmt.Errorf("comm: Send(nil)")
 	}
-	// Where do we *think* the entity is?
-	e.mu.Lock()
-	dest, cached := e.cache[msg.To]
-	e.mu.Unlock()
-	if !cached {
-		var err error
-		dest, err = e.net.Locate(msg.To)
-		if err != nil {
-			return err
-		}
-	}
-	msg.Hops++
-	msg.Arrival = msg.SendTime + e.net.lat.Cost(len(msg.Data))
-	if msg.Hops == 1 {
-		e.net.mu.Lock()
-		e.net.sent++
-		e.net.bytes += uint64(len(msg.Data))
-		e.net.mu.Unlock()
-	}
-
-	target := e.net.endpoints[dest]
-	// The entity may have moved since our cache entry: the target PE
-	// checks authority and forwards if needed.
 	actual, err := e.net.Locate(msg.To)
 	if err != nil {
 		return err
 	}
-	if actual != dest {
+	// Stats are counted at entry: every Send call is one send of
+	// len(Data) payload bytes, whatever hop count the message already
+	// carries (a caller retrying a message must not be invisible).
+	e.net.sent.Add(1)
+	e.net.bytes.Add(uint64(len(msg.Data)))
+
+	dest, cached := actual, false
+	if m := e.cache.Load(); m != nil {
+		if d, ok := (*m)[msg.To]; ok {
+			dest, cached = d, true
+		}
+	}
+	msg.Hops++
+	msg.Arrival = msg.SendTime + e.net.lat.Cost(len(msg.Data))
+	if dest != actual {
 		// Stale: the wrong PE received it and forwards. Correct our
 		// cache and re-send from the wrong PE, costing another hop.
-		e.net.mu.Lock()
-		e.net.forwards++
-		e.net.mu.Unlock()
-		e.mu.Lock()
-		e.cache[msg.To] = actual
-		e.mu.Unlock()
-		fwd := e.net.endpoints[dest]
+		e.net.forwards.Add(1)
+		e.noteLocation(msg.To, actual)
 		msg.SendTime = msg.Arrival // forwarding leaves on arrival
-		return fwd.forward(msg, actual)
+		return e.net.endpoints[dest].forward(msg, actual)
 	}
-	e.mu.Lock()
-	e.cache[msg.To] = dest
-	e.mu.Unlock()
-	target.deliver(msg)
+	if !cached {
+		e.noteLocation(msg.To, actual)
+	}
+	e.net.endpoints[dest].deliver(msg)
 	return nil
 }
 
@@ -235,9 +326,11 @@ func (e *Endpoint) forward(msg *Message, to int) error {
 // deliver appends msg to the inbox and wakes any waiter.
 func (e *Endpoint) deliver(msg *Message) {
 	e.mu.Lock()
-	e.inbox = append(e.inbox, msg)
+	e.inbox.push(msg)
+	if e.waiters > 0 {
+		e.cond.Broadcast()
+	}
 	hook := e.hook
-	e.cond.Broadcast()
 	e.mu.Unlock()
 	if hook != nil {
 		hook()
@@ -247,12 +340,8 @@ func (e *Endpoint) deliver(msg *Message) {
 // Poll removes and returns the oldest inbox message, or nil.
 func (e *Endpoint) Poll() *Message {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if len(e.inbox) == 0 {
-		return nil
-	}
-	m := e.inbox[0]
-	e.inbox = e.inbox[1:]
+	m := e.inbox.pop()
+	e.mu.Unlock()
 	return m
 }
 
@@ -260,17 +349,17 @@ func (e *Endpoint) Poll() *Message {
 func (e *Endpoint) Recv() *Message {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for len(e.inbox) == 0 {
+	for e.inbox.len() == 0 {
+		e.waiters++
 		e.cond.Wait()
+		e.waiters--
 	}
-	m := e.inbox[0]
-	e.inbox = e.inbox[1:]
-	return m
+	return e.inbox.pop()
 }
 
 // Pending returns the inbox depth.
 func (e *Endpoint) Pending() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.inbox)
+	return e.inbox.len()
 }

@@ -216,6 +216,32 @@ func TestForwardingChainBounded(t *testing.T) {
 	if m := n.Endpoint(3).Recv(); m.Hops != 1 {
 		t.Errorf("cache not corrected: %d hops", m.Hops)
 	}
+	sent, forwards, _ := n.Stats()
+	if sent != 3 || forwards != 1 {
+		t.Errorf("stats = %d sent, %d forwards; want 3, 1", sent, forwards)
+	}
+}
+
+// TestStatsCountResends: re-sending a message object that already
+// carries hops (a retry) is one more send of its payload. The old
+// implementation gated sent/bytes on msg.Hops == 1 — computed after
+// incrementing Hops — so every retry silently vanished from the
+// counters.
+func TestStatsCountResends(t *testing.T) {
+	n := NewNetwork(2, LatencyModel{})
+	if err := n.Register(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	msg := &Message{To: 1, Data: make([]byte, 10)}
+	for i := 0; i < 3; i++ {
+		if err := n.Endpoint(0).Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sent, _, bytes := n.Stats()
+	if sent != 3 || bytes != 30 {
+		t.Errorf("stats = %d sent, %d bytes; want 3 sent, 30 bytes", sent, bytes)
+	}
 }
 
 // TestInOrderPerSenderPair: messages from one sender to one entity

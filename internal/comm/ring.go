@@ -1,0 +1,47 @@
+package comm
+
+// msgRing is a growable FIFO of messages backed by a power-of-two
+// ring buffer. The previous inbox was a plain slice popped with
+// `inbox = inbox[1:]`, which strands consumed slots in the backing
+// array (append can never reuse them) and so re-allocates under any
+// sustained traffic; the ring reuses its buffer indefinitely and only
+// grows when the queue depth itself grows.
+type msgRing struct {
+	buf  []*Message
+	head int // index of oldest element
+	n    int // number of elements
+}
+
+func (r *msgRing) len() int { return r.n }
+
+func (r *msgRing) push(m *Message) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
+	r.n++
+}
+
+func (r *msgRing) pop() *Message {
+	if r.n == 0 {
+		return nil
+	}
+	m := r.buf[r.head]
+	r.buf[r.head] = nil // release for GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return m
+}
+
+func (r *msgRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	next := make([]*Message, size)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = next
+	r.head = 0
+}

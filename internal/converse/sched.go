@@ -19,14 +19,15 @@ import (
 type Scheduler struct {
 	pe *PE
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	ready   readyQueue
-	seq     uint64 // FIFO tiebreak within a priority
-	live    int    // threads created and not yet exited/migrated away
-	threads map[ID]*Thread
-	current *Thread
-	stop    bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ready    readyQueue
+	byThread map[*Thread]*readyItem // ready-queue membership, for O(log n) removal
+	seq      uint64                 // FIFO tiebreak within a priority
+	live     int                    // threads created and not yet exited/migrated away
+	threads  map[ID]*Thread
+	current  *Thread
+	stop     bool
 
 	switches uint64 // context switches performed (stats)
 
@@ -37,10 +38,15 @@ type Scheduler struct {
 	// onIdle, when set, is invoked (without locks) each time the
 	// ready queue empties during Run; return false to stop the loop.
 	onIdle func() bool
+
+	// onWake, when set, is invoked (without locks) each time a thread
+	// becomes runnable here; the machine layer uses it to wake an idle
+	// PE blocked outside the scheduler's own condvar.
+	onWake func()
 }
 
 func newScheduler(pe *PE) *Scheduler {
-	s := &Scheduler{pe: pe, threads: make(map[ID]*Thread)}
+	s := &Scheduler{pe: pe, threads: make(map[ID]*Thread), byThread: make(map[*Thread]*readyItem)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -94,6 +100,15 @@ func (s *Scheduler) SetMigrateHandler(fn func(t *Thread, dest int)) {
 func (s *Scheduler) SetIdleHandler(fn func() bool) {
 	s.mu.Lock()
 	s.onIdle = fn
+	s.mu.Unlock()
+}
+
+// SetWakeHook wires a callback fired whenever a thread is enqueued on
+// this scheduler (e.g. an Awaken from another PE). It runs without
+// scheduler locks held and must be cheap and thread-safe.
+func (s *Scheduler) SetWakeHook(fn func()) {
+	s.mu.Lock()
+	s.onWake = fn
 	s.mu.Unlock()
 }
 
@@ -187,9 +202,23 @@ func (s *Scheduler) Start(t *Thread) {
 func (s *Scheduler) enqueue(t *Thread) {
 	s.mu.Lock()
 	s.seq++
-	heap.Push(&s.ready, readyItem{t: t, prio: t.prio, seq: s.seq})
+	it := &readyItem{t: t, prio: t.prio, seq: s.seq}
+	heap.Push(&s.ready, it)
+	s.byThread[t] = it
 	s.cond.Broadcast()
+	wake := s.onWake
 	s.mu.Unlock()
+	if wake != nil {
+		wake()
+	}
+}
+
+// popLocked removes and returns the highest-priority ready thread.
+// Caller holds s.mu and has checked the queue is non-empty.
+func (s *Scheduler) popLocked() *Thread {
+	it := heap.Pop(&s.ready).(*readyItem)
+	delete(s.byThread, it.t)
+	return it.t
 }
 
 // Evict prepares a non-running thread for external (forced)
@@ -216,17 +245,19 @@ func (s *Scheduler) Evict(t *Thread) (wasSuspended bool, err error) {
 	return false, fmt.Errorf("converse: Evict: thread %d is %s; only Ready or Suspended threads can be evicted", t.id, t.state)
 }
 
-// removeReady deletes t from the ready queue.
+// removeReady deletes t from the ready queue. The membership map
+// makes this O(log n) — an Evict of one Ready thread among thousands
+// no longer scans the whole queue.
 func (s *Scheduler) removeReady(t *Thread) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i := range s.ready {
-		if s.ready[i].t == t {
-			heap.Remove(&s.ready, i)
-			return true
-		}
+	it, ok := s.byThread[t]
+	if !ok {
+		return false
 	}
-	return false
+	heap.Remove(&s.ready, it.index)
+	delete(s.byThread, t)
+	return true
 }
 
 // AdoptSuspended takes ownership of an externally migrated thread
@@ -242,6 +273,7 @@ func (s *Scheduler) AdoptSuspended(t *Thread) {
 		t.mu.Unlock()
 		s.mu.Lock()
 		s.live++
+		s.threads[t.id] = t
 		s.mu.Unlock()
 		s.enqueue(t)
 		return
@@ -311,9 +343,9 @@ func (s *Scheduler) Run() {
 			s.mu.Unlock()
 			return
 		}
-		item := heap.Pop(&s.ready).(readyItem)
+		t := s.popLocked()
 		s.mu.Unlock()
-		s.runThread(item.t)
+		s.runThread(t)
 	}
 }
 
@@ -331,7 +363,7 @@ func (s *Scheduler) tryDequeue() *Thread {
 	if s.ready.Len() == 0 {
 		return nil
 	}
-	return heap.Pop(&s.ready).(readyItem).t
+	return s.popLocked()
 }
 
 // runThread performs one full context switch cycle: switch the thread
@@ -463,14 +495,16 @@ func (s *Scheduler) reap(t *Thread) {
 }
 
 // readyQueue is a priority heap: lower priority value runs first,
-// FIFO within a priority.
+// FIFO within a priority. Items carry their heap index so the
+// byThread map can remove an arbitrary thread in O(log n).
 type readyItem struct {
-	t    *Thread
-	prio int
-	seq  uint64
+	t     *Thread
+	prio  int
+	seq   uint64
+	index int
 }
 
-type readyQueue []readyItem
+type readyQueue []*readyItem
 
 func (q readyQueue) Len() int { return len(q) }
 func (q readyQueue) Less(i, j int) bool {
@@ -479,12 +513,22 @@ func (q readyQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *readyQueue) Push(x any)   { *q = append(*q, x.(readyItem)) }
+func (q readyQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *readyQueue) Push(x any) {
+	it := x.(*readyItem)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
 func (q *readyQueue) Pop() any {
 	old := *q
 	n := len(old)
 	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
 	*q = old[:n-1]
 	return it
 }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"migflow/internal/comm"
+	"migflow/internal/converse"
+	"migflow/internal/migrate"
+)
+
+// BenchmarkPump measures the message dispatch path under PE
+// concurrency: 8 PEs, each sending to its own local entity and
+// pumping its own inbox. A per-message global handler-table lock
+// serializes all 8 PEs; the benchmark exposes that directly.
+func BenchmarkPump(b *testing.B) {
+	const pes = 8
+	m, err := NewMachine(Config{NumPEs: pes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var handled atomic.Uint64
+	for pe := 0; pe < pes; pe++ {
+		if err := m.RegisterEntity(comm.EntityID(pe+1), pe, func(pe int, msg *comm.Message) {
+			handled.Add(1)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Int64
+	b.SetParallelism(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		pe := int(next.Add(1)-1) % pes
+		ep := m.Network().Endpoint(pe)
+		msg := &comm.Message{To: comm.EntityID(pe + 1)}
+		for pb.Next() {
+			msg.Hops = 0
+			if err := ep.Send(msg); err != nil {
+				b.Error(err)
+				return
+			}
+			if m.Pump(pe) == 0 {
+				b.Error("pump found no message")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkMigrate measures one end-to-end machine-level migration:
+// eviction, PUP round trip, install, directory update, and network
+// cost charging, with the thread's comm entity registered so the
+// location directory is updated on every hop.
+func BenchmarkMigrate(b *testing.B) {
+	m, err := NewMachine(Config{NumPEs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	th, err := m.PE(0).Sched.CthCreate(converse.ThreadOptions{
+		Strategy:  migrate.Isomalloc{},
+		StackSize: 16 << 10,
+	}, func(c *converse.Ctx) {
+		for i := 0; i < n; i++ {
+			c.MigrateTo(1 - c.PE().Index)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Network().Register(comm.EntityID(th.ID()), 0); err != nil {
+		b.Fatal(err)
+	}
+	m.PE(0).Sched.Start(th)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.RunUntilQuiescent()
+	b.StopTimer()
+	count, _ := m.MigrationStats()
+	if count < uint64(n) {
+		b.Fatalf("only %d of %d migrations ran", count, n)
+	}
+}

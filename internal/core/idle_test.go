@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"migflow/internal/converse"
+	"migflow/internal/migrate"
+)
+
+// TestRunParallelQuiescentNoSpin: a machine in RunParallel with
+// nothing to do must block in its wake gates, not poll. Each PE gets
+// one fruitless poll when it first goes idle; across a 100 ms
+// quiescent window no more may accumulate (the old implementation
+// spun through Gosched and racked up millions).
+func TestRunParallelQuiescentNoSpin(t *testing.T) {
+	const pes = 4
+	m, err := NewMachine(Config{NumPEs: pes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done atomic.Bool
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		done.Store(true)
+		m.Wake()
+	}()
+	m.RunParallel(done.Load)
+	if polls := m.IdlePolls(); polls > 2*pes {
+		t.Errorf("quiescent machine made %d idle polls, want ≤ %d (block, don't spin)", polls, 2*pes)
+	}
+}
+
+// TestRunParallelIdlePEDoesNotSpin: while one PE works through a long
+// run of yields, a PE with no work must park on its gate rather than
+// poll in step with its neighbour's context switches.
+func TestRunParallelIdlePEDoesNotSpin(t *testing.T) {
+	m, err := NewMachine(Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done atomic.Bool
+	th, err := m.PE(0).Sched.CthCreate(converse.ThreadOptions{Strategy: migrate.Isomalloc{}}, func(c *converse.Ctx) {
+		for i := 0; i < 200; i++ {
+			c.Yield()
+		}
+		done.Store(true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PE(0).Sched.Start(th)
+	m.RunParallel(done.Load)
+	if polls := m.IdlePolls(); polls > 16 {
+		t.Errorf("idle PE made %d polls during neighbour's 200 yields, want a handful", polls)
+	}
+}

@@ -10,8 +10,8 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"migflow/internal/comm"
 	"migflow/internal/converse"
@@ -59,10 +59,21 @@ type Machine struct {
 
 	// delivery is the fallback invoked for pumped messages whose
 	// entity has no dedicated handler.
-	delivery func(pe int, msg *comm.Message)
+	delivery atomic.Pointer[func(pe int, msg *comm.Message)]
 	// handlers routes pumped messages by destination entity
-	// (registered by AMPI ranks, chare elements, ...).
-	handlers map[comm.EntityID]func(pe int, msg *comm.Message)
+	// (registered by AMPI ranks, chare elements, ...). A sync.Map so
+	// Pump's per-message lookup takes no lock: the table is
+	// read-mostly — entities register once and are looked up on every
+	// message by every PE concurrently.
+	handlers sync.Map // comm.EntityID -> func(pe int, msg *comm.Message)
+
+	// idlePolls counts idle-handler iterations in RunParallel that
+	// polled the network and found nothing — a liveness diagnostic: a
+	// quiescent machine should block, not accumulate these.
+	idlePolls atomic.Uint64
+
+	// gates holds one wake gate per PE while RunParallel is active.
+	gates []*wakeGate
 }
 
 // NewMachine boots the machine: one address space, kernel heap,
@@ -87,10 +98,9 @@ func NewMachine(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:      cfg,
-		net:      comm.NewNetwork(cfg.NumPEs, cfg.Latency),
-		layout:   cfg.Globals,
-		handlers: make(map[comm.EntityID]func(int, *comm.Message)),
+		cfg:    cfg,
+		net:    comm.NewNetwork(cfg.NumPEs, cfg.Latency),
+		layout: cfg.Globals,
 	}
 	for i := 0; i < cfg.NumPEs; i++ {
 		pe, err := converse.NewPE(converse.PEConfig{
@@ -164,9 +174,11 @@ func (m *Machine) MigrationStats() (count, bytes uint64) {
 // SetDeliveryHandler registers the fallback function Pump calls for
 // arriving messages without a per-entity handler.
 func (m *Machine) SetDeliveryHandler(fn func(pe int, msg *comm.Message)) {
-	m.mu.Lock()
-	m.delivery = fn
-	m.mu.Unlock()
+	if fn == nil {
+		m.delivery.Store(nil)
+		return
+	}
+	m.delivery.Store(&fn)
 }
 
 // RegisterEntity places a communication entity on a PE and routes its
@@ -176,18 +188,14 @@ func (m *Machine) RegisterEntity(id comm.EntityID, pe int, handler func(pe int, 
 	if err := m.net.Register(id, pe); err != nil {
 		return err
 	}
-	m.mu.Lock()
-	m.handlers[id] = handler
-	m.mu.Unlock()
+	m.handlers.Store(id, handler)
 	return nil
 }
 
 // DeregisterEntity removes an entity and its handler.
 func (m *Machine) DeregisterEntity(id comm.EntityID) {
 	m.net.Deregister(id)
-	m.mu.Lock()
-	delete(m.handlers, id)
-	m.mu.Unlock()
+	m.handlers.Delete(id)
 }
 
 // migrateThread executes one migration: PUP round trip between the
@@ -232,18 +240,19 @@ func (m *Machine) migrateThread(t *converse.Thread, src, dest int) error {
 // the transport hands it over — otherwise a fast sender's timestamp
 // would serialize a receiver that still has independent work to do.
 func (m *Machine) Pump(pe int) int {
+	ep := m.net.Endpoint(pe)
 	n := 0
 	for {
-		msg := m.net.Endpoint(pe).Poll()
+		msg := ep.Poll()
 		if msg == nil {
 			return n
 		}
-		m.mu.Lock()
-		fn := m.handlers[msg.To]
-		if fn == nil {
-			fn = m.delivery
+		var fn func(int, *comm.Message)
+		if h, ok := m.handlers.Load(msg.To); ok {
+			fn = h.(func(int, *comm.Message))
+		} else if p := m.delivery.Load(); p != nil {
+			fn = *p
 		}
-		m.mu.Unlock()
 		if fn != nil {
 			fn(pe, msg)
 		}
@@ -274,21 +283,50 @@ func (m *Machine) RunUntilQuiescent() {
 }
 
 // RunParallel runs every PE scheduler in its own goroutine — the
-// wall-clock execution mode. Each idle scheduler pumps its inbox and
-// re-checks; when done() reports true, all schedulers stop and
-// RunParallel returns. done is called concurrently and must be
-// thread-safe.
+// wall-clock execution mode. An idle PE pumps its inbox once and, if
+// nothing arrived and nothing became runnable, blocks on its wake
+// gate; message delivery, thread enqueues, and termination all fire
+// the gate, so idle PEs consume no CPU instead of spinning. When
+// done() reports true, all schedulers stop and RunParallel returns.
+//
+// done is called concurrently and must be thread-safe. It is
+// re-evaluated whenever a PE goes idle or is woken; if it flips from
+// a goroutine outside the machine (not a thread body or message
+// handler), call Wake so blocked PEs notice.
 func (m *Machine) RunParallel(done func() bool) {
+	gates := make([]*wakeGate, len(m.pes))
+	for i := range gates {
+		gates[i] = newWakeGate()
+	}
+	m.mu.Lock()
+	m.gates = gates
+	m.mu.Unlock()
+	wakeAll := func() {
+		for _, g := range gates {
+			g.wake()
+		}
+	}
 	var wg sync.WaitGroup
 	for i, pe := range m.pes {
 		i, pe := i, pe
+		ep := m.net.Endpoint(i)
+		ep.SetWakeHook(gates[i].wake)
+		pe.Sched.SetWakeHook(gates[i].wake)
 		pe.Sched.SetIdleHandler(func() bool {
+			// Snapshot the gate BEFORE checking for work: any wake
+			// that fires after this point re-opens the channel we
+			// block on, so a delivery racing with the checks below
+			// cannot be lost.
+			ch := gates[i].arm()
 			if done() {
+				wakeAll() // other PEs may be blocked; have them re-check
 				return false
 			}
-			if m.Pump(i) == 0 {
-				runtime.Gosched() // idle: let other PEs make progress
+			if m.Pump(i) > 0 || pe.Sched.ReadyLen() > 0 {
+				return true
 			}
+			m.idlePolls.Add(1)
+			<-ch
 			return true
 		})
 		wg.Add(1)
@@ -298,4 +336,65 @@ func (m *Machine) RunParallel(done func() bool) {
 		}()
 	}
 	wg.Wait()
+	for i, pe := range m.pes {
+		m.net.Endpoint(i).SetWakeHook(nil)
+		pe.Sched.SetWakeHook(nil)
+	}
+	m.mu.Lock()
+	m.gates = nil
+	m.mu.Unlock()
+}
+
+// Wake re-evaluates every blocked idle PE. Callers that flip the
+// RunParallel done condition from outside the machine use it to make
+// termination observable.
+func (m *Machine) Wake() {
+	m.mu.Lock()
+	gates := m.gates
+	m.mu.Unlock()
+	for _, g := range gates {
+		g.wake()
+	}
+}
+
+// IdlePolls returns how many idle-handler iterations polled the
+// network and found no work since the machine booted. A machine
+// blocked in RunParallel with nothing to do accumulates at most a few
+// per wake event; a busy-spinning implementation accumulates millions.
+func (m *Machine) IdlePolls() uint64 { return m.idlePolls.Load() }
+
+// wakeGate parks one idle PE. armed returns the channel to block on;
+// wake closes the current channel (releasing the waiter) and installs
+// a fresh one. The snapshot-then-check protocol in the idle handler
+// makes wakeups impossible to lose: every wake that matters happens
+// after the snapshot and therefore closes the snapshotted channel.
+// Wakes arriving while the PE is not armed (it is busy running
+// threads) are no-ops, so a busy phase costs deliverers nothing but
+// the flag check.
+type wakeGate struct {
+	mu    sync.Mutex
+	ch    chan struct{}
+	armed bool
+}
+
+func newWakeGate() *wakeGate {
+	return &wakeGate{ch: make(chan struct{})}
+}
+
+func (g *wakeGate) arm() <-chan struct{} {
+	g.mu.Lock()
+	g.armed = true
+	ch := g.ch
+	g.mu.Unlock()
+	return ch
+}
+
+func (g *wakeGate) wake() {
+	g.mu.Lock()
+	if g.armed {
+		close(g.ch)
+		g.ch = make(chan struct{})
+		g.armed = false
+	}
+	g.mu.Unlock()
 }

@@ -16,14 +16,14 @@ type Mapping struct {
 // Mappings returns the space's mapped regions, coalesced into maximal
 // runs of equal protection, sorted by address.
 func (s *Space) Mappings() []Mapping {
-	s.mu.Lock()
+	s.mu.RLock()
 	vpns := make([]uint64, 0, len(s.pages))
 	prots := make(map[uint64]Prot, len(s.pages))
 	for vpn, m := range s.pages {
 		vpns = append(vpns, vpn)
 		prots[vpn] = m.prot
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
 	var out []Mapping
 	for _, vpn := range vpns {
@@ -48,9 +48,9 @@ func (s *Space) Describe() string {
 		fmt.Fprintf(&b, " of %d", lim)
 	}
 	b.WriteByte('\n')
-	s.mu.Lock()
+	s.mu.RLock()
 	reserved := append([]Range(nil), s.reserved...)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	for _, r := range reserved {
 		fmt.Fprintf(&b, "%s-%s  reserved\n", r.Start, r.End())
 	}

@@ -1,5 +1,7 @@
 package vmem
 
+import "sync"
+
 // Frame is one page of simulated physical memory. Frames are
 // reference-counted so that memory-aliasing threads (§3.4.3) can map
 // the same physical page at two virtual addresses (the thread's
@@ -19,6 +21,21 @@ type Frame struct {
 // first Map that installs it takes the first reference.
 func NewFrame() *Frame { return new(Frame) }
 
+// framePool recycles frames that a Space allocated for anonymous Map
+// and fully unmapped again — stack-copy context switches and
+// short-lived arenas churn frames at a rate worth keeping off the
+// garbage collector. Frames installed by callers through MapFrames
+// are never pooled (see Space.Unmap).
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// newPooledFrame returns a zeroed frame from the pool; Map promises
+// zero-filled memory, and pooled frames carry old contents.
+func newPooledFrame() *Frame {
+	f := framePool.Get().(*Frame)
+	clear(f.data[:])
+	return f
+}
+
 // Data returns the frame's backing bytes. Callers must not retain the
 // slice across Unmap of the last mapping.
 func (f *Frame) Data() []byte { return f.data[:] }
@@ -27,7 +44,10 @@ func (f *Frame) Data() []byte { return f.data[:] }
 func (f *Frame) Refs() int { return f.refs }
 
 // mapping is one page-table entry: a frame plus its protection.
+// owned marks frames the space allocated itself (anonymous Map), the
+// only ones eligible for pooling when their last mapping goes away.
 type mapping struct {
 	frame *Frame
 	prot  Prot
+	owned bool
 }

@@ -79,8 +79,8 @@ func (im *SpaceImage) Bytes() int {
 // deep-copied (the destination gets private pages, like fork-and-ship
 // process migration).
 func (s *Space) Snapshot() *SpaceImage {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	im := &SpaceImage{Limit: s.limit}
 	im.Reservations = append(im.Reservations, s.reserved...)
 	vpns := make([]uint64, 0, len(s.pages))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Space is one simulated virtual address space: a page table mapping
@@ -18,7 +19,7 @@ import (
 // physical memory" regions (§3.4.2): they consume virtual size but no
 // frames.
 type Space struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	// limit is the virtual-size budget in bytes (0 = unlimited).
 	limit uint64
@@ -32,6 +33,39 @@ type Space struct {
 	// together with reservedBytes it forms the virtual-size usage.
 	mappedOutside uint64
 	reservedBytes uint64
+
+	// gen counts page-table mutations (map, unmap, protect). Cached
+	// extents record the gen they were built at; a mismatch
+	// invalidates them — the software analogue of a TLB flush.
+	gen atomic.Uint64
+
+	// tlb caches recently resolved extents — maximal runs of
+	// contiguous mapped pages with uniform protection — so the
+	// Read/Write hot path resolves a run once instead of probing the
+	// page map (under the lock) once per touched page.
+	tlbClock atomic.Uint32
+	tlb      [tlbSlots]atomic.Pointer[extent]
+}
+
+const (
+	// tlbSlots is the number of cached extents per space: small and
+	// fully associative, like a hardware micro-TLB. Typical access
+	// streams (stack walk, PUP of one region, heap arena) touch a
+	// handful of distinct runs.
+	tlbSlots = 4
+	// maxExtentPages caps how far an extent resolves in one fill, so
+	// building one stays cheap even inside a multi-megabyte mapping.
+	maxExtentPages = 512
+)
+
+// extent is one resolved run of pages: frames[i] backs page vpn0+i,
+// all with protection prot, valid while the space's gen is unchanged.
+type extent struct {
+	start, end Addr // [start, end) byte range
+	vpn0       uint64
+	prot       Prot
+	frames     []*Frame
+	gen        uint64
 }
 
 // Range is a half-open byte range [Start, Start+Length) of virtual
@@ -68,8 +102,8 @@ func (s *Space) Limit() uint64 { return s.limit }
 // VirtualInUse returns the bytes of virtual address space currently
 // consumed (reservations plus pages mapped outside reservations).
 func (s *Space) VirtualInUse() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.virtualInUseLocked()
 }
 
@@ -79,8 +113,8 @@ func (s *Space) virtualInUseLocked() uint64 {
 
 // MappedPages returns the number of pages with frames installed.
 func (s *Space) MappedPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.pages)
 }
 
@@ -180,14 +214,18 @@ func (s *Space) mapFrames(a Addr, length uint64, prot Prot, frames []*Frame) err
 		return &ErrExhausted{Limit: s.limit, Requested: outside * PageSize, InUse: s.virtualInUseLocked()}
 	}
 	for i := uint64(0); i < n; i++ {
-		f := NewFrame()
-		if frames != nil {
+		var f *Frame
+		owned := frames == nil
+		if owned {
+			f = newPooledFrame()
+		} else {
 			f = frames[i]
 		}
 		f.refs++
-		s.pages[first+i] = &mapping{frame: f, prot: prot}
+		s.pages[first+i] = &mapping{frame: f, prot: prot, owned: owned}
 	}
 	s.mappedOutside += outside
+	s.gen.Add(1)
 	return nil
 }
 
@@ -209,11 +247,19 @@ func (s *Space) Unmap(a Addr, length uint64) error {
 	for vpn := first; vpn < first+n; vpn++ {
 		m := s.pages[vpn]
 		m.frame.refs--
+		if m.frame.refs == 0 && m.owned {
+			// Only frames this space allocated itself are recycled:
+			// frames installed via MapFrames may be retained by the
+			// caller (memory-aliasing stacks keep theirs across
+			// switch-out) and must stay untouched after unmap.
+			framePool.Put(m.frame)
+		}
 		delete(s.pages, vpn)
 		if !s.inReservedLocked(vpn) {
 			s.mappedOutside--
 		}
 	}
+	s.gen.Add(1)
 	return nil
 }
 
@@ -233,6 +279,7 @@ func (s *Space) Protect(a Addr, length uint64, prot Prot) error {
 	for vpn := first; vpn < first+n; vpn++ {
 		s.pages[vpn].prot = prot
 	}
+	s.gen.Add(1)
 	return nil
 }
 
@@ -243,8 +290,8 @@ func (s *Space) Frames(a Addr, length uint64) ([]*Frame, error) {
 	if a.Offset() != 0 || length%PageSize != 0 || length == 0 {
 		return nil, fmt.Errorf("vmem: Frames(%s, %d): range must be non-empty and page-aligned", a, length)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	first, n := a.PageNum(), length/PageSize
 	out := make([]*Frame, 0, n)
 	for vpn := first; vpn < first+n; vpn++ {
@@ -259,8 +306,8 @@ func (s *Space) Frames(a Addr, length uint64) ([]*Frame, error) {
 
 // Mapped reports whether every page of [a, a+length) is mapped.
 func (s *Space) Mapped(a Addr, length uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if length == 0 {
 		length = 1
 	}
@@ -275,43 +322,116 @@ func (s *Space) Mapped(a Addr, length uint64) bool {
 // Read copies len(p) bytes starting at a into p, faulting on unmapped
 // or non-readable pages.
 func (s *Space) Read(a Addr, p []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(p) > 0 {
-		m, ok := s.pages[a.PageNum()]
-		if !ok {
-			return &Fault{Op: OpRead, Addr: a, Reason: "unmapped"}
-		}
-		if m.prot&ProtRead == 0 {
-			return &Fault{Op: OpRead, Addr: a, Reason: "protection"}
-		}
-		off := a.Offset()
-		n := copy(p, m.frame.data[off:])
-		p = p[n:]
-		a = a.Add(uint64(n))
-	}
-	return nil
+	return s.access(a, p, OpRead)
 }
 
 // Write copies p into simulated memory starting at a, faulting on
 // unmapped or non-writable pages.
 func (s *Space) Write(a Addr, p []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.access(a, p, OpWrite)
+}
+
+// access is the shared Read/Write engine. It resolves the extent
+// covering a — from the TLB when possible, from the page table under
+// a read lock otherwise — checks protection once per extent, and then
+// copies page-by-page without touching the lock or the page map.
+//
+// The fast path is lock-free: an extent is trusted only while the
+// space's gen matches the gen it was built at, so any map, unmap or
+// protect since forces re-resolution. As with real memory, accessing
+// a range concurrently with unmapping it is a caller bug; the copy
+// then linearizes before the unmap.
+func (s *Space) access(a Addr, p []byte, op AccessOp) error {
+	need := ProtRead
+	if op == OpWrite {
+		need = ProtWrite
+	}
 	for len(p) > 0 {
-		m, ok := s.pages[a.PageNum()]
-		if !ok {
-			return &Fault{Op: OpWrite, Addr: a, Reason: "unmapped"}
+		e := s.tlbFind(a)
+		if e == nil {
+			var err error
+			e, err = s.tlbFill(a, op)
+			if err != nil {
+				return err
+			}
 		}
-		if m.prot&ProtWrite == 0 {
-			return &Fault{Op: OpWrite, Addr: a, Reason: "protection"}
+		if e.prot&need == 0 {
+			return &Fault{Op: op, Addr: a, Reason: "protection"}
 		}
-		off := a.Offset()
-		n := copy(m.frame.data[off:], p)
-		p = p[n:]
-		a = a.Add(uint64(n))
+		for len(p) > 0 && a < e.end {
+			f := e.frames[a.PageNum()-e.vpn0]
+			off := a.Offset()
+			var n int
+			if op == OpWrite {
+				n = copy(f.data[off:], p)
+			} else {
+				n = copy(p, f.data[off:])
+			}
+			p = p[n:]
+			a = a.Add(uint64(n))
+		}
 	}
 	return nil
+}
+
+// tlbFind returns a cached extent containing a, or nil.
+func (s *Space) tlbFind(a Addr) *extent {
+	g := s.gen.Load()
+	for i := range s.tlb {
+		e := s.tlb[i].Load()
+		if e != nil && e.gen == g && a >= e.start && a < e.end {
+			return e
+		}
+	}
+	return nil
+}
+
+// tlbFill resolves the extent containing a from the page table and
+// caches it, evicting round-robin. It faults if a is unmapped.
+func (s *Space) tlbFill(a Addr, op AccessOp) (*extent, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vpn := a.PageNum()
+	m, ok := s.pages[vpn]
+	if !ok {
+		return nil, &Fault{Op: op, Addr: a, Reason: "unmapped"}
+	}
+	prot := m.prot
+	// Grow the run backward a little and forward a lot (forward is the
+	// streaming direction), stopping at unmapped pages, protection
+	// changes, or the size cap.
+	lo := vpn
+	for vpn-lo < maxExtentPages/2 && lo > 0 {
+		mm, ok := s.pages[lo-1]
+		if !ok || mm.prot != prot {
+			break
+		}
+		lo--
+	}
+	hi := vpn
+	for hi-lo+1 < maxExtentPages {
+		mm, ok := s.pages[hi+1]
+		if !ok || mm.prot != prot {
+			break
+		}
+		hi++
+	}
+	e := &extent{
+		start:  Addr(lo << PageShift),
+		end:    Addr((hi + 1) << PageShift),
+		vpn0:   lo,
+		prot:   prot,
+		frames: make([]*Frame, hi-lo+1),
+		// gen is stable here: mutators hold the write lock when they
+		// bump it, and we hold the read lock.
+		gen: s.gen.Load(),
+	}
+	for i := range e.frames {
+		e.frames[i] = s.pages[lo+uint64(i)].frame
+	}
+	slot := s.tlbClock.Add(1) % tlbSlots
+	s.tlb[slot].Store(e)
+	return e, nil
 }
 
 // CopyOut reads length bytes at a into a fresh buffer.
