@@ -25,6 +25,8 @@ HOTPATH_PKGS = ./internal/comm/ ./internal/core/ ./internal/vmem/
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' $(HOTPATH_PKGS) | tee bench_output.txt
 	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_hotpath.json
+	$(GO) test -bench 'BenchmarkMigrate|BenchmarkLBStep' -benchmem -run '^$$' ./internal/migrate/ | tee bench_migrate_output.txt
+	$(GO) run ./cmd/benchjson < bench_migrate_output.txt > BENCH_migrate.json
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...
@@ -52,5 +54,5 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_migrate_output.txt
 	rm -rf figures

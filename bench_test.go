@@ -509,7 +509,8 @@ func BenchmarkMigration(b *testing.B) {
 
 // BenchmarkPUP measures serialization throughput of the PUP framework.
 func BenchmarkPUP(b *testing.B) {
-	im := &converse.StackImage{Strategy: "isomalloc", Base: 0x40000000, Size: 64 << 10, Data: make([]byte, 64<<10)}
+	im := &converse.StackImage{Strategy: "isomalloc", Base: 0x40000000, Size: 64 << 10,
+		Runs: []vmem.Run{{Addr: 0x40000000, Data: make([]byte, 64<<10)}}}
 	b.Run("pack-64KB-stack", func(b *testing.B) {
 		b.SetBytes(64 << 10)
 		for i := 0; i < b.N; i++ {

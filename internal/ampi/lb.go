@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"migflow/internal/converse"
+	"migflow/internal/core"
 	"migflow/internal/loadbalance"
 )
 
@@ -69,8 +70,10 @@ func (j *Job) planForEpoch(epoch uint64, strategy loadbalance.Strategy) loadbala
 // *outside* the job at a quiescent point, it plans over the measured
 // loads and moves ranks with forced (external) migration — no
 // MPI_Migrate call appears in the application at all. Ranks blocked
-// in Recv keep waiting on their new PE. It returns the number of
-// ranks moved.
+// in Recv keep waiting on their new PE. The whole plan is issued as
+// ONE bulk batch (core.Machine.MigrateMany), so extraction on the
+// overloaded PEs overlaps installation on the underloaded ones. It
+// returns the number of ranks moved.
 func (j *Job) Rebalance(strategy loadbalance.Strategy) (int, error) {
 	if strategy == nil {
 		return 0, fmt.Errorf("ampi: Rebalance: nil strategy")
@@ -81,7 +84,7 @@ func (j *Job) Rebalance(strategy loadbalance.Strategy) (int, error) {
 	} else {
 		plan = strategy.Plan(j.LoadDatabase(), j.m.NumPEs())
 	}
-	moved := 0
+	var moves []core.Move
 	for _, rk := range j.ranks {
 		if rk.th.State() == converse.Exited {
 			continue
@@ -90,10 +93,11 @@ func (j *Job) Rebalance(strategy loadbalance.Strategy) (int, error) {
 		if !ok || dest == rk.th.Scheduler().PE().Index {
 			continue
 		}
-		if err := j.m.MigrateExternal(rk.th, dest); err != nil {
-			return moved, fmt.Errorf("ampi: Rebalance: rank %d: %w", rk.rank, err)
-		}
-		moved++
+		moves = append(moves, core.Move{T: rk.th, Dest: dest})
+	}
+	moved, err := j.m.MigrateMany(moves)
+	if err != nil {
+		return moved, fmt.Errorf("ampi: Rebalance: %w", err)
 	}
 	for _, rk := range j.ranks {
 		rk.th.ResetCPUTime()

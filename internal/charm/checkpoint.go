@@ -52,15 +52,23 @@ func (a *Array) Checkpoint() ([]byte, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	im := &arrayImage{N: a.n}
+	// One pooled packer, Reset per element: the buffer converges on
+	// the largest element and the loop stops allocating wire buffers
+	// (each element's exact-size image is still copied out, since it
+	// must outlive the packer).
+	p := pup.AcquirePacker()
+	defer p.Release()
 	for i := 0; i < a.n; i++ {
 		el := a.elements[i]
 		if el == nil {
 			return nil, fmt.Errorf("charm: Checkpoint: element %d is migrating", i)
 		}
-		data, err := pup.Pack(el)
-		if err != nil {
+		p.Reset()
+		if err := el.Pup(p); err != nil {
 			return nil, fmt.Errorf("charm: Checkpoint: element %d: %w", i, err)
 		}
+		data := make([]byte, len(p.PackedBytes()))
+		copy(data, p.PackedBytes())
 		im.Elems = append(im.Elems, data)
 		im.PEs = append(im.PEs, uint64(a.pe[i]))
 	}
@@ -91,15 +99,19 @@ func (a *Array) CheckpointToBuddies() (*BuddyCheckpoint, error) {
 		return nil, fmt.Errorf("charm: buddy checkpoint needs ≥ 2 PEs")
 	}
 	ck := &BuddyCheckpoint{n: a.n}
+	p := pup.AcquirePacker()
+	defer p.Release()
 	for i := 0; i < a.n; i++ {
 		el := a.elements[i]
 		if el == nil {
 			return nil, fmt.Errorf("charm: CheckpointToBuddies: element %d is migrating", i)
 		}
-		data, err := pup.Pack(el)
-		if err != nil {
+		p.Reset()
+		if err := el.Pup(p); err != nil {
 			return nil, fmt.Errorf("charm: CheckpointToBuddies: element %d: %w", i, err)
 		}
+		data := make([]byte, len(p.PackedBytes()))
+		copy(data, p.PackedBytes())
 		ck.images = append(ck.images, data)
 		ck.homePE = append(ck.homePE, a.pe[i])
 		ck.buddy = append(ck.buddy, (a.pe[i]+1)%numPEs)

@@ -27,14 +27,20 @@ type StackRef interface {
 	Size() uint64
 }
 
-// StackImage is the wire form of a stack: what migration ships. Data
-// holds page contents starting at Base (full pages).
+// StackImage is the wire form of a stack: what migration ships. The
+// image is sparse — Runs carries only the pages the thread actually
+// dirtied, each a whole-page-aligned span of [Base, Base+Size), and
+// Install zero-fills everything unshipped — so migration bytes are
+// proportional to live stack, not allocated stack (Figure 11).
 type StackImage struct {
 	Strategy string
 	Base     uint64
 	Size     uint64
-	Data     []byte
+	Runs     []vmem.Run
 }
+
+// Payload returns the stack data bytes the image ships.
+func (im *StackImage) Payload() int { return vmem.RunsPayload(im.Runs) }
 
 // Pup serializes the image (pup.Pupable).
 func (im *StackImage) Pup(p *pup.PUPer) error {
@@ -47,7 +53,7 @@ func (im *StackImage) Pup(p *pup.PUPer) error {
 	if err := p.Uint64(&im.Size); err != nil {
 		return err
 	}
-	return p.Bytes(&im.Data)
+	return vmem.PupRuns(p, &im.Runs)
 }
 
 // StackStrategy is one of the paper's three techniques for keeping a

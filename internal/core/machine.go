@@ -209,12 +209,18 @@ func (m *Machine) migrateThread(t *converse.Thread, src, dest int) error {
 	if err != nil {
 		return err
 	}
-	// The image crossed the network: charge the postal model and
-	// synchronize the destination clock.
+	return m.finishMigration(t, src, dest, nbytes)
+}
+
+// finishMigration is the machine-level bookkeeping shared by every
+// migration path (self-initiated, external, bulk): the image crossed
+// the network, so charge the postal model and synchronize the
+// destination clock, forward the thread's communication endpoint if
+// registered, and account stats and trace events.
+func (m *Machine) finishMigration(t *converse.Thread, src, dest, nbytes int) error {
 	cost := m.net.Latency().Cost(nbytes)
 	arrive := m.pes[src].Clock.Now() + cost
 	m.pes[dest].Clock.AdvanceTo(arrive)
-	// Forward the thread's communication endpoint if registered.
 	if _, err := m.net.Locate(comm.EntityID(t.ID())); err == nil {
 		if err := m.net.MigrateEntity(comm.EntityID(t.ID()), dest); err != nil {
 			return err

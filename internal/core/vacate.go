@@ -3,10 +3,8 @@ package core
 import (
 	"fmt"
 
-	"migflow/internal/comm"
 	"migflow/internal/converse"
 	"migflow/internal/migrate"
-	"migflow/internal/trace"
 )
 
 // MigrateExternal forcibly moves a non-running thread (Ready or
@@ -26,31 +24,63 @@ func (m *Machine) MigrateExternal(t *converse.Thread, dest int) error {
 	if err != nil {
 		return err
 	}
-	cost := m.net.Latency().Cost(nbytes)
-	m.pes[dest].Clock.AdvanceTo(src.Clock.Now() + cost)
-	if _, err := m.net.Locate(comm.EntityID(t.ID())); err == nil {
-		if err := m.net.MigrateEntity(comm.EntityID(t.ID()), dest); err != nil {
-			return err
-		}
-	}
-	m.mu.Lock()
-	m.migrations++
-	m.migBytes += uint64(nbytes)
-	tlog := m.tlog
-	m.mu.Unlock()
-	if tlog != nil {
-		tlog.Record(trace.Event{TimeNs: src.Clock.Now(), PE: src.Index, Kind: trace.EvMigrateOut, Thread: uint64(t.ID()), Arg: uint64(dest)})
-		tlog.Record(trace.Event{TimeNs: src.Clock.Now() + cost, PE: dest, Kind: trace.EvMigrateIn, Thread: uint64(t.ID()), Arg: uint64(nbytes)})
-	}
-	return nil
+	return m.finishMigration(t, src.Index, dest, nbytes)
 }
 
-// Vacate evacuates every thread from PE pe, spreading them round-
-// robin over the surviving PEs — the paper's proactive
-// fault-tolerance scenario ("to vacate a node that is expected to
-// fail or be shut down", §3). The PE must be quiescent (no Running
-// thread): call from outside the machine's scheduling loops, or
-// after RunUntilQuiescent. It returns how many threads moved.
+// Move is one entry in a batch migration: thread T goes to PE Dest.
+type Move struct {
+	T    *converse.Thread
+	Dest int
+}
+
+// MigrateMany moves a batch of non-running threads in one pipelined
+// bulk operation (migrate.BulkMigrate): extraction and serialization
+// on the source PEs overlap installation on the destinations across a
+// bounded worker pool, so one load-balancing step issues one batch
+// instead of N serial extract→install round trips. Moves whose thread
+// is already on its destination are skipped. It returns how many
+// threads moved and the first error encountered; a failed move does
+// not abort the rest of the batch.
+func (m *Machine) MigrateMany(moves []Move) (int, error) {
+	ops := make([]migrate.Op, 0, len(moves))
+	for _, mv := range moves {
+		if mv.Dest < 0 || mv.Dest >= len(m.pes) {
+			return 0, fmt.Errorf("core: MigrateMany: PE %d out of range", mv.Dest)
+		}
+		src := mv.T.Scheduler().PE()
+		if src.Index == mv.Dest {
+			continue
+		}
+		ops = append(ops, migrate.Op{T: mv.T, Src: src, Dst: m.pes[mv.Dest]})
+	}
+	results := migrate.BulkMigrate(ops, m.layout, 0)
+	moved := 0
+	var firstErr error
+	for i, res := range results {
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: MigrateMany: thread %d: %w", ops[i].T.ID(), res.Err)
+			}
+			continue
+		}
+		if err := m.finishMigration(ops[i].T, ops[i].Src.Index, ops[i].Dst.Index, res.Bytes); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		moved++
+	}
+	return moved, firstErr
+}
+
+// Vacate evacuates every thread from PE pe in one bulk batch,
+// spreading them round-robin over the surviving PEs — the paper's
+// proactive fault-tolerance scenario ("to vacate a node that is
+// expected to fail or be shut down", §3). The PE must be quiescent
+// (no Running thread): call from outside the machine's scheduling
+// loops, or after RunUntilQuiescent. It returns how many threads
+// moved.
 func (m *Machine) Vacate(pe int) (int, error) {
 	if pe < 0 || pe >= len(m.pes) {
 		return 0, fmt.Errorf("core: Vacate: PE %d out of range", pe)
@@ -58,17 +88,18 @@ func (m *Machine) Vacate(pe int) (int, error) {
 	if len(m.pes) < 2 {
 		return 0, fmt.Errorf("core: Vacate: no surviving PE to evacuate to")
 	}
-	moved := 0
+	var moves []Move
 	next := 0
 	for _, t := range m.pes[pe].Sched.Threads() {
 		if next == pe {
 			next = (next + 1) % len(m.pes)
 		}
-		if err := m.MigrateExternal(t, next); err != nil {
-			return moved, fmt.Errorf("core: Vacate PE %d: thread %d: %w", pe, t.ID(), err)
-		}
-		moved++
+		moves = append(moves, Move{T: t, Dest: next})
 		next = (next + 1) % len(m.pes)
+	}
+	moved, err := m.MigrateMany(moves)
+	if err != nil {
+		return moved, fmt.Errorf("core: Vacate PE %d: %w", pe, err)
 	}
 	return moved, nil
 }

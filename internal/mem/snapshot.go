@@ -8,23 +8,23 @@ import (
 	"migflow/internal/vmem"
 )
 
-// PageData is one page's contents in a heap image.
-type PageData struct {
-	VPN  uint64
-	Data []byte
-}
-
 // HeapImage is the serialized form of one heap arena: its region, its
 // live blocks (the allocation metadata that must travel with a
-// migrating thread) and the contents of its mapped pages.
+// migrating thread) and a sparse image of its mapped pages. Runs
+// carries only pages the owner actually dirtied; RestoreHeap maps
+// every block-referenced page zero-filled and overlays the runs, so
+// heap bytes on the wire are proportional to written data, not to
+// allocation footprint.
 type HeapImage struct {
 	Start  uint64
 	Length uint64
 	Blocks []Block
-	Pages  []PageData
+	Runs   []vmem.Run
 }
 
-// Pup implements pup.Pupable.
+// Pup implements pup.Pupable. The block count is validated against
+// the remaining buffer before allocation (corrupt images cannot force
+// a huge make), mirroring vmem.PupRuns for the page runs.
 func (im *HeapImage) Pup(p *pup.PUPer) error {
 	if err := p.Uint64(&im.Start); err != nil {
 		return err
@@ -37,6 +37,10 @@ func (im *HeapImage) Pup(p *pup.PUPer) error {
 		return err
 	}
 	if p.IsUnpacking() {
+		const blockWire = 16 // addr + size
+		if int64(nb)*blockWire > int64(p.Remaining()) {
+			return fmt.Errorf("mem: corrupt image: %d blocks claimed with %d bytes remaining", nb, p.Remaining())
+		}
 		im.Blocks = make([]Block, nb)
 	}
 	for i := range im.Blocks {
@@ -49,26 +53,13 @@ func (im *HeapImage) Pup(p *pup.PUPer) error {
 		}
 		im.Blocks[i].Addr = vmem.Addr(a)
 	}
-	np := uint32(len(im.Pages))
-	if err := p.Uint32(&np); err != nil {
-		return err
-	}
-	if p.IsUnpacking() {
-		im.Pages = make([]PageData, np)
-	}
-	for i := range im.Pages {
-		if err := p.Uint64(&im.Pages[i].VPN); err != nil {
-			return err
-		}
-		if err := p.Bytes(&im.Pages[i].Data); err != nil {
-			return err
-		}
-	}
-	return nil
+	return vmem.PupRuns(p, &im.Runs)
 }
 
-// Snapshot captures the heap for migration: blocks plus mapped page
-// contents, read out of the current address space.
+// Snapshot captures the heap for migration: blocks plus the dirty
+// mapped pages, read out of the current address space in one sparse
+// pass. Dirty bits are left standing — a heap that is snapshotted
+// twice without migrating must produce the same image twice.
 func (h *Heap) Snapshot() (*HeapImage, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -77,18 +68,11 @@ func (h *Heap) Snapshot() (*HeapImage, error) {
 		im.Blocks = append(im.Blocks, Block{a, s})
 	}
 	sort.Slice(im.Blocks, func(i, j int) bool { return im.Blocks[i].Addr < im.Blocks[j].Addr })
-	vpns := make([]uint64, 0, len(h.pageRef))
-	for vpn := range h.pageRef {
-		vpns = append(vpns, vpn)
+	runs, err := h.space.CopyOutRuns(h.region.Start, h.region.Length)
+	if err != nil {
+		return nil, fmt.Errorf("mem: Snapshot: %w", err)
 	}
-	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
-	for _, vpn := range vpns {
-		data, err := h.space.CopyOut(vmem.Addr(vpn<<vmem.PageShift), vmem.PageSize)
-		if err != nil {
-			return nil, fmt.Errorf("mem: Snapshot: reading page %#x: %w", vpn, err)
-		}
-		im.Pages = append(im.Pages, PageData{VPN: vpn, Data: data})
-	}
+	im.Runs = runs
 	return im, nil
 }
 
@@ -106,13 +90,18 @@ func (h *Heap) Detach() error {
 }
 
 // RestoreHeap rebuilds a heap from an image in a destination space:
-// pages are mapped at identical addresses and filled, the free list
-// is reconstructed as the complement of the blocks.
+// every block-referenced page is mapped zero-filled at its identical
+// address, the shipped runs are written over them, and the free list
+// is reconstructed as the complement of the blocks. Pages the source
+// never dirtied arrive as the zero fill — exactly what they held.
 func RestoreHeap(space *vmem.Space, im *HeapImage) (*Heap, error) {
 	region := vmem.Range{Start: vmem.Addr(im.Start), Length: im.Length}
 	h, err := NewHeap(space, region)
 	if err != nil {
 		return nil, err
+	}
+	if err := vmem.ValidateRuns(im.Runs, region.Start, im.Length); err != nil {
+		return nil, fmt.Errorf("mem: RestoreHeap: bad image: %w", err)
 	}
 	// Rebuild allocation metadata and the free-list complement.
 	h.free = nil
@@ -136,22 +125,29 @@ func RestoreHeap(space *vmem.Space, im *HeapImage) (*Heap, error) {
 	if cursor < region.End() {
 		h.free = append(h.free, Block{cursor, uint64(region.End() - cursor)})
 	}
-	// Map and fill the pages.
-	for _, pg := range im.Pages {
-		if _, ok := h.pageRef[pg.VPN]; !ok {
-			return nil, fmt.Errorf("mem: RestoreHeap: image page %#x has no covering block", pg.VPN)
-		}
-		base := vmem.Addr(pg.VPN << vmem.PageShift)
-		if err := space.Map(base, vmem.PageSize, vmem.ProtRW); err != nil {
-			return nil, err
-		}
-		if err := space.Write(base, pg.Data); err != nil {
+	// Map every referenced page zero-filled, in address order.
+	vpns := make([]uint64, 0, len(h.pageRef))
+	for vpn := range h.pageRef {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
+		if err := space.Map(vmem.Addr(vpn<<vmem.PageShift), vmem.PageSize, vmem.ProtRW); err != nil {
 			return nil, err
 		}
 	}
-	// Every referenced page must have arrived.
-	if len(im.Pages) != len(h.pageRef) {
-		return nil, fmt.Errorf("mem: RestoreHeap: image has %d pages, blocks need %d", len(im.Pages), len(h.pageRef))
+	// Overlay the dirty pages; every shipped page must be covered by a
+	// block, or the image is inconsistent with its own metadata.
+	for _, run := range im.Runs {
+		for off := uint64(0); off < uint64(len(run.Data)); off += vmem.PageSize {
+			vpn := run.Addr.Add(off).PageNum()
+			if _, ok := h.pageRef[vpn]; !ok {
+				return nil, fmt.Errorf("mem: RestoreHeap: image page %#x has no covering block", vpn)
+			}
+		}
+		if err := space.Write(run.Addr, run.Data); err != nil {
+			return nil, err
+		}
 	}
 	return h, nil
 }
@@ -172,6 +168,10 @@ func (im *ThreadHeapImage) Pup(p *pup.PUPer) error {
 		return err
 	}
 	if p.IsUnpacking() {
+		// An arena encodes at least start+length+2 counts = 24 bytes.
+		if int64(n)*24 > int64(p.Remaining()) {
+			return fmt.Errorf("mem: corrupt image: %d arenas claimed with %d bytes remaining", n, p.Remaining())
+		}
 		im.Arenas = make([]HeapImage, n)
 	}
 	for i := range im.Arenas {

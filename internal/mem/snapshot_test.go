@@ -140,19 +140,45 @@ func TestRestoreHeapRejectsMalformed(t *testing.T) {
 	}); err == nil {
 		t.Error("escaping block accepted")
 	}
-	// Page with no covering block.
+	// Shipped page with no covering block.
 	if _, err := RestoreHeap(vmem.NewSpace(0), &HeapImage{
 		Start: base, Length: 4 * vmem.PageSize,
-		Pages: []PageData{{VPN: base >> vmem.PageShift, Data: make([]byte, vmem.PageSize)}},
+		Runs: []vmem.Run{{Addr: vmem.Addr(base), Data: make([]byte, vmem.PageSize)}},
 	}); err == nil {
 		t.Error("orphan page accepted")
 	}
-	// Missing page for a block.
+	// Run that is not page-aligned / whole pages.
 	if _, err := RestoreHeap(vmem.NewSpace(0), &HeapImage{
 		Start: base, Length: 4 * vmem.PageSize,
 		Blocks: []Block{{vmem.Addr(base), 64}},
+		Runs:   []vmem.Run{{Addr: vmem.Addr(base + 8), Data: make([]byte, 16)}},
 	}); err == nil {
-		t.Error("block without its page accepted")
+		t.Error("misaligned run accepted")
+	}
+}
+
+// TestRestoreHeapZeroFillsUnshippedPages: a block whose pages were
+// never dirtied ships no runs; the restore must still map the pages
+// (zero-filled) so the block is readable.
+func TestRestoreHeapZeroFillsUnshippedPages(t *testing.T) {
+	dst := vmem.NewSpace(0)
+	base := uint64(0x100000)
+	h, err := RestoreHeap(dst, &HeapImage{
+		Start: base, Length: 4 * vmem.PageSize,
+		Blocks: []Block{{vmem.Addr(base), 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Contains(vmem.Addr(base)) {
+		t.Fatal("restored heap lost the block")
+	}
+	v, err := dst.ReadUint64(vmem.Addr(base))
+	if err != nil {
+		t.Fatalf("unshipped page not mapped: %v", err)
+	}
+	if v != 0 {
+		t.Errorf("unshipped page not zero: %#x", v)
 	}
 }
 

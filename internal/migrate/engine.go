@@ -148,12 +148,19 @@ func moveThread(t *converse.Thread, src, dst *converse.PE, layout *swapglobal.La
 	if err != nil {
 		return 0, nil, err
 	}
-	data, err := pup.Pack(im)
-	if err != nil {
+	// Single-pass pack into a pooled buffer, unpacked in place: the
+	// PUP round trip is still byte-faithful to what would cross the
+	// network, but steady-state migration allocates no wire buffers
+	// (unpacking copies every field out, so im2 does not alias the
+	// pooled bytes).
+	p := pup.AcquirePacker()
+	defer p.Release()
+	if err := im.Pup(p); err != nil {
 		return 0, nil, err
 	}
+	n := len(p.PackedBytes())
 	var im2 ThreadImage
-	if err := pup.Unpack(data, &im2); err != nil {
+	if err := pup.Unpack(p.PackedBytes(), &im2); err != nil {
 		return 0, nil, err
 	}
 	if err := Install(t, dst, &im2, layout); err != nil {
@@ -165,5 +172,5 @@ func moveThread(t *converse.Thread, src, dst *converse.PE, layout *swapglobal.La
 	} else {
 		dst.Sched.Adopt(t)
 	}
-	return len(data), &im2, nil
+	return n, &im2, nil
 }

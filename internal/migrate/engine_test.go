@@ -222,16 +222,17 @@ func TestExtractRequiresMigratingState(t *testing.T) {
 func TestThreadImagePupRoundTrip(t *testing.T) {
 	im := &ThreadImage{
 		ID: 7, Prio: -2, SP: 0x1000_0100,
-		Stack: converse.StackImage{Strategy: NameIsomalloc, Base: 0x40000000, Size: 4096, Data: make([]byte, 4096)},
+		Stack: converse.StackImage{Strategy: NameIsomalloc, Base: 0x40000000, Size: 4096,
+			Runs: []vmem.Run{{Addr: 0x40000000, Data: make([]byte, 4096)}}},
 		Heap: mem.ThreadHeapImage{ArenaPages: 4, Arenas: []mem.HeapImage{{
 			Start: 0x50000000, Length: 16384,
 			Blocks: []mem.Block{{Addr: 0x50000000, Size: 64}},
-			Pages:  []mem.PageData{{VPN: 0x50000, Data: make([]byte, 4096)}},
+			Runs:   []vmem.Run{{Addr: 0x50000000, Data: make([]byte, 4096)}},
 		}}},
 		HasGlobals: true,
 		GlobalVars: []uint64{0x50000000},
 	}
-	im.Stack.Data[0] = 0xEE
+	im.Stack.Runs[0].Data[0] = 0xEE
 	data, err := pup.Pack(im)
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +244,7 @@ func TestThreadImagePupRoundTrip(t *testing.T) {
 	if out.ID != 7 || out.Prio != -2 || out.SP != 0x1000_0100 {
 		t.Errorf("metadata mangled: %+v", out)
 	}
-	if out.Stack.Data[0] != 0xEE || out.Stack.Strategy != NameIsomalloc {
+	if out.Stack.Runs[0].Data[0] != 0xEE || out.Stack.Strategy != NameIsomalloc {
 		t.Error("stack image mangled")
 	}
 	if len(out.Heap.Arenas) != 1 || out.Heap.Arenas[0].Blocks[0].Size != 64 {

@@ -22,6 +22,7 @@
 package migrate
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"migflow/internal/converse"
@@ -64,6 +65,64 @@ func checkSupported(pe *converse.PE, tech platform.Technique) error {
 	return nil
 }
 
+// checkPageMultiple enforces the shared stack-size contract: every
+// strategy works in whole pages (sparse images, frame lists and iso
+// slabs all assume it), so a size that is not a positive page
+// multiple is rejected identically everywhere instead of being
+// silently truncated by one strategy and padded by another.
+func checkPageMultiple(strategy string, size uint64) error {
+	if size == 0 || size%vmem.PageSize != 0 {
+		return fmt.Errorf("migrate: %s: stack size %d is not a positive multiple of the %d-byte page (round with vmem.RoundUpPages)",
+			strategy, size, vmem.PageSize)
+	}
+	return nil
+}
+
+// checkImage validates an untrusted incoming StackImage before any of
+// its runs are written into mapped memory.
+func checkImage(strategy string, im *converse.StackImage) error {
+	if err := checkPageMultiple(strategy, im.Size); err != nil {
+		return err
+	}
+	if err := vmem.ValidateRuns(im.Runs, vmem.Addr(im.Base), im.Size); err != nil {
+		return fmt.Errorf("migrate: %s: bad image: %w", strategy, err)
+	}
+	return nil
+}
+
+// isZeroPage reports whether b is all zero bytes (stack-copy's sparse
+// scan). b is always a whole page, so the 8-byte strides never leave
+// a tail.
+func isZeroPage(b []byte) bool {
+	for ; len(b) >= 8; b = b[8:] {
+		if binary.LittleEndian.Uint64(b) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sparseFromBuf builds the run list for a dense buffer based at base,
+// omitting all-zero pages and copying the rest (the image must not
+// alias the source buffer).
+func sparseFromBuf(buf []byte, base vmem.Addr) []vmem.Run {
+	var runs []vmem.Run
+	var cur *vmem.Run
+	for off := uint64(0); off < uint64(len(buf)); off += vmem.PageSize {
+		page := buf[off : off+vmem.PageSize]
+		if isZeroPage(page) {
+			cur = nil
+			continue
+		}
+		if cur == nil {
+			runs = append(runs, vmem.Run{Addr: base.Add(off)})
+			cur = &runs[len(runs)-1]
+		}
+		cur.Data = append(cur.Data, page...)
+	}
+	return runs
+}
+
 // ---------------------------------------------------------------
 // Stack copying (§3.4.1)
 
@@ -75,6 +134,11 @@ type stackCopyRef struct {
 	size    uint64
 	backing []byte // stack contents while switched out
 	in      bool
+	// maxUsed is the high-water live-byte count ever copied out to
+	// backing. Stacks grow down and backing starts zeroed, so bytes
+	// below size-maxUsed have never been written — Extract's sparse
+	// scan can skip them without looking.
+	maxUsed uint64
 }
 
 func (r *stackCopyRef) Base() vmem.Addr { return converse.CanonicalStackBase }
@@ -92,6 +156,9 @@ func (StackCopy) Exclusive() bool { return true }
 // randomization) — the Table 1 restriction.
 func (StackCopy) New(pe *converse.PE, size uint64) (converse.StackRef, error) {
 	if err := checkSupported(pe, platform.StackCopy); err != nil {
+		return nil, err
+	}
+	if err := checkPageMultiple(NameStackCopy, size); err != nil {
 		return nil, err
 	}
 	return &stackCopyRef{size: size, backing: make([]byte, size)}, nil
@@ -132,6 +199,9 @@ func (StackCopy) SwitchOut(pe *converse.PE, s converse.StackRef, used uint64) er
 		if err := pe.Space.Read(r.Base().Add(off), r.backing[off:]); err != nil {
 			return err
 		}
+		if used > r.maxUsed {
+			r.maxUsed = used
+		}
 	}
 	if err := pe.Space.Unmap(r.Base(), r.size); err != nil {
 		return err
@@ -141,18 +211,25 @@ func (StackCopy) SwitchOut(pe *converse.PE, s converse.StackRef, used uint64) er
 	return nil
 }
 
-// Extract ships the backing store; because every node uses the same
-// canonical address, "migrating a thread is simple".
+// Extract captures the backing store as a sparse image; because every
+// node uses the same canonical address, "migrating a thread is
+// simple". The run data is copied — the image must stay valid even if
+// the source ref is switched in or released afterwards — and all-zero
+// pages are dropped (a deep stack that has unwound ships almost
+// nothing).
 func (StackCopy) Extract(pe *converse.PE, s converse.StackRef) (*converse.StackImage, error) {
 	r := s.(*stackCopyRef)
 	if r.in {
 		return nil, fmt.Errorf("migrate: stackcopy: extract while switched in")
 	}
+	// Only the high-water live region can be nonzero; start the scan
+	// at its page boundary.
+	start := (r.size - min(r.maxUsed, r.size)) &^ (vmem.PageSize - 1)
 	return &converse.StackImage{
 		Strategy: NameStackCopy,
 		Base:     uint64(r.Base()),
 		Size:     r.size,
-		Data:     r.backing,
+		Runs:     sparseFromBuf(r.backing[start:], r.Base().Add(start)),
 	}, nil
 }
 
@@ -165,12 +242,21 @@ func (StackCopy) Install(pe *converse.PE, im *converse.StackImage) (converse.Sta
 		return nil, fmt.Errorf("migrate: stackcopy: image base %#x differs from canonical %#x — stack bases must agree across nodes",
 			im.Base, uint64(converse.CanonicalStackBase))
 	}
-	if uint64(len(im.Data)) != im.Size {
-		return nil, fmt.Errorf("migrate: stackcopy: image has %d bytes for a %d-byte stack", len(im.Data), im.Size)
+	if err := checkImage(NameStackCopy, im); err != nil {
+		return nil, err
 	}
+	// The fresh backing store is the zero fill; runs overlay the dirty
+	// pages. The live high-water mark resumes at the lowest shipped
+	// page (everything below it is zero by construction).
 	backing := make([]byte, im.Size)
-	copy(backing, im.Data)
-	return &stackCopyRef{size: im.Size, backing: backing}, nil
+	maxUsed := uint64(0)
+	for _, run := range im.Runs {
+		copy(backing[run.Addr-vmem.Addr(im.Base):], run.Data)
+	}
+	if len(im.Runs) > 0 {
+		maxUsed = im.Size - uint64(im.Runs[0].Addr-vmem.Addr(im.Base))
+	}
+	return &stackCopyRef{size: im.Size, backing: backing, maxUsed: maxUsed}, nil
 }
 
 // Release drops the backing store.
@@ -224,6 +310,9 @@ func (Isomalloc) New(pe *converse.PE, size uint64) (converse.StackRef, error) {
 	if err := checkSupported(pe, platform.Isomalloc); err != nil {
 		return nil, err
 	}
+	if err := checkPageMultiple(NameIsomalloc, size); err != nil {
+		return nil, err
+	}
 	slabBase, err := pe.Iso.AllocSlab(size/vmem.PageSize + 1)
 	if err != nil {
 		return nil, err
@@ -254,12 +343,14 @@ func (Isomalloc) SwitchIn(pe *converse.PE, s converse.StackRef, used uint64) err
 // SwitchOut is likewise free.
 func (Isomalloc) SwitchOut(pe *converse.PE, s converse.StackRef, used uint64) error { return nil }
 
-// Extract copies the stack's pages out and unmaps them locally; the
-// addresses stay reserved machine-wide, so the destination can map
-// the same range.
+// Extract copies the stack's dirty pages out as sparse runs and
+// unmaps the slab locally; the addresses stay reserved machine-wide,
+// so the destination can map the same range. Pages the thread never
+// wrote are still zero (Map guarantees zero fill) and ship as
+// nothing.
 func (Isomalloc) Extract(pe *converse.PE, s converse.StackRef) (*converse.StackImage, error) {
 	r := s.(*isoRef)
-	data, err := pe.Space.CopyOut(r.base, r.size)
+	runs, err := pe.Space.CopyOutRuns(r.base, r.size)
 	if err != nil {
 		return nil, err
 	}
@@ -274,22 +365,28 @@ func (Isomalloc) Extract(pe *converse.PE, s converse.StackRef) (*converse.StackI
 		Strategy: NameIsomalloc,
 		Base:     uint64(r.base),
 		Size:     r.size,
-		Data:     data,
+		Runs:     runs,
 	}, nil
 }
 
-// Install maps the same unique addresses on the destination and
-// restores the contents — no pointer inside the stack needs updating.
+// Install maps the same unique addresses on the destination (zero
+// filled) and writes the shipped runs back — no pointer inside the
+// stack needs updating, and unshipped pages are already zero.
 func (Isomalloc) Install(pe *converse.PE, im *converse.StackImage) (converse.StackRef, error) {
 	if err := checkSupported(pe, platform.Isomalloc); err != nil {
+		return nil, err
+	}
+	if err := checkImage(NameIsomalloc, im); err != nil {
 		return nil, err
 	}
 	base := vmem.Addr(im.Base)
 	if err := mapIsoStack(pe, base-vmem.PageSize, im.Size); err != nil {
 		return nil, err
 	}
-	if err := pe.Space.Write(base, im.Data); err != nil {
-		return nil, err
+	for _, run := range im.Runs {
+		if err := pe.Space.Write(run.Addr, run.Data); err != nil {
+			return nil, err
+		}
 	}
 	return &isoRef{base: base, size: im.Size}, nil
 }
@@ -353,6 +450,11 @@ func (m MemoryAlias) New(pe *converse.PE, size uint64) (converse.StackRef, error
 	if err := m.supported(pe); err != nil {
 		return nil, err
 	}
+	// Whole pages only: size/PageSize would otherwise drop a trailing
+	// partial page and silently lose stack bytes.
+	if err := checkPageMultiple(NameMemAlias, size); err != nil {
+		return nil, err
+	}
 	frames := make([]*vmem.Frame, size/vmem.PageSize)
 	for i := range frames {
 		frames[i] = vmem.NewFrame()
@@ -389,36 +491,59 @@ func (MemoryAlias) SwitchOut(pe *converse.PE, s converse.StackRef, used uint64) 
 	return nil
 }
 
-// Extract serializes the frames' contents.
+// Extract serializes the dirty frames' contents as sparse runs
+// (frames the thread never wrote are still zero and ship as
+// nothing). Run data is copied out of the frames so the image stays
+// valid after the ref is released.
 func (MemoryAlias) Extract(pe *converse.PE, s converse.StackRef) (*converse.StackImage, error) {
 	r := s.(*aliasRef)
 	if r.in {
 		return nil, fmt.Errorf("migrate: memalias: extract while switched in")
 	}
-	data := make([]byte, 0, r.size)
-	for _, f := range r.frames {
-		data = append(data, f.Data()...)
+	var runs []vmem.Run
+	var cur *vmem.Run
+	for i, f := range r.frames {
+		if !f.Dirty() {
+			cur = nil
+			continue
+		}
+		if cur == nil {
+			runs = append(runs, vmem.Run{Addr: r.Base().Add(uint64(i) * vmem.PageSize)})
+			cur = &runs[len(runs)-1]
+		}
+		cur.Data = append(cur.Data, f.Data()...)
 	}
 	return &converse.StackImage{
 		Strategy: NameMemAlias,
 		Base:     uint64(r.Base()),
 		Size:     r.size,
-		Data:     data,
+		Runs:     runs,
 	}, nil
 }
 
-// Install rebuilds the frames on the destination.
+// Install rebuilds the frames on the destination: fresh zero frames
+// for the whole stack, shipped runs copied over their pages. The
+// copied frames are marked dirty by hand — the bytes arrive through
+// Frame.Data, not Space.Write, and a clean frame must stay all-zero
+// or the *next* extract would drop live pages.
 func (m MemoryAlias) Install(pe *converse.PE, im *converse.StackImage) (converse.StackRef, error) {
 	if err := m.supported(pe); err != nil {
 		return nil, err
 	}
-	if uint64(len(im.Data)) != im.Size {
-		return nil, fmt.Errorf("migrate: memalias: image has %d bytes for a %d-byte stack", len(im.Data), im.Size)
+	if err := checkImage(NameMemAlias, im); err != nil {
+		return nil, err
 	}
 	r := &aliasRef{size: im.Size, frames: make([]*vmem.Frame, im.Size/vmem.PageSize)}
 	for i := range r.frames {
 		r.frames[i] = vmem.NewFrame()
-		copy(r.frames[i].Data(), im.Data[uint64(i)*vmem.PageSize:])
+	}
+	for _, run := range im.Runs {
+		fi := (uint64(run.Addr) - im.Base) / vmem.PageSize
+		for off := uint64(0); off < uint64(len(run.Data)); off += vmem.PageSize {
+			f := r.frames[fi+off/vmem.PageSize]
+			copy(f.Data(), run.Data[off:off+vmem.PageSize])
+			f.MarkDirty()
+		}
 	}
 	return r, nil
 }

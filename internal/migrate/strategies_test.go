@@ -348,15 +348,44 @@ func TestExtractWhileSwitchedInFails(t *testing.T) {
 func TestStackCopyInstallValidation(t *testing.T) {
 	pe := newPE(t, 0, 1, platform.Opteron())
 	s := StackCopy{}
-	if _, err := s.Install(pe, &converse.StackImage{Strategy: NameStackCopy, Base: 0x1234000, Size: vmem.PageSize, Data: make([]byte, vmem.PageSize)}); err == nil {
+	if _, err := s.Install(pe, &converse.StackImage{Strategy: NameStackCopy, Base: 0x1234000, Size: vmem.PageSize,
+		Runs: []vmem.Run{{Addr: 0x1234000, Data: make([]byte, vmem.PageSize)}}}); err == nil {
 		t.Error("mismatched canonical base accepted")
 	}
-	if _, err := s.Install(pe, &converse.StackImage{Strategy: NameStackCopy, Base: uint64(converse.CanonicalStackBase), Size: vmem.PageSize, Data: []byte{1}}); err == nil {
-		t.Error("short image accepted")
+	canonical := uint64(converse.CanonicalStackBase)
+	if _, err := s.Install(pe, &converse.StackImage{Strategy: NameStackCopy, Base: canonical, Size: vmem.PageSize,
+		Runs: []vmem.Run{{Addr: converse.CanonicalStackBase, Data: []byte{1}}}}); err == nil {
+		t.Error("partial-page run accepted")
+	}
+	if _, err := s.Install(pe, &converse.StackImage{Strategy: NameStackCopy, Base: canonical, Size: vmem.PageSize,
+		Runs: []vmem.Run{{Addr: converse.CanonicalStackBase.Add(vmem.PageSize), Data: make([]byte, vmem.PageSize)}}}); err == nil {
+		t.Error("out-of-range run accepted")
+	}
+	if _, err := s.Install(pe, &converse.StackImage{Strategy: NameStackCopy, Base: canonical, Size: vmem.PageSize + 1}); err == nil {
+		t.Error("non-page-multiple size accepted")
 	}
 	a := MemoryAlias{}
-	if _, err := a.Install(pe, &converse.StackImage{Strategy: NameMemAlias, Base: uint64(converse.CanonicalStackBase), Size: vmem.PageSize, Data: []byte{1}}); err == nil {
-		t.Error("short alias image accepted")
+	if _, err := a.Install(pe, &converse.StackImage{Strategy: NameMemAlias, Base: canonical, Size: vmem.PageSize,
+		Runs: []vmem.Run{{Addr: converse.CanonicalStackBase, Data: []byte{1}}}}); err == nil {
+		t.Error("partial-page alias run accepted")
+	}
+	if _, err := a.Install(pe, &converse.StackImage{Strategy: NameMemAlias, Base: canonical, Size: vmem.PageSize + 1}); err == nil {
+		t.Error("non-page-multiple alias size accepted")
+	}
+}
+
+// TestStrategyNewRejectsPartialPage: all three strategies refuse a
+// stack size that is not a whole number of pages — the trailing
+// partial page used to be silently truncated by memalias.
+func TestStrategyNewRejectsPartialPage(t *testing.T) {
+	for _, strat := range All() {
+		pe := newPE(t, 0, 1, platform.Opteron())
+		if _, err := strat.New(pe, vmem.PageSize+100); err == nil {
+			t.Errorf("%s: non-page-multiple stack size accepted", strat.Name())
+		}
+		if _, err := strat.New(pe, 0); err == nil {
+			t.Errorf("%s: zero stack size accepted", strat.Name())
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+package pup
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// hostile builds a buffer claiming n elements with only a few real
+// bytes behind the prefix.
+func hostile(n uint32, tail int) []byte {
+	b := make([]byte, 4+tail)
+	binary.LittleEndian.PutUint32(b, n)
+	return b
+}
+
+// TestHostileLengthPrefixes: every length-prefixed visitor must
+// reject a count that exceeds the remaining bytes BEFORE allocating.
+// (Before the check, a flipped prefix byte meant a multi-GB make.)
+func TestHostileLengthPrefixes(t *testing.T) {
+	huge := uint32(0xFFFF_FFFF)
+	t.Run("bytes", func(t *testing.T) {
+		var v []byte
+		if err := NewUnpacker(hostile(huge, 8)).Bytes(&v); err == nil {
+			t.Error("hostile []byte length accepted")
+		}
+	})
+	t.Run("string", func(t *testing.T) {
+		var v string
+		if err := NewUnpacker(hostile(huge, 8)).String(&v); err == nil {
+			t.Error("hostile string length accepted")
+		}
+	})
+	t.Run("uint64s", func(t *testing.T) {
+		var v []uint64
+		// 2^29 elements would "only" need a 4 GiB slice — the check
+		// must fire on element count × width, not on count alone.
+		if err := NewUnpacker(hostile(1<<29, 16)).Uint64s(&v); err == nil {
+			t.Error("hostile []uint64 length accepted")
+		}
+	})
+	t.Run("float64s", func(t *testing.T) {
+		var v []float64
+		if err := NewUnpacker(hostile(1<<29, 16)).Float64s(&v); err == nil {
+			t.Error("hostile []float64 length accepted")
+		}
+	})
+}
+
+// TestPooledPackerReuse: acquire → pack → release → acquire again
+// reuses the grown buffer, and Reset rewinds without shrinking.
+func TestPooledPackerReuse(t *testing.T) {
+	p := AcquirePacker()
+	payload := bytes.Repeat([]byte{0x5A}, 10_000)
+	if err := p.Bytes(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.PackedBytes()) != 4+len(payload) {
+		t.Fatalf("packed %d bytes", len(p.PackedBytes()))
+	}
+	first := append([]byte(nil), p.PackedBytes()...)
+	p.Reset()
+	if len(p.PackedBytes()) != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+	if err := p.Bytes(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, p.PackedBytes()) {
+		t.Fatal("re-pack after Reset diverges")
+	}
+	p.Release()
+
+	q := AcquirePacker()
+	defer q.Release()
+	var v uint64 = 42
+	if err := q.Uint64(&v); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.PackedBytes()) != 8 {
+		t.Fatalf("reacquired packer has stale offset: %d bytes", len(q.PackedBytes()))
+	}
+}
+
+// TestSinglePassPackMatchesSizer: the growable single-pass path
+// produces exactly the bytes a pre-sized packer produces, and the
+// sizer still agrees with both.
+func TestSinglePassPackMatchesSizer(t *testing.T) {
+	in := &particle{Name: "electron", Mass: 9.109e-31, Raw: []byte{1, 2, 3, 4, 5}}
+	n, err := Size(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presized := NewPacker(n)
+	if err := in.Pup(presized); err != nil {
+		t.Fatal(err)
+	}
+	single, err := Pack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(presized.Buffer(), single) {
+		t.Error("single-pass pack diverges from pre-sized pack")
+	}
+	if len(single) != n {
+		t.Errorf("packed %d bytes, sizer said %d", len(single), n)
+	}
+}
+
+// TestGrowPackerFromZero: a fresh growable packer starts with no
+// buffer at all and must grow through every doubling.
+func TestGrowPackerFromZero(t *testing.T) {
+	p := NewGrowPacker()
+	big := make([]byte, 100_000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := p.Bytes(&big); err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	if err := NewUnpacker(p.PackedBytes()).Bytes(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(big, out) {
+		t.Error("grown pack round trip diverges")
+	}
+}
+
+// FuzzUnpackParticle throws arbitrary bytes at a multi-field Pup
+// traversal: it must error or succeed, never panic or over-allocate.
+func FuzzUnpackParticle(f *testing.F) {
+	good, err := Pack(&particle{Name: "p", Mass: 1.5, Raw: []byte{9, 8, 7}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(hostile(0xFFFF_FFFF, 4))
+	f.Add(good[:len(good)-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out particle
+		_ = Unpack(data, &out) // must not panic
+	})
+}

@@ -8,12 +8,24 @@
 // collections are length-prefixed with a uint32. The same Pup method
 // must visit the same fields in the same order in every mode; Seek-
 // style skipping is deliberately absent to keep encodings canonical.
+//
+// Packing is single-pass: a packer grows its buffer on demand, so no
+// separate sizing traversal is needed (NewSizer remains for callers
+// that want a byte count without producing bytes). The migration hot
+// path recycles packers through a sync.Pool via AcquirePacker/Release
+// so steady-state packing allocates nothing.
+//
+// Unpacking is hardened against corrupt or hostile images: every
+// length prefix is validated against the bytes actually remaining
+// before any allocation, so a flipped length byte cannot force a
+// multi-gigabyte make().
 package pup
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Mode selects what a PUPer traversal does.
@@ -47,24 +59,61 @@ type Pupable interface {
 	Pup(p *PUPer) error
 }
 
-// PUPer carries one traversal. Create with NewSizer, NewPacker or
-// NewUnpacker; or use the Size/Pack/Unpack helpers.
+// PUPer carries one traversal. Create with NewSizer, NewPacker,
+// NewUnpacker or AcquirePacker; or use the Size/Pack/Unpack helpers.
 type PUPer struct {
 	mode Mode
 	buf  []byte
 	off  int
 	size int
+	grow bool // Packing only: buffer grows on demand (single-pass)
 }
 
 // NewSizer returns a sizing PUPer.
 func NewSizer() *PUPer { return &PUPer{mode: Sizing} }
 
 // NewPacker returns a packing PUPer writing into a buffer of exactly
-// size bytes.
+// size bytes; overrunning it is an error (for callers that pre-sized
+// with NewSizer and want the consistency check).
 func NewPacker(size int) *PUPer { return &PUPer{mode: Packing, buf: make([]byte, size)} }
+
+// NewGrowPacker returns a single-pass packing PUPer whose buffer
+// grows as fields are written.
+func NewGrowPacker() *PUPer { return &PUPer{mode: Packing, grow: true} }
 
 // NewUnpacker returns an unpacking PUPer reading from data.
 func NewUnpacker(data []byte) *PUPer { return &PUPer{mode: Unpacking, buf: data} }
+
+// packerPool recycles growable packers (and, more importantly, their
+// buffers) for the migration hot path.
+var packerPool = sync.Pool{New: func() any { return &PUPer{} }}
+
+// AcquirePacker returns a pooled single-pass packer. PackedBytes (and
+// any slice derived from it) is valid only until Release; callers
+// that need the bytes to outlive the packer must copy them.
+func AcquirePacker() *PUPer {
+	p := packerPool.Get().(*PUPer)
+	p.mode = Packing
+	p.grow = true
+	p.off = 0
+	p.size = 0
+	p.buf = p.buf[:cap(p.buf)]
+	return p
+}
+
+// Release returns a packer obtained from AcquirePacker to the pool,
+// retaining its buffer for the next acquisition.
+func (p *PUPer) Release() {
+	packerPool.Put(p)
+}
+
+// Reset rewinds a packing PUPer so it can serialize another object
+// into the same buffer (bulk checkpointing packs thousands of
+// elements through one packer).
+func (p *PUPer) Reset() {
+	p.off = 0
+	p.size = 0
+}
 
 // IsSizing reports whether the traversal is only measuring.
 func (p *PUPer) IsSizing() bool { return p.mode == Sizing }
@@ -81,7 +130,12 @@ func (p *PUPer) IsUnpacking() bool { return p.mode == Unpacking }
 func (p *PUPer) Size() int { return p.size }
 
 // Buffer returns the packed bytes after a packing traversal.
-func (p *PUPer) Buffer() []byte { return p.buf }
+func (p *PUPer) Buffer() []byte { return p.buf[:p.off] }
+
+// PackedBytes returns the bytes written so far by a packing
+// traversal. For pooled packers the slice aliases the pooled buffer
+// and dies at Release.
+func (p *PUPer) PackedBytes() []byte { return p.buf[:p.off] }
 
 // Remaining returns unread bytes during unpacking.
 func (p *PUPer) Remaining() int { return len(p.buf) - p.off }
@@ -93,7 +147,10 @@ func (p *PUPer) area(n int) ([]byte, error) {
 		return nil, nil
 	case Packing:
 		if p.off+n > len(p.buf) {
-			return nil, fmt.Errorf("pup: pack overflow: need %d bytes at offset %d of %d", n, p.off, len(p.buf))
+			if !p.grow {
+				return nil, fmt.Errorf("pup: pack overflow: need %d bytes at offset %d of %d", n, p.off, len(p.buf))
+			}
+			p.growTo(p.off + n)
 		}
 	case Unpacking:
 		if p.off+n > len(p.buf) {
@@ -103,6 +160,33 @@ func (p *PUPer) area(n int) ([]byte, error) {
 	a := p.buf[p.off : p.off+n]
 	p.off += n
 	return a, nil
+}
+
+// growTo extends the buffer to at least need bytes, doubling to
+// amortize (pooled packers therefore converge on the job's largest
+// image and stop allocating).
+func (p *PUPer) growTo(need int) {
+	newCap := 2 * len(p.buf)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < 256 {
+		newCap = 256
+	}
+	nb := make([]byte, newCap)
+	copy(nb, p.buf[:p.off])
+	p.buf = nb
+}
+
+// checkLen validates a claimed element count against the bytes left
+// in the buffer before any allocation happens. elemSize is the
+// minimum wire size of one element.
+func (p *PUPer) checkLen(n uint32, elemSize int, what string) error {
+	if int64(n)*int64(elemSize) > int64(p.Remaining()) {
+		return fmt.Errorf("pup: corrupt image: %s claims %d elements (%d bytes each) with %d bytes remaining",
+			what, n, elemSize, p.Remaining())
+	}
+	return nil
 }
 
 // Uint64 visits a fixed-width 64-bit unsigned field.
@@ -199,13 +283,17 @@ func (p *PUPer) Byte(v *byte) error {
 }
 
 // Bytes visits a variable-length byte slice (uint32 length prefix).
-// Unpacking replaces *v with a fresh slice.
+// Unpacking validates the prefix against the remaining buffer, then
+// replaces *v with a fresh slice.
 func (p *PUPer) Bytes(v *[]byte) error {
 	n := uint32(len(*v))
 	if err := p.Uint32(&n); err != nil {
 		return err
 	}
 	if p.mode == Unpacking {
+		if err := p.checkLen(n, 1, "[]byte"); err != nil {
+			return err
+		}
 		*v = make([]byte, n)
 	}
 	a, err := p.area(int(n))
@@ -232,35 +320,58 @@ func (p *PUPer) String(v *string) error {
 	return nil
 }
 
-// Uint64s visits a variable-length []uint64.
+// Uint64s visits a variable-length []uint64 as one bulk area instead
+// of per-element calls.
 func (p *PUPer) Uint64s(v *[]uint64) error {
 	n := uint32(len(*v))
 	if err := p.Uint32(&n); err != nil {
 		return err
 	}
 	if p.mode == Unpacking {
+		if err := p.checkLen(n, 8, "[]uint64"); err != nil {
+			return err
+		}
 		*v = make([]uint64, n)
 	}
-	for i := range *v {
-		if err := p.Uint64(&(*v)[i]); err != nil {
-			return err
+	a, err := p.area(int(n) * 8)
+	if err != nil || a == nil {
+		return err
+	}
+	if p.mode == Packing {
+		for i, x := range *v {
+			binary.LittleEndian.PutUint64(a[i*8:], x)
+		}
+	} else {
+		for i := range *v {
+			(*v)[i] = binary.LittleEndian.Uint64(a[i*8:])
 		}
 	}
 	return nil
 }
 
-// Float64s visits a variable-length []float64.
+// Float64s visits a variable-length []float64 as one bulk area.
 func (p *PUPer) Float64s(v *[]float64) error {
 	n := uint32(len(*v))
 	if err := p.Uint32(&n); err != nil {
 		return err
 	}
 	if p.mode == Unpacking {
+		if err := p.checkLen(n, 8, "[]float64"); err != nil {
+			return err
+		}
 		*v = make([]float64, n)
 	}
-	for i := range *v {
-		if err := p.Float64(&(*v)[i]); err != nil {
-			return err
+	a, err := p.area(int(n) * 8)
+	if err != nil || a == nil {
+		return err
+	}
+	if p.mode == Packing {
+		for i, x := range *v {
+			binary.LittleEndian.PutUint64(a[i*8:], math.Float64bits(x))
+		}
+	} else {
+		for i := range *v {
+			(*v)[i] = math.Float64frombits(binary.LittleEndian.Uint64(a[i*8:]))
 		}
 	}
 	return nil
@@ -275,20 +386,19 @@ func Size(obj Pupable) (int, error) {
 	return p.Size(), nil
 }
 
-// Pack serializes obj with a sizing pass followed by a packing pass.
+// Pack serializes obj in a single traversal through a pooled
+// growable buffer (no sizing pass) and returns an exact-size copy.
+// Hot paths that consume the bytes before the next pack should use
+// AcquirePacker directly and skip the copy.
 func Pack(obj Pupable) ([]byte, error) {
-	n, err := Size(obj)
-	if err != nil {
-		return nil, err
-	}
-	p := NewPacker(n)
+	p := AcquirePacker()
+	defer p.Release()
 	if err := obj.Pup(p); err != nil {
 		return nil, err
 	}
-	if p.off != n {
-		return nil, fmt.Errorf("pup: Pup wrote %d bytes but sized %d — traversal is mode-dependent", p.off, n)
-	}
-	return p.Buffer(), nil
+	out := make([]byte, p.off)
+	copy(out, p.buf[:p.off])
+	return out, nil
 }
 
 // Unpack deserializes data into obj and requires the whole buffer to

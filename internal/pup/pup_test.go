@@ -131,9 +131,28 @@ func (x *badPup) Pup(p *PUPer) error {
 	return p.Uint64(&v)
 }
 
+// Pack is single-pass now, so a Sizing/Packing mismatch is caught on
+// the pre-sized path (NewSizer + NewPacker): the fixed-size buffer
+// overflows when the packing traversal writes more than sizing
+// counted.
 func TestModeDependentTraversalDetected(t *testing.T) {
-	if _, err := Pack(&badPup{b: true}); err == nil {
-		t.Error("mode-dependent Pup should be detected at Pack")
+	x := &badPup{b: true}
+	n, err := Size(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPacker(n)
+	if err := x.Pup(p); err == nil {
+		t.Error("mode-dependent Pup should overflow a pre-sized packer")
+	}
+	// A Packing/Unpacking mismatch is caught at Unpack: the packed
+	// bytes don't line up with what the unpacking traversal consumes.
+	data, err := Pack(&badPup{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Unpack(append(data, 0), &badPup{}); err == nil {
+		t.Error("leftover bytes should be detected at Unpack")
 	}
 }
 

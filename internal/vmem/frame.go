@@ -1,6 +1,9 @@
 package vmem
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Frame is one page of simulated physical memory. Frames are
 // reference-counted so that memory-aliasing threads (§3.4.3) can map
@@ -12,9 +15,19 @@ import "sync"
 // (or, for frames shared across spaces, under the locks of each space
 // in turn; counts themselves are not atomic because every mutation
 // happens inside a Space method).
+//
+// Each frame additionally carries a dirty bit: set by every store
+// through Space.Write/CopyIn (and by MarkDirty for callers that
+// mutate Data directly), cleared when the frame is recycled zeroed.
+// The invariant the migration data path relies on is: a mapped frame
+// that is NOT dirty holds all zeroes, so sparse snapshots
+// (Space.CopyOutRuns) may omit it and the destination can zero-fill.
+// The bit is atomic because the Read/Write fast path mutates it
+// lock-free through cached extents.
 type Frame struct {
-	data [PageSize]byte
-	refs int
+	data  [PageSize]byte
+	refs  int
+	dirty atomic.Bool
 }
 
 // NewFrame allocates one zeroed frame with a zero reference count; the
@@ -29,16 +42,37 @@ func NewFrame() *Frame { return new(Frame) }
 var framePool = sync.Pool{New: func() any { return new(Frame) }}
 
 // newPooledFrame returns a zeroed frame from the pool; Map promises
-// zero-filled memory, and pooled frames carry old contents.
+// zero-filled memory, and pooled frames carry old contents and old
+// dirty bits.
 func newPooledFrame() *Frame {
 	f := framePool.Get().(*Frame)
 	clear(f.data[:])
+	f.dirty.Store(false)
 	return f
 }
 
 // Data returns the frame's backing bytes. Callers must not retain the
-// slice across Unmap of the last mapping.
+// slice across Unmap of the last mapping, and callers that WRITE
+// through it must call MarkDirty — otherwise sparse snapshots will
+// treat the page as zero.
 func (f *Frame) Data() []byte { return f.data[:] }
+
+// Dirty reports whether the frame has been written since it was last
+// zeroed.
+func (f *Frame) Dirty() bool { return f.dirty.Load() }
+
+// MarkDirty records a mutation made outside Space.Write (direct Data
+// access).
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// markDirty is the write fast path's version: the load-then-store
+// shape keeps repeated writes to a hot page from bouncing the cache
+// line with redundant stores.
+func (f *Frame) markDirty() {
+	if !f.dirty.Load() {
+		f.dirty.Store(true)
+	}
+}
 
 // Refs returns the current mapping count (for tests and accounting).
 func (f *Frame) Refs() int { return f.refs }

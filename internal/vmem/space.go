@@ -326,8 +326,16 @@ func (s *Space) Read(a Addr, p []byte) error {
 }
 
 // Write copies p into simulated memory starting at a, faulting on
-// unmapped or non-writable pages.
+// unmapped or non-writable pages. Every page touched is marked dirty
+// — the signal sparse migration snapshots (CopyOutRuns) consume.
 func (s *Space) Write(a Addr, p []byte) error {
+	return s.access(a, p, OpWrite)
+}
+
+// CopyIn is Write under the name the migration data path uses: it
+// installs an incoming image's bytes, dirtying the pages so a later
+// onward migration ships them again.
+func (s *Space) CopyIn(a Addr, p []byte) error {
 	return s.access(a, p, OpWrite)
 }
 
@@ -364,6 +372,7 @@ func (s *Space) access(a Addr, p []byte, op AccessOp) error {
 			var n int
 			if op == OpWrite {
 				n = copy(f.data[off:], p)
+				f.markDirty()
 			} else {
 				n = copy(p, f.data[off:])
 			}
