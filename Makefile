@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all repro repro-quick examples cover clean
+.PHONY: all build vet test race bench bench-collectives bench-all repro repro-quick examples cover clean
 
 all: build vet test
 
@@ -20,13 +20,23 @@ race:
 
 # Hot-path benchmarks; writes BENCH_hotpath.json (name → ns/op,
 # allocs/op) so before/after numbers ride along with each PR.
+# BENCHFLAGS tunes run length (e.g. BENCHFLAGS=-benchtime=10x in CI).
 HOTPATH_PKGS = ./internal/comm/ ./internal/core/ ./internal/vmem/
+BENCHFLAGS ?=
 
-bench:
-	$(GO) test -bench . -benchmem -run '^$$' $(HOTPATH_PKGS) | tee bench_output.txt
+bench: bench-collectives
+	$(GO) test -bench . -benchmem -run '^$$' $(BENCHFLAGS) $(HOTPATH_PKGS) | tee bench_output.txt
 	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_hotpath.json
-	$(GO) test -bench 'BenchmarkMigrate|BenchmarkLBStep' -benchmem -run '^$$' ./internal/migrate/ | tee bench_migrate_output.txt
+	$(GO) test -bench 'BenchmarkMigrate|BenchmarkLBStep' -benchmem -run '^$$' $(BENCHFLAGS) ./internal/migrate/ | tee bench_migrate_output.txt
 	$(GO) run ./cmd/benchjson < bench_migrate_output.txt > BENCH_migrate.json
+
+# Collectives + aggregation A/B: flat vs tree barrier/allreduce at
+# P ∈ {8,64,256}, and per-message vs aggregated ghost/boundary
+# exchange (vns/op columns are modeled virtual time).
+bench-collectives:
+	$(GO) test -bench 'BenchmarkColl|BenchmarkAgg|BenchmarkGhost|BenchmarkBTMZ' -benchmem -run '^$$' $(BENCHFLAGS) \
+		./internal/ampi/ ./internal/comm/ ./internal/bigsim/ ./internal/npb/ | tee bench_collectives_output.txt
+	$(GO) run ./cmd/benchjson < bench_collectives_output.txt > BENCH_collectives.json
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...
@@ -54,5 +64,5 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_migrate_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_migrate_output.txt bench_collectives_output.txt
 	rm -rf figures

@@ -14,12 +14,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line's numbers.
+// Result is one benchmark line's numbers. Custom metrics reported via
+// b.ReportMetric (e.g. "vns/op", modeled virtual ns per collective)
+// land in Extra keyed by their unit.
 type Result struct {
-	NsPerOp     float64  `json:"ns_per_op"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
-	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
-	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	MBPerSec    *float64           `json:"mb_per_sec,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -51,6 +54,13 @@ func main() {
 				r.BytesPerOp = &v
 			case "MB/s":
 				r.MBPerSec = &v
+			default:
+				if strings.HasSuffix(fields[i+1], "/op") {
+					if r.Extra == nil {
+						r.Extra = make(map[string]float64)
+					}
+					r.Extra[fields[i+1]] = v
+				}
 			}
 		}
 		if ok {

@@ -23,6 +23,7 @@ func main() {
 	z := flag.Int("z", 10, "target torus Z")
 	steps := flag.Int("steps", 5, "MD timesteps")
 	pes := flag.String("pes", "4,8,16,32,64", "comma-separated simulating PE counts")
+	agg := flag.Bool("agg", false, "coalesce cross-PE ghost traffic into per-destination envelopes")
 	flag.Parse()
 
 	var counts []int
@@ -33,7 +34,7 @@ func main() {
 		}
 		counts = append(counts, n)
 	}
-	if _, err := harness.Figure11(os.Stdout, *x, *y, *z, *steps, counts); err != nil {
+	if _, err := harness.Figure11Opt(os.Stdout, *x, *y, *z, *steps, counts, *agg); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\n(Figure 11 used 200,000 target processors on LeMieux; -x 63 -y 63 -z 51")

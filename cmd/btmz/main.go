@@ -2,7 +2,7 @@
 // and without AMPI thread-migration load balancing, across the
 // paper's problem classes and rank/PE configurations.
 //
-// Usage: btmz [-steps 20] [-lb greedy]
+// Usage: btmz [-steps 20] [-lb greedy] [-coll tree|flat] [-agg off|on|N:B]
 package main
 
 import (
@@ -10,8 +10,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
+	"migflow/internal/ampi"
+	"migflow/internal/comm"
 	"migflow/internal/harness"
 	"migflow/internal/loadbalance"
 	"migflow/internal/npb"
@@ -22,14 +25,25 @@ func main() {
 	steps := flag.Int("steps", 20, "solver timesteps")
 	lbName := flag.String("lb", "greedy", "load balancer: greedy | refine | rotate")
 	showTrace := flag.Bool("trace", false, "print per-PE utilization traces for B.64,8PE")
+	collName := flag.String("coll", "tree", "collective algorithm: tree | flat")
+	aggSpec := flag.String("agg", "off", "boundary-exchange aggregation: off | on | maxPayloads:maxBytes (e.g. 16:8192)")
 	flag.Parse()
 
+	coll, err := parseColl(*collName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aggregate, pol, err := parseAgg(*aggSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *showTrace {
-		traceReport(*steps, *lbName)
+		traceReport(*steps, *lbName, coll, aggregate, pol)
 		return
 	}
 	if *lbName == "greedy" {
-		if _, err := harness.Figure12(os.Stdout, *steps); err != nil {
+		if _, err := harness.Figure12Opt(os.Stdout, *steps, coll, aggregate, pol); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -41,6 +55,9 @@ func main() {
 	fmt.Printf("BT-MZ with %s load balancing\n", strat.Name())
 	fmt.Printf("%-10s %14s %14s %9s\n", "case", "noLB time(ms)", "LB time(ms)", "speedup")
 	for _, p := range npb.Cases(*steps, nil) {
+		p.Collectives = coll
+		p.Aggregate = aggregate
+		p.AggPolicy = pol
 		base, err := npb.Run(p)
 		if err != nil {
 			log.Fatal(err)
@@ -56,16 +73,50 @@ func main() {
 	}
 }
 
+func parseColl(name string) (ampi.CollAlgo, error) {
+	switch name {
+	case "tree":
+		return ampi.CollTree, nil
+	case "flat":
+		return ampi.CollFlat, nil
+	}
+	return 0, fmt.Errorf("btmz: unknown -coll %q (want tree or flat)", name)
+}
+
+// parseAgg reads "off", "on" (default policy), or an explicit
+// "maxPayloads:maxBytes" flush policy.
+func parseAgg(spec string) (bool, comm.AggPolicy, error) {
+	switch spec {
+	case "", "off":
+		return false, comm.AggPolicy{}, nil
+	case "on":
+		return true, comm.AggPolicy{}, nil
+	}
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return false, comm.AggPolicy{}, fmt.Errorf("btmz: bad -agg %q (want off, on, or maxPayloads:maxBytes)", spec)
+	}
+	n, err1 := strconv.Atoi(parts[0])
+	b, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || n < 1 || b < 1 {
+		return false, comm.AggPolicy{}, fmt.Errorf("btmz: bad -agg %q (want off, on, or maxPayloads:maxBytes)", spec)
+	}
+	return true, comm.AggPolicy{MaxPayloads: n, MaxBytes: b}, nil
+}
+
 // traceReport prints per-PE utilization for the worst Figure 12 case
 // with and without the chosen balancer — a Projections-style summary
 // from the trace subsystem.
-func traceReport(steps int, lbName string) {
+func traceReport(steps int, lbName string, coll ampi.CollAlgo, aggregate bool, pol comm.AggPolicy) {
 	strat, err := loadbalance.ByName(lbName)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, withLB := range []bool{false, true} {
-		p := npb.Params{Class: npb.ClassB, NProcs: 64, NPEs: 8, Steps: steps, Trace: true}
+		p := npb.Params{
+			Class: npb.ClassB, NProcs: 64, NPEs: 8, Steps: steps, Trace: true,
+			Collectives: coll, Aggregate: aggregate, AggPolicy: pol,
+		}
 		label := "without LB"
 		if withLB {
 			p.LB = strat

@@ -38,6 +38,25 @@ const (
 	tagReduceResult
 )
 
+// CollAlgo selects the collective-communication topology.
+type CollAlgo int
+
+const (
+	// CollTree (default) runs collectives over a k-ary spanning tree
+	// of ranks (arity Options.TreeArity): partial values combine up
+	// the tree and results broadcast down, so no rank serializes more
+	// than k messages per phase.
+	CollTree CollAlgo = iota
+	// CollFlat is the paper-era flat algorithm: every rank talks
+	// directly to the root, which serializes O(P) messages. Kept for
+	// A/B comparison against the trees.
+	CollFlat
+)
+
+// DefaultTreeArity is the spanning-tree fan-out when Options.TreeArity
+// is zero.
+const DefaultTreeArity = 4
+
 // Options configures a Job.
 type Options struct {
 	// Strategy is the rank threads' stack technique; default
@@ -51,6 +70,32 @@ type Options struct {
 	// BlockPlacement maps rank r to PE r·P/N (contiguous rank
 	// blocks, AMPI's default mapping) instead of round-robin r mod P.
 	BlockPlacement bool
+
+	// Collectives selects the collective algorithm (default
+	// CollTree).
+	Collectives CollAlgo
+	// TreeArity is the spanning-tree fan-out k for CollTree (default
+	// DefaultTreeArity).
+	TreeArity int
+
+	// MsgOverheadNs charges every point-to-point message this many
+	// virtual nanoseconds of software overhead on the sender's clock
+	// at send and on the receiver's clock at consume — the
+	// marshalling/matching CPU cost that makes flat collectives O(P)
+	// at the root. Default 0 keeps the pure postal model (message
+	// cost appears only as latency).
+	MsgOverheadNs float64
+
+	// Aggregate routes application sends (tag ≥ 0) through comm's
+	// streaming aggregation: per-destination-PE envelopes amortize
+	// the postal Alpha over many small messages. Collective/internal
+	// traffic stays on the direct path. Ranks flush their PE's
+	// buffers before blocking in Recv and at exit, so aggregation
+	// never deadlocks a quiescing machine.
+	Aggregate bool
+	// AggPolicy tunes flush thresholds when Aggregate is set; zero
+	// fields select the comm defaults.
+	AggPolicy comm.AggPolicy
 }
 
 // Job is one AMPI program: size ranks running body, mapped
@@ -98,6 +143,18 @@ func NewJob(m *core.Machine, size int, opts Options, body func(*Rank)) (*Job, er
 	if opts.Strategy == nil {
 		opts.Strategy = migrate.Isomalloc{}
 	}
+	if opts.TreeArity < 0 {
+		return nil, fmt.Errorf("ampi: TreeArity %d must be ≥ 0", opts.TreeArity)
+	}
+	if opts.TreeArity == 0 {
+		opts.TreeArity = DefaultTreeArity
+	}
+	if opts.Collectives != CollTree && opts.Collectives != CollFlat {
+		return nil, fmt.Errorf("ampi: unknown collective algorithm %d", opts.Collectives)
+	}
+	if opts.Aggregate {
+		m.Network().EnableAggregation(opts.AggPolicy)
+	}
 	j := &Job{
 		m: m, opts: opts, body: body,
 		lbPlans:  make(map[uint64]loadbalance.Plan),
@@ -118,6 +175,11 @@ func NewJob(m *core.Machine, size int, opts Options, body func(*Rank)) (*Job, er
 		}, func(c *converse.Ctx) {
 			rank.ctx = c
 			j.body(rank)
+			if j.opts.Aggregate {
+				// A rank that exits without ever blocking again must
+				// not strand coalesced messages in its PE's buffers.
+				rank.flushStream()
+			}
 		})
 		if err != nil {
 			return nil, fmt.Errorf("ampi: creating rank %d: %w", r, err)
@@ -153,6 +215,11 @@ func (j *Job) Machine() *core.Machine { return j.m }
 
 // Rank returns rank r's handle (for inspection in tests/harnesses).
 func (j *Job) Rank(r int) *Rank { return j.ranks[r] }
+
+// PEOf returns the PE rank r's thread currently runs on — the
+// placement workload models consult when grouping messages by
+// destination processor.
+func (j *Job) PEOf(r int) int { return j.ranks[r].th.Scheduler().PE().Index }
 
 // Done reports whether every rank thread has exited.
 func (j *Job) Done() bool {
@@ -223,6 +290,9 @@ func (r *Rank) send(dest, tag int, data []byte) error {
 		r.job.mu.Unlock()
 	}
 	pe := r.ctx.PE()
+	if ovh := r.job.opts.MsgOverheadNs; ovh > 0 {
+		pe.Clock.Advance(ovh)
+	}
 	msg := &comm.Message{
 		To:       r.job.entity(dest),
 		From:     r.job.entity(r.rank),
@@ -230,7 +300,23 @@ func (r *Rank) send(dest, tag int, data []byte) error {
 		Data:     data,
 		SendTime: pe.Clock.Now(),
 	}
-	return r.job.m.Network().Endpoint(pe.Index).Send(msg)
+	ep := r.job.m.Network().Endpoint(pe.Index)
+	if r.job.opts.Aggregate && tag >= 0 {
+		return ep.SendStream(msg)
+	}
+	return ep.Send(msg)
+}
+
+// flushStream pushes any coalesced messages buffered on the rank's
+// current PE onto the wire. Called before every block and at exit so
+// streamed traffic cannot deadlock: whenever every rank is parked,
+// every buffer has been flushed.
+func (r *Rank) flushStream() {
+	if err := r.job.m.Network().Endpoint(r.ctx.PE().Index).Flush(); err != nil {
+		// AMPI never deregisters live ranks, so a flush error is a
+		// runtime invariant violation, not an application condition.
+		panic(fmt.Sprintf("ampi: stream flush: %v", err))
+	}
 }
 
 // deliver is the machine's per-entity handler: mailbox append plus
@@ -287,11 +373,20 @@ func (r *Rank) recv(src, tag int) *comm.Message {
 			r.mu.Unlock()
 			// The receiver cannot proceed before the message's
 			// arrival: synchronize the PE clock at consume time.
-			r.ctx.PE().Clock.AdvanceTo(m.Arrival)
+			pe := r.ctx.PE()
+			pe.Clock.AdvanceTo(m.Arrival)
+			if ovh := r.job.opts.MsgOverheadNs; ovh > 0 {
+				pe.Clock.Advance(ovh)
+			}
 			return m
 		}
 		r.waiting = spec
 		r.mu.Unlock()
+		if r.job.opts.Aggregate {
+			// About to park: force out coalesced messages so a peer
+			// waiting on them can run (explicit-flush-on-idle).
+			r.flushStream()
+		}
 		r.ctx.Suspend()
 	}
 }
@@ -305,12 +400,16 @@ func (r *Rank) senderRank(m *comm.Message) int {
 	return -1
 }
 
-// Barrier blocks until every rank has entered it (flat gather-release
-// through rank 0).
+// Barrier blocks until every rank has entered it: a gather-release
+// over the job's collective topology (spanning tree by default, flat
+// through rank 0 with Options.Collectives == CollFlat).
 func (r *Rank) Barrier() error {
 	n := len(r.job.ranks)
 	if n == 1 {
 		return nil
+	}
+	if r.job.opts.Collectives == CollTree {
+		return r.barrierTree()
 	}
 	if r.rank == 0 {
 		for i := 1; i < n; i++ {
@@ -331,31 +430,19 @@ func (r *Rank) Barrier() error {
 }
 
 // Allreduce combines each rank's value with op ("sum", "max", "min")
-// and returns the result on every rank.
+// and returns the result on every rank, over the job's collective
+// topology.
 func (r *Rank) Allreduce(op string, v float64) (float64, error) {
-	combine := func(a, b float64) float64 { return a + b }
-	switch op {
-	case "sum":
-	case "max":
-		combine = func(a, b float64) float64 {
-			if a > b {
-				return a
-			}
-			return b
-		}
-	case "min":
-		combine = func(a, b float64) float64 {
-			if a < b {
-				return a
-			}
-			return b
-		}
-	default:
-		return 0, fmt.Errorf("ampi: unknown reduction op %q", op)
+	combine, err := combiner(op)
+	if err != nil {
+		return 0, err
 	}
 	n := len(r.job.ranks)
 	if n == 1 {
 		return v, nil
+	}
+	if r.job.opts.Collectives == CollTree {
+		return r.allreduceTree(combine, v)
 	}
 	if r.rank == 0 {
 		acc := v

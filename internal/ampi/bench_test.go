@@ -1,0 +1,71 @@
+package ampi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// collBench drives b.N back-to-back collectives through one job and
+// reports both wall time (ns/op) and modeled virtual time per
+// collective (vns/op, from the machine's max PE clock). Sub-benchmark
+// names avoid '-' so benchjson's name/GOMAXPROCS split stays clean.
+func collBench(b *testing.B, ranks int, algo CollAlgo, op func(*Rank) error) {
+	m := newMachine(b, 8, nil)
+	j, err := NewJob(m, ranks, Options{Collectives: algo, MsgOverheadNs: 1000}, func(r *Rank) {
+		for i := 0; i < b.N; i++ {
+			if err := op(r); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	j.Run()
+	b.StopTimer()
+	if !j.Done() {
+		b.Fatal("job deadlocked")
+	}
+	b.ReportMetric(m.MaxTime()/float64(b.N), "vns/op")
+}
+
+// BenchmarkCollBarrier A/Bs the flat rank-0 barrier against the k-ary
+// tree at P ∈ {8, 64, 256} on 8 PEs. The vns/op metric shows the
+// modeled win (root serialization is O(P) flat, O(k·log_k P) tree);
+// ns/op shows the host-side cost of the extra tree phases.
+func BenchmarkCollBarrier(b *testing.B) {
+	for _, algo := range []CollAlgo{CollFlat, CollTree} {
+		for _, p := range []int{8, 64, 256} {
+			name := fmt.Sprintf("%s/P%d", algoName(algo), p)
+			b.Run(name, func(b *testing.B) {
+				collBench(b, p, algo, func(r *Rank) error { return r.Barrier() })
+			})
+		}
+	}
+}
+
+// BenchmarkCollAllreduce is the same A/B for a value-carrying
+// collective.
+func BenchmarkCollAllreduce(b *testing.B) {
+	for _, algo := range []CollAlgo{CollFlat, CollTree} {
+		for _, p := range []int{8, 64, 256} {
+			name := fmt.Sprintf("%s/P%d", algoName(algo), p)
+			b.Run(name, func(b *testing.B) {
+				collBench(b, p, algo, func(r *Rank) error {
+					_, err := r.Allreduce("sum", float64(r.Rank()))
+					return err
+				})
+			})
+		}
+	}
+}
+
+func algoName(a CollAlgo) string {
+	if a == CollFlat {
+		return "flat"
+	}
+	return "tree"
+}

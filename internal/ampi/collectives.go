@@ -16,11 +16,15 @@ const (
 )
 
 // Bcast broadcasts root's data to every rank and returns the received
-// copy (root returns its own data). Flat tree, like the paper-era
-// AMPI default for small communicators.
+// copy (root returns its own data), over the job's collective
+// topology (spanning tree by default; CollFlat selects the paper-era
+// flat loop at the root).
 func (r *Rank) Bcast(root int, data []byte) ([]byte, error) {
 	if root < 0 || root >= len(r.job.ranks) {
 		return nil, fmt.Errorf("ampi: Bcast root %d of %d", root, len(r.job.ranks))
+	}
+	if r.job.opts.Collectives == CollTree {
+		return r.bcastTree(root, data)
 	}
 	if r.rank == root {
 		for i := range r.job.ranks {
@@ -47,6 +51,9 @@ func (r *Rank) Reduce(root int, op string, v float64) (float64, error) {
 	if root < 0 || root >= len(r.job.ranks) {
 		return 0, fmt.Errorf("ampi: Reduce root %d of %d", root, len(r.job.ranks))
 	}
+	if r.job.opts.Collectives == CollTree {
+		return r.reduceTree(root, combine, v)
+	}
 	if r.rank != root {
 		return 0, r.send(root, tagReduceRoot, f64bytes(v))
 	}
@@ -63,6 +70,9 @@ func (r *Rank) Reduce(root int, op string, v float64) (float64, error) {
 func (r *Rank) Gather(root int, data []byte) ([][]byte, error) {
 	if root < 0 || root >= len(r.job.ranks) {
 		return nil, fmt.Errorf("ampi: Gather root %d of %d", root, len(r.job.ranks))
+	}
+	if r.job.opts.Collectives == CollTree {
+		return r.gatherTree(root, data)
 	}
 	if r.rank != root {
 		return nil, r.send(root, tagGather, data)

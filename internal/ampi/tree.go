@@ -1,0 +1,192 @@
+package ampi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Spanning-tree collectives (CollTree, the default). Every collective
+// runs over a k-ary tree of ranks rooted at the operation's root:
+// partial values combine up the tree and results broadcast down, so
+// no rank ever serializes more than k messages per phase — the
+// production Charm++/AMPI shape, versus the paper-era flat algorithms
+// (CollFlat) that funnel O(P) messages through one inbox.
+//
+// Beyond latency, the tree algorithms are *stronger* than the flat
+// ones: every tree edge is a specific (parent, child) pair matched by
+// source rank, and in-order delivery per (sender, destination) pair
+// means back-to-back collectives of the same kind cannot steal each
+// other's contributions. The flat Reduce/Gather match AnySource, so a
+// fast rank's epoch-N+1 message can be consumed into the root's
+// epoch-N combine; they are kept, unchanged, for A/B comparison.
+
+// treeFamily returns the caller's parent (-1 for the root) and
+// children in the k-ary collective tree rooted at root. Ranks are
+// renumbered relative to root, so any root yields the same shape.
+func (r *Rank) treeFamily(root int) (parent int, children []int) {
+	n := len(r.job.ranks)
+	k := r.job.opts.TreeArity
+	rel := (r.rank - root + n) % n
+	parent = -1
+	if rel != 0 {
+		parent = ((rel-1)/k + root) % n
+	}
+	for i := 1; i <= k; i++ {
+		c := k*rel + i
+		if c >= n {
+			break
+		}
+		children = append(children, (c+root)%n)
+	}
+	return parent, children
+}
+
+// barrierTree: arrivals combine up the tree, the release broadcasts
+// down. Depth is ceil(log_k P), and every rank handles at most k+1
+// messages.
+func (r *Rank) barrierTree() error {
+	parent, children := r.treeFamily(0)
+	for _, c := range children {
+		r.recv(c, tagBarrier)
+	}
+	if parent >= 0 {
+		if err := r.send(parent, tagBarrier, nil); err != nil {
+			return err
+		}
+		r.recv(parent, tagBarrierRelease)
+	}
+	for _, c := range children {
+		if err := r.send(c, tagBarrierRelease, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allreduceTree combines partial values up the tree rooted at rank 0
+// and broadcasts the result down the same edges.
+func (r *Rank) allreduceTree(combine func(a, b float64) float64, v float64) (float64, error) {
+	parent, children := r.treeFamily(0)
+	acc := v
+	for _, c := range children {
+		m := r.recv(c, tagReduce)
+		acc = combine(acc, f64(m.Data))
+	}
+	if parent >= 0 {
+		if err := r.send(parent, tagReduce, f64bytes(acc)); err != nil {
+			return 0, err
+		}
+		acc = f64(r.recv(parent, tagReduceResult).Data)
+	}
+	for _, c := range children {
+		if err := r.send(c, tagReduceResult, f64bytes(acc)); err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// reduceTree combines partial values up the tree; only root gets the
+// result (others return 0, like the flat Reduce).
+func (r *Rank) reduceTree(root int, combine func(a, b float64) float64, v float64) (float64, error) {
+	parent, children := r.treeFamily(root)
+	acc := v
+	for _, c := range children {
+		m := r.recv(c, tagReduceRoot)
+		acc = combine(acc, f64(m.Data))
+	}
+	if parent >= 0 {
+		return 0, r.send(parent, tagReduceRoot, f64bytes(acc))
+	}
+	return acc, nil
+}
+
+// bcastTree forwards root's data down the tree.
+func (r *Rank) bcastTree(root int, data []byte) ([]byte, error) {
+	parent, children := r.treeFamily(root)
+	if parent >= 0 {
+		data = r.recv(parent, tagBcast).Data
+	}
+	for _, c := range children {
+		if err := r.send(c, tagBcast, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// gatherTree merges (rank, data) entries up the tree: each node packs
+// its own entry with its children's subtrees and sends one message to
+// its parent, so the root receives exactly its k children's packed
+// subtrees instead of P-1 individual messages.
+func (r *Rank) gatherTree(root int, data []byte) ([][]byte, error) {
+	parent, children := r.treeFamily(root)
+	entries := []gatherEntry{{rank: r.rank, data: data}}
+	for _, c := range children {
+		sub, err := unpackGather(r.recv(c, tagGather).Data, len(r.job.ranks))
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, sub...)
+	}
+	if parent >= 0 {
+		return nil, r.send(parent, tagGather, packGather(entries))
+	}
+	out := make([][]byte, len(r.job.ranks))
+	for _, e := range entries {
+		out[e.rank] = e.data
+	}
+	return out, nil
+}
+
+// gatherEntry is one rank's contribution riding a packed subtree
+// message.
+type gatherEntry struct {
+	rank int
+	data []byte
+}
+
+// packGather serializes entries as repeated (rank u32, len u32,
+// bytes) records.
+func packGather(entries []gatherEntry) []byte {
+	size := 0
+	for _, e := range entries {
+		size += 8 + len(e.data)
+	}
+	buf := make([]byte, 0, size)
+	var hdr [8]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(e.rank))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(e.data)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, e.data...)
+	}
+	return buf
+}
+
+// unpackGather parses a packed subtree, validating every rank and
+// length against the message bounds.
+func unpackGather(buf []byte, nranks int) ([]gatherEntry, error) {
+	var out []gatherEntry
+	for len(buf) > 0 {
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("ampi: Gather: truncated subtree header")
+		}
+		rank := int(binary.LittleEndian.Uint32(buf[0:]))
+		n := int(binary.LittleEndian.Uint32(buf[4:]))
+		buf = buf[8:]
+		if rank < 0 || rank >= nranks {
+			return nil, fmt.Errorf("ampi: Gather: bad rank %d in subtree", rank)
+		}
+		if n < 0 || n > len(buf) {
+			return nil, fmt.Errorf("ampi: Gather: entry length %d exceeds message", n)
+		}
+		var data []byte
+		if n > 0 {
+			data = buf[:n]
+		}
+		out = append(out, gatherEntry{rank: rank, data: data})
+		buf = buf[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package ampi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTreeFamilyShape checks the k-ary tree is a well-formed spanning
+// tree for many (size, arity, root) combinations: every non-root has
+// exactly one parent, parent/child views agree, and the tree is
+// connected.
+func TestTreeFamilyShape(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 16, 33} {
+		for _, k := range []int{1, 2, 3, 4, 8} {
+			for _, root := range []int{0, 1, n - 1} {
+				if root < 0 || root >= n {
+					continue
+				}
+				j := &Job{opts: Options{TreeArity: k}, ranks: make([]*Rank, n)}
+				for i := range j.ranks {
+					j.ranks[i] = &Rank{job: j, rank: i}
+				}
+				parents := make(map[int]int)
+				for i := 0; i < n; i++ {
+					p, children := j.ranks[i].treeFamily(root)
+					if i == root && p != -1 {
+						t.Fatalf("n=%d k=%d root=%d: root has parent %d", n, k, root, p)
+					}
+					if i != root && (p < 0 || p >= n) {
+						t.Fatalf("n=%d k=%d root=%d: rank %d parent %d out of range", n, k, root, i, p)
+					}
+					if len(children) > k {
+						t.Fatalf("n=%d k=%d: rank %d has %d children", n, k, i, len(children))
+					}
+					for _, c := range children {
+						if old, dup := parents[c]; dup {
+							t.Fatalf("n=%d k=%d root=%d: rank %d has parents %d and %d", n, k, root, c, old, i)
+						}
+						parents[c] = i
+					}
+				}
+				if len(parents) != n-1 {
+					t.Fatalf("n=%d k=%d root=%d: %d edges, want %d", n, k, root, len(parents), n-1)
+				}
+				for c, p := range parents {
+					gotP, _ := j.ranks[c].treeFamily(root)
+					if gotP != p {
+						t.Fatalf("n=%d k=%d root=%d: rank %d sees parent %d, parent list says %d", n, k, root, c, gotP, p)
+					}
+					// Walk to the root: bounded by n steps (no cycles).
+					cur, steps := c, 0
+					for cur != root {
+						next, ok := parents[cur]
+						if !ok || steps > n {
+							t.Fatalf("n=%d k=%d root=%d: rank %d not connected to root", n, k, root, c)
+						}
+						cur, steps = next, steps+1
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTreeBarrierArities runs a phased-counter barrier check across
+// tree arities, including the degenerate chain (k=1).
+func TestTreeBarrierArities(t *testing.T) {
+	for _, arity := range []int{1, 2, 3, 8} {
+		arity := arity
+		t.Run(fmt.Sprintf("k%d", arity), func(t *testing.T) {
+			m := newMachine(t, 3, nil)
+			const ranks, rounds = 9, 4
+			var mu sync.Mutex
+			phase := make([]int, ranks)
+			j, err := NewJob(m, ranks, Options{Collectives: CollTree, TreeArity: arity}, func(r *Rank) {
+				for round := 0; round < rounds; round++ {
+					mu.Lock()
+					phase[r.Rank()] = round
+					mu.Unlock()
+					if err := r.Barrier(); err != nil {
+						t.Errorf("rank %d: %v", r.Rank(), err)
+						return
+					}
+					// After the barrier no rank may still be in an
+					// earlier round.
+					mu.Lock()
+					for rk, ph := range phase {
+						if ph < round {
+							t.Errorf("arity %d round %d: rank %d still at %d", arity, round, rk, ph)
+						}
+					}
+					mu.Unlock()
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			j.Run()
+			if !j.Done() {
+				t.Fatal("job deadlocked")
+			}
+		})
+	}
+}
+
+// TestFlatVsTreeResultsAgree runs the full collective set under both
+// algorithms — including a non-zero root — and demands identical
+// results.
+func TestFlatVsTreeResultsAgree(t *testing.T) {
+	type outcome struct {
+		allred float64
+		red    float64
+		bcast  []byte
+		gather [][]byte
+	}
+	run := func(algo CollAlgo) []outcome {
+		m := newMachine(t, 4, nil)
+		const ranks, root = 10, 3
+		out := make([]outcome, ranks)
+		var mu sync.Mutex
+		j, err := NewJob(m, ranks, Options{Collectives: algo, TreeArity: 3}, func(r *Rank) {
+			ar, err := r.Allreduce("sum", float64(r.Rank()+1))
+			if err != nil {
+				t.Errorf("Allreduce: %v", err)
+				return
+			}
+			rd, err := r.Reduce(root, "max", float64(r.Rank()*2))
+			if err != nil {
+				t.Errorf("Reduce: %v", err)
+				return
+			}
+			var seed []byte
+			if r.Rank() == root {
+				seed = []byte("tree-vs-flat")
+			}
+			bc, err := r.Bcast(root, seed)
+			if err != nil {
+				t.Errorf("Bcast: %v", err)
+				return
+			}
+			ga, err := r.Gather(root, []byte{byte(r.Rank()), byte(r.Rank() * 3)})
+			if err != nil {
+				t.Errorf("Gather: %v", err)
+				return
+			}
+			mu.Lock()
+			out[r.Rank()] = outcome{allred: ar, red: rd, bcast: bc, gather: ga}
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Run()
+		if !j.Done() {
+			t.Fatalf("algo %d: job deadlocked", algo)
+		}
+		return out
+	}
+	tree, flat := run(CollTree), run(CollFlat)
+	for rk := range tree {
+		if tree[rk].allred != flat[rk].allred || tree[rk].allred != 55 {
+			t.Errorf("rank %d allreduce: tree %g flat %g want 55", rk, tree[rk].allred, flat[rk].allred)
+		}
+		if tree[rk].red != flat[rk].red {
+			t.Errorf("rank %d reduce: tree %g flat %g", rk, tree[rk].red, flat[rk].red)
+		}
+		if !bytes.Equal(tree[rk].bcast, flat[rk].bcast) {
+			t.Errorf("rank %d bcast: tree %q flat %q", rk, tree[rk].bcast, flat[rk].bcast)
+		}
+		if (rk == 3) != (tree[rk].gather != nil) {
+			t.Errorf("rank %d gather presence wrong", rk)
+		}
+		for i := range tree[rk].gather {
+			if !bytes.Equal(tree[rk].gather[i], flat[rk].gather[i]) {
+				t.Errorf("rank %d gather[%d]: tree %v flat %v", rk, i, tree[rk].gather[i], flat[rk].gather[i])
+			}
+		}
+	}
+}
+
+// TestTreeBackToBackReduce pins the robustness the tree buys: with
+// per-edge source-matched messages, consecutive Reduce epochs cannot
+// steal each other's contributions even though no release phase
+// separates them. (The flat AnySource algorithm cannot make this
+// guarantee — the reason it is not the default.)
+func TestTreeBackToBackReduce(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	const ranks, epochs = 6, 5
+	var mu sync.Mutex
+	got := make([]float64, epochs)
+	j, err := NewJob(m, ranks, Options{Collectives: CollTree, TreeArity: 2}, func(r *Rank) {
+		for e := 0; e < epochs; e++ {
+			v, err := r.Reduce(0, "sum", float64(r.Rank())+float64(e*100))
+			if err != nil {
+				t.Errorf("epoch %d: %v", e, err)
+				return
+			}
+			if r.Rank() == 0 {
+				mu.Lock()
+				got[e] = v
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	for e := 0; e < epochs; e++ {
+		want := float64(0+1+2+3+4+5) + float64(e*100*ranks)
+		if got[e] != want {
+			t.Errorf("epoch %d sum = %g, want %g", e, got[e], want)
+		}
+	}
+}
+
+// TestUnknownReductionOp is the negative test for the shared combiner:
+// every reduction entry point must reject an unknown op.
+func TestUnknownReductionOp(t *testing.T) {
+	m := newMachine(t, 1, nil)
+	var allredErr, redErr error
+	j, err := NewJob(m, 2, Options{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			_, allredErr = r.Allreduce("median", 1)
+			_, redErr = r.Reduce(0, "avg", 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	if allredErr == nil {
+		t.Error("Allreduce accepted unknown op")
+	}
+	if redErr == nil {
+		t.Error("Reduce accepted unknown op")
+	}
+}
+
+func TestJobOptionValidation(t *testing.T) {
+	m := newMachine(t, 1, nil)
+	if _, err := NewJob(m, 1, Options{TreeArity: -1}, func(*Rank) {}); err == nil {
+		t.Error("negative TreeArity accepted")
+	}
+	if _, err := NewJob(m, 1, Options{Collectives: CollAlgo(99)}, func(*Rank) {}); err == nil {
+		t.Error("unknown collective algorithm accepted")
+	}
+}
+
+// TestFlatRootSerializes is the virtual-time A/B the trees exist for:
+// with a per-message software overhead, the flat barrier's root
+// consumes P-1 messages serially — O(P) on its clock — while the tree
+// charges O(k·log_k P) per rank. The tree must finish the same
+// barriers in substantially less virtual time.
+func TestFlatRootSerializes(t *testing.T) {
+	const ranks, rounds, ovh = 48, 3, 8000.0
+	elapsed := func(algo CollAlgo) float64 {
+		m := newMachine(t, 4, nil)
+		j, err := NewJob(m, ranks, Options{Collectives: algo, MsgOverheadNs: ovh}, func(r *Rank) {
+			for i := 0; i < rounds; i++ {
+				if err := r.Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Run()
+		if !j.Done() {
+			t.Fatal("deadlock")
+		}
+		return m.MaxTime()
+	}
+	flat, tree := elapsed(CollFlat), elapsed(CollTree)
+	if !(tree < flat) {
+		t.Errorf("tree barrier not faster in virtual time: tree %g vs flat %g", tree, flat)
+	}
+	// The root's serialized receive burden alone is (P-1)·ovh per
+	// barrier under flat; the tree's whole critical path is a few
+	// tree levels. Demand a clear win, not a rounding error.
+	if tree > 0.7*flat {
+		t.Errorf("tree win too small: tree %g vs flat %g", tree, flat)
+	}
+}
+
+// TestGatherUnpackHostile feeds malformed subtree packets to the
+// parser.
+func TestGatherUnpackHostile(t *testing.T) {
+	if _, err := unpackGather([]byte{1, 2, 3}, 4); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := packGather([]gatherEntry{{rank: 9, data: []byte("x")}})
+	if _, err := unpackGather(bad, 4); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	lie := packGather([]gatherEntry{{rank: 1, data: []byte("abc")}})
+	lie = lie[:9] // header claims 3 bytes, only 1 present
+	if _, err := unpackGather(lie, 4); err == nil {
+		t.Error("over-long length accepted")
+	}
+	good := packGather([]gatherEntry{{rank: 0, data: nil}, {rank: 2, data: []byte("hi")}})
+	entries, err := unpackGather(good, 4)
+	if err != nil || len(entries) != 2 || entries[1].rank != 2 || string(entries[1].data) != "hi" {
+		t.Errorf("round trip failed: %v %v", entries, err)
+	}
+}

@@ -48,6 +48,15 @@ type Config struct {
 	// (LeMieux, the machine of Figure 11).
 	Platform *platform.Profile
 
+	// Aggregate coalesces each simulating PE's cross-PE ghost traffic
+	// per destination PE per step (TRAM-style streaming aggregation):
+	// one envelope of n·GhostBytes replaces n individual messages, so
+	// the simulating machine pays one Alpha plus the summed per-byte
+	// cost per (src,dst) PE pair instead of n Alphas. Only the
+	// simulating-machine cost model changes — the target-machine
+	// prediction stays per-message and is bit-identical either way.
+	Aggregate bool
+
 	// Target machine model — what BigSim *predicts*. TargetWorkNs is
 	// the per-cell compute time per step on one target processor;
 	// TargetLatency is the target interconnect. Zero values select a
@@ -100,7 +109,22 @@ type StepStats struct {
 	CrossPEMessages int
 	// IntraPEMessages stayed within one simulating PE.
 	IntraPEMessages int
+	// Envelopes is the number of coalesced cross-PE envelopes sent
+	// this step (0 unless Config.Aggregate).
+	Envelopes int
+	// CoalescedGhosts is the number of ghost messages those envelopes
+	// carried (== CrossPEMessages when aggregating).
+	CoalescedGhosts int
 }
+
+// Fractions of the wire cost charged on the simulating machine: the
+// sender pays injection overhead immediately; the receiver pays
+// handling time at the start of its next step. (Wire latency itself
+// overlaps with the step's computation.)
+const (
+	sendOverheadFrac = 0.1
+	recvOverheadFrac = 0.15
+)
 
 // Simulator runs the target machine.
 type Simulator struct {
@@ -127,6 +151,18 @@ type Simulator struct {
 	arrNext []atomic.Uint64
 
 	stepCross, stepIntra atomic.Int64
+
+	// Streaming aggregation (Config.Aggregate). aggCount[src][dst]
+	// counts ghosts coalesced into the (src,dst) envelope this step;
+	// aggPend[src][dst] is the receiver handling the envelope charges
+	// at the next step's start. Each row is touched only by the
+	// goroutine driving PE src (plain, not atomic), and the prologue
+	// drains aggPend in (src,dst) order so the receiver's float adds
+	// are deterministic under both drivers.
+	aggCount [][]int64
+	aggPend  [][]float64
+
+	stepEnvelopes, stepCoalesced atomic.Int64
 }
 
 // atomicMaxFloat raises a (float64-bits) atomic to at least v.
@@ -190,6 +226,14 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	for pe := range s.clocks {
 		s.clocks[pe] = simclock.New()
+	}
+	if cfg.Aggregate {
+		s.aggCount = make([][]int64, cfg.SimPEs)
+		s.aggPend = make([][]float64, cfg.SimPEs)
+		for pe := range s.aggCount {
+			s.aggCount[pe] = make([]int64, cfg.SimPEs)
+			s.aggPend[pe] = make([]float64, cfg.SimPEs)
+		}
 	}
 	for i := 0; i < t; i++ {
 		// Block mapping: contiguous slabs of the torus per PE.
@@ -271,13 +315,38 @@ func (s *Simulator) post(p *tproc, dst int) {
 		s.stepIntra.Add(1)
 		return
 	}
-	// Cross-PE: the sender pays injection overhead now; the receiver
-	// pays handling time at the start of its next step. (Wire latency
-	// itself overlaps with the step's computation.)
-	cost := s.lat.Cost(s.cfg.GhostBytes)
-	s.clocks[p.simPE].Advance(cost * 0.1)
-	atomicAddFloat(&s.recvPending[dpe], cost*0.15)
 	s.stepCross.Add(1)
+	if s.cfg.Aggregate {
+		// Coalesce into the (src,dst) envelope; costs are charged when
+		// the envelope flushes at the end of this PE's turn.
+		s.aggCount[p.simPE][dpe]++
+		return
+	}
+	// Cross-PE, per-message: the sender pays injection overhead now;
+	// the receiver pays handling time at the start of its next step.
+	// (Wire latency itself overlaps with the step's computation.)
+	cost := s.lat.Cost(s.cfg.GhostBytes)
+	s.clocks[p.simPE].Advance(cost * sendOverheadFrac)
+	atomicAddFloat(&s.recvPending[dpe], cost*recvOverheadFrac)
+}
+
+// flushAgg sends PE pe's coalesced envelopes: one per destination PE
+// with buffered ghosts, costing one Alpha plus the summed payload
+// bytes. The sender's injection overhead lands on its clock now; the
+// receiver's handling share is parked in aggPend for the next
+// prologue.
+func (s *Simulator) flushAgg(pe int) {
+	for dpe, n := range s.aggCount[pe] {
+		if n == 0 {
+			continue
+		}
+		cost := s.lat.Cost(int(n) * s.cfg.GhostBytes)
+		s.clocks[pe].Advance(cost * sendOverheadFrac)
+		s.aggPend[pe][dpe] += cost * recvOverheadFrac
+		s.stepEnvelopes.Add(1)
+		s.stepCoalesced.Add(n)
+		s.aggCount[pe][dpe] = 0
+	}
 }
 
 // stepPrologue resets per-step state and returns the pre-step clock
@@ -285,6 +354,8 @@ func (s *Simulator) post(p *tproc, dst int) {
 func (s *Simulator) stepPrologue() (before []float64, tBefore float64) {
 	s.stepCross.Store(0)
 	s.stepIntra.Store(0)
+	s.stepEnvelopes.Store(0)
+	s.stepCoalesced.Store(0)
 	before = make([]float64, len(s.clocks))
 	for pe, c := range s.clocks {
 		before[pe] = c.Now()
@@ -316,6 +387,17 @@ func (s *Simulator) stepPrologue() (before []float64, tBefore float64) {
 	for pe := range s.recvPending {
 		s.clocks[pe].Advance(math.Float64frombits(s.recvPending[pe].Swap(0)))
 	}
+	// Same, for last step's coalesced envelopes — drained in fixed
+	// (src,dst) order so receiver clocks advance identically under the
+	// serial and parallel drivers.
+	for src := range s.aggPend {
+		for dst, pend := range s.aggPend[src] {
+			if pend != 0 {
+				s.clocks[dst].Advance(pend)
+				s.aggPend[src][dst] = 0
+			}
+		}
+	}
 	return before, tBefore
 }
 
@@ -324,6 +406,9 @@ func (s *Simulator) runPE(pe int) {
 	for _, p := range s.byPE[pe] {
 		p.resume <- struct{}{}
 		<-p.parked
+	}
+	if s.cfg.Aggregate {
+		s.flushAgg(pe)
 	}
 }
 
@@ -346,6 +431,8 @@ func (s *Simulator) stepEpilogue(before []float64, tBefore float64) StepStats {
 		PredictedTargetNs: tAfter - tBefore,
 		CrossPEMessages:   int(s.stepCross.Load()),
 		IntraPEMessages:   int(s.stepIntra.Load()),
+		Envelopes:         int(s.stepEnvelopes.Load()),
+		CoalescedGhosts:   int(s.stepCoalesced.Load()),
 	}
 }
 

@@ -1,0 +1,283 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAggCoalesceByCount(t *testing.T) {
+	n := NewNetwork(2, LatencyModel{Alpha: 1000, BetaPerByte: 1})
+	for i := 1; i <= 4; i++ {
+		if err := n.Register(EntityID(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, dst := n.Endpoint(0), n.Endpoint(1)
+	src.EnableAggregation(AggPolicy{MaxPayloads: 4, MaxBytes: 1 << 20})
+	for i := 1; i <= 3; i++ {
+		if err := src.SendStream(&Message{To: EntityID(i), Data: []byte{byte(i)}, SendTime: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dst.Pending() != 0 {
+		t.Fatalf("delivered before threshold: %d pending", dst.Pending())
+	}
+	if got := src.BufferedPayloads(); got != 3 {
+		t.Fatalf("buffered = %d, want 3", got)
+	}
+	if err := src.SendStream(&Message{To: 4, Data: []byte{4}, SendTime: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Pending() != 4 {
+		t.Fatalf("envelope fan-out delivered %d, want 4", dst.Pending())
+	}
+	// One envelope: departs at the latest SendTime (4), costs one
+	// Alpha + Beta·(4 payload bytes); every payload shares the arrival.
+	wantArr := 4 + 1000 + 4.0
+	for i := 1; i <= 4; i++ {
+		m := dst.Poll()
+		if m == nil {
+			t.Fatal("lost payload")
+		}
+		if m.To != EntityID(i) {
+			t.Errorf("payload %d out of order: got entity %d", i, m.To)
+		}
+		if m.Arrival != wantArr {
+			t.Errorf("payload %d arrival = %g, want %g", i, m.Arrival, wantArr)
+		}
+		if m.Hops != 1 {
+			t.Errorf("payload %d hops = %d, want 1", i, m.Hops)
+		}
+	}
+	env, pay := n.AggStats()
+	if env != 1 || pay != 4 {
+		t.Errorf("AggStats = (%d, %d), want (1, 4)", env, pay)
+	}
+	sent, _, bytes := n.Stats()
+	if sent != 4 || bytes != 4 {
+		t.Errorf("Stats sent=%d bytes=%d, want 4, 4", sent, bytes)
+	}
+}
+
+func TestAggCoalesceByBytes(t *testing.T) {
+	n := NewNetwork(2, DefaultLatency)
+	if err := n.Register(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	src, dst := n.Endpoint(0), n.Endpoint(1)
+	src.EnableAggregation(AggPolicy{MaxPayloads: 1 << 20, MaxBytes: 100})
+	if err := src.SendStream(&Message{To: 1, Data: make([]byte, 60)}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Pending() != 0 {
+		t.Fatal("flushed below byte threshold")
+	}
+	if err := src.SendStream(&Message{To: 1, Data: make([]byte, 60)}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Pending() != 2 {
+		t.Fatalf("byte threshold did not flush: %d pending", dst.Pending())
+	}
+}
+
+func TestAggExplicitFlush(t *testing.T) {
+	n := NewNetwork(3, DefaultLatency)
+	if err := n.Register(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	src := n.Endpoint(0)
+	src.EnableAggregation(AggPolicy{})
+	if err := src.SendStream(&Message{To: 1, Data: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SendStream(&Message{To: 2, Data: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Endpoint(1).Pending() != 1 || n.Endpoint(2).Pending() != 1 {
+		t.Error("explicit flush did not reach both destination PEs")
+	}
+	if env, pay := n.AggStats(); env != 2 || pay != 2 {
+		t.Errorf("AggStats = (%d, %d), want (2, 2): one envelope per destination PE", env, pay)
+	}
+	if src.BufferedPayloads() != 0 {
+		t.Error("buffers not drained by Flush")
+	}
+}
+
+// TestAggOrderingPerDest pins the ordering contract: per (sender,
+// destination entity), SendStream order is delivery order, across
+// envelope boundaries.
+func TestAggOrderingPerDest(t *testing.T) {
+	n := NewNetwork(2, DefaultLatency)
+	if err := n.Register(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	src, dst := n.Endpoint(0), n.Endpoint(1)
+	src.EnableAggregation(AggPolicy{MaxPayloads: 3})
+	var want []string
+	for i := 0; i < 12; i++ {
+		to := EntityID(1 + i%2)
+		tag := i
+		if err := src.SendStream(&Message{To: to, Tag: tag}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fmt.Sprintf("%d:%d", to, tag))
+	}
+	if err := src.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for m := dst.Poll(); m != nil; m = dst.Poll() {
+		got = append(got, fmt.Sprintf("%d:%d", m.To, m.Tag))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("delivery order %v, want %v", got, want)
+	}
+}
+
+// TestAggMigrationInFlight: an entity that moves between buffering
+// and flush is forwarded from the envelope's destination PE with an
+// extra hop, like any stale delivery.
+func TestAggMigrationInFlight(t *testing.T) {
+	n := NewNetwork(3, LatencyModel{Alpha: 100, BetaPerByte: 1})
+	if err := n.Register(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	src := n.Endpoint(0)
+	src.EnableAggregation(AggPolicy{})
+	if err := src.SendStream(&Message{To: 1, Data: []byte("xy"), SendTime: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MigrateEntity(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Endpoint(1).Pending() != 0 {
+		t.Error("payload stuck on stale PE")
+	}
+	m := n.Endpoint(2).Poll()
+	if m == nil {
+		t.Fatal("payload not forwarded to new PE")
+	}
+	if m.Hops != 2 {
+		t.Errorf("hops = %d, want 2 (envelope + forward)", m.Hops)
+	}
+	// Envelope hop: 10 + (100 + 2) = 112; forward hop re-charges the
+	// per-message postal cost from the stale PE.
+	if want := 112 + 100 + 2.0; m.Arrival != want {
+		t.Errorf("arrival = %g, want %g", m.Arrival, want)
+	}
+	if _, fwd, _ := n.Stats(); fwd != 1 {
+		t.Errorf("forwards = %d, want 1", fwd)
+	}
+}
+
+func TestSendStreamFallsBackWithoutAggregation(t *testing.T) {
+	n := NewNetwork(2, DefaultLatency)
+	if err := n.Register(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Endpoint(0).SendStream(&Message{To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Endpoint(1).Pending() != 1 {
+		t.Error("fallback Send did not deliver immediately")
+	}
+	if env, _ := n.AggStats(); env != 0 {
+		t.Error("fallback counted an envelope")
+	}
+}
+
+func TestSendStreamErrors(t *testing.T) {
+	n := NewNetwork(2, DefaultLatency)
+	src := n.Endpoint(0)
+	src.EnableAggregation(AggPolicy{})
+	if err := src.SendStream(nil); err == nil {
+		t.Error("nil message accepted")
+	}
+	if err := src.SendStream(&Message{To: 99}); err == nil {
+		t.Error("unregistered entity accepted")
+	}
+	// A payload whose entity deregisters before the flush surfaces an
+	// error from Flush without wedging the rest of the bucket.
+	if err := n.Register(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SendStream(&Message{To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SendStream(&Message{To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	n.Deregister(1)
+	if err := src.Flush(); err == nil {
+		t.Error("flush of deregistered entity reported no error")
+	}
+	if n.Endpoint(1).Pending() != 1 {
+		t.Error("surviving payload not delivered")
+	}
+}
+
+// TestAggConcurrentStream hammers one aggregating endpoint from many
+// goroutines (run under -race): counts must balance and nothing may
+// be lost or duplicated.
+func TestAggConcurrentStream(t *testing.T) {
+	const (
+		workers = 8
+		each    = 500
+	)
+	n := NewNetwork(4, DefaultLatency)
+	for pe := 1; pe < 4; pe++ {
+		if err := n.Register(EntityID(pe), pe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := n.Endpoint(0)
+	src.EnableAggregation(AggPolicy{MaxPayloads: 7})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := src.SendStream(&Message{To: EntityID(1 + (w+i)%3), Data: []byte{1}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := src.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for pe := 1; pe < 4; pe++ {
+		total += n.Endpoint(pe).Pending()
+	}
+	if total != workers*each {
+		t.Errorf("delivered %d, want %d", total, workers*each)
+	}
+	env, pay := n.AggStats()
+	if pay != workers*each {
+		t.Errorf("payloads = %d, want %d", pay, workers*each)
+	}
+	if env == 0 || env > pay {
+		t.Errorf("implausible envelope count %d for %d payloads", env, pay)
+	}
+}

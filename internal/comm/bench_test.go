@@ -93,6 +93,58 @@ func BenchmarkInbox(b *testing.B) {
 	}
 }
 
+// BenchmarkAggExchange compares a ghost-exchange-shaped burst — 64
+// small messages to entities packed on one destination PE — routed
+// per-message (direct) versus through streaming aggregation (agg).
+// Aggregation pays the inbox lock and wakeup once per envelope
+// instead of once per payload, so the wall-clock win shows up here;
+// the modeled-latency win (one Alpha per envelope) shows up in the
+// workload numbers.
+func BenchmarkAggExchange(b *testing.B) {
+	const burst = 64
+	run := func(b *testing.B, stream bool) {
+		n := NewNetwork(2, LatencyModel{Alpha: 10_000, BetaPerByte: 4})
+		for i := 0; i < 8; i++ {
+			if err := n.Register(EntityID(i+1), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		src, dst := n.Endpoint(0), n.Endpoint(1)
+		if stream {
+			src.EnableAggregation(AggPolicy{MaxPayloads: 16, MaxBytes: 1 << 20})
+		}
+		payload := make([]byte, 32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < burst; j++ {
+				msg := &Message{To: EntityID(j%8 + 1), Data: payload}
+				var err error
+				if stream {
+					err = src.SendStream(msg)
+				} else {
+					err = src.Send(msg)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if stream {
+				if err := src.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for j := 0; j < burst; j++ {
+				if dst.Poll() == nil {
+					b.Fatal("lost message")
+				}
+			}
+		}
+	}
+	b.Run("direct", func(b *testing.B) { run(b, false) })
+	b.Run("agg", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkLocate measures directory lookup throughput with 8
 // concurrent readers — the pure read-side scaling of the location
 // directory.

@@ -92,6 +92,10 @@ type Network struct {
 	sent     atomic.Uint64
 	forwards atomic.Uint64
 	bytes    atomic.Uint64
+
+	// streaming-aggregation stats (see aggregate.go)
+	envelopes   atomic.Uint64
+	aggPayloads atomic.Uint64
 }
 
 // NewNetwork builds a network of numPEs endpoints.
@@ -231,6 +235,12 @@ type Endpoint struct {
 	inbox   msgRing
 	waiters int
 	hook    func() // optional wakeup hook (scheduler integration)
+
+	// agg, when non-nil, is the endpoint's streaming-aggregation
+	// state (see aggregate.go). aggMu is held across a whole flush so
+	// one sender's envelopes leave in order; it never nests inside mu.
+	aggMu sync.Mutex
+	agg   *aggregator
 }
 
 // PE returns the endpoint's processor index.
@@ -327,6 +337,28 @@ func (e *Endpoint) forward(msg *Message, to int) error {
 func (e *Endpoint) deliver(msg *Message) {
 	e.mu.Lock()
 	e.inbox.push(msg)
+	if e.waiters > 0 {
+		e.cond.Broadcast()
+	}
+	hook := e.hook
+	e.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// deliverBatch appends a flushed envelope's payloads to the inbox
+// under one lock acquisition — the receive-side half of aggregation's
+// wall-clock win (one lock + one wakeup per envelope, not per
+// payload).
+func (e *Endpoint) deliverBatch(msgs []*Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	e.mu.Lock()
+	for _, m := range msgs {
+		e.inbox.push(m)
+	}
 	if e.waiters > 0 {
 		e.cond.Broadcast()
 	}

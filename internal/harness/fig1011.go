@@ -99,13 +99,27 @@ type Fig11Point struct {
 	ThreadsPE  int
 	StepTimeNs float64
 	WallNs     float64
+	// EnvelopesPerStep is the mean coalesced cross-PE envelope count
+	// (aggregated runs only; 0 otherwise).
+	EnvelopesPerStep float64
 }
 
 // Figure11 sweeps simulating-PE counts for a fixed target machine.
 func Figure11(w io.Writer, x, y, z, steps int, peCounts []int) ([]Fig11Point, error) {
+	return Figure11Opt(w, x, y, z, steps, peCounts, false)
+}
+
+// Figure11Opt is Figure11 with the ghost exchange optionally routed
+// through streaming aggregation (one envelope per (src,dst) simulating
+// PE pair per step instead of one message per ghost).
+func Figure11Opt(w io.Writer, x, y, z, steps int, peCounts []int, aggregate bool) ([]Fig11Point, error) {
 	targets := x * y * z
-	fmt.Fprintf(w, "Figure 11: BigSim simulation time per step (%d target processors, one ULT each)\n", targets)
-	fmt.Fprintf(w, "%8s %12s %16s %10s\n", "simPEs", "ULTs/simPE", "time/step(ms)", "speedup")
+	mode := ""
+	if aggregate {
+		mode = ", aggregated ghost exchange"
+	}
+	fmt.Fprintf(w, "Figure 11: BigSim simulation time per step (%d target processors, one ULT each%s)\n", targets, mode)
+	fmt.Fprintf(w, "%8s %12s %16s %10s %10s\n", "simPEs", "ULTs/simPE", "time/step(ms)", "speedup", "env/step")
 	var out []Fig11Point
 	var base float64
 	for _, p := range peCounts {
@@ -114,6 +128,7 @@ func Figure11(w io.Writer, x, y, z, steps int, peCounts []int) ([]Fig11Point, er
 		}
 		cfg := bigsim.DefaultConfig()
 		cfg.X, cfg.Y, cfg.Z, cfg.SimPEs = x, y, z, p
+		cfg.Aggregate = aggregate
 		sim, err := bigsim.New(cfg)
 		if err != nil {
 			return nil, err
@@ -123,11 +138,19 @@ func Figure11(w io.Writer, x, y, z, steps int, peCounts []int) ([]Fig11Point, er
 		wall := seconds(t0)
 		sim.Close()
 		mean := bigsim.MeanStepTime(stats)
+		var env float64
+		for _, st := range stats {
+			env += float64(st.Envelopes)
+		}
+		env /= float64(len(stats))
 		if base == 0 {
 			base = mean
 		}
-		fmt.Fprintf(w, "%8d %12d %16.3f %9.2fx\n", p, targets/p, mean/1e6, base/mean)
-		out = append(out, Fig11Point{SimPEs: p, ThreadsPE: targets / p, StepTimeNs: mean, WallNs: wall})
+		fmt.Fprintf(w, "%8d %12d %16.3f %9.2fx %10.0f\n", p, targets/p, mean/1e6, base/mean, env)
+		out = append(out, Fig11Point{
+			SimPEs: p, ThreadsPE: targets / p, StepTimeNs: mean, WallNs: wall,
+			EnvelopesPerStep: env,
+		})
 	}
 	return out, nil
 }

@@ -10,6 +10,8 @@ import (
 	"io"
 	"time"
 
+	"migflow/internal/ampi"
+	"migflow/internal/comm"
 	"migflow/internal/converse"
 	"migflow/internal/flows"
 	"migflow/internal/loadbalance"
@@ -217,10 +219,27 @@ func Figure9(w io.Writer, sizes []uint64, switches int) ([]Fig9Point, error) {
 
 // Figure12 runs the BT-MZ cases with and without LB.
 func Figure12(w io.Writer, steps int) ([][2]*npb.Result, error) {
+	return Figure12Opt(w, steps, ampi.CollTree, false, comm.AggPolicy{})
+}
+
+// Figure12Opt is Figure12 with the collective algorithm, boundary-
+// exchange aggregation, and flush policy selectable; aggregated runs
+// report the envelope traffic alongside the timing columns.
+func Figure12Opt(w io.Writer, steps int, coll ampi.CollAlgo, aggregate bool, pol comm.AggPolicy) ([][2]*npb.Result, error) {
 	var out [][2]*npb.Result
-	fmt.Fprintln(w, "Figure 12: NAS BT-MZ with and without thread-migration load balancing")
-	fmt.Fprintf(w, "%-10s %14s %14s %9s %7s\n", "case", "noLB time(ms)", "LB time(ms)", "speedup", "moved")
+	mode := ""
+	if coll == ampi.CollFlat {
+		mode += ", flat collectives"
+	}
+	if aggregate {
+		mode += ", aggregated exchange"
+	}
+	fmt.Fprintf(w, "Figure 12: NAS BT-MZ with and without thread-migration load balancing%s\n", mode)
+	fmt.Fprintf(w, "%-10s %14s %14s %9s %7s %10s\n", "case", "noLB time(ms)", "LB time(ms)", "speedup", "moved", "envelopes")
 	for _, p := range npb.Cases(steps, nil) {
+		p.Collectives = coll
+		p.Aggregate = aggregate
+		p.AggPolicy = pol
 		base, err := npb.Run(p)
 		if err != nil {
 			return nil, err
@@ -231,8 +250,8 @@ func Figure12(w io.Writer, steps int) ([][2]*npb.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(w, "%-10s %14.2f %14.2f %8.2fx %7d\n",
-			p.Label(), base.TimeNs/1e6, lb.TimeNs/1e6, base.TimeNs/lb.TimeNs, lb.MovedRanks)
+		fmt.Fprintf(w, "%-10s %14.2f %14.2f %8.2fx %7d %10d\n",
+			p.Label(), base.TimeNs/1e6, lb.TimeNs/1e6, base.TimeNs/lb.TimeNs, lb.MovedRanks, lb.Envelopes)
 		out = append(out, [2]*npb.Result{base, lb})
 	}
 	return out, nil

@@ -1,0 +1,80 @@
+package npb
+
+import (
+	"testing"
+
+	"migflow/internal/ampi"
+	"migflow/internal/loadbalance"
+)
+
+// TestAggDeterministicAndBusyInvariant is the aggregation contract on
+// the workload level: repeated runs of each mode are bit-identical,
+// the solver (busy) component TimeNs−CommNs never changes with
+// aggregation, and only the modeled exchange cost and envelope
+// counters move.
+func TestAggDeterministicAndBusyInvariant(t *testing.T) {
+	// 16 ranks packed on 4 PEs: several of any rank's neighbour ranks
+	// share a destination PE, so envelopes genuinely coalesce.
+	base := Params{Class: ClassA, NProcs: 16, NPEs: 4, Steps: 4, LB: loadbalance.GreedyLB{}}
+	run := func(agg bool) *Result {
+		p := base
+		p.Aggregate = agg
+		res, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	direct, direct2 := run(false), run(false)
+	aggd, aggd2 := run(true), run(true)
+	if direct.TimeNs != direct2.TimeNs || aggd.TimeNs != aggd2.TimeNs {
+		t.Fatalf("nondeterministic: direct %g/%g agg %g/%g",
+			direct.TimeNs, direct2.TimeNs, aggd.TimeNs, aggd2.TimeNs)
+	}
+	if db, ab := direct.TimeNs-direct.CommNs, aggd.TimeNs-aggd.CommNs; db != ab {
+		t.Errorf("busy component changed under aggregation: %g vs %g", db, ab)
+	}
+	if !(aggd.CommNs < direct.CommNs) {
+		t.Errorf("aggregated exchange %g not cheaper than per-message %g", aggd.CommNs, direct.CommNs)
+	}
+	if direct.Envelopes != 0 || direct.AggPayloads != 0 {
+		t.Errorf("per-message run reported envelopes: %d/%d", direct.Envelopes, direct.AggPayloads)
+	}
+	if aggd.Envelopes == 0 || aggd.AggPayloads < aggd.Envelopes {
+		t.Errorf("bad envelope counters: %d envelopes, %d payloads", aggd.Envelopes, aggd.AggPayloads)
+	}
+	if aggd.MovedRanks != direct.MovedRanks || aggd.Imbalance != direct.Imbalance {
+		t.Errorf("aggregation perturbed load balancing: moved %d/%d imbalance %g/%g",
+			aggd.MovedRanks, direct.MovedRanks, aggd.Imbalance, direct.Imbalance)
+	}
+}
+
+// TestAggWithFlatCollectives: both axes of Options compose — the
+// exchange aggregates while the LB barrier runs the flat algorithm.
+func TestAggWithFlatCollectives(t *testing.T) {
+	res, err := Run(Params{
+		Class: ClassA, NProcs: 8, NPEs: 4, Steps: 3,
+		LB: loadbalance.GreedyLB{}, Aggregate: true, Collectives: ampi.CollFlat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Envelopes == 0 {
+		t.Error("no envelopes with aggregation enabled")
+	}
+}
+
+// BenchmarkBTMZExchange wall-times the A.16,8PE case per-message
+// versus aggregated.
+func BenchmarkBTMZExchange(b *testing.B) {
+	run := func(b *testing.B, agg bool) {
+		for i := 0; i < b.N; i++ {
+			_, err := Run(Params{Class: ClassA, NProcs: 16, NPEs: 8, Steps: 3, Aggregate: agg})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("direct", func(b *testing.B) { run(b, false) })
+	b.Run("agg", func(b *testing.B) { run(b, true) })
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"migflow/internal/ampi"
+	"migflow/internal/comm"
 	"migflow/internal/core"
 	"migflow/internal/loadbalance"
 	"migflow/internal/swapglobal"
@@ -169,6 +170,17 @@ type Params struct {
 	// Trace enables Projections-style event logging; the log lands in
 	// Result.Trace.
 	Trace bool
+	// Collectives selects the AMPI collective topology (tree by
+	// default; CollFlat for A/B).
+	Collectives ampi.CollAlgo
+	// Aggregate routes the boundary exchange through comm streaming
+	// aggregation: each rank's halos coalesce per destination PE, so
+	// the modeled per-step exchange pays one Alpha per (rank, dest-PE)
+	// envelope instead of one per message. The solver (busy) component
+	// of TimeNs is unaffected.
+	Aggregate bool
+	// AggPolicy tunes the coalescing buffers (zero value = defaults).
+	AggPolicy comm.AggPolicy
 }
 
 // Label renders the paper's case naming ("A.8,4PE").
@@ -185,10 +197,15 @@ type Result struct {
 	// migrations), plus halo-exchange latency, plus the one-time
 	// migration transfer cost.
 	TimeNs     float64
+	CommNs     float64   // halo-exchange component of TimeNs
 	PELoads    []float64 // measured per-PE work (current placement)
 	Imbalance  float64   // max/avg of PELoads
 	Migrations uint64
 	MovedRanks int
+	// Envelopes/AggPayloads report the streaming-aggregation traffic
+	// (zero unless Params.Aggregate).
+	Envelopes   uint64
+	AggPayloads uint64
 	// Trace is the event log when Params.Trace was set (nil
 	// otherwise).
 	Trace *trace.Log
@@ -245,11 +262,15 @@ func Run(p Params) (*Result, error) {
 	var mu sync.Mutex
 	moved := 0
 	// stepBusy[step][pe] accumulates solver work as it actually ran:
-	// the per-step parallel time is its max over PEs.
+	// the per-step parallel time is its max over PEs. stepComm[step]
+	// is the critical-path exchange cost: the worst rank's outbound
+	// halo traffic, per-message or per dest-PE envelope.
 	stepBusy := make([][]float64, p.Steps)
 	for i := range stepBusy {
 		stepBusy[i] = make([]float64, p.NPEs)
 	}
+	stepComm := make([]float64, p.Steps)
+	lat := m.Network().Latency()
 	var firstErr error
 	fail := func(err error) {
 		mu.Lock()
@@ -259,7 +280,15 @@ func Run(p Params) (*Result, error) {
 		mu.Unlock()
 	}
 
-	job, err := ampi.NewJob(m, p.NProcs, ampi.Options{Globals: layout, BlockPlacement: true}, func(r *ampi.Rank) {
+	var job *ampi.Job // captured: rank bodies consult placement via PEOf
+	opts := ampi.Options{
+		Globals:        layout,
+		BlockPlacement: true,
+		Collectives:    p.Collectives,
+		Aggregate:      p.Aggregate,
+		AggPolicy:      p.AggPolicy,
+	}
+	job, err = ampi.NewJob(m, p.NProcs, opts, func(r *ampi.Rank) {
 		// NOTE: the GOT is per-PE (part of the process image), so it
 		// must be re-fetched after any potential migration.
 		got := func() *swapglobal.GOT { return r.Ctx().GlobalsGOT() }
@@ -289,6 +318,28 @@ func Run(p Params) (*Result, error) {
 					return
 				}
 			}
+			// Critical-path exchange model for this step: the worst
+			// rank's outbound halo cost. Aggregation coalesces one
+			// envelope per destination PE under the current placement
+			// (stable during the exchange — migration happens only at
+			// the step-0 barrier below).
+			var commCost float64
+			if p.Aggregate {
+				perPE := make(map[int]int)
+				for _, dest := range sendTo[r.Rank()] {
+					perPE[job.PEOf(dest)] += p.HaloBytes
+				}
+				for _, bytes := range perPE {
+					commCost += lat.Cost(bytes)
+				}
+			} else {
+				commCost = float64(len(sendTo[r.Rank()])) * lat.Cost(p.HaloBytes)
+			}
+			mu.Lock()
+			if commCost > stepComm[step] {
+				stepComm[step] = commCost
+			}
+			mu.Unlock()
 			for i := 0; i < expectIn[r.Rank()]; i++ {
 				if _, _, err := r.Recv(ampi.AnySource, 1); err != nil {
 					fail(err)
@@ -325,18 +376,16 @@ func Run(p Params) (*Result, error) {
 		return nil, fmt.Errorf("npb: job did not complete (deadlock?)")
 	}
 	migs, migBytes := m.MigrationStats()
-	lat := m.Network().Latency()
-	var total float64
-	for _, busy := range stepBusy {
+	var total, commTotal float64
+	for step, busy := range stepBusy {
 		var max float64
 		for _, b := range busy {
 			if b > max {
 				max = b
 			}
 		}
-		// Per-step halo exchange: two neighbour messages on the
-		// critical path.
-		total += max + 2*lat.Cost(p.HaloBytes)
+		total += max + stepComm[step]
+		commTotal += stepComm[step]
 	}
 	// Migration transfers cross the network once, spread over PEs.
 	if migs > 0 {
@@ -345,14 +394,18 @@ func Run(p Params) (*Result, error) {
 	// Per-PE measured work under the current (post-LB if any)
 	// placement: CPU time since the last Migrate reset.
 	loads := job.PELoads()
+	envelopes, payloads := m.Network().AggStats()
 	res := &Result{
-		Params:     p,
-		TimeNs:     total,
-		PELoads:    loads,
-		Imbalance:  loadbalance.Imbalance(loads),
-		Migrations: migs,
-		MovedRanks: moved,
-		Trace:      tlog,
+		Params:      p,
+		TimeNs:      total,
+		CommNs:      commTotal,
+		PELoads:     loads,
+		Imbalance:   loadbalance.Imbalance(loads),
+		Migrations:  migs,
+		MovedRanks:  moved,
+		Envelopes:   envelopes,
+		AggPayloads: payloads,
+		Trace:       tlog,
 	}
 	return res, nil
 }
