@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-collectives bench-all repro repro-quick examples cover clean
+.PHONY: all build vet test race bench bench-collectives bench-lb bench-all repro repro-quick examples cover clean
 
 all: build vet test
 
@@ -24,7 +24,7 @@ race:
 HOTPATH_PKGS = ./internal/comm/ ./internal/core/ ./internal/vmem/
 BENCHFLAGS ?=
 
-bench: bench-collectives
+bench: bench-collectives bench-lb
 	$(GO) test -bench . -benchmem -run '^$$' $(BENCHFLAGS) $(HOTPATH_PKGS) | tee bench_output.txt
 	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_hotpath.json
 	$(GO) test -bench 'BenchmarkMigrate|BenchmarkLBStep' -benchmem -run '^$$' $(BENCHFLAGS) ./internal/migrate/ | tee bench_migrate_output.txt
@@ -37,6 +37,15 @@ bench-collectives:
 	$(GO) test -bench 'BenchmarkColl|BenchmarkAgg|BenchmarkGhost|BenchmarkBTMZ' -benchmem -run '^$$' $(BENCHFLAGS) \
 		./internal/ampi/ ./internal/comm/ ./internal/bigsim/ ./internal/npb/ | tee bench_collectives_output.txt
 	$(GO) run ./cmd/benchjson < bench_collectives_output.txt > BENCH_collectives.json
+
+# Load-balancing + stealing A/B: plan cost of the seed linear-scan
+# greedy vs the heap greedy vs the hierarchical strategy at
+# P ∈ {8,64,256} × {1k,16k} items, and the BT-MZ modeled makespan
+# with idle-cycle work stealing off vs on (vns/op is modeled time).
+bench-lb:
+	$(GO) test -bench 'BenchmarkLBPlan' -benchmem -run '^$$' $(BENCHFLAGS) ./internal/loadbalance/ | tee bench_lb_output.txt
+	$(GO) test -bench 'BenchmarkStealMakespan' -benchmem -run '^$$' $(BENCHFLAGS) ./internal/npb/ | tee -a bench_lb_output.txt
+	$(GO) run ./cmd/benchjson < bench_lb_output.txt > BENCH_lb.json
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...
@@ -64,5 +73,5 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_migrate_output.txt bench_collectives_output.txt
+	rm -f cover.out test_output.txt bench*_output.txt
 	rm -rf figures

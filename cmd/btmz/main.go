@@ -3,6 +3,7 @@
 // paper's problem classes and rank/PE configurations.
 //
 // Usage: btmz [-steps 20] [-lb greedy] [-coll tree|flat] [-agg off|on|N:B]
+//             [-steal off|on] [-chunks N]
 package main
 
 import (
@@ -23,10 +24,12 @@ import (
 
 func main() {
 	steps := flag.Int("steps", 20, "solver timesteps")
-	lbName := flag.String("lb", "greedy", "load balancer: greedy | refine | rotate")
+	lbName := flag.String("lb", "greedy", "load balancer: greedy | refine | rotate | commaware | hier")
 	showTrace := flag.Bool("trace", false, "print per-PE utilization traces for B.64,8PE")
 	collName := flag.String("coll", "tree", "collective algorithm: tree | flat")
 	aggSpec := flag.String("agg", "off", "boundary-exchange aggregation: off | on | maxPayloads:maxBytes (e.g. 16:8192)")
+	stealSpec := flag.String("steal", "off", "idle-cycle work stealing: off (deterministic pump) | on (parallel runner)")
+	chunks := flag.Int("chunks", 0, "split each rank's per-step solve into N yieldable slices (steal points); 0 keeps one slice")
 	flag.Parse()
 
 	coll, err := parseColl(*collName)
@@ -37,40 +40,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	steal, err := parseSteal(*stealSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *showTrace {
 		traceReport(*steps, *lbName, coll, aggregate, pol)
 		return
 	}
-	if *lbName == "greedy" {
-		if _, err := harness.Figure12Opt(os.Stdout, *steps, coll, aggregate, pol); err != nil {
+	cfg := harness.Fig12Config{
+		Coll: coll, Aggregate: aggregate, AggPolicy: pol,
+		Steal: steal, WorkChunks: *chunks,
+	}
+	if *lbName != "greedy" {
+		strat, err := loadbalance.ByName(*lbName)
+		if err != nil {
 			log.Fatal(err)
 		}
-		return
+		cfg.LB = strat
 	}
-	strat, err := loadbalance.ByName(*lbName)
-	if err != nil {
+	if _, err := harness.Figure12With(os.Stdout, *steps, cfg); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("BT-MZ with %s load balancing\n", strat.Name())
-	fmt.Printf("%-10s %14s %14s %9s\n", "case", "noLB time(ms)", "LB time(ms)", "speedup")
-	for _, p := range npb.Cases(*steps, nil) {
-		p.Collectives = coll
-		p.Aggregate = aggregate
-		p.AggPolicy = pol
-		base, err := npb.Run(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		q := p
-		q.LB = strat
-		r, err := npb.Run(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-10s %14.2f %14.2f %8.2fx\n",
-			p.Label(), base.TimeNs/1e6, r.TimeNs/1e6, base.TimeNs/r.TimeNs)
+}
+
+func parseSteal(spec string) (bool, error) {
+	switch spec {
+	case "", "off":
+		return false, nil
+	case "on":
+		return true, nil
 	}
+	return false, fmt.Errorf("btmz: bad -steal %q (want off or on)", spec)
 }
 
 func parseColl(name string) (ampi.CollAlgo, error) {

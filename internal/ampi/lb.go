@@ -47,23 +47,31 @@ func (r *Rank) Migrate(strategy loadbalance.Strategy) (int, error) {
 // planForEpoch computes (once per epoch) the strategy's plan from the
 // measured per-rank loads. The load database is exactly what the
 // paper's runtime gathers: thread id, current PE, consumed CPU time.
+// The measurement walk is a single pass (one LoadSample per thread)
+// into a pooled buffer, so an LB step allocates no database.
 func (j *Job) planForEpoch(epoch uint64, strategy loadbalance.Strategy) loadbalance.Plan {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if p, ok := j.lbPlans[epoch]; ok {
 		return p
 	}
-	items := make([]loadbalance.Item, 0, len(j.ranks))
-	for _, rk := range j.ranks {
-		items = append(items, loadbalance.Item{
-			ID:   uint64(rk.th.ID()),
-			PE:   rk.th.Scheduler().PE().Index,
-			Load: rk.th.CPUTime(),
-		})
-	}
-	p := strategy.Plan(items, j.m.NumPEs())
+	buf := loadbalance.AcquireItems()
+	*buf = j.collectLoads(*buf)
+	p := strategy.Plan(*buf, j.m.NumPEs())
+	loadbalance.ReleaseItems(buf)
 	j.lbPlans[epoch] = p
 	return p
+}
+
+// collectLoads appends every rank's (id, PE, load) sample to buf — the
+// single-pass measurement walk shared by the MPI_Migrate and
+// runtime-driven balancing paths.
+func (j *Job) collectLoads(buf []loadbalance.Item) []loadbalance.Item {
+	for _, rk := range j.ranks {
+		pe, load := rk.th.LoadSample()
+		buf = append(buf, loadbalance.Item{ID: uint64(rk.th.ID()), PE: pe, Load: load})
+	}
+	return buf
 }
 
 // Rebalance is the runtime-driven balancing mode: called from
@@ -78,12 +86,15 @@ func (j *Job) Rebalance(strategy loadbalance.Strategy) (int, error) {
 	if strategy == nil {
 		return 0, fmt.Errorf("ampi: Rebalance: nil strategy")
 	}
+	buf := loadbalance.AcquireItems()
+	*buf = j.collectLoads(*buf)
 	var plan loadbalance.Plan
 	if ca, ok := strategy.(loadbalance.CommAware); ok {
-		plan = ca.PlanComm(j.LoadDatabase(), j.CommGraph(), j.m.NumPEs())
+		plan = ca.PlanComm(*buf, j.CommGraph(), j.m.NumPEs())
 	} else {
-		plan = strategy.Plan(j.LoadDatabase(), j.m.NumPEs())
+		plan = strategy.Plan(*buf, j.m.NumPEs())
 	}
+	loadbalance.ReleaseItems(buf)
 	var moves []core.Move
 	for _, rk := range j.ranks {
 		if rk.th.State() == converse.Exited {
@@ -123,20 +134,16 @@ func (j *Job) CommGraph() []loadbalance.Edge {
 }
 
 // LoadDatabase returns the current measured loads (for harness
-// reporting).
+// reporting). The returned slice is the caller's to keep.
 func (j *Job) LoadDatabase() []loadbalance.Item {
-	items := make([]loadbalance.Item, 0, len(j.ranks))
-	for _, rk := range j.ranks {
-		items = append(items, loadbalance.Item{
-			ID:   uint64(rk.th.ID()),
-			PE:   rk.th.Scheduler().PE().Index,
-			Load: rk.th.CPUTime(),
-		})
-	}
-	return items
+	return j.collectLoads(make([]loadbalance.Item, 0, len(j.ranks)))
 }
 
 // PELoads sums the measured load per PE.
 func (j *Job) PELoads() []float64 {
-	return loadbalance.PELoads(j.LoadDatabase(), j.m.NumPEs(), nil)
+	buf := loadbalance.AcquireItems()
+	*buf = j.collectLoads(*buf)
+	loads := loadbalance.PELoads(*buf, j.m.NumPEs(), nil)
+	loadbalance.ReleaseItems(buf)
+	return loads
 }

@@ -2,14 +2,25 @@ package converse
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"migflow/internal/mem"
 	"migflow/internal/swapglobal"
 	"migflow/internal/trace"
 	"migflow/internal/vmem"
 )
+
+// ErrNotEvictable is wrapped by Evict when a thread cannot be taken
+// from its scheduler right now: it is Running, already Migrating,
+// Exited, owned by a different scheduler, or was dequeued in the
+// window between a caller's snapshot and the eviction attempt. A bulk
+// migration or work-stealing pass treats it as "skip this thread",
+// not as a failure.
+var ErrNotEvictable = errors.New("thread not evictable")
 
 // Scheduler is one PE's user-level thread scheduler: a priority ready
 // queue plus the context-switch path (strategy switch-in/out, GOT
@@ -28,6 +39,21 @@ type Scheduler struct {
 	threads  map[ID]*Thread
 	current  *Thread
 	stop     bool
+
+	// readyDepth mirrors ready.Len() so a work-stealing thief can peek
+	// at queue depth without contending for mu; refreshed under mu on
+	// every queue mutation.
+	readyDepth atomic.Int64
+
+	// busyNs accumulates the virtual nanoseconds of Work charged on
+	// this PE (not synced by migrations, unlike the PE clock) — the
+	// modeled-load signal a work-stealing thief compares against its
+	// own before robbing this scheduler.
+	busyNs atomic.Uint64
+
+	// donate, when set, decides how many threads this scheduler gives
+	// a thief for a given queue depth (default: half).
+	donate func(depth int) int
 
 	switches uint64 // context switches performed (stats)
 
@@ -205,6 +231,7 @@ func (s *Scheduler) enqueue(t *Thread) {
 	it := &readyItem{t: t, prio: t.prio, seq: s.seq}
 	heap.Push(&s.ready, it)
 	s.byThread[t] = it
+	s.readyDepth.Store(int64(s.ready.Len()))
 	s.cond.Broadcast()
 	wake := s.onWake
 	s.mu.Unlock()
@@ -218,6 +245,7 @@ func (s *Scheduler) enqueue(t *Thread) {
 func (s *Scheduler) popLocked() *Thread {
 	it := heap.Pop(&s.ready).(*readyItem)
 	delete(s.byThread, it.t)
+	s.readyDepth.Store(int64(s.ready.Len()))
 	return it.t
 }
 
@@ -231,10 +259,20 @@ func (s *Scheduler) popLocked() *Thread {
 func (s *Scheduler) Evict(t *Thread) (wasSuspended bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.sched != s {
+		// The thread moved (stolen, or migrated by a concurrent bulk
+		// batch) between the caller's snapshot and now; evicting it
+		// from here would extract state from the wrong address space.
+		return false, fmt.Errorf("converse: Evict: thread %d is owned by PE %d, not PE %d: %w",
+			t.id, t.sched.pe.Index, s.pe.Index, ErrNotEvictable)
+	}
 	switch t.state {
 	case Ready:
 		if !s.removeReady(t) {
-			return false, fmt.Errorf("converse: Evict: thread %d claims Ready but is not queued on PE %d", t.id, s.pe.Index)
+			// Popped by the scheduler loop in the snapshot window: it
+			// is about to run.
+			return false, fmt.Errorf("converse: Evict: thread %d claims Ready but is not queued on PE %d: %w",
+				t.id, s.pe.Index, ErrNotEvictable)
 		}
 		t.state = Migrating
 		return false, nil
@@ -242,7 +280,8 @@ func (s *Scheduler) Evict(t *Thread) (wasSuspended bool, err error) {
 		t.state = Migrating
 		return true, nil
 	}
-	return false, fmt.Errorf("converse: Evict: thread %d is %s; only Ready or Suspended threads can be evicted", t.id, t.state)
+	return false, fmt.Errorf("converse: Evict: thread %d is %s; only Ready or Suspended threads can be evicted: %w",
+		t.id, t.state, ErrNotEvictable)
 }
 
 // removeReady deletes t from the ready queue. The membership map
@@ -257,7 +296,124 @@ func (s *Scheduler) removeReady(t *Thread) bool {
 	}
 	heap.Remove(&s.ready, it.index)
 	delete(s.byThread, t)
+	s.readyDepth.Store(int64(s.ready.Len()))
 	return true
+}
+
+// ReadyLenHint returns the ready-queue depth without taking the
+// scheduler lock. It may be momentarily stale — exactly what a
+// work-stealing thief wants for victim selection: a cheap peek that
+// costs the victim nothing.
+func (s *Scheduler) ReadyLenHint() int { return int(s.readyDepth.Load()) }
+
+// BusyNs returns the virtual nanoseconds of thread Work charged on
+// this PE so far, lock-free. Unlike the PE clock it is never synced
+// forward by migration arrivals, so it stays a pure measure of how
+// much modeled computation this PE has executed — the steal policy
+// compares thief and victim BusyNs to send work from modeled-busy
+// PEs to modeled-idle ones.
+func (s *Scheduler) BusyNs() uint64 { return s.busyNs.Load() }
+
+// chargeBusy accounts Work time for BusyNs (called from Ctx.Work on
+// the running thread's scheduler).
+func (s *Scheduler) chargeBusy(ns float64) { s.busyNs.Add(uint64(ns)) }
+
+// SetDonateHook installs the victim-side donation policy: given the
+// ready-queue depth at steal time, return how many threads this
+// scheduler is willing to give a thief. nil (the default) donates
+// half. The hook runs with the scheduler lock held and must not call
+// back into the scheduler.
+func (s *Scheduler) SetDonateHook(fn func(depth int) int) {
+	s.mu.Lock()
+	s.donate = fn
+	s.mu.Unlock()
+}
+
+// TryStealHalf takes up to max ready threads from this scheduler (max
+// <= 0 caps at half the queue) and returns them in the Migrating
+// state, ready for the caller to re-home through the normal migration
+// path — PUP, location directory, and clock charging all behave as in
+// any other migration. The victim keeps the head of its priority
+// order; thieves get the work that would have run last.
+//
+// The scheduler lock is taken only when the lock-free depth peek says
+// there are at least two queued threads — an idle machine's failed
+// probes never contend with a busy victim. Candidates that run,
+// suspend, or migrate between the snapshot and the eviction are
+// skipped, so the returned set may be smaller than requested (possibly
+// empty).
+func (s *Scheduler) TryStealHalf(max int) []*Thread {
+	if s.readyDepth.Load() < 2 {
+		return nil
+	}
+	s.mu.Lock()
+	depth := s.ready.Len()
+	want := depth / 2
+	if s.donate != nil {
+		want = s.donate(depth)
+	}
+	if want > depth {
+		want = depth
+	}
+	if max > 0 && want > max {
+		want = max
+	}
+	if want <= 0 || depth < 2 {
+		s.mu.Unlock()
+		return nil
+	}
+	// Snapshot the tail of the priority order: sort a copy of the heap
+	// slice so the victim's next-to-run threads stay put.
+	cand := make([]*readyItem, depth)
+	copy(cand, s.ready)
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].prio != cand[j].prio {
+			return cand[i].prio > cand[j].prio
+		}
+		return cand[i].seq > cand[j].seq
+	})
+	victims := make([]*Thread, want)
+	for i, it := range cand[:want] {
+		victims[i] = it.t
+	}
+	s.mu.Unlock()
+
+	// Evict outside s.mu: Evict takes t.mu then s.mu (the established
+	// lock order), so holding s.mu here would invert it against a
+	// concurrent Evict from a bulk migration.
+	out := victims[:0]
+	for _, t := range victims {
+		wasSuspended, err := s.Evict(t)
+		if err != nil {
+			continue // ran, migrated, or exited in the window
+		}
+		if wasSuspended {
+			// The candidate ran and suspended before we reached it;
+			// stealing a waiting thread moves no work. Put it back
+			// exactly as Evict found it (honouring a racing wake).
+			s.unevictSuspended(t)
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// unevictSuspended undoes an Evict of a Suspended thread that the
+// steal path does not want: the thread returns to Suspended on this
+// scheduler, or straight to Ready if a wake landed while it was
+// nominally Migrating.
+func (s *Scheduler) unevictSuspended(t *Thread) {
+	t.mu.Lock()
+	if t.wakePending {
+		t.wakePending = false
+		t.state = Ready
+		t.mu.Unlock()
+		s.enqueue(t)
+		return
+	}
+	t.state = Suspended
+	t.mu.Unlock()
 }
 
 // AdoptSuspended takes ownership of an externally migrated thread

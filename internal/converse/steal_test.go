@@ -1,0 +1,122 @@
+package converse_test
+
+import (
+	"testing"
+
+	"migflow/internal/converse"
+	"migflow/internal/migrate"
+	"migflow/internal/platform"
+)
+
+// readyThreads parks n runnable threads on pe's ready queue with
+// priorities 0..n-1 (never run yet).
+func readyThreads(t *testing.T, pe *converse.PE, n int) []*converse.Thread {
+	t.Helper()
+	ths := make([]*converse.Thread, n)
+	for i := 0; i < n; i++ {
+		th, err := pe.Sched.CthCreate(converse.ThreadOptions{
+			Strategy: migrate.Isomalloc{}, Priority: i,
+		}, func(c *converse.Ctx) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe.Sched.Start(th)
+		ths[i] = th
+	}
+	return ths
+}
+
+// TestTryStealHalf robs half of a four-deep ready queue: the stolen
+// threads must be the back of the priority order (the work the victim
+// would run last), left in Migrating state and out of the queue, and
+// must run to completion once re-homed on the thief.
+func TestTryStealHalf(t *testing.T) {
+	pes := newPEs(t, 2, platform.Opteron(), nil)
+	readyThreads(t, pes[0], 4)
+	if got := pes[0].Sched.ReadyLenHint(); got != 4 {
+		t.Fatalf("ReadyLenHint = %d, want 4", got)
+	}
+	stolen := pes[0].Sched.TryStealHalf(0)
+	if len(stolen) != 2 {
+		t.Fatalf("stole %d threads, want 2", len(stolen))
+	}
+	for _, th := range stolen {
+		if th.State() != converse.Migrating {
+			t.Errorf("stolen thread %d state = %s, want migrating", th.ID(), th.State())
+		}
+		if th.Priority() < 2 {
+			t.Errorf("stole priority %d; want the low-priority tail (2,3)", th.Priority())
+		}
+	}
+	if got := pes[0].Sched.ReadyLen(); got != 2 {
+		t.Errorf("victim ready len = %d, want 2", got)
+	}
+	if got := pes[0].Sched.ReadyLenHint(); got != 2 {
+		t.Errorf("victim ReadyLenHint = %d, want 2", got)
+	}
+	// Re-home through the ordinary migration pipeline and run them.
+	for _, th := range stolen {
+		if _, err := migrate.MigrateNow(th, pes[0], pes[1], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pes[1].Sched.RunUntilIdle()
+	for _, th := range stolen {
+		if th.State() != converse.Exited {
+			t.Errorf("stolen thread %d did not finish on thief: %s", th.ID(), th.State())
+		}
+	}
+	pes[0].Sched.RunUntilIdle() // the two kept threads still run at home
+}
+
+// TestTryStealHalfDepthGuard: a queue of fewer than two threads is
+// never robbed — stealing the victim's only runnable thread would
+// just move the imbalance.
+func TestTryStealHalfDepthGuard(t *testing.T) {
+	pes := newPEs(t, 1, platform.Opteron(), nil)
+	if got := pes[0].Sched.TryStealHalf(0); got != nil {
+		t.Fatalf("stole %d from empty queue", len(got))
+	}
+	readyThreads(t, pes[0], 1)
+	if got := pes[0].Sched.TryStealHalf(0); got != nil {
+		t.Fatalf("stole %d from depth-1 queue", len(got))
+	}
+	pes[0].Sched.RunUntilIdle()
+}
+
+// TestTryStealHalfMax: the thief-side cap bounds the haul.
+func TestTryStealHalfMax(t *testing.T) {
+	pes := newPEs(t, 1, platform.Opteron(), nil)
+	readyThreads(t, pes[0], 6)
+	stolen := pes[0].Sched.TryStealHalf(1)
+	if len(stolen) != 1 {
+		t.Fatalf("stole %d with max 1", len(stolen))
+	}
+}
+
+// TestStealDonateHook: the victim-side policy overrides the
+// half-the-queue default, and a zero donation refuses the thief.
+func TestStealDonateHook(t *testing.T) {
+	pes := newPEs(t, 1, platform.Opteron(), nil)
+	readyThreads(t, pes[0], 4)
+	var sawDepth int
+	pes[0].Sched.SetDonateHook(func(depth int) int {
+		sawDepth = depth
+		return 1
+	})
+	if stolen := pes[0].Sched.TryStealHalf(0); len(stolen) != 1 {
+		t.Fatalf("stole %d with donate hook returning 1", len(stolen))
+	}
+	if sawDepth != 4 {
+		t.Errorf("donate hook saw depth %d, want 4", sawDepth)
+	}
+	pes[0].Sched.SetDonateHook(func(depth int) int { return 0 })
+	if stolen := pes[0].Sched.TryStealHalf(0); stolen != nil {
+		t.Fatalf("stole %d with donate hook returning 0", len(stolen))
+	}
+	// An over-generous hook is clamped to the queue depth.
+	pes[0].Sched.SetDonateHook(func(depth int) int { return 999 })
+	if stolen := pes[0].Sched.TryStealHalf(0); len(stolen) != 3 {
+		t.Fatalf("stole %d with donate hook returning 999, want the whole queue (3)", len(stolen))
+	}
+}

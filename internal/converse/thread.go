@@ -125,6 +125,17 @@ func (t *Thread) CPUTime() float64 {
 	return t.cpuNs
 }
 
+// LoadSample returns the thread's current PE index and measured CPU
+// time in one lock acquisition — the unit of the load balancer's
+// measurement walk. Sampling every thread is a single pass with one
+// mutex operation each, instead of the separate Scheduler() and
+// CPUTime() round trips.
+func (t *Thread) LoadSample() (pe int, cpuNs float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sched.pe.Index, t.cpuNs
+}
+
 // ResetCPUTime zeroes the accumulated load (start of an LB epoch).
 func (t *Thread) ResetCPUTime() {
 	t.mu.Lock()
@@ -344,5 +355,6 @@ func (c *Ctx) GlobalsGOT() *swapglobal.GOT { return c.t.sched.pe.GOT }
 // application kernels like the BT-MZ solver express their work.
 func (c *Ctx) Work(ns float64) {
 	c.t.sched.pe.Clock.Advance(ns)
+	c.t.sched.chargeBusy(ns)
 	c.t.addCPU(ns)
 }

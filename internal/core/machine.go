@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -38,7 +39,28 @@ type Config struct {
 	// IsoSlotPages is each PE's isomalloc slot size in pages;
 	// defaults to 16384 pages (64 MiB) per PE.
 	IsoSlotPages uint64
+
+	// Steal enables idle-cycle work stealing in RunParallel: a PE that
+	// pumps its inbox and finds nothing probes two random victims and
+	// takes half of the deeper ready queue before blocking on its wake
+	// gate. Stolen threads are re-homed through the normal migration
+	// path, so PUP, the location directory, and virtual-clock charging
+	// all behave as in any other migration. Off by default: stealing
+	// absorbs transient imbalance at idle cost only, but its timing is
+	// wall-clock dependent, so deterministic runs (RunUntilQuiescent
+	// and reproducible RunParallel figures) leave it disabled.
+	Steal bool
+	// StealAttempts bounds how many two-choice probes an idle PE makes
+	// per idle episode before giving up and blocking; default 2.
+	StealAttempts int
+	// StealMax caps the threads taken per successful steal; 0 means
+	// half the victim's ready queue.
+	StealMax int
 }
+
+// DefaultStealAttempts is the idle-phase probe bound when
+// Config.StealAttempts is zero.
+const DefaultStealAttempts = 2
 
 // DefaultIsoSlotPages is the per-PE isomalloc slot if unset.
 const DefaultIsoSlotPages = 16384
@@ -71,6 +93,11 @@ type Machine struct {
 	// polled the network and found nothing — a liveness diagnostic: a
 	// quiescent machine should block, not accumulate these.
 	idlePolls atomic.Uint64
+
+	// Work-stealing counters (see StealStats).
+	stealAttempts atomic.Uint64
+	stealHits     atomic.Uint64
+	stealMoved    atomic.Uint64
 
 	// gates holds one wake gate per PE while RunParallel is active.
 	gates []*wakeGate
@@ -318,6 +345,10 @@ func (m *Machine) RunParallel(done func() bool) {
 		ep := m.net.Endpoint(i)
 		ep.SetWakeHook(gates[i].wake)
 		pe.Sched.SetWakeHook(gates[i].wake)
+		// Steal RNG: one per PE goroutine (only this PE's idle handler
+		// touches it), deterministically seeded by PE index so victim
+		// sequences are reproducible given an interleaving.
+		rng := rand.New(rand.NewSource(int64(i)*0x9E3779B9 + 1))
 		pe.Sched.SetIdleHandler(func() bool {
 			// Snapshot the gate BEFORE checking for work: any wake
 			// that fires after this point re-opens the channel we
@@ -329,6 +360,12 @@ func (m *Machine) RunParallel(done func() bool) {
 				return false
 			}
 			if m.Pump(i) > 0 || pe.Sched.ReadyLen() > 0 {
+				return true
+			}
+			// Idle-steal phase: absorb a neighbour's transient backlog
+			// before parking. On success the stolen threads are already
+			// enqueued here; re-enter the scheduler loop.
+			if m.cfg.Steal && m.stealInto(i, rng) {
 				return true
 			}
 			m.idlePolls.Add(1)

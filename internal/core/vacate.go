@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"migflow/internal/converse"
@@ -58,6 +59,13 @@ func (m *Machine) MigrateMany(moves []Move) (int, error) {
 	var firstErr error
 	for i, res := range results {
 		if res.Err != nil {
+			// A thread that raced us — started running, was stolen by
+			// an idle PE, migrated in another batch, or exited — is
+			// simply not moved this round; the balancer will see it
+			// again next epoch. Anything else is a real failure.
+			if errors.Is(res.Err, converse.ErrNotEvictable) {
+				continue
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("core: MigrateMany: thread %d: %w", ops[i].T.ID(), res.Err)
 			}

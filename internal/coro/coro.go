@@ -14,6 +14,7 @@ package coro
 
 import (
 	"fmt"
+	"sort"
 
 	"migflow/internal/pup"
 )
@@ -53,13 +54,7 @@ func (s *State) Pup(p *pup.PUPer) error {
 		names = append(names, k)
 	}
 	// Canonical order for byte-stable packing.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	n := uint32(len(names))
 	if err := p.Uint32(&n); err != nil {
 		return err

@@ -226,32 +226,75 @@ func Figure12(w io.Writer, steps int) ([][2]*npb.Result, error) {
 // exchange aggregation, and flush policy selectable; aggregated runs
 // report the envelope traffic alongside the timing columns.
 func Figure12Opt(w io.Writer, steps int, coll ampi.CollAlgo, aggregate bool, pol comm.AggPolicy) ([][2]*npb.Result, error) {
+	return Figure12With(w, steps, Fig12Config{Coll: coll, Aggregate: aggregate, AggPolicy: pol})
+}
+
+// Fig12Config selects the optional mechanisms for a Figure 12 run:
+// collective algorithm, boundary-exchange aggregation, the measured
+// load balancer for the "LB" column (nil means GreedyLB), and idle-
+// cycle work stealing (off by default — the deterministic path).
+type Fig12Config struct {
+	Coll      ampi.CollAlgo
+	Aggregate bool
+	AggPolicy comm.AggPolicy
+	// LB is the strategy for the balanced column (nil → GreedyLB).
+	LB loadbalance.Strategy
+	// Steal drives both columns with the wall-clock parallel runner and
+	// idle-cycle stealing instead of the deterministic sequential pump.
+	Steal bool
+	// WorkChunks splits each rank's per-step solve into this many
+	// Work+Yield slices (steal points); ≤1 keeps the single-shot solve.
+	WorkChunks int
+}
+
+// Figure12With is the fully-configurable Figure 12 driver. With the
+// zero Fig12Config (plus a Coll choice) its output is byte-identical
+// to Figure12Opt; enabling Steal appends a per-case stolen-threads
+// column from the runtime's steal counters.
+func Figure12With(w io.Writer, steps int, cfg Fig12Config) ([][2]*npb.Result, error) {
+	strat := cfg.LB
+	if strat == nil {
+		strat = loadbalance.GreedyLB{}
+	}
 	var out [][2]*npb.Result
 	mode := ""
-	if coll == ampi.CollFlat {
+	if cfg.Coll == ampi.CollFlat {
 		mode += ", flat collectives"
 	}
-	if aggregate {
+	if cfg.Aggregate {
 		mode += ", aggregated exchange"
 	}
+	if cfg.Steal {
+		mode += ", idle stealing"
+	}
 	fmt.Fprintf(w, "Figure 12: NAS BT-MZ with and without thread-migration load balancing%s\n", mode)
-	fmt.Fprintf(w, "%-10s %14s %14s %9s %7s %10s\n", "case", "noLB time(ms)", "LB time(ms)", "speedup", "moved", "envelopes")
+	fmt.Fprintf(w, "%-10s %14s %14s %9s %7s %10s", "case", "noLB time(ms)", "LB time(ms)", "speedup", "moved", "envelopes")
+	if cfg.Steal {
+		fmt.Fprintf(w, " %7s", "stolen")
+	}
+	fmt.Fprintln(w)
 	for _, p := range npb.Cases(steps, nil) {
-		p.Collectives = coll
-		p.Aggregate = aggregate
-		p.AggPolicy = pol
+		p.Collectives = cfg.Coll
+		p.Aggregate = cfg.Aggregate
+		p.AggPolicy = cfg.AggPolicy
+		p.Steal = cfg.Steal
+		p.WorkChunks = cfg.WorkChunks
 		base, err := npb.Run(p)
 		if err != nil {
 			return nil, err
 		}
 		q := p
-		q.LB = loadbalance.GreedyLB{}
+		q.LB = strat
 		lb, err := npb.Run(q)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(w, "%-10s %14.2f %14.2f %8.2fx %7d %10d\n",
+		fmt.Fprintf(w, "%-10s %14.2f %14.2f %8.2fx %7d %10d",
 			p.Label(), base.TimeNs/1e6, lb.TimeNs/1e6, base.TimeNs/lb.TimeNs, lb.MovedRanks, lb.Envelopes)
+		if cfg.Steal {
+			fmt.Fprintf(w, " %7d", base.Steals.Moved+lb.Steals.Moved)
+		}
+		fmt.Fprintln(w)
 		out = append(out, [2]*npb.Result{base, lb})
 	}
 	return out, nil

@@ -1,0 +1,185 @@
+package loadbalance
+
+import (
+	"sort"
+)
+
+// DefaultGroupSize is HierarchicalLB's PEs-per-group when unset.
+const DefaultGroupSize = 8
+
+// HierarchicalLB splits the machine into contiguous PE groups and
+// balances in two levels: a group-local greedy re-map (each group
+// plans only over its own items and PEs, O(n_g log g) apiece), then a
+// top-level refine over group aggregates that shifts items from
+// overloaded groups to underloaded ones. This is the paper's answer
+// to centralized-LB scaling (§4.5): no step ever scans all n items
+// against all P PEs, so the plan cost stays near O(n log g + moves)
+// as the machine grows, at a small balance penalty versus the global
+// greedy re-map.
+type HierarchicalLB struct {
+	// GroupSize is the number of PEs per group (default
+	// DefaultGroupSize; the last group may be smaller).
+	GroupSize int
+	// Threshold is the top-level overload ratio versus the group's
+	// capacity-weighted average that triggers cross-group moves
+	// (default 1.05).
+	Threshold float64
+}
+
+// Name implements Strategy.
+func (HierarchicalLB) Name() string { return "hier" }
+
+// Plan implements Strategy. The plan is deterministic: ties
+// everywhere break on item ID or PE/group index.
+func (h HierarchicalLB) Plan(items []Item, numPEs int) Plan {
+	if numPEs <= 0 || len(items) == 0 {
+		return Plan{}
+	}
+	g := h.GroupSize
+	if g <= 0 {
+		g = DefaultGroupSize
+	}
+	if g > numPEs {
+		g = numPEs
+	}
+	thresh := h.Threshold
+	if thresh == 0 {
+		thresh = 1.05
+	}
+	ngroups := (numPEs + g - 1) / g
+	if ngroups == 1 {
+		return GreedyLB{}.Plan(items, numPEs)
+	}
+	groupOf := func(pe int) int { return pe / g }
+	groupBase := func(grp int) int { return grp * g }
+	groupPEs := func(grp int) int {
+		if n := numPEs - grp*g; n < g {
+			return n
+		}
+		return g
+	}
+
+	// Phase 1 — group-local greedy: each group re-maps the items it
+	// currently holds onto its own PEs.
+	perGroup := make([][]Item, ngroups)
+	var total float64
+	for _, it := range items {
+		grp := groupOf(it.PE)
+		if grp < 0 || grp >= ngroups {
+			grp = 0 // defensive: a corrupt PE still yields an in-range plan
+		}
+		perGroup[grp] = append(perGroup[grp], it)
+		total += it.Load
+	}
+	cur := make(map[uint64]int, len(items)) // item ID → assigned PE
+	peLoad := make([]float64, numPEs)
+	groupLoad := make([]float64, ngroups)
+	for grp := range perGroup {
+		sorted := sortedByLoadDesc(perGroup[grp])
+		hp := newPEHeap(groupPEs(grp), groupBase(grp))
+		for _, it := range sorted {
+			pe := hp.minPE()
+			hp.addToMin(it.Load)
+			cur[it.ID] = pe
+			peLoad[pe] += it.Load
+			groupLoad[grp] += it.Load
+		}
+	}
+	if total == 0 {
+		return diffPlan(items, cur)
+	}
+
+	// Phase 2 — top-level refine over group aggregates. Groups are
+	// compared by load relative to capacity (the last group may have
+	// fewer PEs); the most-overloaded group donates its largest item
+	// that fits under the receiver's threshold, falling back to the
+	// largest that still strictly improves the donor's relative load.
+	avgPE := total / float64(numPEs)
+	target := make([]float64, ngroups)
+	donors := make([][]Item, ngroups) // per group, ascending (Load, ID)
+	for grp := range donors {
+		target[grp] = avgPE * float64(groupPEs(grp))
+		donors[grp] = append(donors[grp], perGroup[grp]...)
+		sort.Slice(donors[grp], func(i, j int) bool {
+			a, b := donors[grp][i], donors[grp][j]
+			if a.Load != b.Load {
+				return a.Load < b.Load
+			}
+			return a.ID < b.ID
+		})
+	}
+	rel := func(grp int) float64 { return groupLoad[grp] / target[grp] }
+	for iter := 0; iter < 4*len(items); iter++ {
+		maxG, minG := 0, 0
+		for grp := 1; grp < ngroups; grp++ {
+			if rel(grp) > rel(maxG) {
+				maxG = grp
+			}
+			if rel(grp) < rel(minG) {
+				minG = grp
+			}
+		}
+		if rel(maxG) <= thresh || maxG == minG {
+			break
+		}
+		ds := donors[maxG]
+		pick := -1
+		for i := len(ds) - 1; i >= 0; i-- { // largest first
+			if (groupLoad[minG]+ds[i].Load)/target[minG] <= thresh {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 {
+			for i := len(ds) - 1; i >= 0; i-- {
+				if (groupLoad[minG]+ds[i].Load)/target[minG] < rel(maxG) {
+					pick = i
+					break
+				}
+			}
+		}
+		if pick == -1 {
+			break // no cross-group move improves the maximum
+		}
+		it := ds[pick]
+		donors[maxG] = append(ds[:pick], ds[pick+1:]...)
+		// Receiving PE: least-loaded in the receiving group (a scan
+		// over at most g PEs, ties to the lower index).
+		base, n := groupBase(minG), groupPEs(minG)
+		best := base
+		for pe := base + 1; pe < base+n; pe++ {
+			if peLoad[pe] < peLoad[best] {
+				best = pe
+			}
+		}
+		peLoad[cur[it.ID]] -= it.Load
+		peLoad[best] += it.Load
+		groupLoad[maxG] -= it.Load
+		groupLoad[minG] += it.Load
+		cur[it.ID] = best
+		// Keep the receiver's donor list ordered for future rounds.
+		j := sort.Search(len(donors[minG]), func(k int) bool {
+			d := donors[minG][k]
+			if d.Load != it.Load {
+				return d.Load > it.Load
+			}
+			return d.ID > it.ID
+		})
+		donors[minG] = append(donors[minG], Item{})
+		copy(donors[minG][j+1:], donors[minG][j:])
+		donors[minG][j] = it
+	}
+	return diffPlan(items, cur)
+}
+
+// diffPlan converts a full assignment into the sparse Plan form
+// (items that stay put are omitted).
+func diffPlan(items []Item, cur map[uint64]int) Plan {
+	plan := make(Plan)
+	for _, it := range items {
+		if to, ok := cur[it.ID]; ok && to != it.PE {
+			plan[it.ID] = to
+		}
+	}
+	return plan
+}

@@ -10,7 +10,9 @@ package loadbalance
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 )
 
 // Item is one migratable unit in the load database.
@@ -30,7 +32,17 @@ type Strategy interface {
 	Plan(items []Item, numPEs int) Plan
 }
 
-// ByName returns the named strategy ("greedy", "refine", "rotate").
+// ByName returns the named strategy:
+//
+//   - "greedy": GreedyLB, global longest-processing-time-first re-map
+//     over a PE min-heap — near-optimal balance, aggressive migration.
+//   - "refine": RefineLB, moves items off overloaded PEs only.
+//   - "rotate": RotateLB, shifts every item one PE (migration shaker).
+//   - "commaware": CommAwareLB, trades load balance against measured
+//     rank-to-rank traffic.
+//   - "hier": HierarchicalLB, group-local greedy plus a top-level
+//     refine over group aggregates — the decentralized scheme that
+//     keeps LB-step cost from growing with machine size.
 func ByName(name string) (Strategy, error) {
 	switch name {
 	case "greedy":
@@ -44,8 +56,32 @@ func ByName(name string) (Strategy, error) {
 		// comm.DefaultLatency): a byte kept on-node is a nanosecond
 		// of load the balancer may trade away.
 		return CommAwareLB{Alpha: 4}, nil
+	case "hier":
+		return HierarchicalLB{}, nil
 	}
 	return nil, fmt.Errorf("loadbalance: unknown strategy %q", name)
+}
+
+// itemPool recycles measurement buffers so the per-epoch load walk
+// (collect loads → plan → discard) stops allocating a fresh database
+// every LB step.
+var itemPool = sync.Pool{New: func() any { s := make([]Item, 0, 256); return &s }}
+
+// AcquireItems returns an empty Item buffer with pooled capacity.
+// Fill it, plan over it, then hand it back with ReleaseItems; no
+// Strategy retains the slice after Plan returns.
+func AcquireItems() *[]Item {
+	p := itemPool.Get().(*[]Item)
+	*p = (*p)[:0]
+	return p
+}
+
+// ReleaseItems returns a buffer obtained from AcquireItems to the
+// pool. The caller must not touch the slice afterwards.
+func ReleaseItems(p *[]Item) {
+	if p != nil {
+		itemPool.Put(p)
+	}
 }
 
 // PELoads sums item loads per PE under an optional plan.
@@ -114,7 +150,10 @@ func Migrations(items []Item, plan Plan) int {
 // GreedyLB is the classic greedy balancer: assign items in
 // descending-load order, each to the currently least-loaded PE. It
 // produces near-optimal balance but ignores current placement, so it
-// migrates aggressively.
+// migrates aggressively. The least-loaded PE comes off a min-heap, so
+// a plan costs O(n log P) instead of the seed's O(n·P) rescan — and
+// because the heap breaks load ties by PE index exactly as the linear
+// scan's strict-less did, the plans are bit-identical.
 type GreedyLB struct{}
 
 // Name implements Strategy.
@@ -122,6 +161,108 @@ func (GreedyLB) Name() string { return "greedy" }
 
 // Plan implements Strategy.
 func (GreedyLB) Plan(items []Item, numPEs int) Plan {
+	if numPEs <= 0 {
+		return Plan{}
+	}
+	sorted := sortedByLoadDesc(items)
+	h := newPEHeap(numPEs, 0)
+	plan := make(Plan, len(items))
+	for _, it := range sorted {
+		best := h.minPE()
+		h.addToMin(it.Load)
+		if best != it.PE {
+			plan[it.ID] = best
+		}
+	}
+	return plan
+}
+
+// sortedByLoadDesc copies items into descending-load order with
+// deterministic ID tie-break — the assignment order every greedy
+// variant consumes.
+func sortedByLoadDesc(items []Item) []Item {
+	sorted := append([]Item(nil), items...)
+	slices.SortFunc(sorted, func(a, b Item) int {
+		if a.Load != b.Load {
+			if a.Load > b.Load {
+				return -1
+			}
+			return 1
+		}
+		// Deterministic ties: lower ID first.
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	return sorted
+}
+
+// peHeap is a min-heap of (load, PE) pairs, load ties broken by lower
+// PE index — the same PE the seed's first-strictly-smaller linear scan
+// selected, which keeps heap plans identical to linear-scan plans.
+type peHeap struct {
+	load []float64
+	pe   []int
+}
+
+// newPEHeap builds a heap over PEs [base, base+n) with zero loads.
+// Ascending index order with equal loads is already heap-ordered.
+func newPEHeap(n, base int) *peHeap {
+	h := &peHeap{load: make([]float64, n), pe: make([]int, n)}
+	for i := range h.pe {
+		h.pe[i] = base + i
+	}
+	return h
+}
+
+// minPE returns the least-loaded PE (lowest index among ties).
+func (h *peHeap) minPE() int { return h.pe[0] }
+
+// addToMin adds load to the current minimum PE and restores heap
+// order in O(log P). The sift-down is hand-rolled on the parallel
+// arrays rather than going through container/heap: the interface
+// Less/Swap calls per level dominate the whole plan at large P.
+func (h *peHeap) addToMin(load float64) {
+	l, p := h.load, h.pe
+	l[0] += load
+	n := len(p)
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && (l[r] < l[c] || (l[r] == l[c] && p[r] < p[c])) {
+			c = r
+		}
+		// Stop once the smaller child is not strictly less than the
+		// sifted entry (load, then PE index — the linear scan's order).
+		if l[c] > l[i] || (l[c] == l[i] && p[c] > p[i]) {
+			break
+		}
+		l[i], l[c] = l[c], l[i]
+		p[i], p[c] = p[c], p[i]
+		i = c
+	}
+}
+
+// LinearGreedyLB is the seed GreedyLB: identical assignment policy,
+// but each item rescans all P PEs for the minimum — O(n·P). It is kept
+// (unregistered in ByName) as the reference implementation the heap
+// version is property-tested and benchmarked against.
+type LinearGreedyLB struct{}
+
+// Name implements Strategy.
+func (LinearGreedyLB) Name() string { return "greedy-linear" }
+
+// Plan implements Strategy. The body is the seed verbatim (including
+// its sort.Slice), so benchmarks against it measure the real
+// before/after of the heap rewrite.
+func (LinearGreedyLB) Plan(items []Item, numPEs int) Plan {
 	if numPEs <= 0 {
 		return Plan{}
 	}

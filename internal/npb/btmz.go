@@ -16,8 +16,10 @@ package npb
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"migflow/internal/ampi"
 	"migflow/internal/comm"
@@ -181,7 +183,30 @@ type Params struct {
 	Aggregate bool
 	// AggPolicy tunes the coalescing buffers (zero value = defaults).
 	AggPolicy comm.AggPolicy
+	// Steal runs the job in the wall-clock parallel driver with
+	// idle-cycle work stealing enabled: idle PEs pull ready ranks off
+	// loaded neighbours, so solver work lands where the free cycles
+	// are. Off (the default) keeps the deterministic
+	// RunUntilQuiescent driver and bit-stable figures.
+	Steal bool
+	// WorkChunks splits each step's solve into this many Work+Yield
+	// slices (default 1 = one indivisible solve). Chunking models the
+	// solver's directional sweeps and is what gives the stealer
+	// re-placement points mid-step.
+	WorkChunks int
+	// SpinScale is the steal-mode execution rate: modeled solver
+	// nanoseconds per wall-clock nanosecond of actual spinning (default
+	// DefaultSpinScale). Stealing is driven by real idleness, so in
+	// steal mode each work slice occupies the PE's scheduler goroutine
+	// for slice/SpinScale of wall time — that is what makes a PE
+	// holding 10x the modeled work actually finish last, and its ready
+	// ranks actually available to idle thieves. Ignored unless Steal.
+	SpinScale float64
 }
+
+// DefaultSpinScale compresses modeled solver time 50:1 into wall
+// time for steal-mode runs.
+const DefaultSpinScale = 50
 
 // Label renders the paper's case naming ("A.8,4PE").
 func (p Params) Label() string {
@@ -206,6 +231,9 @@ type Result struct {
 	// (zero unless Params.Aggregate).
 	Envelopes   uint64
 	AggPayloads uint64
+	// Steals reports the work-stealing counters (zero unless
+	// Params.Steal).
+	Steals core.StealStats
 	// Trace is the event log when Params.Trace was set (nil
 	// otherwise).
 	Trace *trace.Log
@@ -228,7 +256,7 @@ func Run(p Params) (*Result, error) {
 	layout := swapglobal.NewLayout()
 	layout.Declare("step", 8) // the solver's "global" iteration counter
 	layout.Declare("residual", 8)
-	m, err := core.NewMachine(core.Config{NumPEs: p.NPEs, Globals: layout})
+	m, err := core.NewMachine(core.Config{NumPEs: p.NPEs, Globals: layout, Steal: p.Steal})
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +287,10 @@ func Run(p Params) (*Result, error) {
 		}
 	}
 
+	spinScale := p.SpinScale
+	if spinScale <= 0 {
+		spinScale = DefaultSpinScale
+	}
 	var mu sync.Mutex
 	moved := 0
 	// stepBusy[step][pe] accumulates solver work as it actually ran:
@@ -304,11 +336,32 @@ func Run(p Params) (*Result, error) {
 				fail(err)
 				return
 			}
-			// Solve the rank's zones.
-			r.Work(myWork)
-			mu.Lock()
-			stepBusy[step][r.PE()] += myWork
-			mu.Unlock()
+			// Solve the rank's zones. With WorkChunks > 1 the solve is
+			// sliced into directional sweeps separated by yields — each
+			// yield is a point where an idle PE may steal this rank, so
+			// the remaining sweeps run (and are charged) where the free
+			// cycles are. chunks == 1 charges the whole solve at once,
+			// byte-identical to the unsliced model.
+			chunks := p.WorkChunks
+			if chunks < 1 {
+				chunks = 1
+			}
+			slice := myWork / float64(chunks)
+			for k := 0; k < chunks; k++ {
+				r.Work(slice)
+				if p.Steal {
+					// Occupy the PE for wall time proportional to the
+					// modeled slice, so real idleness tracks modeled
+					// load and thieves pull from genuinely busy PEs.
+					spinWall(slice / spinScale)
+				}
+				mu.Lock()
+				stepBusy[step][r.PE()] += slice
+				mu.Unlock()
+				if chunks > 1 {
+					r.Yield()
+				}
+			}
 			// Boundary exchange along the real zone adjacency: one
 			// halo message per crossing zone-neighbour pair, sent
 			// nonblocking, then receive the expected inbound count.
@@ -368,7 +421,14 @@ func Run(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	job.Run()
+	if p.Steal {
+		// Wall-clock parallel driver: one goroutine per PE, idle PEs
+		// steal ready ranks before blocking on their wake gates.
+		job.Start()
+		m.RunParallel(job.Done)
+	} else {
+		job.Run()
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -405,9 +465,26 @@ func Run(p Params) (*Result, error) {
 		MovedRanks:  moved,
 		Envelopes:   envelopes,
 		AggPayloads: payloads,
+		Steals:      m.StealStats(),
 		Trace:       tlog,
 	}
 	return res, nil
+}
+
+// spinWall occupies the calling goroutine for ns wall-clock
+// nanoseconds — the steal-mode stand-in for actually executing a
+// solver sweep. It yields the processor each iteration so that on a
+// host with few OS threads the other PEs' schedulers (and woken
+// thieves) still interleave with a long-grinding victim, as they
+// would on real per-PE processors.
+func spinWall(ns float64) {
+	d := time.Duration(ns)
+	if d <= 0 {
+		return
+	}
+	for t0 := time.Now(); time.Since(t0) < d; {
+		runtime.Gosched()
+	}
 }
 
 // Cases returns the Figure 12 case list.

@@ -1,0 +1,35 @@
+package npb
+
+import "testing"
+
+// BenchmarkStealMakespan A/Bs the modeled BT-MZ makespan with idle-
+// cycle work stealing off versus on, on the most skewed Figure 12
+// configuration (B.64,8PE: one ratio-20 zone per rank, block
+// placement concentrating the biggest zones on PE 0). WorkChunks
+// slices each rank's solve so thieves get re-placement points
+// mid-step. The vns/op metric is the modeled makespan per run —
+// "on" beating "off" is the whole point of the feature.
+func BenchmarkStealMakespan(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		steal bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var total float64
+			var stolen uint64
+			for i := 0; i < b.N; i++ {
+				r, err := Run(Params{
+					Class: ClassB, NProcs: 64, NPEs: 8, Steps: 4,
+					WorkChunks: 4, Steal: mode.steal,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += r.TimeNs
+				stolen += r.Steals.Moved
+			}
+			b.ReportMetric(total/float64(b.N), "vns/op")
+			b.ReportMetric(float64(stolen)/float64(b.N), "stolen/op")
+		})
+	}
+}
