@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-collectives bench-lb bench-all repro repro-quick examples cover clean
+.PHONY: all build vet test race bench bench-collectives bench-lb bench-bigsim bench-all repro repro-quick examples cover clean
 
 all: build vet test
 
@@ -24,7 +24,7 @@ race:
 HOTPATH_PKGS = ./internal/comm/ ./internal/core/ ./internal/vmem/
 BENCHFLAGS ?=
 
-bench: bench-collectives bench-lb
+bench: bench-collectives bench-lb bench-bigsim
 	$(GO) test -bench . -benchmem -run '^$$' $(BENCHFLAGS) $(HOTPATH_PKGS) | tee bench_output.txt
 	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_hotpath.json
 	$(GO) test -bench 'BenchmarkMigrate|BenchmarkLBStep' -benchmem -run '^$$' $(BENCHFLAGS) ./internal/migrate/ | tee bench_migrate_output.txt
@@ -46,6 +46,17 @@ bench-lb:
 	$(GO) test -bench 'BenchmarkLBPlan' -benchmem -run '^$$' $(BENCHFLAGS) ./internal/loadbalance/ | tee bench_lb_output.txt
 	$(GO) test -bench 'BenchmarkStealMakespan' -benchmem -run '^$$' $(BENCHFLAGS) ./internal/npb/ | tee -a bench_lb_output.txt
 	$(GO) run ./cmd/benchjson < bench_lb_output.txt > BENCH_lb.json
+
+# BigSim backend A/B: wall-clock ns/step and resident B/flow for the
+# ULT (goroutine-per-target) and event-driven backends at 12,800 and
+# 200,704 (paper-scale) target processors. The ULT backend at paper
+# scale is gated behind BIGSIM_ULT_PAPER=1 — it needs a stack and two
+# channels per target.
+bench-bigsim:
+	$(GO) test -bench 'BenchmarkBigSimStep|BenchmarkGhostExchange' -benchmem -run '^$$' $(BENCHFLAGS) \
+		./internal/bigsim/ | tee bench_bigsim_output.txt
+	$(GO) test -bench 'BenchmarkDeliver' -benchmem -benchtime=20000x -run '^$$' ./internal/sdag/ | tee -a bench_bigsim_output.txt
+	$(GO) run ./cmd/benchjson < bench_bigsim_output.txt > BENCH_bigsim.json
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...

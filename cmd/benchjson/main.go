@@ -15,8 +15,9 @@ import (
 )
 
 // Result is one benchmark line's numbers. Custom metrics reported via
-// b.ReportMetric (e.g. "vns/op", modeled virtual ns per collective)
-// land in Extra keyed by their unit.
+// b.ReportMetric (e.g. "vns/op", modeled virtual ns per collective, or
+// "B/flow", resident bytes per BigSim target flow) land in Extra keyed
+// by their unit.
 type Result struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
@@ -55,7 +56,9 @@ func main() {
 			case "MB/s":
 				r.MBPerSec = &v
 			default:
-				if strings.HasSuffix(fields[i+1], "/op") {
+				// Any per-something rate is a custom metric: "vns/op",
+				// "B/flow", "goroutines/flow", "sim-ns/step", ...
+				if strings.Contains(fields[i+1], "/") {
 					if r.Extra == nil {
 						r.Extra = make(map[string]float64)
 					}

@@ -20,12 +20,21 @@ func main() {
 	y := flag.Int("y", 16, "target torus Y")
 	z := flag.Int("z", 16, "target torus Z")
 	steps := flag.Int("steps", 5, "MD timesteps")
+	mode := flag.String("mode", bigsim.ModeULT, "flow backend per target processor: ult or event")
 	flag.Parse()
 
 	targets := *x * *y * *z
-	fmt.Printf("simulating a %d-target-processor machine (%dx%dx%d torus), one ULT each\n\n",
-		targets, *x, *y, *z)
-	fmt.Printf("%6s %14s %14s %10s %12s\n", "simPEs", "ULTs/simPE", "time/step(ms)", "speedup", "wall(ms)")
+	flowDesc := "one ULT each"
+	if *mode == bigsim.ModeEvent {
+		flowDesc = "event-driven objects"
+	}
+	fmt.Printf("simulating a %d-target-processor machine (%dx%dx%d torus), %s\n\n",
+		targets, *x, *y, *z, flowDesc)
+	flowCol := "ULTs/simPE"
+	if *mode == bigsim.ModeEvent {
+		flowCol = "flows/simPE"
+	}
+	fmt.Printf("%6s %14s %14s %10s %12s\n", "simPEs", flowCol, "time/step(ms)", "speedup", "wall(ms)")
 
 	var base float64
 	for _, p := range []int{1, 2, 4, 8, 16} {
@@ -35,6 +44,7 @@ func main() {
 		cfg := bigsim.DefaultConfig()
 		cfg.X, cfg.Y, cfg.Z = *x, *y, *z
 		cfg.SimPEs = p
+		cfg.Mode = *mode
 		sim, err := bigsim.New(cfg)
 		if err != nil {
 			log.Fatal(err)

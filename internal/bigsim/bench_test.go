@@ -1,0 +1,105 @@
+package bigsim
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchConfig is the bench-bigsim workload: light per-cell compute so
+// the measured ns/step is dominated by the per-flow machinery the two
+// backends differ in (dispatch, handoffs, posts).
+func benchConfig(mode string, x, y, z, pes int) Config {
+	return Config{
+		X: x, Y: y, Z: z, SimPEs: pes,
+		AtomsPerCell: 10, WorkPerAtomNs: 5, GhostBytes: 1024,
+		Mode: mode,
+	}
+}
+
+// measureFootprint returns resident bytes (heap + goroutine stacks)
+// and goroutines per flow for a freshly built, once-stepped simulator.
+func measureFootprint(b *testing.B, cfg Config) (bytesPerFlow, goroutinesPerFlow float64) {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	g0 := runtime.NumGoroutine()
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Step() // fault in stacks, mail, arrival buffers
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	g1 := runtime.NumGoroutine()
+	flows := float64(s.NumTargets())
+	resident := int64(m1.HeapInuse+m1.StackInuse) - int64(m0.HeapInuse+m0.StackInuse)
+	if resident < 0 {
+		resident = 0
+	}
+	s.Close()
+	return float64(resident) / flows, float64(g1-g0) / flows
+}
+
+// BenchmarkBigSimStep is the backend A/B at the heart of this PR:
+// wall-clock ns per simulated step (ns/op) and per-flow resident
+// bytes (B/flow) for the ULT and event backends at 12,800 targets,
+// and for the event backend at the paper's 200,704-target scale. The
+// ULT backend at paper scale needs a goroutine stack plus two
+// channels per target (gigabytes, minutes); set BIGSIM_ULT_PAPER=1
+// to run it anyway.
+func BenchmarkBigSimStep(b *testing.B) {
+	cases := []struct {
+		mode    string
+		x, y, z int
+		pes     int
+		gate    bool // skipped unless BIGSIM_ULT_PAPER is set
+	}{
+		{ModeULT, 40, 40, 8, 8, false},
+		{ModeEvent, 40, 40, 8, 8, false},
+		{ModeEvent, 64, 56, 56, 32, false},
+		{ModeULT, 64, 56, 56, 32, true},
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("%s/t%d", c.mode, c.x*c.y*c.z)
+		b.Run(name, func(b *testing.B) {
+			if c.gate && os.Getenv("BIGSIM_ULT_PAPER") == "" {
+				b.Skip("set BIGSIM_ULT_PAPER=1 to run the ULT backend at paper scale")
+			}
+			cfg := benchConfig(c.mode, c.x, c.y, c.z, c.pes)
+			bpf, gpf := measureFootprint(b, cfg)
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			s.Step() // warm up: first step has no inbound ghosts
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			b.StopTimer()
+			// Reported after the loop: ResetTimer discards metrics.
+			b.ReportMetric(bpf, "B/flow")
+			b.ReportMetric(gpf, "goroutines/flow")
+		})
+	}
+}
+
+// BenchmarkBigSimStepParallel measures the SMP driver at paper scale:
+// real goroutine-per-simulating-PE execution of the event backend.
+func BenchmarkBigSimStepParallel(b *testing.B) {
+	cfg := benchConfig(ModeEvent, 64, 56, 56, 32)
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.StepParallel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.StepParallel()
+	}
+}

@@ -2,7 +2,7 @@
 // it predicts the per-timestep behaviour of a molecular-dynamics-style
 // application running on a huge *target* machine (e.g. 200,000
 // processors) using a much smaller *simulating* machine — by giving
-// every simulated target processor its own user-level thread, exactly
+// every simulated target processor its own flow of control, exactly
 // the many-flows-per-processor scenario the paper motivates ("50,000
 // separate target processors ... clearly not feasible using either
 // processes or kernel threads").
@@ -11,10 +11,29 @@
 // cells. Per timestep it computes forces (modeled work proportional
 // to its atoms) and exchanges ghost atoms with its six torus
 // neighbours. The simulating machine's virtual clocks record each
-// simulating PE's serial execution of its resident target threads,
-// so "simulation time per step" is max-over-PEs of (compute + thread
-// switching + message handling) — the quantity Figure 11 plots
+// simulating PE's serial execution of its resident target flows,
+// so "simulation time per step" is max-over-PEs of (compute + flow
+// dispatch + message handling) — the quantity Figure 11 plots
 // against the number of simulating processors.
+//
+// Two execution backends realize the paper's flows comparison
+// end-to-end (Config.Mode):
+//
+//   - "ult" (default): one user-level thread — here a parked
+//     goroutine — per target processor. Each activation costs the
+//     platform's UThreadSwitch curve plus two real channel handoffs,
+//     and each flow keeps a stack alive.
+//   - "event": each target processor is a plain state struct whose
+//     per-step body the owning simulating PE's loop runs inline — a
+//     message-driven object in the Charm++ sense. No goroutine, no
+//     channels, no stack; each activation costs the (much cheaper)
+//     EventDispatch curve. This is what lets the simulator reach the
+//     paper's 200,000-target scale in modest memory.
+//
+// Both backends share one step-body implementation, so the predicted
+// target-machine time and all logical message counts are bit-identical
+// across modes — only the simulating machine's cost (and real wall
+// clock/memory) differ.
 package bigsim
 
 import (
@@ -44,9 +63,17 @@ type Config struct {
 	// Latency models the simulating machine's interconnect; zero
 	// value selects comm.DefaultLatency.
 	Latency comm.LatencyModel
-	// Platform supplies ULT switch costs; nil selects Alpha ES45
+	// Platform supplies flow dispatch costs; nil selects Alpha ES45
 	// (LeMieux, the machine of Figure 11).
 	Platform *platform.Profile
+
+	// Mode selects the execution backend: ModeULT ("ult", the
+	// default; the zero value "" selects it) runs one parked goroutine
+	// per target processor charging Platform.UThreadSwitch per
+	// activation, ModeEvent ("event") runs each target processor's
+	// step body inline on the owning simulating PE's loop charging
+	// Platform.EventDispatch. Any other string is rejected by New.
+	Mode string
 
 	// Aggregate coalesces each simulating PE's cross-PE ghost traffic
 	// per destination PE per step (TRAM-style streaming aggregation):
@@ -66,6 +93,19 @@ type Config struct {
 	TargetLatency comm.LatencyModel
 }
 
+// Execution backends for Config.Mode.
+const (
+	// ModeULT gives every target processor a user-level thread (a
+	// parked goroutine): real stacks, real handoffs, UThreadSwitch
+	// dispatch cost — the paper's heavier flow.
+	ModeULT = "ult"
+	// ModeEvent runs every target processor as a scheduler-dispatched
+	// event object: no goroutine, no channels, EventDispatch cost —
+	// the paper's cheapest flow, and the only one that reaches
+	// 200,000 targets in modest memory.
+	ModeEvent = "event"
+)
+
 // DefaultConfig returns a small but representative configuration.
 func DefaultConfig() Config {
 	return Config{
@@ -75,16 +115,22 @@ func DefaultConfig() Config {
 	}
 }
 
-// tproc is one simulated target processor: a user-level thread
-// (parked goroutine) owning one torus cell.
+// tproc is one simulated target processor owning one torus cell. In
+// ULT mode it is the state of a parked goroutine (resume/parked are
+// its handoff channels); in event mode it is the whole flow — a plain
+// state struct whose step body the owning PE runs inline.
 type tproc struct {
-	id     int
-	simPE  int
-	resume chan struct{}
-	parked chan struct{}
-	ghosts int // ghost messages received for the upcoming step
+	id     int32
+	simPE  int32
+	resume chan struct{} // nil in event mode
+	parked chan struct{} // nil in event mode
 	steps  int
 	done   bool
+
+	// nbrs caches the six torus neighbour ids (+x,-x,+y,-y,+z,-z),
+	// computed once in New instead of redoing coords/modulo math on
+	// every post of every step.
+	nbrs [6]int32
 
 	// tclock is the *target* machine's virtual time on this target
 	// processor — the quantity BigSim exists to predict. It advances
@@ -129,11 +175,21 @@ const (
 // Simulator runs the target machine.
 type Simulator struct {
 	cfg    Config
+	event  bool    // Mode == ModeEvent
+	store  []tproc // all tprocs, one contiguous allocation
 	procs  []*tproc
 	byPE   [][]*tproc
 	clocks []*simclock.Clock
 	lat    comm.LatencyModel
 	prof   *platform.Profile
+
+	// dispatch[pe] is the per-activation flow-dispatch cost on
+	// simulating PE pe — UThreadSwitch.At(flows) in ULT mode,
+	// EventDispatch.At(flows) in event mode. The resident flow count
+	// is fixed after New, so this is precomputed once.
+	dispatch []float64
+	// workNs is the per-step force-computation cost of one cell.
+	workNs float64
 
 	// mail[i] counts ghosts delivered to target proc i for the next
 	// step (contents abstracted: MD forces are modeled work). Atomic:
@@ -188,7 +244,7 @@ func atomicAddFloat(a *atomic.Uint64, v float64) {
 	}
 }
 
-// New builds the simulator: T = X*Y*Z target threads block-mapped
+// New builds the simulator: T = X*Y*Z target flows block-mapped
 // onto SimPEs simulating processors.
 func New(cfg Config) (*Simulator, error) {
 	if cfg.X < 1 || cfg.Y < 1 || cfg.Z < 1 {
@@ -196,6 +252,14 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	if cfg.SimPEs < 1 {
 		return nil, fmt.Errorf("bigsim: SimPEs %d must be ≥ 1", cfg.SimPEs)
+	}
+	switch cfg.Mode {
+	case "", ModeULT:
+		cfg.Mode = ModeULT
+	case ModeEvent:
+	default:
+		return nil, fmt.Errorf("bigsim: unknown Mode %q (want %q or %q; empty selects %q)",
+			cfg.Mode, ModeULT, ModeEvent, ModeULT)
 	}
 	if cfg.Latency == (comm.LatencyModel{}) {
 		cfg.Latency = comm.DefaultLatency
@@ -215,10 +279,15 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s := &Simulator{
 		cfg:         cfg,
+		event:       cfg.Mode == ModeEvent,
+		store:       make([]tproc, t),
+		procs:       make([]*tproc, 0, t),
 		byPE:        make([][]*tproc, cfg.SimPEs),
 		clocks:      make([]*simclock.Clock, cfg.SimPEs),
 		lat:         cfg.Latency,
 		prof:        cfg.Platform,
+		dispatch:    make([]float64, cfg.SimPEs),
+		workNs:      float64(cfg.AtomsPerCell) * cfg.WorkPerAtomNs,
 		mail:        make([]atomic.Int64, t),
 		recvPending: make([]atomic.Uint64, cfg.SimPEs),
 		arrNow:      make([]atomic.Uint64, t),
@@ -238,20 +307,38 @@ func New(cfg Config) (*Simulator, error) {
 	for i := 0; i < t; i++ {
 		// Block mapping: contiguous slabs of the torus per PE.
 		pe := i * cfg.SimPEs / t
-		p := &tproc{
-			id: i, simPE: pe,
-			resume: make(chan struct{}),
-			parked: make(chan struct{}),
+		p := &s.store[i]
+		p.id, p.simPE = int32(i), int32(pe)
+		for d, dir := range torusDirs {
+			p.nbrs[d] = int32(s.neighbor(i, dir[0], dir[1], dir[2]))
 		}
 		s.procs = append(s.procs, p)
 		s.byPE[pe] = append(s.byPE[pe], p)
-		go s.run(p)
+	}
+	for pe := range s.byPE {
+		flows := len(s.byPE[pe])
+		if s.event {
+			s.dispatch[pe] = s.prof.EventDispatch.At(flows)
+		} else {
+			s.dispatch[pe] = s.prof.UThreadSwitch.At(flows)
+		}
+	}
+	if !s.event {
+		// ULT mode: park one goroutine per target processor.
+		for _, p := range s.procs {
+			p.resume = make(chan struct{})
+			p.parked = make(chan struct{})
+			go s.run(p)
+		}
 	}
 	return s, nil
 }
 
 // NumTargets returns the simulated processor count.
 func (s *Simulator) NumTargets() int { return len(s.procs) }
+
+// Mode returns the resolved execution backend ("ult" or "event").
+func (s *Simulator) Mode() string { return s.cfg.Mode }
 
 // coords maps a target id to torus coordinates.
 func (s *Simulator) coords(id int) (x, y, z int) {
@@ -260,6 +347,10 @@ func (s *Simulator) coords(id int) (x, y, z int) {
 	z = id / (s.cfg.X * s.cfg.Y)
 	return
 }
+
+// torusDirs are the six ghost-exchange directions, in the fixed
+// (+x,-x,+y,-y,+z,-z) order both backends post in.
+var torusDirs = [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
 
 // neighbor returns the torus neighbour of id along (dx,dy,dz).
 func (s *Simulator) neighbor(id, dx, dy, dz int) int {
@@ -270,8 +361,34 @@ func (s *Simulator) neighbor(id, dx, dy, dz int) int {
 	return x + s.cfg.X*(y+s.cfg.Y*z)
 }
 
-// run is a target thread's life: each resume executes one timestep
-// (compute + post ghosts) and parks — the MD flow of control.
+// stepBody is one target processor's MD timestep — compute, target
+// clock, ghost posts — shared verbatim by both backends, so the
+// target-machine prediction and message counts cannot depend on the
+// mode. Only the flow-dispatch cost charged to the simulating PE's
+// clock (s.dispatch, fixed in New) differs between backends.
+func (s *Simulator) stepBody(p *tproc) {
+	clock := s.clocks[p.simPE]
+	// Flow dispatch cost: ULT switch or event dispatch.
+	clock.Advance(s.dispatch[p.simPE])
+	// Force computation over the cell's atoms.
+	clock.Advance(s.workNs)
+	// Target-machine prediction: this step cannot begin before
+	// last step's ghosts arrived on the target network, and costs
+	// the target processor its per-cell work.
+	if arr := math.Float64frombits(s.arrNow[p.id].Load()); arr > p.tclock {
+		p.tclock = arr
+	}
+	p.tclock += s.cfg.TargetWorkNs
+	// Ghost exchange with the six torus neighbours (precomputed ids).
+	for _, nb := range p.nbrs {
+		s.post(p, nb)
+	}
+	p.steps++
+}
+
+// run is a ULT-mode target thread's life: each resume executes one
+// timestep and parks — the MD flow of control as a real (goroutine)
+// flow with a live stack and two channel handoffs per activation.
 func (s *Simulator) run(p *tproc) {
 	for {
 		<-p.resume
@@ -279,36 +396,20 @@ func (s *Simulator) run(p *tproc) {
 			p.parked <- struct{}{}
 			return
 		}
-		clock := s.clocks[p.simPE]
-		// User-level thread dispatch cost for this flow.
-		clock.Advance(s.prof.UThreadSwitch.At(len(s.byPE[p.simPE])))
-		// Force computation over the cell's atoms.
-		clock.Advance(float64(s.cfg.AtomsPerCell) * s.cfg.WorkPerAtomNs)
-		// Target-machine prediction: this step cannot begin before
-		// last step's ghosts arrived on the target network, and costs
-		// the target processor its per-cell work.
-		if arr := math.Float64frombits(s.arrNow[p.id].Load()); arr > p.tclock {
-			p.tclock = arr
-		}
-		p.tclock += s.cfg.TargetWorkNs
-		// Ghost exchange with the six torus neighbours.
-		for _, d := range [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
-			s.post(p, s.neighbor(p.id, d[0], d[1], d[2]))
-		}
-		p.steps++
+		s.stepBody(p)
 		p.parked <- struct{}{}
 	}
 }
 
 // post records a ghost message from p to target proc dst and charges
 // send/receive costs.
-func (s *Simulator) post(p *tproc, dst int) {
+func (s *Simulator) post(p *tproc, dst int32) {
 	s.mail[dst].Add(1)
 	// Target-network arrival constrains dst's NEXT step on the
 	// target machine (always over the target network: every cell is
 	// its own target processor).
 	atomicMaxFloat(&s.arrNext[dst], p.tclock+s.cfg.TargetLatency.Cost(s.cfg.GhostBytes))
-	dpe := s.procs[dst].simPE
+	dpe := s.store[dst].simPE
 	if dpe == p.simPE {
 		// Intra-PE: a queue operation, no wire.
 		s.clocks[p.simPE].Advance(120)
@@ -401,11 +502,20 @@ func (s *Simulator) stepPrologue() (before []float64, tBefore float64) {
 	return before, tBefore
 }
 
-// runPE runs one simulating PE's resident target threads serially.
+// runPE runs one simulating PE's resident target flows serially: in
+// ULT mode by handing control to each parked goroutine in turn, in
+// event mode by dispatching each flow's step body inline — the
+// event-driven scheduler loop, with no control transfer at all.
 func (s *Simulator) runPE(pe int) {
-	for _, p := range s.byPE[pe] {
-		p.resume <- struct{}{}
-		<-p.parked
+	if s.event {
+		for _, p := range s.byPE[pe] {
+			s.stepBody(p)
+		}
+	} else {
+		for _, p := range s.byPE[pe] {
+			p.resume <- struct{}{}
+			<-p.parked
+		}
 	}
 	if s.cfg.Aggregate {
 		s.flushAgg(pe)
@@ -484,8 +594,12 @@ func (s *Simulator) RunParallel(steps int) []StepStats {
 	return out
 }
 
-// Close terminates the target threads.
+// Close terminates the target flows (a no-op in event mode, which
+// has no goroutines to unwind).
 func (s *Simulator) Close() {
+	if s.event {
+		return
+	}
 	for _, p := range s.procs {
 		p.done = true
 		p.resume <- struct{}{}

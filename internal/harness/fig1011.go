@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"migflow/internal/bigsim"
@@ -113,13 +114,26 @@ func Figure11(w io.Writer, x, y, z, steps int, peCounts []int) ([]Fig11Point, er
 // through streaming aggregation (one envelope per (src,dst) simulating
 // PE pair per step instead of one message per ghost).
 func Figure11Opt(w io.Writer, x, y, z, steps int, peCounts []int, aggregate bool) ([]Fig11Point, error) {
+	return Figure11Backend(w, x, y, z, steps, peCounts, aggregate, bigsim.ModeULT)
+}
+
+// Figure11Backend is Figure11Opt with a selectable execution backend:
+// bigsim.ModeULT (one parked goroutine per target processor, the
+// paper's user-level thread) or bigsim.ModeEvent (step bodies
+// dispatched inline as event-driven objects — the only backend that
+// reaches the paper's 200,000-target scale in modest memory).
+func Figure11Backend(w io.Writer, x, y, z, steps int, peCounts []int, aggregate bool, mode string) ([]Fig11Point, error) {
 	targets := x * y * z
-	mode := ""
+	opt := ""
 	if aggregate {
-		mode = ", aggregated ghost exchange"
+		opt = ", aggregated ghost exchange"
 	}
-	fmt.Fprintf(w, "Figure 11: BigSim simulation time per step (%d target processors, one ULT each%s)\n", targets, mode)
-	fmt.Fprintf(w, "%8s %12s %16s %10s %10s\n", "simPEs", "ULTs/simPE", "time/step(ms)", "speedup", "env/step")
+	flowDesc, flowCol := "one ULT each", "ULTs/simPE"
+	if mode == bigsim.ModeEvent {
+		flowDesc, flowCol = "event-driven objects", "flows/simPE"
+	}
+	fmt.Fprintf(w, "Figure 11: BigSim simulation time per step (%d target processors, %s%s)\n", targets, flowDesc, opt)
+	fmt.Fprintf(w, "%8s %12s %16s %10s %10s\n", "simPEs", flowCol, "time/step(ms)", "speedup", "env/step")
 	var out []Fig11Point
 	var base float64
 	for _, p := range peCounts {
@@ -129,6 +143,7 @@ func Figure11Opt(w io.Writer, x, y, z, steps int, peCounts []int, aggregate bool
 		cfg := bigsim.DefaultConfig()
 		cfg.X, cfg.Y, cfg.Z, cfg.SimPEs = x, y, z, p
 		cfg.Aggregate = aggregate
+		cfg.Mode = mode
 		sim, err := bigsim.New(cfg)
 		if err != nil {
 			return nil, err
@@ -153,4 +168,108 @@ func Figure11Opt(w io.Writer, x, y, z, steps int, peCounts []int, aggregate bool
 		})
 	}
 	return out, nil
+}
+
+// Fig11ModePoint is one Figure11Mode row: the same simulation run
+// through both execution backends.
+type Fig11ModePoint struct {
+	SimPEs      int
+	FlowsPE     int
+	ULTStepNs   float64 // mean simulated time/step, ULT backend
+	EventStepNs float64 // mean simulated time/step, event backend
+	ULTWallNs   float64 // real wall clock of the whole run
+	EventWallNs float64
+	PredictedNs float64 // mean predicted target-machine time/step (backend-invariant)
+}
+
+// Figure11Mode is the paper's flows comparison run end-to-end: each
+// simulating-PE count is run through BOTH backends, the target-machine
+// prediction is checked bit-identical between them, and the table
+// gains a ULT-vs-event column pair. The ult/event ratio is the
+// measured end-to-end cost of giving every target processor a
+// user-level thread instead of an event-driven object.
+func Figure11Mode(w io.Writer, x, y, z, steps int, peCounts []int, aggregate bool) ([]Fig11ModePoint, error) {
+	targets := x * y * z
+	opt := ""
+	if aggregate {
+		opt = ", aggregated ghost exchange"
+	}
+	fmt.Fprintf(w, "Figure 11 (flows A/B): ULT vs event-driven backends (%d target processors%s)\n", targets, opt)
+	fmt.Fprintf(w, "%8s %12s %14s %14s %10s %14s\n",
+		"simPEs", "flows/simPE", "ult/step(ms)", "event/step(ms)", "ult/event", "predicted(ms)")
+	var out []Fig11ModePoint
+	for _, p := range peCounts {
+		if p > targets {
+			break
+		}
+		run := func(mode string) ([]bigsim.StepStats, float64, error) {
+			cfg := bigsim.DefaultConfig()
+			cfg.X, cfg.Y, cfg.Z, cfg.SimPEs = x, y, z, p
+			cfg.Aggregate = aggregate
+			cfg.Mode = mode
+			sim, err := bigsim.New(cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			defer sim.Close()
+			t0 := time.Now()
+			stats := sim.Run(steps)
+			return stats, seconds(t0), nil
+		}
+		ult, ultWall, err := run(bigsim.ModeULT)
+		if err != nil {
+			return nil, err
+		}
+		evt, evtWall, err := run(bigsim.ModeEvent)
+		if err != nil {
+			return nil, err
+		}
+		var predicted float64
+		for i := range ult {
+			if ult[i].PredictedTargetNs != evt[i].PredictedTargetNs {
+				return nil, fmt.Errorf("harness: step %d prediction diverged between backends: %g (ult) vs %g (event)",
+					i, ult[i].PredictedTargetNs, evt[i].PredictedTargetNs)
+			}
+			predicted += ult[i].PredictedTargetNs
+		}
+		predicted /= float64(len(ult))
+		ultMean, evtMean := bigsim.MeanStepTime(ult), bigsim.MeanStepTime(evt)
+		fmt.Fprintf(w, "%8d %12d %14.3f %14.3f %9.2fx %14.3f\n",
+			p, targets/p, ultMean/1e6, evtMean/1e6, ultMean/evtMean, predicted/1e6)
+		out = append(out, Fig11ModePoint{
+			SimPEs: p, FlowsPE: targets / p,
+			ULTStepNs: ultMean, EventStepNs: evtMean,
+			ULTWallNs: ultWall, EventWallNs: evtWall,
+			PredictedNs: predicted,
+		})
+	}
+	return out, nil
+}
+
+// FlowFootprint builds a simulator from cfg, runs one step so every
+// flow's state (and, in ULT mode, stack) is faulted in, and returns
+// the marginal resident bytes (heap + goroutine stacks) and
+// goroutines per flow — Table 2's "how many flows fit" question asked
+// of the two BigSim backends.
+func FlowFootprint(cfg bigsim.Config) (bytesPerFlow, goroutinesPerFlow float64, err error) {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	g0 := runtime.NumGoroutine()
+	sim, err := bigsim.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	sim.Step()
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	g1 := runtime.NumGoroutine()
+	flows := float64(sim.NumTargets())
+	resident := int64(m1.HeapInuse+m1.StackInuse) - int64(m0.HeapInuse+m0.StackInuse)
+	if resident < 0 {
+		resident = 0
+	}
+	sim.Close()
+	return float64(resident) / flows, float64(g1-g0) / flows, nil
 }

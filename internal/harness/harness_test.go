@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"migflow/internal/bigsim"
 	"migflow/internal/flows"
 	"migflow/internal/migrate"
 	"migflow/internal/vmem"
@@ -165,6 +166,55 @@ func TestFigure11(t *testing.T) {
 	}
 	if !(pts[2].StepTimeNs < pts[0].StepTimeNs) {
 		t.Error("no scaling from 1 to 4 PEs")
+	}
+}
+
+func TestFigure11Mode(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := Figure11Mode(&buf, 8, 8, 4, 3, []int{1, 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !(p.EventStepNs < p.ULTStepNs) {
+			t.Errorf("simPEs=%d: event step %g not below ult %g", p.SimPEs, p.EventStepNs, p.ULTStepNs)
+		}
+		if p.PredictedNs <= 0 {
+			t.Errorf("simPEs=%d: predicted %g", p.SimPEs, p.PredictedNs)
+		}
+	}
+	// The prediction is backend- and PE-count-invariant.
+	if pts[0].PredictedNs != pts[1].PredictedNs {
+		t.Errorf("prediction varies with simPEs: %g vs %g", pts[0].PredictedNs, pts[1].PredictedNs)
+	}
+	if !strings.Contains(buf.String(), "ult/event") {
+		t.Error("report missing ult/event column")
+	}
+}
+
+func TestFlowFootprint(t *testing.T) {
+	cfg := bigsim.Config{
+		X: 8, Y: 8, Z: 4, SimPEs: 4,
+		AtomsPerCell: 10, WorkPerAtomNs: 5, GhostBytes: 256,
+	}
+	cfg.Mode = bigsim.ModeEvent
+	_, gEvent, err := FlowFootprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gEvent != 0 {
+		t.Errorf("event mode spends %g goroutines/flow, want 0", gEvent)
+	}
+	cfg.Mode = bigsim.ModeULT
+	_, gULT, err := FlowFootprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gULT < 0.99 || gULT > 1.01 {
+		t.Errorf("ult mode spends %g goroutines/flow, want 1", gULT)
 	}
 }
 

@@ -1,0 +1,93 @@
+package sdag
+
+import "testing"
+
+// BenchmarkDeliver exercises the executor's hot paths: the trampoline
+// queue (drain), waiter installation/removal (takeWaiter), and the
+// buffered-message queue (install). Sub-benchmarks:
+//
+//   - deepFor: a deep For loop of Whens driven one Deliver at a time —
+//     every iteration schedules continuations through drain and
+//     installs/removes one waiter.
+//   - bufferedBacklog: all messages delivered up front while the
+//     program is blocked, so every When of the For loop consumes from
+//     a long buffered backlog (the chare-mailbox pattern).
+//   - caseChurn: a For of Cases — each iteration installs several
+//     alternatives and cancels the losers, so takeWaiter must skip
+//     and compact cancelled waiters on later deliveries.
+//   - refBacklog: ref-filtered Whens consuming a buffered backlog
+//     delivered in reverse ref order (mid-queue removal).
+func BenchmarkDeliver(b *testing.B) {
+	b.Run("deepFor", func(b *testing.B) {
+		ex := Run(For(b.N, func(int) Stmt {
+			return When(1, func(Msg) {})
+		}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex.Deliver(1, nil)
+		}
+		if !ex.Finished() {
+			b.Fatal("not finished")
+		}
+	})
+	b.Run("bufferedBacklog", func(b *testing.B) {
+		ex := Run(Seq(
+			When(0, func(Msg) {}),
+			For(b.N, func(int) Stmt { return When(1, func(Msg) {}) }),
+		))
+		for i := 0; i < b.N; i++ {
+			ex.Deliver(1, nil) // buffers: program is blocked on tag 0
+		}
+		b.ResetTimer()
+		ex.Deliver(0, nil) // unblocks: the For drains the whole backlog
+		b.StopTimer()
+		if !ex.Finished() {
+			b.Fatal("not finished")
+		}
+	})
+	b.Run("caseChurn", func(b *testing.B) {
+		const alts = 8
+		ex := Run(For(b.N, func(int) Stmt {
+			ws := make([]Stmt, alts)
+			for t := 0; t < alts; t++ {
+				ws[t] = When(t+1, func(Msg) {})
+			}
+			return Case(ws...)
+		}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Fire a different alternative each iteration so cancelled
+			// siblings pile up on every tag's waiting list.
+			ex.Deliver(i%alts+1, nil)
+		}
+		if !ex.Finished() {
+			b.Fatal("not finished")
+		}
+	})
+	b.Run("refBacklog", func(b *testing.B) {
+		const window = 256
+		ex := Run(Seq(
+			When(0, func(Msg) {}),
+			For(b.N, func(i int) Stmt {
+				return WhenRef(1, uint64(i%window), func(Msg) {})
+			}),
+		))
+		// Buffer each window of refs in reverse order so every WhenRef
+		// matches toward the back of the live buffered region.
+		for base := 0; base < b.N; base += window {
+			hi := base + window
+			if hi > b.N {
+				hi = b.N
+			}
+			for i := hi - 1; i >= base; i-- {
+				ex.DeliverRef(1, uint64(i%window), nil)
+			}
+		}
+		b.ResetTimer()
+		ex.Deliver(0, nil)
+		b.StopTimer()
+		if !ex.Finished() {
+			b.Fatal("not finished")
+		}
+	})
+}

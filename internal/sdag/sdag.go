@@ -40,8 +40,9 @@ type Stmt interface {
 // message queue.
 type Executor struct {
 	waiting  map[int][]*waiter
-	buffered map[int][]refMsg
+	buffered map[int]*msgQueue
 	work     []func() // trampoline queue: avoids unbounded recursion
+	workHead int      // next work entry to run; the buffer is reused across drains
 	draining bool
 	finished bool
 }
@@ -65,13 +66,45 @@ type refMsg struct {
 	m   Msg
 }
 
+// msgQueue is one tag's buffered messages: a slice consumed from a
+// head index so the common oldest-first take is O(1) and the backing
+// array's capacity is reused, instead of shifting the whole suffix
+// down on every consumption.
+type msgQueue struct {
+	head int
+	ms   []refMsg
+}
+
+func (q *msgQueue) len() int { return len(q.ms) - q.head }
+
+func (q *msgQueue) push(m refMsg) { q.ms = append(q.ms, m) }
+
+// takeMatch removes and returns the oldest buffered message accepted
+// by the (hasRef, ref) filter. A mid-queue hit shifts the (typically
+// empty) live prefix up by one rather than the whole suffix down.
+func (q *msgQueue) takeMatch(hasRef bool, ref uint64) (Msg, bool) {
+	for i := q.head; i < len(q.ms); i++ {
+		if !hasRef || q.ms[i].ref == ref {
+			m := q.ms[i].m
+			copy(q.ms[q.head+1:i+1], q.ms[q.head:i])
+			q.ms[q.head] = refMsg{}
+			q.head++
+			if q.head == len(q.ms) {
+				q.ms, q.head = q.ms[:0], 0
+			}
+			return m, true
+		}
+	}
+	return nil, false
+}
+
 // Run starts program s and returns its executor. The program runs
 // until it needs a message; drive it with Deliver and observe
 // Finished.
 func Run(s Stmt) *Executor {
 	ex := &Executor{
 		waiting:  make(map[int][]*waiter),
-		buffered: make(map[int][]refMsg),
+		buffered: make(map[int]*msgQueue),
 	}
 	ex.schedule(func() { s.start(ex, func() { ex.finished = true }) })
 	ex.drain()
@@ -97,8 +130,8 @@ func (ex *Executor) PendingWhens() int {
 // BufferedMessages returns how many delivered messages await a When.
 func (ex *Executor) BufferedMessages() int {
 	n := 0
-	for _, ms := range ex.buffered {
-		n += len(ms)
+	for _, q := range ex.buffered {
+		n += q.len()
 	}
 	return n
 }
@@ -117,45 +150,63 @@ func (ex *Executor) DeliverRef(tag int, ref uint64, m Msg) {
 			w.done()
 		})
 	} else {
-		ex.buffered[tag] = append(ex.buffered[tag], refMsg{ref: ref, m: m})
+		q := ex.buffered[tag]
+		if q == nil {
+			q = &msgQueue{}
+			ex.buffered[tag] = q
+		}
+		q.push(refMsg{ref: ref, m: m})
 	}
 	ex.drain()
 }
 
 // takeWaiter removes and returns the oldest live waiter on tag that
-// accepts ref, dropping cancelled waiters as it goes.
+// accepts ref. One compacting pass drops every cancelled waiter and
+// closes the gap in place — no repeated suffix shifts.
 func (ex *Executor) takeWaiter(tag int, ref uint64) *waiter {
 	ws := ex.waiting[tag]
-	for i := 0; i < len(ws); {
-		if ws[i].cancelled {
-			ws = append(ws[:i], ws[i+1:]...)
+	if len(ws) == 0 {
+		return nil
+	}
+	var found *waiter
+	kept := ws[:0]
+	for _, w := range ws {
+		if w.cancelled {
 			continue
 		}
-		if ws[i].matches(ref) {
-			w := ws[i]
-			ex.waiting[tag] = append(ws[:i], ws[i+1:]...)
-			return w
+		if found == nil && w.matches(ref) {
+			found = w
+			continue
 		}
-		i++
+		kept = append(kept, w)
 	}
-	ex.waiting[tag] = ws
-	return nil
+	// Zero the tail so dropped waiters don't pin their closures.
+	for i := len(kept); i < len(ws); i++ {
+		ws[i] = nil
+	}
+	ex.waiting[tag] = kept
+	return found
 }
 
 func (ex *Executor) schedule(fn func()) { ex.work = append(ex.work, fn) }
 
 // drain runs queued continuations to quiescence (a trampoline: deep
-// For loops become iteration, not recursion).
+// For loops become iteration, not recursion). The queue is walked
+// with a head index and truncated once empty, so one backing array is
+// reused across the whole program instead of re-slicing (and
+// eventually re-allocating) on every continuation.
 func (ex *Executor) drain() {
 	if ex.draining {
 		return
 	}
 	ex.draining = true
-	for len(ex.work) > 0 {
-		fn := ex.work[0]
-		ex.work = ex.work[1:]
+	for ex.workHead < len(ex.work) {
+		fn := ex.work[ex.workHead]
+		ex.work[ex.workHead] = nil // release the closure
+		ex.workHead++
 		fn()
 	}
+	ex.work, ex.workHead = ex.work[:0], 0
 	ex.draining = false
 }
 
@@ -217,10 +268,8 @@ func WhenRef(tag int, ref uint64, body func(Msg)) Stmt {
 // matches) and returns the waiter, or nil if it fired from the
 // buffer.
 func (w whenStmt) install(ex *Executor, done func()) *waiter {
-	for i, rm := range ex.buffered[w.tag] {
-		if !w.hasRef || w.ref == rm.ref {
-			ex.buffered[w.tag] = append(ex.buffered[w.tag][:i], ex.buffered[w.tag][i+1:]...)
-			m := rm.m
+	if q := ex.buffered[w.tag]; q != nil {
+		if m, ok := q.takeMatch(w.hasRef, w.ref); ok {
 			ex.schedule(func() {
 				w.body(m)
 				done()

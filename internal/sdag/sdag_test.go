@@ -302,6 +302,56 @@ func TestCaseValidation(t *testing.T) {
 	mustPanic("non-When child", func() { Case(Atomic(func() {})) })
 }
 
+// TestMidQueueTakeKeepsArrivalOrder: consuming a ref-matched message
+// from the middle of a tag's buffer must leave the remaining messages
+// in arrival order.
+func TestMidQueueTakeKeepsArrivalOrder(t *testing.T) {
+	var got []uint64
+	rec := func(m Msg) { got = append(got, m.(uint64)) }
+	ex := Run(Seq(
+		When(0, func(Msg) {}),
+		WhenRef(1, 2, rec),
+		When(1, rec),
+		When(1, rec),
+	))
+	ex.DeliverRef(1, 1, uint64(1))
+	ex.DeliverRef(1, 2, uint64(2))
+	ex.DeliverRef(1, 3, uint64(3))
+	if ex.BufferedMessages() != 3 {
+		t.Fatalf("buffered = %d", ex.BufferedMessages())
+	}
+	ex.Deliver(0, nil)
+	if !ex.Finished() || fmt.Sprint(got) != "[2 1 3]" {
+		t.Errorf("finished=%v got=%v, want [2 1 3]", ex.Finished(), got)
+	}
+}
+
+// TestCancelledWaitersCompacted: a delivery must fire the live waiter
+// behind cancelled Case losers on the same tag, and the cancelled
+// entries must not count as pending.
+func TestCancelledWaitersCompacted(t *testing.T) {
+	winner := ""
+	ex := Run(Seq(
+		Case(
+			When(1, func(Msg) { winner = "a" }),
+			When(2, func(Msg) { winner = "b" }),
+			When(3, func(Msg) { winner = "c" }),
+		),
+		When(2, func(Msg) { winner = "d" }),
+	))
+	ex.Deliver(1, nil) // fires a; cancels the tag-2 and tag-3 losers
+	if winner != "a" {
+		t.Fatalf("winner = %q", winner)
+	}
+	if ex.PendingWhens() != 1 {
+		t.Fatalf("PendingWhens = %d, want 1 (cancelled losers must not count)", ex.PendingWhens())
+	}
+	ex.Deliver(2, nil) // must reach the live waiter past the cancelled one
+	if !ex.Finished() || winner != "d" {
+		t.Errorf("finished=%v winner=%q", ex.Finished(), winner)
+	}
+}
+
 func TestNopAndString(t *testing.T) {
 	ex := Run(Nop())
 	if !ex.Finished() {
