@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-collectives bench-lb bench-bigsim bench-all repro repro-quick examples cover clean
+.PHONY: all build vet test race bench bench-collectives bench-lb bench-bigsim bench-ampi bench-all repro repro-quick examples cover clean
 
 all: build vet test
 
@@ -57,6 +57,18 @@ bench-bigsim:
 		./internal/bigsim/ | tee bench_bigsim_output.txt
 	$(GO) test -bench 'BenchmarkDeliver' -benchmem -benchtime=20000x -run '^$$' ./internal/sdag/ | tee -a bench_bigsim_output.txt
 	$(GO) run ./cmd/benchjson < bench_bigsim_output.txt > BENCH_bigsim.json
+
+# AMPI rank-backend A/B plus the headline event-mode run: the same
+# Jacobi job with ULT and event ranks at 16,384 ranks, then event
+# ranks alone at AMPI_BENCH_RANKS (default one million). Reports wall
+# ns/step and resident B/rank; a ULT rank carries an isomalloc stack
+# and a goroutine, an event rank is a ~184-byte continuation record.
+AMPI_BENCH_RANKS ?= 1000000
+
+bench-ampi:
+	AMPI_BENCH_RANKS=$(AMPI_BENCH_RANKS) $(GO) test -bench 'BenchmarkAMPIJacobi' -benchmem -benchtime=1x -timeout 30m -run '^$$' \
+		./internal/ampi/ | tee bench_ampi_output.txt
+	$(GO) run ./cmd/benchjson < bench_ampi_output.txt > BENCH_ampi_event.json
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...

@@ -57,8 +57,10 @@ func main() {
 				r.MBPerSec = &v
 			default:
 				// Any per-something rate is a custom metric: "vns/op",
-				// "B/flow", "goroutines/flow", "sim-ns/step", ...
-				if strings.Contains(fields[i+1], "/") {
+				// "B/flow", "goroutines/flow", "sim-ns/step", ... —
+				// plus the plain "ranks" count column the AMPI mode
+				// benchmarks report.
+				if strings.Contains(fields[i+1], "/") || fields[i+1] == "ranks" {
 					if r.Extra == nil {
 						r.Extra = make(map[string]float64)
 					}

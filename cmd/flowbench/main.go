@@ -3,10 +3,21 @@
 // threads, migratable AMPI threads and event-driven objects, on any
 // emulated platform.
 //
+// -mode additionally runs the AMPI Jacobi workload with the selected
+// rank backend (mirroring `bigsim -mode`):
+//
+//	ult    every MPI rank is a migratable user-level thread (default
+//	       AMPI behaviour)
+//	event  every rank is a continuation record dispatched inline by
+//	       its simulating PE — no stack, no goroutine
+//	both   run each PE count through both backends and print the
+//	       ULT-vs-event comparison columns
+//
 // Usage:
 //
 //	flowbench [-platform linux-x86] [-rounds 3] [-max 8192]
 //	flowbench -all   # all five paper platforms (Figures 4-8)
+//	flowbench -mode both [-ranks 4096] [-iters 8] [-jpes 1,2,4,8]
 package main
 
 import (
@@ -14,7 +25,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
+	"migflow/internal/ampi"
 	"migflow/internal/harness"
 )
 
@@ -23,6 +37,10 @@ func main() {
 	all := flag.Bool("all", false, "run the five Figure 4-8 platforms")
 	rounds := flag.Int("rounds", 3, "yield rounds per measurement")
 	max := flag.Int("max", 8192, "largest flow count")
+	mode := flag.String("mode", "", "also run the AMPI Jacobi workload: ult, event, or both")
+	ranks := flag.Int("ranks", 4096, "AMPI Jacobi rank count (with -mode)")
+	iters := flag.Int("iters", 8, "AMPI Jacobi iterations (with -mode)")
+	jpes := flag.String("jpes", "1,2,4,8", "comma-separated simulating PE counts (with -mode)")
 	flag.Parse()
 
 	var counts []int
@@ -41,5 +59,30 @@ func main() {
 		if _, err := harness.FigureSwitchCurves(os.Stdout, p, counts, *rounds); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *mode == "" {
+		return
+	}
+	var peCounts []int
+	for _, s := range strings.Split(*jpes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad -jpes entry %q: %v", s, err)
+		}
+		peCounts = append(peCounts, n)
+	}
+	fmt.Println("\n== AMPI Jacobi flows ==")
+	switch *mode {
+	case ampi.ModeULT, ampi.ModeEvent:
+		if err := harness.JacobiBackend(os.Stdout, *ranks, *iters, peCounts, *mode); err != nil {
+			log.Fatal(err)
+		}
+	case "both":
+		if _, err := harness.JacobiMode(os.Stdout, *ranks, *iters, peCounts); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("bad -mode %q: want ult, event, or both", *mode)
 	}
 }

@@ -5,20 +5,32 @@
 // "Multiple Flows of Control in Migratable Parallel Programs",
 // ICPP 2006).
 //
-// Run with: go run ./examples/quickstart
+// The second half runs a small AMPI Jacobi job; -mode selects how its
+// ranks flow (mirroring `bigsim -mode`): "ult" gives every rank a
+// migratable user-level thread, "event" compiles each rank into a
+// continuation record with no stack, and "both" prints the A/B
+// comparison columns.
+//
+// Run with: go run ./examples/quickstart [-mode ult|event|both]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"migflow/internal/ampi"
 	"migflow/internal/converse"
 	"migflow/internal/core"
+	"migflow/internal/harness"
 	"migflow/internal/migrate"
 	"migflow/internal/swapglobal"
 )
 
 func main() {
+	mode := flag.String("mode", ampi.ModeULT, "AMPI rank backend: ult, event, or both")
+	flag.Parse()
 	// The job declares one "global variable"; swap-global gives every
 	// thread its own privatized copy (§3.1.1).
 	globals := swapglobal.NewLayout()
@@ -81,4 +93,26 @@ func main() {
 	count, bytes := machine.MigrationStats()
 	fmt.Printf("\n%d migrations moved %d serialized bytes through PUP\n", count, bytes)
 	fmt.Printf("virtual execution time: %.1f µs\n", machine.MaxTime()/1000)
+
+	// Part two: the same machine abstraction running an MPI program,
+	// with the flow mechanism behind each rank chosen at run time.
+	const ranks, iters = 256, 8
+	fmt.Printf("\nAMPI Jacobi, %d ranks × %d iterations (-mode %s):\n", ranks, iters, *mode)
+	switch *mode {
+	case ampi.ModeULT, ampi.ModeEvent:
+		res, err := ampi.RunJacobi(ampi.JacobiConfig{
+			Ranks: ranks, Iters: iters, Mode: *mode, ReduceEvery: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s ranks: %.3f ms/step wall, %.3f ms predicted, %d messages\n",
+			*mode, res.StepWallNs/1e6, res.PredictedNs/1e6, res.Msgs)
+	case "both":
+		if _, err := harness.JacobiMode(os.Stdout, ranks, iters, []int{4}); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("bad -mode %q: want ult, event, or both", *mode)
+	}
 }

@@ -57,6 +57,36 @@ const (
 // is zero.
 const DefaultTreeArity = 4
 
+// Execution modes: how each rank exists as a flow of control on the
+// simulating machine (the paper's §2 taxonomy applied to AMPI
+// itself).
+const (
+	// ModeULT (default): one migratable user-level thread per rank —
+	// a parked goroutine with an isomalloc stack, charged the
+	// platform's thread-switch curve per activation.
+	ModeULT = "ult"
+	// ModeEvent: one small state struct per rank in a contiguous
+	// per-job store; every blocking call is a continuation dispatched
+	// inline by the owning PE's loop (no goroutine, no channel, no
+	// stack), charged the platform's EventDispatch curve. Requires a
+	// continuation Program (NewProgram); raw func bodies cannot be
+	// suspended without a stack.
+	ModeEvent = "event"
+)
+
+// normalizeMode folds the zero value to ModeULT and rejects unknown
+// strings.
+func normalizeMode(mode string) (string, error) {
+	switch mode {
+	case "", ModeULT:
+		return ModeULT, nil
+	case ModeEvent:
+		return ModeEvent, nil
+	default:
+		return "", fmt.Errorf("ampi: unknown Mode %q (want %q or %q)", mode, ModeULT, ModeEvent)
+	}
+}
+
 // Options configures a Job.
 type Options struct {
 	// Strategy is the rank threads' stack technique; default
@@ -96,6 +126,12 @@ type Options struct {
 	// AggPolicy tunes flush thresholds when Aggregate is set; zero
 	// fields select the comm defaults.
 	AggPolicy comm.AggPolicy
+
+	// Mode selects the flow-of-control mechanism behind each rank:
+	// ModeULT (default, also the zero value) or ModeEvent. Event mode
+	// requires a continuation Program — see NewProgram — and does not
+	// support Aggregate or migration.
+	Mode string
 }
 
 // Job is one AMPI program: size ranks running body, mapped
@@ -105,7 +141,21 @@ type Job struct {
 	opts Options
 	body func(*Rank)
 
+	size  int
 	ranks []*Rank
+
+	// rankOf inverts entity → rank for ULT jobs. Built once at NewJob
+	// and never mutated (migration moves a thread, not its identity),
+	// so reads are lock-free; it replaces an O(size) scan per Recv.
+	rankOf map[comm.EntityID]int
+
+	// Continuation-program state (NewProgram). prog is the shared
+	// immutable Proc tree both modes interpret; pcs are the per-rank
+	// program contexts in ULT mode; ev is the event engine in event
+	// mode (exactly one of ranks/ev is populated for program jobs).
+	prog Proc
+	pcs  []*PC
+	ev   *eventEngine
 
 	mu       sync.Mutex
 	lbPlans  map[uint64]loadbalance.Plan // epoch → plan
@@ -137,37 +187,18 @@ type matchSpec struct {
 // r mod NumPEs ("AMPI requires the number of AMPI migratable threads
 // to be much larger than the actual number of processors").
 func NewJob(m *core.Machine, size int, opts Options, body func(*Rank)) (*Job, error) {
-	if size < 1 {
-		return nil, fmt.Errorf("ampi: size %d must be ≥ 1", size)
+	j, err := newJobCommon(m, size, &opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Strategy == nil {
-		opts.Strategy = migrate.Isomalloc{}
+	if opts.Mode == ModeEvent {
+		return nil, fmt.Errorf("ampi: Mode %q needs a continuation program; use NewProgram (a raw func body cannot be suspended without a stack)", ModeEvent)
 	}
-	if opts.TreeArity < 0 {
-		return nil, fmt.Errorf("ampi: TreeArity %d must be ≥ 0", opts.TreeArity)
-	}
-	if opts.TreeArity == 0 {
-		opts.TreeArity = DefaultTreeArity
-	}
-	if opts.Collectives != CollTree && opts.Collectives != CollFlat {
-		return nil, fmt.Errorf("ampi: unknown collective algorithm %d", opts.Collectives)
-	}
-	if opts.Aggregate {
-		m.Network().EnableAggregation(opts.AggPolicy)
-	}
-	j := &Job{
-		m: m, opts: opts, body: body,
-		lbPlans:  make(map[uint64]loadbalance.Plan),
-		lbEpochs: make(map[uint64]int),
-		traffic:  make(map[[2]int]float64),
-	}
+	j.body = body
+	j.rankOf = make(map[comm.EntityID]int, size)
 	for r := 0; r < size; r++ {
 		rank := &Rank{job: j, rank: r}
-		peIdx := r % m.NumPEs()
-		if opts.BlockPlacement {
-			peIdx = r * m.NumPEs() / size
-		}
-		pe := m.PE(peIdx)
+		pe := m.PE(placePE(r, size, m.NumPEs(), opts.BlockPlacement))
 		th, err := pe.Sched.CthCreate(converse.ThreadOptions{
 			Strategy:  opts.Strategy,
 			StackSize: opts.StackSize,
@@ -186,6 +217,7 @@ func NewJob(m *core.Machine, size int, opts Options, body func(*Rank)) (*Job, er
 		}
 		rank.th = th
 		j.ranks = append(j.ranks, rank)
+		j.rankOf[comm.EntityID(th.ID())] = r
 		if err := m.RegisterEntity(comm.EntityID(th.ID()), pe.Index, rank.deliver); err != nil {
 			return nil, err
 		}
@@ -193,8 +225,58 @@ func NewJob(m *core.Machine, size int, opts Options, body func(*Rank)) (*Job, er
 	return j, nil
 }
 
+// newJobCommon validates options shared by NewJob and NewProgram and
+// returns the empty job shell.
+func newJobCommon(m *core.Machine, size int, opts *Options) (*Job, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("ampi: size %d must be ≥ 1", size)
+	}
+	mode, err := normalizeMode(opts.Mode)
+	if err != nil {
+		return nil, err
+	}
+	opts.Mode = mode
+	if opts.Strategy == nil {
+		opts.Strategy = migrate.Isomalloc{}
+	}
+	if opts.TreeArity < 0 {
+		return nil, fmt.Errorf("ampi: TreeArity %d must be ≥ 0", opts.TreeArity)
+	}
+	if opts.TreeArity == 0 {
+		opts.TreeArity = DefaultTreeArity
+	}
+	if opts.Collectives != CollTree && opts.Collectives != CollFlat {
+		return nil, fmt.Errorf("ampi: unknown collective algorithm %d", opts.Collectives)
+	}
+	if opts.Mode == ModeEvent && opts.Aggregate {
+		return nil, fmt.Errorf("ampi: Aggregate is not supported in %q mode (flush-before-block needs a parkable thread)", ModeEvent)
+	}
+	if opts.Aggregate {
+		m.Network().EnableAggregation(opts.AggPolicy)
+	}
+	return &Job{
+		m: m, opts: *opts, size: size,
+		lbPlans:  make(map[uint64]loadbalance.Plan),
+		lbEpochs: make(map[uint64]int),
+		traffic:  make(map[[2]int]float64),
+	}, nil
+}
+
+// placePE maps rank r of size ranks onto one of numPEs processors:
+// round-robin by default, contiguous blocks with BlockPlacement.
+func placePE(r, size, numPEs int, block bool) int {
+	if block {
+		return r * numPEs / size
+	}
+	return r % numPEs
+}
+
 // Start makes every rank runnable.
 func (j *Job) Start() {
+	if j.ev != nil {
+		j.ev.start()
+		return
+	}
 	for _, r := range j.ranks {
 		r.th.Scheduler().Start(r.th)
 	}
@@ -208,7 +290,10 @@ func (j *Job) Run() {
 }
 
 // Size returns the number of ranks.
-func (j *Job) Size() int { return len(j.ranks) }
+func (j *Job) Size() int { return j.size }
+
+// Mode returns the job's (normalized) execution mode.
+func (j *Job) Mode() string { return j.opts.Mode }
 
 // Machine returns the underlying machine.
 func (j *Job) Machine() *core.Machine { return j.m }
@@ -219,10 +304,18 @@ func (j *Job) Rank(r int) *Rank { return j.ranks[r] }
 // PEOf returns the PE rank r's thread currently runs on — the
 // placement workload models consult when grouping messages by
 // destination processor.
-func (j *Job) PEOf(r int) int { return j.ranks[r].th.Scheduler().PE().Index }
+func (j *Job) PEOf(r int) int {
+	if j.ev != nil {
+		return j.ev.peIdx(r)
+	}
+	return j.ranks[r].th.Scheduler().PE().Index
+}
 
-// Done reports whether every rank thread has exited.
+// Done reports whether every rank has finished its body or program.
 func (j *Job) Done() bool {
+	if j.ev != nil {
+		return j.ev.remaining.Load() == 0
+	}
 	for _, r := range j.ranks {
 		if r.th.State() != converse.Exited {
 			return false
@@ -274,7 +367,11 @@ func (r *Rank) Send(dest, tag int, data []byte) error {
 	return r.send(dest, tag, data)
 }
 
-func (r *Rank) send(dest, tag int, data []byte) error {
+func (r *Rank) send(dest, tag int, data []byte) error { return r.sendv(dest, tag, data, 0) }
+
+// sendv is send carrying an application-level virtual timestamp (the
+// continuation-program layer's mode-independent predicted time).
+func (r *Rank) sendv(dest, tag int, data []byte, vtime float64) error {
 	if dest < 0 || dest >= len(r.job.ranks) {
 		return fmt.Errorf("ampi: Send to rank %d of %d", dest, len(r.job.ranks))
 	}
@@ -299,6 +396,7 @@ func (r *Rank) send(dest, tag int, data []byte) error {
 		Tag:      tag,
 		Data:     data,
 		SendTime: pe.Clock.Now(),
+		VTime:    vtime,
 	}
 	ep := r.job.m.Network().Endpoint(pe.Index)
 	if r.job.opts.Aggregate && tag >= 0 {
@@ -392,10 +490,8 @@ func (r *Rank) recv(src, tag int) *comm.Message {
 }
 
 func (r *Rank) senderRank(m *comm.Message) int {
-	for i := range r.job.ranks {
-		if r.job.entity(i) == m.From {
-			return i
-		}
+	if i, ok := r.job.rankOf[m.From]; ok {
+		return i
 	}
 	return -1
 }

@@ -1,0 +1,101 @@
+package ampi
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// benchRanks is the headline event-mode rank count; AMPI_BENCH_RANKS
+// overrides it (CI smoke runs use a tiny value, `make bench-ampi`
+// defaults to the full million).
+func benchRanks(b *testing.B) int {
+	if s := os.Getenv("AMPI_BENCH_RANKS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			b.Fatalf("bad AMPI_BENCH_RANKS %q", s)
+		}
+		return n
+	}
+	return 1_000_000
+}
+
+// measureRankFootprint builds (without running) a Jacobi job and
+// returns resident bytes per rank, then drains the job so ULT
+// goroutines exit before the timed runs start.
+func measureRankFootprint(b *testing.B, cfg JacobiConfig) float64 {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	_, job, err := NewJacobi(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	resident := int64(m1.HeapInuse+m1.StackInuse) - int64(m0.HeapInuse+m0.StackInuse)
+	if resident < 0 {
+		resident = 0
+	}
+	job.Run()
+	return float64(resident) / float64(cfg.Ranks)
+}
+
+// BenchmarkAMPIJacobi is the rank-backend A/B plus the headline run:
+// the same Jacobi job with ULT and event ranks at a size both can
+// hold, then event ranks alone at AMPI_BENCH_RANKS (default one
+// million — the scale where a stack per rank stops being a number and
+// becomes a decision). ns/step is real wall clock per iteration;
+// B/rank is the resident footprint of the built job before any
+// message flows.
+func BenchmarkAMPIJacobi(b *testing.B) {
+	headline := benchRanks(b)
+	ab := 16_384
+	if headline < ab {
+		ab = headline
+	}
+	cases := []struct {
+		mode  string
+		ranks int
+		iters int
+	}{
+		{ModeULT, ab, 8},
+		{ModeEvent, ab, 8},
+	}
+	if headline > ab {
+		cases = append(cases, struct {
+			mode  string
+			ranks int
+			iters int
+		}{ModeEvent, headline, 2})
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%s/r%d", c.mode, c.ranks), func(b *testing.B) {
+			cfg := JacobiConfig{
+				Ranks: c.ranks, Iters: c.iters, PEs: 8, Mode: c.mode,
+				ReduceEvery: 4, BlockPlacement: true,
+			}
+			if err := cfg.defaults(); err != nil {
+				b.Fatal(err)
+			}
+			bpr := measureRankFootprint(b, cfg)
+			var stepNs float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := RunJacobi(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stepNs += res.StepWallNs
+			}
+			b.StopTimer()
+			// Reported after the loop: ResetTimer discards metrics.
+			b.ReportMetric(stepNs/float64(b.N), "ns/step")
+			b.ReportMetric(float64(c.ranks), "ranks")
+			b.ReportMetric(bpr, "B/rank")
+		})
+	}
+}

@@ -1,0 +1,343 @@
+package ampi
+
+// The event-mode backend: each rank is one eventRank struct in a
+// contiguous per-job store — no goroutine, no channel, no stack. A
+// blocking point stores a continuation in the rank's slot and returns
+// to the owning PE's loop; message delivery (through the machine's
+// Pump) resumes exactly the waiting continuation, charging the
+// platform's EventDispatch curve per activation instead of a thread
+// switch. This is BigSim's tproc store applied to AMPI itself, and
+// the reason a million-rank job fits where the ULT backend needs a
+// stack and a goroutine per rank.
+//
+// Concurrency: a rank is owned by the PE it was born on (event ranks
+// are pinned — comm.PinnedEntity), and every touch of its slot
+// happens on that PE's goroutine (its Pump, or the job-start
+// bootstrap thread scheduled there), so slots need no locks. The only
+// cross-PE communication is the atomic remaining counter, whose
+// final decrement orders the engine's teardown after every other
+// PE's last write.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"migflow/internal/comm"
+	"migflow/internal/converse"
+	"migflow/internal/sdag"
+)
+
+// deregBatchSize bounds how many finished ranks accumulate per PE
+// before their directory entries are removed in one batch (each batch
+// clones the touched directory shards once, not once per rank).
+const deregBatchSize = 4096
+
+// eventRank is one rank's entire flow-of-control state: ~120 bytes
+// plus whatever the program keeps in pc.Local, versus a goroutine,
+// two channels, and an isomalloc stack for a ULT rank.
+type eventRank struct {
+	pc eventPC
+
+	// mbox buffers messages that arrived before a matching Recv,
+	// consumed from head so takes do not shift the slice.
+	mbox []*comm.Message
+	head int
+
+	// waiting + kont are the stored continuation of a blocked Recv.
+	waiting matchSpec
+	hasWait bool
+	kont    func(*comm.Message)
+
+	done bool
+}
+
+// eventPC embeds the shared program context so &er.pc can be handed
+// to the interpreter without a separate allocation per rank.
+type eventPC = PC
+
+// eventEngine is the per-job store and dispatcher.
+type eventEngine struct {
+	job  *Job
+	size int
+	base comm.EntityID // entity of rank 0 (carries PinnedEntity)
+
+	ranks []eventRank // contiguous store; released at completion
+
+	// dispatch[pe] is the precomputed EventDispatch.At(flows) charge
+	// per activation (constant once residency is fixed: ranks never
+	// migrate), and tramps[pe] is the PE's continuation trampoline.
+	dispatch []float64
+	tramps   []sdag.Tramp
+
+	// pendDereg[pe] batches finished ranks' directory removals.
+	pendDereg [][]comm.EntityID
+
+	remaining atomic.Int64
+
+	// vts snapshots every rank's final predicted time when the last
+	// rank finishes, so results survive the store's release.
+	vts []float64
+}
+
+// newEventEngine builds the store, reserves a dense pinned entity-ID
+// block, and registers locations (one batch) and the shared dispatch
+// handler (one range) for all ranks.
+func newEventEngine(j *Job) (*eventEngine, error) {
+	size := j.size
+	numPEs := j.m.NumPEs()
+	e := &eventEngine{
+		job:       j,
+		size:      size,
+		base:      comm.PinnedEntity | comm.EntityID(converse.AllocFlowIDs(size)),
+		ranks:     make([]eventRank, size),
+		dispatch:  make([]float64, numPEs),
+		tramps:    make([]sdag.Tramp, numPEs),
+		pendDereg: make([][]comm.EntityID, numPEs),
+	}
+	e.remaining.Store(int64(size))
+
+	flows := make([]int, numPEs)
+	pes := make([]int, size)
+	for r := 0; r < size; r++ {
+		pes[r] = placePE(r, size, numPEs, j.opts.BlockPlacement)
+		flows[pes[r]]++
+	}
+	for p := 0; p < numPEs; p++ {
+		if flows[p] > 0 {
+			e.dispatch[p] = j.m.PE(p).Prof.EventDispatch.At(flows[p])
+		}
+	}
+	for r := 0; r < size; r++ {
+		pc := &e.ranks[r].pc
+		pc.job, pc.rank = j, r
+		pc.be = e
+		pc.tramp = &e.tramps[pes[r]]
+	}
+	if err := j.m.Network().RegisterBatch(e.base, pes); err != nil {
+		return nil, err
+	}
+	if err := j.m.RegisterEntityRange(e.base, e.base+comm.EntityID(size-1), e.deliver); err != nil {
+		j.m.Network().DeregisterBatch(e.allIDs())
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *eventEngine) idOf(rank int) comm.EntityID { return e.base + comm.EntityID(rank) }
+
+// rankIdx inverts idOf; -1 for identities outside the job.
+func (e *eventEngine) rankIdx(id comm.EntityID) int {
+	if id < e.base || id >= e.base+comm.EntityID(e.size) {
+		return -1
+	}
+	return int(id - e.base)
+}
+
+func (e *eventEngine) peIdx(rank int) int {
+	return placePE(rank, e.size, e.job.m.NumPEs(), e.job.opts.BlockPlacement)
+}
+
+func (e *eventEngine) allIDs() []comm.EntityID {
+	ids := make([]comm.EntityID, e.size)
+	for r := range ids {
+		ids[r] = e.idOf(r)
+	}
+	return ids
+}
+
+// start bootstraps the job: one short-lived thread per populated PE
+// dispatches the initial activation of each resident rank, so initial
+// work runs on the owning PE under both Run drivers (and in parallel
+// under RunParallel).
+func (e *eventEngine) start() {
+	numPEs := e.job.m.NumPEs()
+	for p := 0; p < numPEs; p++ {
+		first := make([]int, 0, (e.size+numPEs-1)/numPEs)
+		for r := 0; r < e.size; r++ {
+			if e.peIdx(r) == p {
+				first = append(first, r)
+			}
+		}
+		if len(first) == 0 {
+			continue
+		}
+		list := first
+		pe := e.job.m.PE(p)
+		th, err := pe.Sched.CthCreate(converse.ThreadOptions{
+			Strategy: e.job.opts.Strategy,
+		}, func(*converse.Ctx) {
+			for _, r := range list {
+				e.dispatchStart(r)
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("ampi: event bootstrap on PE %d: %v", p, err))
+		}
+		pe.Sched.Start(th)
+	}
+}
+
+// dispatchStart runs rank r's program until its first blocking point
+// (or completion), charging one activation.
+func (e *eventEngine) dispatchStart(r int) {
+	p := e.peIdx(r)
+	e.job.m.PE(p).Clock.Advance(e.dispatch[p])
+	tr := &e.tramps[p]
+	tr.Schedule(func() {
+		e.job.prog.run(&e.ranks[r].pc, func() { e.finish(r) })
+	})
+	tr.Drain()
+}
+
+// deliver is the shared range handler: it runs on the destination
+// PE's goroutine via Machine.Pump. A message either resumes the
+// rank's stored continuation (one EventDispatch activation) or
+// buffers in its slot.
+func (e *eventEngine) deliver(pe int, msg *comm.Message) {
+	r := e.rankIdx(msg.To)
+	if r < 0 || e.ranks == nil {
+		return
+	}
+	er := &e.ranks[r]
+	if er.done {
+		return // a straggler for a finished rank (program bug); drop like a closed mailbox
+	}
+	if er.hasWait && e.matches(er.waiting, msg) {
+		er.hasWait = false
+		k := er.kont
+		er.kont = nil
+		p := e.job.m.PE(pe)
+		p.Clock.Advance(e.dispatch[pe]) // the activation: continuation re-enters the loop
+		p.Clock.AdvanceTo(msg.Arrival)
+		if ovh := e.job.opts.MsgOverheadNs; ovh > 0 {
+			p.Clock.Advance(ovh)
+		}
+		tr := &e.tramps[pe]
+		tr.Schedule(func() { k(msg) })
+		tr.Drain()
+		return
+	}
+	er.mbox = append(er.mbox, msg)
+}
+
+func (e *eventEngine) matches(spec matchSpec, m *comm.Message) bool {
+	if spec.tag != AnyTag && spec.tag != m.Tag {
+		return false
+	}
+	if spec.src != AnySource && e.idOf(spec.src) != m.From {
+		return false
+	}
+	return true
+}
+
+// take removes and returns the oldest buffered message matching spec.
+func (er *eventRank) take(e *eventEngine, spec matchSpec) *comm.Message {
+	for i := er.head; i < len(er.mbox); i++ {
+		if e.matches(spec, er.mbox[i]) {
+			m := er.mbox[i]
+			copy(er.mbox[er.head+1:i+1], er.mbox[er.head:i])
+			er.mbox[er.head] = nil
+			er.head++
+			if er.head == len(er.mbox) {
+				er.mbox, er.head = er.mbox[:0], 0
+			}
+			return m
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------
+// backend interface
+
+func (e *eventEngine) send(pc *PC, dest, tag int, data []byte) {
+	if dest < 0 || dest >= e.size {
+		panic(fmt.Sprintf("ampi: program Send to rank %d of %d", dest, e.size))
+	}
+	p := e.job.m.PE(e.peIdx(pc.rank))
+	if ovh := e.job.opts.MsgOverheadNs; ovh > 0 {
+		p.Clock.Advance(ovh)
+	}
+	msg := &comm.Message{
+		To:       e.idOf(dest),
+		From:     e.idOf(pc.rank),
+		Tag:      tag,
+		Data:     data,
+		SendTime: p.Clock.Now(),
+		VTime:    pc.vt,
+	}
+	if err := e.job.m.Network().Endpoint(p.Index).Send(msg); err != nil {
+		panic(fmt.Sprintf("ampi: event send: %v", err))
+	}
+}
+
+func (e *eventEngine) recv(pc *PC, src, tag int, k func(*comm.Message)) {
+	er := &e.ranks[pc.rank]
+	spec := matchSpec{src: src, tag: tag}
+	if m := er.take(e, spec); m != nil {
+		// Consuming a buffered message is not a fresh activation (the
+		// rank is already running); only the arrival constraint and
+		// software overhead are charged, mirroring the thread path.
+		p := e.job.m.PE(e.peIdx(pc.rank))
+		p.Clock.AdvanceTo(m.Arrival)
+		if ovh := e.job.opts.MsgOverheadNs; ovh > 0 {
+			p.Clock.Advance(ovh)
+		}
+		k(m)
+		return
+	}
+	er.waiting, er.hasWait, er.kont = spec, true, k
+}
+
+func (e *eventEngine) work(pc *PC, ns float64) {
+	e.job.m.PE(e.peIdx(pc.rank)).Clock.Advance(ns)
+}
+
+// ---------------------------------------------------------------
+// Completion
+
+// finish retires rank r: its slot's buffers, continuation, and
+// program state are released immediately, and its directory entry
+// joins the owning PE's batched deregistration — so a completed
+// million-rank job walks the Machine back to its idle footprint.
+func (e *eventEngine) finish(r int) {
+	er := &e.ranks[r]
+	er.done = true
+	er.mbox, er.head = nil, 0
+	er.kont, er.hasWait = nil, false
+	er.pc.Local = nil
+	p := e.peIdx(r)
+	e.pendDereg[p] = append(e.pendDereg[p], e.idOf(r))
+	if len(e.pendDereg[p]) >= deregBatchSize {
+		e.job.m.Network().DeregisterBatch(e.pendDereg[p])
+		e.pendDereg[p] = e.pendDereg[p][:0]
+	}
+	if e.remaining.Add(-1) == 0 {
+		e.shutdown()
+	}
+}
+
+// shutdown runs once, on whichever PE finished the last rank: the
+// atomic decrement chain orders it after every other PE's final slot
+// writes. It snapshots results, flushes every deregistration batch,
+// removes the shared handler range, and releases the store.
+func (e *eventEngine) shutdown() {
+	e.vts = make([]float64, e.size)
+	for r := range e.ranks {
+		e.vts[r] = e.ranks[r].pc.vt
+	}
+	for p := range e.pendDereg {
+		e.job.m.Network().DeregisterBatch(e.pendDereg[p])
+		e.pendDereg[p] = nil
+	}
+	e.job.m.DeregisterEntityRange(e.base, e.base+comm.EntityID(e.size-1))
+	e.ranks = nil
+}
+
+// vtOf returns rank r's predicted time, live or snapshotted.
+func (e *eventEngine) vtOf(r int) float64 {
+	if e.ranks != nil {
+		return e.ranks[r].pc.vt
+	}
+	return e.vts[r]
+}

@@ -1,0 +1,208 @@
+package ampi
+
+// A 1-D Jacobi relaxation expressed as a continuation Program — the
+// workload the mode comparison (and the million-rank headline run)
+// uses. Each rank holds one cell, exchanges halo values with its ring
+// neighbours every iteration, relaxes, and optionally joins a
+// residual Allreduce — the paper's §4.5 stencil shape reduced to its
+// communication skeleton. One shared Proc tree serves both modes, so
+// predicted time and message counts cannot diverge between them.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"migflow/internal/core"
+	"migflow/internal/vmem"
+)
+
+// Halo tags (user tag space).
+const (
+	tagHaloLeft  = 0 // sent toward the left neighbour
+	tagHaloRight = 1 // sent toward the right neighbour
+)
+
+// JacobiConfig sizes one Jacobi run.
+type JacobiConfig struct {
+	Ranks int
+	Iters int
+	// PEs is the simulating-processor count (RunJacobi builds its own
+	// machine); default 4.
+	PEs int
+	// Mode is ampi.ModeULT or ampi.ModeEvent ("" = ULT).
+	Mode string
+
+	// HaloBytes is the halo payload size (≥ 8; default 8 — one
+	// float64 cell).
+	HaloBytes int
+	// WorkNs models the per-iteration relaxation compute (default
+	// 1000).
+	WorkNs float64
+	// ReduceEvery joins a "max" residual Allreduce every k iterations
+	// (0 = never).
+	ReduceEvery int
+
+	// BlockPlacement maps contiguous rank blocks per PE (so ring
+	// neighbours are usually co-resident) instead of round-robin.
+	BlockPlacement bool
+	// StackSize is the per-rank stack in ULT mode (default 16 KiB —
+	// the program needs no real frames, but every ULT rank pays for
+	// one).
+	StackSize uint64
+	// MsgOverheadNs is Options.MsgOverheadNs.
+	MsgOverheadNs float64
+}
+
+func (c *JacobiConfig) defaults() error {
+	if c.Ranks < 1 || c.Iters < 1 {
+		return fmt.Errorf("ampi: Jacobi needs ≥ 1 rank and ≥ 1 iteration (got %d, %d)", c.Ranks, c.Iters)
+	}
+	if c.PEs == 0 {
+		c.PEs = 4
+	}
+	if c.HaloBytes == 0 {
+		c.HaloBytes = 8
+	}
+	if c.HaloBytes < 8 {
+		return fmt.Errorf("ampi: Jacobi HaloBytes %d must be ≥ 8", c.HaloBytes)
+	}
+	if c.WorkNs == 0 {
+		c.WorkNs = 1000
+	}
+	if c.StackSize == 0 {
+		c.StackSize = 16 << 10
+	}
+	return nil
+}
+
+// jacobiState is one rank's program-private state.
+type jacobiState struct {
+	x           float64 // the cell
+	left, right float64 // received halos
+	resid       float64 // |Δx| of the last relaxation
+	global      float64 // last Allreduce result
+}
+
+// JacobiProgram builds the shared step-body program. iters and the
+// exchange/relax/reduce structure are identical for every rank; the
+// per-rank neighbours come from Call.
+func JacobiProgram(cfg JacobiConfig) Proc {
+	pack := func(v float64) []byte {
+		b := make([]byte, cfg.HaloBytes)
+		binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+		return b
+	}
+	step := func(i int) Proc {
+		return Call(func(pc *PC) Proc {
+			n := pc.Size()
+			left := (pc.rank - 1 + n) % n
+			right := (pc.rank + 1) % n
+			ps := []Proc{
+				Do(func(pc *PC) {
+					st := pc.Local.(*jacobiState)
+					pc.Send(left, tagHaloLeft, pack(st.x))
+					pc.Send(right, tagHaloRight, pack(st.x))
+				}),
+				// The message my right neighbour sent "toward the
+				// left" is mine, and symmetrically for the left.
+				Recv(right, tagHaloLeft, func(pc *PC, data []byte, _ int) {
+					pc.Local.(*jacobiState).right = f64(data)
+				}),
+				Recv(left, tagHaloRight, func(pc *PC, data []byte, _ int) {
+					pc.Local.(*jacobiState).left = f64(data)
+				}),
+				Do(func(pc *PC) {
+					st := pc.Local.(*jacobiState)
+					next := (st.left + st.x + st.right) / 3
+					st.resid = math.Abs(next - st.x)
+					st.x = next
+					pc.Work(cfg.WorkNs)
+				}),
+			}
+			if cfg.ReduceEvery > 0 && (i+1)%cfg.ReduceEvery == 0 {
+				ps = append(ps, Allreduce("max",
+					func(pc *PC) float64 { return pc.Local.(*jacobiState).resid },
+					func(pc *PC, v float64) { pc.Local.(*jacobiState).global = v }))
+			}
+			return Seq(ps...)
+		})
+	}
+	return Seq(
+		Do(func(pc *PC) {
+			// Deterministic per-rank initial condition.
+			pc.Local = &jacobiState{x: float64(pc.rank%97) / 97}
+		}),
+		For(cfg.Iters, step),
+	)
+}
+
+// JacobiResult reports one run.
+type JacobiResult struct {
+	PredictedNs float64 // max rank VT — mode- and PE-count-invariant
+	Msgs        uint64  // network messages sent
+	WallNs      float64 // real elapsed time of the whole run
+	StepWallNs  float64 // WallNs / Iters
+}
+
+// NewJacobi boots a machine sized for the config and builds (but does
+// not start) the Jacobi job on it — the build/run split lets the
+// benchmarks measure the store's resident footprint before any
+// message flows.
+func NewJacobi(cfg JacobiConfig) (*core.Machine, *Job, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	mc := core.Config{NumPEs: cfg.PEs}
+	if cfg.Mode != ModeEvent {
+		// Size each PE's isomalloc slot for its resident rank stacks
+		// (plus thread heaps and guard slack) — the ULT backend's
+		// per-rank memory is the point of the comparison.
+		perPE := uint64((cfg.Ranks + cfg.PEs - 1) / cfg.PEs)
+		stackPages := vmem.RoundUpPages(cfg.StackSize)/vmem.PageSize + 2
+		if pages := perPE*(stackPages+8) + 1024; pages > core.DefaultIsoSlotPages {
+			mc.IsoSlotPages = pages
+		}
+	}
+	m, err := core.NewMachine(mc)
+	if err != nil {
+		return nil, nil, err
+	}
+	job, err := NewProgram(m, cfg.Ranks, Options{
+		Mode:           cfg.Mode,
+		StackSize:      cfg.StackSize,
+		BlockPlacement: cfg.BlockPlacement,
+		MsgOverheadNs:  cfg.MsgOverheadNs,
+	}, JacobiProgram(cfg))
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, job, nil
+}
+
+// RunJacobi boots a machine sized for the config, runs the Jacobi
+// program in the configured mode, and reports predicted time, message
+// count, and wall clock.
+func RunJacobi(cfg JacobiConfig) (JacobiResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return JacobiResult{}, err
+	}
+	m, job, err := NewJacobi(cfg)
+	if err != nil {
+		return JacobiResult{}, err
+	}
+	t0 := time.Now()
+	job.Run()
+	wall := float64(time.Since(t0).Nanoseconds())
+	if !job.Done() {
+		return JacobiResult{}, fmt.Errorf("ampi: Jacobi run did not complete (%d ranks, mode %s)", cfg.Ranks, job.Mode())
+	}
+	sent, _, _ := m.Network().Stats()
+	return JacobiResult{
+		PredictedNs: job.PredictedNs(),
+		Msgs:        sent,
+		WallNs:      wall,
+		StepWallNs:  wall / float64(cfg.Iters),
+	}, nil
+}

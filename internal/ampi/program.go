@@ -1,0 +1,660 @@
+package ampi
+
+// Continuation programs: the CPC idea ("compiling blocking threads to
+// events through continuations") applied to AMPI ranks. A Program is
+// an immutable tree of Proc combinators — Do/Seq/For/Recv/collectives
+// — shared by every rank of a job, the way bigsim.stepBody is shared
+// by both BigSim backends. The SAME tree is interpreted by two
+// backends selected with Options.Mode:
+//
+//   - ModeULT: each rank is a migratable user-level thread; Recv and
+//     the collectives block the thread exactly like the classic Rank
+//     API, and each activation pays the platform's thread-switch
+//     curve.
+//   - ModeEvent: each rank is a small state struct in a contiguous
+//     per-job store (event.go); every blocking point stores a
+//     continuation and returns to the owning PE's loop, and each
+//     activation pays the (much cheaper) EventDispatch curve.
+//
+// Because all communication, computation, and virtual-time accounting
+// live in this shared layer, a program's predicted virtual time (VT)
+// and its message counts are bit-identical across mode × PE count —
+// the property TestCrossBackendEquivalence enforces. Only what the
+// *simulating* machine is charged (PE clocks, wall time, memory)
+// depends on the mode.
+
+import (
+	"fmt"
+
+	"migflow/internal/comm"
+	"migflow/internal/converse"
+	"migflow/internal/core"
+	"migflow/internal/sdag"
+)
+
+// Proc is one statement of a continuation program. Implementations
+// run by either completing inline and invoking k, or storing k (via
+// the backend) to be resumed by a message.
+type Proc interface {
+	run(pc *PC, k func())
+}
+
+// backend is what a Proc needs from the flow-of-control mechanism
+// behind a rank. Exactly two implementations exist: ultBE (thread
+// blocks) and *eventEngine (continuation parks).
+type backend interface {
+	// send transmits data to dest, stamping pc.vt into the message's
+	// VTime and charging the simulating PE's clock for send overhead.
+	send(pc *PC, dest, tag int, data []byte)
+	// recv arranges for k to run with the oldest message matching
+	// (src, tag), suspending the flow if none is buffered, and
+	// synchronizes the simulating PE clock with the message's arrival.
+	recv(pc *PC, src, tag int, k func(*comm.Message))
+	// work charges ns nanoseconds of computation to the simulating PE.
+	work(pc *PC, ns float64)
+}
+
+// PC is one rank's program context: its identity, its predicted
+// virtual time, and its backend. Program callbacks receive the PC and
+// may call its Send/Work/Isend/Irecv methods; blocking is expressed
+// only through Proc combinators, never by a callback that waits.
+type PC struct {
+	job  *Job
+	rank int
+
+	// vt is the rank's predicted virtual time in nanoseconds — the
+	// mode- and placement-independent clock of the *target* program,
+	// advanced by Work, send overhead, and message arrival
+	// constraints. It is deliberately distinct from the simulating PE
+	// clocks, which depend on mode and rank placement.
+	vt float64
+
+	// Local is the rank's program-private state (halo buffers, loop
+	// accumulators). The event engine frees it when the rank's program
+	// completes.
+	Local any
+
+	be    backend
+	tramp *sdag.Tramp
+}
+
+// Rank returns the rank number.
+func (pc *PC) Rank() int { return pc.rank }
+
+// Size returns the job's rank count.
+func (pc *PC) Size() int { return pc.job.size }
+
+// VT returns the rank's predicted virtual time in nanoseconds.
+func (pc *PC) VT() float64 { return pc.vt }
+
+// Work models ns nanoseconds of local computation: it advances the
+// rank's predicted time and charges the simulating PE.
+func (pc *PC) Work(ns float64) {
+	pc.vt += ns
+	pc.be.work(pc, ns)
+}
+
+// Send sends data to rank dest with tag ≥ 0 (eager-buffered, like
+// MPI_Send). Invalid destinations panic: a program is trusted code,
+// not a fallible caller.
+func (pc *PC) Send(dest, tag int, data []byte) {
+	if tag < 0 {
+		panic(fmt.Sprintf("ampi: program Send tag %d must be ≥ 0", tag))
+	}
+	pc.sendRaw(dest, tag, data)
+}
+
+// sendRaw is Send without the user-tag restriction (collectives use
+// negative internal tags). The mode-independent half of the cost
+// model lives here: send overhead advances vt, and the message
+// carries vt for the receiver's arrival constraint.
+func (pc *PC) sendRaw(dest, tag int, data []byte) {
+	if ovh := pc.job.opts.MsgOverheadNs; ovh > 0 {
+		pc.vt += ovh
+	}
+	pc.be.send(pc, dest, tag, data)
+}
+
+// consume applies the mode-independent receive cost model: the
+// receiver cannot proceed before the sender's virtual time plus one
+// uniform network hop, then pays the per-message software overhead.
+// The latency model is applied to the *logical* message regardless of
+// where the two ranks physically live, which is what makes vt
+// invariant across PE counts and placements.
+func (pc *PC) consume(m *comm.Message) {
+	lat := pc.job.m.Network().Latency()
+	if at := m.VTime + lat.Cost(len(m.Data)); at > pc.vt {
+		pc.vt = at
+	}
+	if ovh := pc.job.opts.MsgOverheadNs; ovh > 0 {
+		pc.vt += ovh
+	}
+}
+
+// Req is a nonblocking-operation handle inside a program (the
+// continuation analogue of Rank's Request). Completed receives expose
+// Data and From.
+type Req struct {
+	done   bool
+	isRecv bool
+	src    int
+	tag    int
+
+	Data []byte
+	From int
+}
+
+// Done reports whether the request has completed.
+func (q *Req) Done() bool { return q.done }
+
+// Isend sends eagerly and returns an already-completed request.
+func (pc *PC) Isend(dest, tag int, data []byte) *Req {
+	if tag < 0 {
+		panic(fmt.Sprintf("ampi: program Isend tag %d must be ≥ 0", tag))
+	}
+	pc.sendRaw(dest, tag, data)
+	return &Req{done: true}
+}
+
+// Irecv posts a nonblocking receive for (src, tag) — matching happens
+// at Waitall, like the thread API's Irecv/Wait.
+func (pc *PC) Irecv(src, tag int) *Req {
+	if tag < 0 && tag != AnyTag {
+		panic(fmt.Sprintf("ampi: program Irecv tag %d must be ≥ 0 or AnyTag", tag))
+	}
+	return &Req{isRecv: true, src: src, tag: tag}
+}
+
+// ---------------------------------------------------------------
+// Primitives
+
+type doProc struct{ fn func(*PC) }
+
+// Do wraps non-blocking code: it runs to completion (sends, work,
+// local updates) and never suspends — the program analogue of
+// sdag.Atomic.
+func Do(fn func(*PC)) Proc { return doProc{fn} }
+
+func (p doProc) run(pc *PC, k func()) {
+	p.fn(pc)
+	k()
+}
+
+type seqProc struct{ ps []Proc }
+
+// Seq runs statements in order, each starting when its predecessor
+// completes.
+func Seq(ps ...Proc) Proc { return seqProc{ps} }
+
+func (s seqProc) run(pc *PC, k func()) {
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(s.ps) {
+			k()
+			return
+		}
+		s.ps[i].run(pc, func() {
+			pc.tramp.Schedule(func() { step(i + 1) })
+		})
+	}
+	step(0)
+}
+
+type forProc struct {
+	n    int
+	body func(i int) Proc
+}
+
+// For runs body(0) … body(n-1) in sequence — the outer iteration loop
+// of a stencil program. The loop backedge goes through the rank's
+// trampoline, so deep iteration counts cost no stack.
+func For(n int, body func(i int) Proc) Proc { return forProc{n, body} }
+
+func (f forProc) run(pc *PC, k func()) {
+	var iter func(i int)
+	iter = func(i int) {
+		if i >= f.n {
+			k()
+			return
+		}
+		f.body(i).run(pc, func() {
+			pc.tramp.Schedule(func() { iter(i + 1) })
+		})
+	}
+	iter(0)
+}
+
+type callProc struct{ gen func(*PC) Proc }
+
+// Call generates a statement per rank at run time — how one shared
+// program expresses rank-dependent structure (a tree collective's
+// node has its own parent and children; closures generated here carry
+// per-execution state safely).
+func Call(gen func(*PC) Proc) Proc { return callProc{gen} }
+
+func (c callProc) run(pc *PC, k func()) {
+	c.gen(pc).run(pc, k)
+}
+
+type recvProc struct {
+	src, tag int
+	then     func(pc *PC, data []byte, from int)
+}
+
+// Recv blocks until a message from src (or AnySource) with tag (or
+// AnyTag) arrives, applies the receive cost model, and runs then (if
+// non-nil) with the payload and sender rank.
+func Recv(src, tag int, then func(pc *PC, data []byte, from int)) Proc {
+	return recvProc{src: src, tag: tag, then: then}
+}
+
+func (r recvProc) run(pc *PC, k func()) {
+	pc.be.recv(pc, r.src, r.tag, func(m *comm.Message) {
+		pc.consume(m)
+		if r.then != nil {
+			r.then(pc, m.Data, pc.job.senderOf(m.From))
+		}
+		k()
+	})
+}
+
+type waitallProc struct{ reqs func(*PC) []*Req }
+
+// Waitall completes every request returned by reqs, in order (like
+// the thread API's Waitall): pending receives block and fill their
+// Data/From; nil or completed entries are skipped.
+func Waitall(reqs func(*PC) []*Req) Proc { return waitallProc{reqs} }
+
+func (wp waitallProc) run(pc *PC, k func()) {
+	rs := wp.reqs(pc)
+	var step func(i int)
+	step = func(i int) {
+		for i < len(rs) && (rs[i] == nil || rs[i].done || !rs[i].isRecv) {
+			i++
+		}
+		if i >= len(rs) {
+			k()
+			return
+		}
+		q := rs[i]
+		pc.be.recv(pc, q.src, q.tag, func(m *comm.Message) {
+			pc.consume(m)
+			q.done, q.Data, q.From = true, m.Data, pc.job.senderOf(m.From)
+			pc.tramp.Schedule(func() { step(i + 1) })
+		})
+	}
+	step(0)
+}
+
+// Sendrecv is the halo-exchange primitive: an eager send followed by
+// a blocking receive (deadlock-free for rings and pairs).
+func Sendrecv(dest, sendTag int, data func(*PC) []byte, src, recvTag int, then func(pc *PC, data []byte, from int)) Proc {
+	return Seq(
+		Do(func(pc *PC) { pc.Send(dest, sendTag, data(pc)) }),
+		Recv(src, recvTag, then),
+	)
+}
+
+// ---------------------------------------------------------------
+// Collectives
+//
+// Every collective is compiled from the primitives above plus
+// treeFamily — per-source-matched tree edges, deterministic child
+// order — so a reduction combines in the same order in every mode and
+// on every PE count, keeping results (and therefore vt) bit-identical.
+// CollFlat selects the paper-era flat topology; the program variant
+// receives from specific sources in rank order (deterministic by
+// construction, unlike the thread API's AnySource flat loops).
+
+// family returns pc's parent and children in the job's collective
+// topology rooted at root: the k-ary tree for CollTree, or the
+// one-level star for CollFlat.
+func family(pc *PC, root int) (parent int, children []int) {
+	if pc.job.opts.Collectives == CollFlat {
+		if pc.rank == root {
+			children = make([]int, 0, pc.Size()-1)
+			for i := 0; i < pc.Size(); i++ {
+				if i != root {
+					children = append(children, i)
+				}
+			}
+			return -1, children
+		}
+		return root, nil
+	}
+	return treeFamily(pc.rank, pc.Size(), pc.job.opts.TreeArity, root)
+}
+
+// Barrier blocks until every rank has entered it: arrivals combine up
+// the topology, the release broadcasts down.
+func Barrier() Proc {
+	return Call(func(pc *PC) Proc {
+		if pc.Size() == 1 {
+			return Do(func(*PC) {})
+		}
+		parent, children := family(pc, 0)
+		var ps []Proc
+		for _, c := range children {
+			ps = append(ps, Recv(c, tagBarrier, nil))
+		}
+		if parent >= 0 {
+			p := parent
+			ps = append(ps,
+				Do(func(pc *PC) { pc.sendRaw(p, tagBarrier, nil) }),
+				Recv(p, tagBarrierRelease, nil))
+		}
+		for _, c := range children {
+			c := c
+			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(c, tagBarrierRelease, nil) }))
+		}
+		return Seq(ps...)
+	})
+}
+
+// Reduce combines every rank's value (from val) at root with op
+// ("sum", "max", "min"); then runs on root only.
+func Reduce(root int, op string, val func(*PC) float64, then func(*PC, float64)) Proc {
+	return Call(func(pc *PC) Proc {
+		combine := mustCombiner(op)
+		parent, children := family(pc, root)
+		acc := new(float64)
+		var ps []Proc
+		ps = append(ps, Do(func(pc *PC) { *acc = val(pc) }))
+		for _, c := range children {
+			ps = append(ps, Recv(c, tagReduceRoot, func(pc *PC, data []byte, _ int) {
+				*acc = combine(*acc, f64(data))
+			}))
+		}
+		if parent >= 0 {
+			p := parent
+			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(p, tagReduceRoot, f64bytes(*acc)) }))
+		} else if then != nil {
+			ps = append(ps, Do(func(pc *PC) { then(pc, *acc) }))
+		}
+		return Seq(ps...)
+	})
+}
+
+// Allreduce combines every rank's value with op and delivers the
+// result to then on every rank.
+func Allreduce(op string, val func(*PC) float64, then func(*PC, float64)) Proc {
+	return Call(func(pc *PC) Proc {
+		combine := mustCombiner(op)
+		parent, children := family(pc, 0)
+		acc := new(float64)
+		var ps []Proc
+		ps = append(ps, Do(func(pc *PC) { *acc = val(pc) }))
+		for _, c := range children {
+			ps = append(ps, Recv(c, tagReduce, func(pc *PC, data []byte, _ int) {
+				*acc = combine(*acc, f64(data))
+			}))
+		}
+		if parent >= 0 {
+			p := parent
+			ps = append(ps,
+				Do(func(pc *PC) { pc.sendRaw(p, tagReduce, f64bytes(*acc)) }),
+				Recv(p, tagReduceResult, func(pc *PC, data []byte, _ int) { *acc = f64(data) }))
+		}
+		for _, c := range children {
+			c := c
+			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(c, tagReduceResult, f64bytes(*acc)) }))
+		}
+		if then != nil {
+			ps = append(ps, Do(func(pc *PC) { then(pc, *acc) }))
+		}
+		return Seq(ps...)
+	})
+}
+
+// Bcast broadcasts root's data (from val, called on root only) down
+// the topology; then runs on every rank with the received copy.
+func Bcast(root int, val func(*PC) []byte, then func(*PC, []byte)) Proc {
+	return Call(func(pc *PC) Proc {
+		parent, children := family(pc, root)
+		data := new([]byte)
+		var ps []Proc
+		if parent < 0 {
+			ps = append(ps, Do(func(pc *PC) { *data = val(pc) }))
+		} else {
+			p := parent
+			ps = append(ps, Recv(p, tagBcast, func(pc *PC, d []byte, _ int) { *data = d }))
+		}
+		for _, c := range children {
+			c := c
+			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(c, tagBcast, *data) }))
+		}
+		if then != nil {
+			ps = append(ps, Do(func(pc *PC) { then(pc, *data) }))
+		}
+		return Seq(ps...)
+	})
+}
+
+// Gather collects every rank's data (from val) at root, indexed by
+// rank; then runs on root only. Subtrees pack their entries into one
+// message per edge, like the thread API's gatherTree.
+func Gather(root int, val func(*PC) []byte, then func(*PC, [][]byte)) Proc {
+	return Call(func(pc *PC) Proc {
+		parent, children := family(pc, root)
+		entries := new([]gatherEntry)
+		var ps []Proc
+		ps = append(ps, Do(func(pc *PC) {
+			*entries = []gatherEntry{{rank: pc.rank, data: val(pc)}}
+		}))
+		for _, c := range children {
+			ps = append(ps, Recv(c, tagGather, func(pc *PC, data []byte, _ int) {
+				sub, err := unpackGather(data, pc.Size())
+				if err != nil {
+					panic(err)
+				}
+				*entries = append(*entries, sub...)
+			}))
+		}
+		if parent >= 0 {
+			p := parent
+			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(p, tagGather, packGather(*entries)) }))
+		} else if then != nil {
+			ps = append(ps, Do(func(pc *PC) {
+				out := make([][]byte, pc.Size())
+				for _, e := range *entries {
+					out[e.rank] = e.data
+				}
+				then(pc, out)
+			}))
+		}
+		return Seq(ps...)
+	})
+}
+
+// Scatter distributes chunks (from val, called on root only; one
+// chunk per rank) from root; then runs on every rank with its chunk.
+func Scatter(root int, val func(*PC) [][]byte, then func(*PC, []byte)) Proc {
+	return Call(func(pc *PC) Proc {
+		if pc.rank == root {
+			return Do(func(pc *PC) {
+				chunks := val(pc)
+				if len(chunks) != pc.Size() {
+					panic(fmt.Sprintf("ampi: Scatter: %d chunks for %d ranks", len(chunks), pc.Size()))
+				}
+				for i, c := range chunks {
+					if i != root {
+						pc.sendRaw(i, tagScatter, c)
+					}
+				}
+				if then != nil {
+					then(pc, chunks[root])
+				}
+			})
+		}
+		return Recv(root, tagScatter, func(pc *PC, data []byte, _ int) {
+			if then != nil {
+				then(pc, data)
+			}
+		})
+	})
+}
+
+// Alltoall exchanges chunks[i] (from val; one per rank) with every
+// rank i; then runs with the received chunks indexed by sender.
+// Receives match each peer specifically, in rank order, so no payload
+// prefix is needed and the exchange is deterministic.
+func Alltoall(val func(*PC) [][]byte, then func(*PC, [][]byte)) Proc {
+	return Call(func(pc *PC) Proc {
+		out := new([][]byte)
+		var ps []Proc
+		ps = append(ps, Do(func(pc *PC) {
+			chunks := val(pc)
+			if len(chunks) != pc.Size() {
+				panic(fmt.Sprintf("ampi: Alltoall: %d chunks for %d ranks", len(chunks), pc.Size()))
+			}
+			*out = make([][]byte, pc.Size())
+			(*out)[pc.rank] = chunks[pc.rank]
+			for i, c := range chunks {
+				if i != pc.rank {
+					pc.sendRaw(i, tagAlltoall, c)
+				}
+			}
+		}))
+		for i := 0; i < pc.Size(); i++ {
+			if i == pc.rank {
+				continue
+			}
+			i := i
+			ps = append(ps, Recv(i, tagAlltoall, func(pc *PC, data []byte, _ int) {
+				(*out)[i] = data
+			}))
+		}
+		if then != nil {
+			ps = append(ps, Do(func(pc *PC) { then(pc, *out) }))
+		}
+		return Seq(ps...)
+	})
+}
+
+func mustCombiner(op string) func(a, b float64) float64 {
+	combine, err := combiner(op)
+	if err != nil {
+		panic(err)
+	}
+	return combine
+}
+
+// ---------------------------------------------------------------
+// Job plumbing
+
+// NewProgram creates size ranks on machine m, each running the shared
+// continuation program prog under the mode selected by opts.Mode. In
+// ULT mode every rank is a migratable thread interpreting prog; in
+// event mode ranks are contiguous state structs dispatched by their
+// PEs' loops (event.go).
+func NewProgram(m *core.Machine, size int, opts Options, prog Proc) (*Job, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("ampi: NewProgram: nil program")
+	}
+	j, err := newJobCommon(m, size, &opts)
+	if err != nil {
+		return nil, err
+	}
+	j.prog = prog
+	if j.opts.Mode == ModeEvent {
+		if j.ev, err = newEventEngine(j); err != nil {
+			return nil, err
+		}
+		return j, nil
+	}
+	j.rankOf = make(map[comm.EntityID]int, size)
+	j.pcs = make([]*PC, size)
+	for r := 0; r < size; r++ {
+		rank := &Rank{job: j, rank: r}
+		pc := &PC{job: j, rank: r, tramp: &sdag.Tramp{}}
+		pc.be = ultBE{rank}
+		j.pcs[r] = pc
+		pe := m.PE(placePE(r, size, m.NumPEs(), j.opts.BlockPlacement))
+		th, err := pe.Sched.CthCreate(converse.ThreadOptions{
+			Strategy:  j.opts.Strategy,
+			StackSize: j.opts.StackSize,
+			Globals:   j.opts.Globals,
+		}, func(c *converse.Ctx) {
+			rank.ctx = c
+			runProgram(pc, j.prog)
+			if j.opts.Aggregate {
+				rank.flushStream()
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ampi: creating rank %d: %w", r, err)
+		}
+		rank.th = th
+		j.ranks = append(j.ranks, rank)
+		j.rankOf[comm.EntityID(th.ID())] = r
+		if err := m.RegisterEntity(comm.EntityID(th.ID()), pe.Index, rank.deliver); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// runProgram interprets prog to completion on the calling thread (the
+// ULT backend): blocking points suspend the thread, and the
+// trampoline keeps CPS depth bounded between them.
+func runProgram(pc *PC, prog Proc) {
+	done := false
+	pc.tramp.Schedule(func() { prog.run(pc, func() { done = true }) })
+	pc.tramp.Drain()
+	if !done {
+		panic(fmt.Sprintf("ampi: rank %d program stopped before completion (a Recv with no matching sender?)", pc.rank))
+	}
+}
+
+// ultBE interprets program blocking points against the rank's thread:
+// recv parks the thread via the classic mailbox path, so the
+// scheduler charges the usual thread-switch curve per activation.
+type ultBE struct{ r *Rank }
+
+func (b ultBE) send(pc *PC, dest, tag int, data []byte) {
+	if err := b.r.sendv(dest, tag, data, pc.vt); err != nil {
+		panic(err)
+	}
+}
+
+func (b ultBE) recv(pc *PC, src, tag int, k func(*comm.Message)) {
+	k(b.r.recv(src, tag))
+}
+
+func (b ultBE) work(pc *PC, ns float64) { b.r.ctx.Work(ns) }
+
+// senderOf maps a message's From identity back to its rank.
+func (j *Job) senderOf(from comm.EntityID) int {
+	if j.ev != nil {
+		return j.ev.rankIdx(from)
+	}
+	if i, ok := j.rankOf[from]; ok {
+		return i
+	}
+	return -1
+}
+
+// VT returns rank r's predicted virtual time in nanoseconds (program
+// jobs only). It is bit-identical across modes and PE counts for the
+// same program and job options.
+func (j *Job) VT(r int) float64 {
+	if j.ev != nil {
+		return j.ev.vtOf(r)
+	}
+	if j.pcs != nil {
+		return j.pcs[r].vt
+	}
+	return 0
+}
+
+// PredictedNs returns the program's predicted parallel completion
+// time: the maximum rank VT.
+func (j *Job) PredictedNs() float64 {
+	var max float64
+	for r := 0; r < j.size; r++ {
+		if vt := j.VT(r); vt > max {
+			max = vt
+		}
+	}
+	return max
+}

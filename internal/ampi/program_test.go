@@ -1,0 +1,427 @@
+package ampi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// mixState is the per-rank Local state the randomized mix and the
+// nonblocking tests use (jacobiState has no request slots).
+type mixState struct {
+	x    float64
+	reqs []*Req
+}
+
+// TestModeValidation: unknown Mode strings are rejected everywhere,
+// the zero value selects ULT, and the event-mode restrictions hold.
+func TestModeValidation(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	if _, err := NewJob(m, 2, Options{Mode: "fibers"}, func(*Rank) {}); err == nil {
+		t.Fatal("NewJob accepted Mode \"fibers\"")
+	}
+	if _, err := NewProgram(m, 2, Options{Mode: "EVENT"}, Do(func(*PC) {})); err == nil {
+		t.Fatal("NewProgram accepted Mode \"EVENT\" (modes are case-sensitive)")
+	}
+	if _, err := NewJob(m, 2, Options{Mode: ModeEvent}, func(*Rank) {}); err == nil {
+		t.Fatal("NewJob accepted event mode for a raw func body")
+	}
+	if _, err := NewProgram(m, 2, Options{Mode: ModeEvent, Aggregate: true}, Do(func(*PC) {})); err == nil {
+		t.Fatal("NewProgram accepted event mode with Aggregate")
+	}
+	j, err := NewJob(m, 2, Options{}, func(*Rank) {})
+	if err != nil {
+		t.Fatalf("zero-value Mode: %v", err)
+	}
+	if j.Mode() != ModeULT {
+		t.Fatalf("zero-value Mode normalized to %q, want %q", j.Mode(), ModeULT)
+	}
+}
+
+// runJacobiOn runs a Jacobi program on a fresh machine and returns
+// per-rank VTs and the network message count.
+func runJacobiOn(t *testing.T, cfg JacobiConfig, pes int, mode string) ([]float64, uint64) {
+	t.Helper()
+	m := newMachine(t, pes, nil)
+	cfg.Mode = mode
+	job, err := NewProgram(m, cfg.Ranks, Options{
+		Mode:           mode,
+		BlockPlacement: cfg.BlockPlacement,
+		MsgOverheadNs:  cfg.MsgOverheadNs,
+		StackSize:      32 << 10,
+	}, JacobiProgram(cfg))
+	if err != nil {
+		t.Fatalf("NewProgram(%s, %d ranks): %v", mode, cfg.Ranks, err)
+	}
+	job.Run()
+	if !job.Done() {
+		t.Fatalf("%s job with %d ranks on %d PEs did not complete", mode, cfg.Ranks, pes)
+	}
+	vts := make([]float64, cfg.Ranks)
+	for r := range vts {
+		vts[r] = job.VT(r)
+	}
+	sent, _, _ := m.Network().Stats()
+	return vts, sent
+}
+
+// TestJacobiModesAgree is the smoke version of the equivalence
+// property: one config, both modes, several PE counts, bit-identical
+// VT and equal message counts.
+func TestJacobiModesAgree(t *testing.T) {
+	cfg := JacobiConfig{Ranks: 12, Iters: 5, ReduceEvery: 2, MsgOverheadNs: 250}
+	if err := cfg.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	ref, refSent := runJacobiOn(t, cfg, 1, ModeULT)
+	for _, pes := range []int{1, 2, 3, 4} {
+		for _, mode := range []string{ModeULT, ModeEvent} {
+			vts, sent := runJacobiOn(t, cfg, pes, mode)
+			if sent != refSent {
+				t.Fatalf("%s/%dPE sent %d messages, want %d", mode, pes, sent, refSent)
+			}
+			for r := range vts {
+				if vts[r] != ref[r] {
+					t.Fatalf("%s/%dPE rank %d VT %v, want %v", mode, pes, r, vts[r], ref[r])
+				}
+			}
+		}
+	}
+}
+
+// buildMix deterministically generates a random workload program
+// (from seed): a sequence of halo exchanges, collectives, nonblocking
+// pairs, and local work. Every rank folds everything it observes into
+// an accumulator and writes it to sink[rank] at the end, so two runs
+// agree iff every received value and every reduction agreed.
+func buildMix(seed int64, size, phases int, sink []float64) Proc {
+	rng := rand.New(rand.NewSource(seed))
+	acc := func(pc *PC, v float64) {
+		st := pc.Local.(*mixState)
+		st.x = st.x*0.5 + v + float64(pc.rank)*1e-3
+	}
+	var ps []Proc
+	ps = append(ps, Do(func(pc *PC) {
+		pc.Local = &mixState{x: float64(pc.rank + 1)}
+	}))
+	for p := 0; p < phases; p++ {
+		switch rng.Intn(8) {
+		case 0: // ring exchange via Sendrecv
+			tagA := rng.Intn(4)
+			ps = append(ps, Call(func(pc *PC) Proc {
+				n := pc.Size()
+				right := (pc.rank + 1) % n
+				left := (pc.rank - 1 + n) % n
+				return Sendrecv(right, tagA,
+					func(pc *PC) []byte { return f64bytes(pc.Local.(*mixState).x) },
+					left, tagA,
+					func(pc *PC, data []byte, from int) { acc(pc, f64(data)+float64(from)) })
+			}))
+		case 1:
+			ps = append(ps, Barrier())
+		case 2:
+			op := []string{"sum", "max", "min"}[rng.Intn(3)]
+			ps = append(ps, Allreduce(op,
+				func(pc *PC) float64 { return pc.Local.(*mixState).x },
+				func(pc *PC, v float64) { acc(pc, v) }))
+		case 3:
+			root := rng.Intn(size)
+			ps = append(ps, Bcast(root,
+				func(pc *PC) []byte { return f64bytes(pc.Local.(*mixState).x * 2) },
+				func(pc *PC, data []byte) { acc(pc, f64(data)) }))
+		case 4:
+			root := rng.Intn(size)
+			ps = append(ps, Gather(root,
+				func(pc *PC) []byte { return f64bytes(pc.Local.(*mixState).x) },
+				func(pc *PC, parts [][]byte) {
+					s := 0.0
+					for _, p := range parts {
+						s += f64(p)
+					}
+					acc(pc, s)
+				}))
+		case 5:
+			root := rng.Intn(size)
+			ps = append(ps, Scatter(root,
+				func(pc *PC) [][]byte {
+					chunks := make([][]byte, pc.Size())
+					for i := range chunks {
+						chunks[i] = f64bytes(pc.Local.(*mixState).x + float64(i))
+					}
+					return chunks
+				},
+				func(pc *PC, data []byte) { acc(pc, f64(data)) }))
+		case 6:
+			root := rng.Intn(size)
+			op := []string{"sum", "max"}[rng.Intn(2)]
+			ps = append(ps, Reduce(root, op,
+				func(pc *PC) float64 { return pc.Local.(*mixState).x },
+				func(pc *PC, v float64) { acc(pc, v) }))
+		case 7: // nonblocking pair exchange + work
+			work := float64(rng.Intn(5000))
+			tag := 9
+			ps = append(ps, Call(func(pc *PC) Proc {
+				n := pc.Size()
+				peer := pc.rank ^ 1
+				if peer >= n {
+					peer = pc.rank
+				}
+				return Seq(
+					Do(func(pc *PC) {
+						st := pc.Local.(*mixState)
+						pc.Work(work)
+						pc.Isend(peer, tag, f64bytes(st.x))
+						st.reqs = []*Req{pc.Irecv(peer, tag)}
+					}),
+					Waitall(func(pc *PC) []*Req { return pc.Local.(*mixState).reqs }),
+					Do(func(pc *PC) {
+						st := pc.Local.(*mixState)
+						acc(pc, f64(st.reqs[0].Data)+float64(st.reqs[0].From))
+						st.reqs = nil
+					}),
+				)
+			}))
+		}
+	}
+	ps = append(ps, Do(func(pc *PC) {
+		sink[pc.rank] = pc.Local.(*mixState).x
+	}))
+	return Seq(ps...)
+}
+
+// TestCrossBackendEquivalence: ≥10 randomized trials over size, PE
+// count, and workload mix. For each trial the ULT reference run and
+// event runs on two different PE counts must produce bit-identical
+// per-rank VT, bit-identical program outputs, and equal network
+// message counts — the flow mechanism must be invisible to the
+// simulated program.
+func TestCrossBackendEquivalence(t *testing.T) {
+	peChoices := []int{1, 2, 3, 4, 5, 8}
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)*7919 + 13))
+			size := 1 + rng.Intn(40)
+			phases := 3 + rng.Intn(6)
+			seed := rng.Int63()
+			opts := Options{
+				TreeArity:      1 + rng.Intn(4),
+				MsgOverheadNs:  float64(rng.Intn(3)) * 175,
+				BlockPlacement: rng.Intn(2) == 0,
+				StackSize:      32 << 10,
+			}
+			if rng.Intn(3) == 0 {
+				opts.Collectives = CollFlat
+			}
+			type result struct {
+				vts, out []float64
+				sent     uint64
+			}
+			run := func(mode string, pes int) result {
+				m := newMachine(t, pes, nil)
+				sink := make([]float64, size)
+				o := opts
+				o.Mode = mode
+				job, err := NewProgram(m, size, o, buildMix(seed, size, phases, sink))
+				if err != nil {
+					t.Fatalf("NewProgram(%s): %v", mode, err)
+				}
+				job.Run()
+				if !job.Done() {
+					t.Fatalf("%s/%dPE: job did not complete (size %d)", mode, pes, size)
+				}
+				vts := make([]float64, size)
+				for r := range vts {
+					vts[r] = job.VT(r)
+				}
+				sent, _, _ := m.Network().Stats()
+				return result{vts: vts, out: sink, sent: sent}
+			}
+			ref := run(ModeULT, peChoices[rng.Intn(len(peChoices))])
+			for _, other := range []result{
+				run(ModeEvent, peChoices[rng.Intn(len(peChoices))]),
+				run(ModeEvent, peChoices[rng.Intn(len(peChoices))]),
+				run(ModeULT, peChoices[rng.Intn(len(peChoices))]),
+			} {
+				if other.sent != ref.sent {
+					t.Fatalf("message counts diverged: %d vs %d (size %d, phases %d)", other.sent, ref.sent, size, phases)
+				}
+				for r := 0; r < size; r++ {
+					if math.Float64bits(other.vts[r]) != math.Float64bits(ref.vts[r]) {
+						t.Fatalf("rank %d VT diverged: %v vs %v", r, other.vts[r], ref.vts[r])
+					}
+					if math.Float64bits(other.out[r]) != math.Float64bits(ref.out[r]) {
+						t.Fatalf("rank %d output diverged: %v vs %v", r, other.out[r], ref.out[r])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEventWildcardRecvOrder: wildcard receives in event mode match
+// the OLDEST buffered message, and a by-source receive takes from the
+// middle of the buffer without disturbing arrival order.
+func TestEventWildcardRecvOrder(t *testing.T) {
+	m := newMachine(t, 1, nil)
+	var order []int
+	prog := Call(func(pc *PC) Proc {
+		if pc.Rank() != 0 {
+			return Do(func(pc *PC) { pc.Send(0, pc.Rank(), f64bytes(float64(pc.Rank()))) })
+		}
+		return Seq(
+			Recv(2, AnyTag, func(_ *PC, data []byte, from int) {
+				order = append(order, from)
+			}),
+			Recv(AnySource, AnyTag, func(_ *PC, data []byte, from int) {
+				order = append(order, from)
+			}),
+			Recv(AnySource, AnyTag, func(_ *PC, data []byte, from int) {
+				order = append(order, from)
+			}),
+		)
+	})
+	job, err := NewProgram(m, 4, Options{Mode: ModeEvent}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Run()
+	if !job.Done() {
+		t.Fatal("job did not complete")
+	}
+	// Ranks 1,2,3 send in dispatch order; rank 0 first takes rank 2's
+	// (by source, mid-buffer), then the wildcard takes the oldest
+	// remaining (1), then 3.
+	want := []int{2, 1, 3}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("receive order %v, want %v", order, want)
+	}
+}
+
+// TestEventIrecvWaitallAcrossPEs: nonblocking receives posted before
+// their sends complete across 4 PEs under the parallel driver.
+func TestEventIrecvWaitallAcrossPEs(t *testing.T) {
+	const size = 64
+	m := newMachine(t, 4, nil)
+	got := make([]float64, size)
+	prog := Call(func(pc *PC) Proc {
+		n := pc.Size()
+		near := (pc.rank + 1) % n
+		far := (pc.rank + n/2) % n
+		return Seq(
+			Do(func(pc *PC) {
+				st := &mixState{}
+				pc.Local = st
+				st.reqs = []*Req{
+					pc.Irecv((pc.rank-1+n)%n, 5),
+					pc.Irecv((pc.rank-n/2+n)%n, 6),
+				}
+				pc.Send(near, 5, f64bytes(float64(pc.rank)))
+				pc.Send(far, 6, f64bytes(float64(pc.rank)*10))
+			}),
+			Waitall(func(pc *PC) []*Req { return pc.Local.(*mixState).reqs }),
+			Do(func(pc *PC) {
+				rs := pc.Local.(*mixState).reqs
+				got[pc.rank] = f64(rs[0].Data) + f64(rs[1].Data)
+			}),
+		)
+	})
+	job, err := NewProgram(m, size, Options{Mode: ModeEvent}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Start()
+	m.RunParallel(job.Done)
+	if !job.Done() {
+		t.Fatal("job did not complete")
+	}
+	for r := 0; r < size; r++ {
+		want := float64((r-1+size)%size) + float64((r-size/2+size)%size)*10
+		if got[r] != want {
+			t.Fatalf("rank %d combined %v, want %v", r, got[r], want)
+		}
+	}
+}
+
+// TestEventStress drives ≥100k event ranks through a halo exchange
+// under the parallel driver — with -race this is the satellite's
+// concurrency stress (the same binary runs it race-free in the plain
+// suite).
+func TestEventStress(t *testing.T) {
+	ranks := 100_000
+	if testing.Short() {
+		ranks = 10_000
+	}
+	m := newMachine(t, 4, nil)
+	cfg := JacobiConfig{Ranks: ranks, Iters: 2, Mode: ModeEvent, BlockPlacement: true}
+	if err := cfg.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewProgram(m, ranks, Options{Mode: ModeEvent, BlockPlacement: true}, JacobiProgram(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Start()
+	m.RunParallel(job.Done)
+	if !job.Done() {
+		t.Fatal("stress job did not complete")
+	}
+	if vt := job.PredictedNs(); vt <= 0 {
+		t.Fatalf("predicted time %v, want > 0", vt)
+	}
+}
+
+// TestEventFootprintReleased: a completed event job must return the
+// Machine to its idle footprint — directory entries gone, the shared
+// handler range gone, and the contiguous store released.
+func TestEventFootprintReleased(t *testing.T) {
+	const ranks = 50_000
+	m := newMachine(t, 2, nil)
+	baseEntities := m.Network().NumEntities()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	cfg := JacobiConfig{Ranks: ranks, Iters: 2, Mode: ModeEvent}
+	if err := cfg.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewProgram(m, ranks, Options{Mode: ModeEvent}, JacobiProgram(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Network().NumEntities(); got != baseEntities+ranks {
+		t.Fatalf("registered entities %d, want %d", got, baseEntities+ranks)
+	}
+	job.Run()
+	if !job.Done() {
+		t.Fatal("job did not complete")
+	}
+	if got := m.Network().NumEntities(); got != baseEntities {
+		t.Fatalf("after completion the directory holds %d entities, want %d", got, baseEntities)
+	}
+	if got := m.NumEntityRanges(); got != 0 {
+		t.Fatalf("after completion %d entity ranges remain, want 0", got)
+	}
+	if job.ev.ranks != nil {
+		t.Fatal("after completion the contiguous store was not released")
+	}
+	// VT results must survive the release.
+	if vt := job.PredictedNs(); vt <= 0 {
+		t.Fatalf("predicted time %v after release, want > 0", vt)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	delta := int64(after.HeapInuse) - int64(before.HeapInuse)
+	// 50k retired ranks should leave only the VT snapshot (8 B/rank)
+	// plus noise; 64 B/rank of slack is an order of magnitude of
+	// headroom without being flaky.
+	if limit := int64(ranks * 64); delta > limit {
+		t.Fatalf("heap grew %d bytes after a completed %d-rank job (limit %d)", delta, ranks, limit)
+	}
+}

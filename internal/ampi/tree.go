@@ -20,13 +20,14 @@ import (
 // fast rank's epoch-N+1 message can be consumed into the root's
 // epoch-N combine; they are kept, unchanged, for A/B comparison.
 
-// treeFamily returns the caller's parent (-1 for the root) and
-// children in the k-ary collective tree rooted at root. Ranks are
-// renumbered relative to root, so any root yields the same shape.
-func (r *Rank) treeFamily(root int) (parent int, children []int) {
-	n := len(r.job.ranks)
-	k := r.job.opts.TreeArity
-	rel := (r.rank - root + n) % n
+// treeFamily returns rank's parent (-1 for the root) and children in
+// the k-ary collective tree of n ranks rooted at root. Ranks are
+// renumbered relative to root, so any root yields the same shape. It
+// is placement- and mode-independent — both the thread collectives
+// below and the continuation-program collectives (program.go) build
+// their trees here.
+func treeFamily(rank, n, k, root int) (parent int, children []int) {
+	rel := (rank - root + n) % n
 	parent = -1
 	if rel != 0 {
 		parent = ((rel-1)/k + root) % n
@@ -39,6 +40,10 @@ func (r *Rank) treeFamily(root int) (parent int, children []int) {
 		children = append(children, (c+root)%n)
 	}
 	return parent, children
+}
+
+func (r *Rank) treeFamily(root int) (parent int, children []int) {
+	return treeFamily(r.rank, len(r.job.ranks), r.job.opts.TreeArity, root)
 }
 
 // barrierTree: arrivals combine up the tree, the release broadcasts

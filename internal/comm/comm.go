@@ -37,6 +37,18 @@ import (
 // location-independently.
 type EntityID uint64
 
+// PinnedEntity is an EntityID bit marking an entity that never
+// migrates (event-mode AMPI ranks: millions of small state structs
+// pinned to their birth PE). Sends to a pinned entity skip the
+// per-endpoint location cache entirely — the authoritative directory
+// lookup Send already performs is the final answer — so first contact
+// with each of a million ranks does not clone a million-entry cache
+// map per sender, and MigrateEntity refuses to move one.
+const PinnedEntity EntityID = 1 << 63
+
+// Pinned reports whether id carries the PinnedEntity bit.
+func (id EntityID) Pinned() bool { return id&PinnedEntity != 0 }
+
 // Message is one network message.
 type Message struct {
 	To   EntityID
@@ -48,6 +60,14 @@ type Message struct {
 	// SendTime plus per-hop latency, set by the network.
 	SendTime float64
 	Arrival  float64
+
+	// VTime is an application-level virtual timestamp carried
+	// unmodified through delivery and forwarding. AMPI's
+	// mode-independent predicted-time model stamps the sending rank's
+	// virtual time here; it is deliberately separate from SendTime,
+	// which belongs to the (mode- and placement-dependent) simulating
+	// PE clock.
+	VTime float64
 
 	// Hops counts delivery attempts; >1 means forwarding happened.
 	Hops int
@@ -162,6 +182,126 @@ func (n *Network) Deregister(id EntityID) {
 	s.m.Store(&next)
 }
 
+// RegisterBatch places entities base..base+n-1 on pes[0..n-1] (one PE
+// per entity) in one pass: each directory shard is cloned at most
+// once, instead of once per entity. Registering a million event-mode
+// ranks one by one would clone ever-growing shard maps quadratically;
+// the batch is linear. Any already-registered id fails the whole
+// batch before anything is stored.
+func (n *Network) RegisterBatch(base EntityID, pes []int) error {
+	for i, pe := range pes {
+		if pe < 0 || pe >= len(n.endpoints) {
+			return fmt.Errorf("comm: RegisterBatch(%d+%d): PE %d out of range", base, i, pe)
+		}
+	}
+	// Lock shards in index order (every Register/Deregister path takes
+	// at most one shard lock, so ordering only matters batch-vs-batch).
+	for si := range n.shards {
+		n.shards[si].mu.Lock()
+	}
+	defer func() {
+		for si := range n.shards {
+			n.shards[si].mu.Unlock()
+		}
+	}()
+	for i := range pes {
+		id := base + EntityID(i)
+		if m := n.shard(id).m.Load(); m != nil {
+			if old, ok := (*m)[id]; ok {
+				return fmt.Errorf("comm: entity %d already registered on PE %d", id, old)
+			}
+		}
+	}
+	// Clone each touched shard once, sized for its share of the batch.
+	var adds [locShards]int
+	for i := range pes {
+		adds[uint64(base+EntityID(i))&(locShards-1)]++
+	}
+	var next [locShards]map[EntityID]int
+	for si := range n.shards {
+		if adds[si] == 0 {
+			continue
+		}
+		old := n.shards[si].m.Load()
+		sz := adds[si]
+		if old != nil {
+			sz += len(*old)
+		}
+		m := make(map[EntityID]int, sz)
+		if old != nil {
+			for k, v := range *old {
+				m[k] = v
+			}
+		}
+		next[si] = m
+	}
+	for i, pe := range pes {
+		id := base + EntityID(i)
+		next[uint64(id)&(locShards-1)][id] = pe
+	}
+	for si := range n.shards {
+		if next[si] == nil {
+			continue
+		}
+		m := next[si]
+		n.shards[si].m.Store(&m)
+	}
+	return nil
+}
+
+// DeregisterBatch removes a set of entities, cloning each directory
+// shard at most once (the exit path of a finished event-mode job).
+// Unregistered ids are ignored.
+func (n *Network) DeregisterBatch(ids []EntityID) {
+	if len(ids) == 0 {
+		return
+	}
+	for si := range n.shards {
+		n.shards[si].mu.Lock()
+	}
+	defer func() {
+		for si := range n.shards {
+			n.shards[si].mu.Unlock()
+		}
+	}()
+	// Group ids by shard so untouched shards are not cloned.
+	var drop [locShards][]EntityID
+	for _, id := range ids {
+		si := uint64(id) & (locShards - 1)
+		drop[si] = append(drop[si], id)
+	}
+	for si := range n.shards {
+		if len(drop[si]) == 0 {
+			continue
+		}
+		old := n.shards[si].m.Load()
+		if old == nil {
+			continue
+		}
+		m := make(map[EntityID]int, len(*old))
+		for k, v := range *old {
+			m[k] = v
+		}
+		for _, id := range drop[si] {
+			delete(m, id)
+		}
+		n.shards[si].m.Store(&m)
+	}
+}
+
+// NumEntities returns how many entities are currently registered — a
+// footprint diagnostic: a completed job should leave the directory at
+// its pre-job size.
+func (n *Network) NumEntities() int {
+	total := 0
+	for si := range n.shards {
+		if m := n.shards[si].m.Load(); m != nil {
+			total += len(*m)
+		}
+	}
+	return total
+}
+
 // store clones the shard map with id set to pe. Caller holds s.mu.
 func (s *locShard) store(id EntityID, pe int) {
 	old := s.m.Load()
@@ -195,6 +335,9 @@ func (n *Network) Locate(id EntityID) (int, error) {
 func (n *Network) MigrateEntity(id EntityID, to int) error {
 	if to < 0 || to >= len(n.endpoints) {
 		return fmt.Errorf("comm: MigrateEntity(%d): PE %d out of range", id, to)
+	}
+	if id.Pinned() {
+		return fmt.Errorf("comm: entity %d is pinned and cannot migrate", id)
 	}
 	s := n.shard(id)
 	s.mu.Lock()
@@ -301,6 +444,16 @@ func (e *Endpoint) Send(msg *Message) error {
 	e.net.sent.Add(1)
 	e.net.bytes.Add(uint64(len(msg.Data)))
 
+	if msg.To.Pinned() {
+		// Pinned entities never move: the authoritative lookup above is
+		// final, so skip the location cache on both the read and write
+		// side. A million-rank event job neither consults nor grows any
+		// sender's cache.
+		msg.Hops++
+		msg.Arrival = msg.SendTime + e.net.lat.Cost(len(msg.Data))
+		e.net.endpoints[actual].deliver(msg)
+		return nil
+	}
 	dest, cached := actual, false
 	if m := e.cache.Load(); m != nil {
 		if d, ok := (*m)[msg.To]; ok {

@@ -89,6 +89,13 @@ type Machine struct {
 	// message by every PE concurrently.
 	handlers sync.Map // comm.EntityID -> func(pe int, msg *comm.Message)
 
+	// ranges routes pumped messages for dense entity-ID blocks that
+	// share one handler (event-mode AMPI jobs: a million ranks, one
+	// dispatch function). A copy-on-write slice — consulted only after
+	// a handlers miss, read with one atomic load, rewritten under mu
+	// on the rare register/deregister.
+	ranges atomic.Pointer[[]entityRange]
+
 	// idlePolls counts idle-handler iterations in RunParallel that
 	// polled the network and found nothing — a liveness diagnostic: a
 	// quiescent machine should block, not accumulate these.
@@ -225,6 +232,78 @@ func (m *Machine) DeregisterEntity(id comm.EntityID) {
 	m.handlers.Delete(id)
 }
 
+// entityRange is one dense ID block sharing a handler: [lo, hi].
+type entityRange struct {
+	lo, hi  comm.EntityID
+	handler func(pe int, msg *comm.Message)
+}
+
+// RegisterEntityRange routes pumped messages for every entity in
+// [lo, hi] (inclusive) through handler. It does NOT touch the network
+// directory — the caller registers the entities' locations (usually
+// with comm's RegisterBatch). One range entry replaces what would be
+// hi-lo+1 sync.Map entries and closures for a large event-mode job.
+func (m *Machine) RegisterEntityRange(lo, hi comm.EntityID, handler func(pe int, msg *comm.Message)) error {
+	if hi < lo {
+		return fmt.Errorf("core: RegisterEntityRange(%d, %d): empty range", lo, hi)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var next []entityRange
+	if old := m.ranges.Load(); old != nil {
+		for _, r := range *old {
+			if lo <= r.hi && r.lo <= hi {
+				return fmt.Errorf("core: entity range [%d, %d] overlaps [%d, %d]", lo, hi, r.lo, r.hi)
+			}
+		}
+		next = append(next, *old...)
+	}
+	next = append(next, entityRange{lo: lo, hi: hi, handler: handler})
+	m.ranges.Store(&next)
+	return nil
+}
+
+// DeregisterEntityRange removes the range handler registered at
+// exactly [lo, hi]. Directory entries are, symmetrically, the
+// caller's to remove.
+func (m *Machine) DeregisterEntityRange(lo, hi comm.EntityID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.ranges.Load()
+	if old == nil {
+		return
+	}
+	next := make([]entityRange, 0, len(*old))
+	for _, r := range *old {
+		if r.lo == lo && r.hi == hi {
+			continue
+		}
+		next = append(next, r)
+	}
+	m.ranges.Store(&next)
+}
+
+// NumEntityRanges returns how many range handlers are installed — a
+// footprint diagnostic (a finished event-mode job removes its range).
+func (m *Machine) NumEntityRanges() int {
+	if rs := m.ranges.Load(); rs != nil {
+		return len(*rs)
+	}
+	return 0
+}
+
+// rangeHandler returns the range handler covering id, or nil.
+func (m *Machine) rangeHandler(id comm.EntityID) func(pe int, msg *comm.Message) {
+	if rs := m.ranges.Load(); rs != nil {
+		for _, r := range *rs {
+			if r.lo <= id && id <= r.hi {
+				return r.handler
+			}
+		}
+	}
+	return nil
+}
+
 // migrateThread executes one migration: PUP round trip between the
 // address spaces, ownership transfer, directory update, and network
 // cost charging (the image crosses the interconnect).
@@ -283,6 +362,8 @@ func (m *Machine) Pump(pe int) int {
 		var fn func(int, *comm.Message)
 		if h, ok := m.handlers.Load(msg.To); ok {
 			fn = h.(func(int, *comm.Message))
+		} else if rh := m.rangeHandler(msg.To); rh != nil {
+			fn = rh
 		} else if p := m.delivery.Load(); p != nil {
 			fn = *p
 		}

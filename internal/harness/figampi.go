@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"migflow/internal/ampi"
+)
+
+// JacobiModePoint is one JacobiMode row: the same AMPI Jacobi job run
+// through both rank backends.
+type JacobiModePoint struct {
+	PEs         int
+	RanksPE     int
+	ULTStepNs   float64 // real wall clock per iteration, ULT ranks
+	EventStepNs float64 // real wall clock per iteration, event ranks
+	PredictedNs float64 // predicted target time of the whole run (mode-invariant)
+}
+
+// JacobiBackend runs the AMPI 1-D Jacobi workload in one mode across
+// simulating-PE counts — the §4 flows question asked of AMPI itself
+// rather than BigSim: what does it cost to give every MPI rank a
+// user-level thread (stack + scheduler slot) versus an event-driven
+// continuation record?
+func JacobiBackend(w io.Writer, ranks, iters int, peCounts []int, mode string) error {
+	flowDesc := "one ULT each"
+	if mode == ampi.ModeEvent {
+		flowDesc = "continuation records"
+	}
+	fmt.Fprintf(w, "AMPI Jacobi: wall time per iteration (%d ranks, %s)\n", ranks, flowDesc)
+	fmt.Fprintf(w, "%8s %10s %14s %14s\n", "simPEs", "ranks/PE", "step(ms)", "predicted(ms)")
+	for _, p := range peCounts {
+		if p > ranks {
+			break
+		}
+		res, err := ampi.RunJacobi(ampi.JacobiConfig{
+			Ranks: ranks, Iters: iters, PEs: p, Mode: mode,
+			ReduceEvery: 4, BlockPlacement: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8d %10d %14.3f %14.3f\n",
+			p, ranks/p, res.StepWallNs/1e6, res.PredictedNs/1e6)
+	}
+	return nil
+}
+
+// JacobiMode is the flows A/B applied to AMPI: every simulating-PE
+// count runs the same Jacobi job through BOTH rank backends, the
+// predicted target time is checked bit-identical between them (the
+// flow mechanism must be invisible to the simulated program), and the
+// table gains a ULT-vs-event column pair.
+func JacobiMode(w io.Writer, ranks, iters int, peCounts []int) ([]JacobiModePoint, error) {
+	fmt.Fprintf(w, "AMPI Jacobi (flows A/B): ULT vs event-driven ranks (%d ranks, %d iterations)\n", ranks, iters)
+	fmt.Fprintf(w, "%8s %10s %14s %14s %10s %14s\n",
+		"simPEs", "ranks/PE", "ult/step(ms)", "event/step(ms)", "ult/event", "predicted(ms)")
+	var out []JacobiModePoint
+	for _, p := range peCounts {
+		if p > ranks {
+			break
+		}
+		run := func(mode string) (ampi.JacobiResult, error) {
+			return ampi.RunJacobi(ampi.JacobiConfig{
+				Ranks: ranks, Iters: iters, PEs: p, Mode: mode,
+				ReduceEvery: 4, BlockPlacement: true,
+			})
+		}
+		ult, err := run(ampi.ModeULT)
+		if err != nil {
+			return nil, err
+		}
+		evt, err := run(ampi.ModeEvent)
+		if err != nil {
+			return nil, err
+		}
+		if ult.PredictedNs != evt.PredictedNs {
+			return nil, fmt.Errorf("harness: Jacobi prediction diverged between rank backends: %g (ult) vs %g (event)",
+				ult.PredictedNs, evt.PredictedNs)
+		}
+		if ult.Msgs != evt.Msgs {
+			return nil, fmt.Errorf("harness: Jacobi message count diverged between rank backends: %d (ult) vs %d (event)",
+				ult.Msgs, evt.Msgs)
+		}
+		fmt.Fprintf(w, "%8d %10d %14.3f %14.3f %9.2fx %14.3f\n",
+			p, ranks/p, ult.StepWallNs/1e6, evt.StepWallNs/1e6,
+			ult.StepWallNs/evt.StepWallNs, ult.PredictedNs/1e6)
+		out = append(out, JacobiModePoint{
+			PEs: p, RanksPE: ranks / p,
+			ULTStepNs: ult.StepWallNs, EventStepNs: evt.StepWallNs,
+			PredictedNs: ult.PredictedNs,
+		})
+	}
+	return out, nil
+}
+
+// RankFootprint builds (without running) a Jacobi job in cfg's mode
+// and returns the marginal resident bytes (heap + goroutine stacks)
+// and goroutines per rank — FlowFootprint's question asked of AMPI's
+// two rank backends.
+func RankFootprint(cfg ampi.JacobiConfig) (bytesPerRank, goroutinesPerRank float64, err error) {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	g0 := runtime.NumGoroutine()
+	_, job, err := ampi.NewJacobi(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	g1 := runtime.NumGoroutine()
+	ranks := float64(cfg.Ranks)
+	resident := int64(m1.HeapInuse+m1.StackInuse) - int64(m0.HeapInuse+m0.StackInuse)
+	if resident < 0 {
+		resident = 0
+	}
+	job.Run() // drain the job so ULT goroutines exit before returning
+	return float64(resident) / ranks, float64(g1-g0) / ranks, nil
+}

@@ -34,6 +34,43 @@ type Stmt interface {
 	start(ex *Executor, done func())
 }
 
+// Tramp is a reusable continuation trampoline: Schedule enqueues a
+// continuation, Drain runs enqueued continuations (and whatever they
+// enqueue) to quiescence from a bounded stack. Deeply nested
+// event-driven control flow — SDAG For loops, AMPI continuation
+// programs — becomes iteration instead of recursion. The queue is
+// walked with a head index and truncated once empty, so one backing
+// array is reused across the whole program instead of re-slicing (and
+// eventually re-allocating) on every continuation. A Tramp is not
+// safe for concurrent use; each executing flow (or each owning PE)
+// gets its own.
+type Tramp struct {
+	work     []func()
+	head     int // next work entry to run; the buffer is reused across drains
+	draining bool
+}
+
+// Schedule enqueues fn to run in the current (or next) Drain.
+func (t *Tramp) Schedule(fn func()) { t.work = append(t.work, fn) }
+
+// Drain runs queued continuations to quiescence. Re-entrant calls
+// (a continuation delivering a message that schedules more work) are
+// no-ops: the outermost Drain picks the new work up.
+func (t *Tramp) Drain() {
+	if t.draining {
+		return
+	}
+	t.draining = true
+	for t.head < len(t.work) {
+		fn := t.work[t.head]
+		t.work[t.head] = nil // release the closure
+		t.head++
+		fn()
+	}
+	t.work, t.head = t.work[:0], 0
+	t.draining = false
+}
+
 // Executor runs one SDAG program against a mailbox of tagged
 // messages. Deliver may be called at any time; messages with no
 // waiting When are buffered in arrival order, exactly like a chare's
@@ -41,9 +78,7 @@ type Stmt interface {
 type Executor struct {
 	waiting  map[int][]*waiter
 	buffered map[int]*msgQueue
-	work     []func() // trampoline queue: avoids unbounded recursion
-	workHead int      // next work entry to run; the buffer is reused across drains
-	draining bool
+	tramp    Tramp // trampoline queue: avoids unbounded recursion
 	finished bool
 }
 
@@ -188,27 +223,11 @@ func (ex *Executor) takeWaiter(tag int, ref uint64) *waiter {
 	return found
 }
 
-func (ex *Executor) schedule(fn func()) { ex.work = append(ex.work, fn) }
+func (ex *Executor) schedule(fn func()) { ex.tramp.Schedule(fn) }
 
 // drain runs queued continuations to quiescence (a trampoline: deep
-// For loops become iteration, not recursion). The queue is walked
-// with a head index and truncated once empty, so one backing array is
-// reused across the whole program instead of re-slicing (and
-// eventually re-allocating) on every continuation.
-func (ex *Executor) drain() {
-	if ex.draining {
-		return
-	}
-	ex.draining = true
-	for ex.workHead < len(ex.work) {
-		fn := ex.work[ex.workHead]
-		ex.work[ex.workHead] = nil // release the closure
-		ex.workHead++
-		fn()
-	}
-	ex.work, ex.workHead = ex.work[:0], 0
-	ex.draining = false
-}
+// For loops become iteration, not recursion).
+func (ex *Executor) drain() { ex.tramp.Drain() }
 
 // ---------------------------------------------------------------
 // Constructs
