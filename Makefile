@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-collectives bench-lb bench-bigsim bench-ampi bench-all repro repro-quick examples cover clean
+.PHONY: all build vet test race bench bench-collectives bench-lb bench-bigsim bench-ampi bench-eventmigrate bench-all repro repro-quick examples cover clean
 
 all: build vet test
 
@@ -69,6 +69,19 @@ bench-ampi:
 	AMPI_BENCH_RANKS=$(AMPI_BENCH_RANKS) $(GO) test -bench 'BenchmarkAMPIJacobi' -benchmem -benchtime=1x -timeout 30m -run '^$$' \
 		./internal/ampi/ | tee bench_ampi_output.txt
 	$(GO) run ./cmd/benchjson < bench_ampi_output.txt > BENCH_ampi_event.json
+
+# Migration-mechanism A/B plus the headline LB step: the same parked
+# Jacobi job rotated between PEs with event continuation records vs
+# the three ULT stack strategies (ns/rank, B/rank migrated), one full
+# greedy LB step over EVENTMIG_RANKS event ranks (default one
+# million), and the skewed-zone BT-MZ makespan before/after LB.
+EVENTMIG_RANKS ?= 1000000
+
+bench-eventmigrate:
+	EVENTMIG_RANKS=$(EVENTMIG_RANKS) $(GO) test -bench 'BenchmarkEventMigrate|BenchmarkEventLBStepMillion|BenchmarkBTMZEventLB' \
+		-benchmem -benchtime=1x -timeout 30m -run '^$$' \
+		./internal/ampi/ ./internal/npb/ | tee bench_eventmigrate_output.txt
+	$(GO) run ./cmd/benchjson < bench_eventmigrate_output.txt > BENCH_eventmigrate.json
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...

@@ -37,7 +37,14 @@ func main() {
 		}
 		// Benchmark lines look like:
 		//   BenchmarkSend-8  1000  59.2 ns/op  12.3 MB/s  0 B/op  0 allocs/op
-		name := strings.SplitN(fields[0], "-", 2)[0]
+		// Strip only the trailing "-<GOMAXPROCS>" suffix; sub-benchmark
+		// names may legitimately contain hyphens ("ult-isomalloc").
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
 		var r Result
 		ok := false
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -56,16 +63,14 @@ func main() {
 			case "MB/s":
 				r.MBPerSec = &v
 			default:
-				// Any per-something rate is a custom metric: "vns/op",
-				// "B/flow", "goroutines/flow", "sim-ns/step", ... —
-				// plus the plain "ranks" count column the AMPI mode
-				// benchmarks report.
-				if strings.Contains(fields[i+1], "/") || fields[i+1] == "ranks" {
-					if r.Extra == nil {
-						r.Extra = make(map[string]float64)
-					}
-					r.Extra[fields[i+1]] = v
+				// Everything else is a custom b.ReportMetric column:
+				// "vns/op", "B/flow", "ranks", "moved%", "LB-ms", ... —
+				// bench lines are strict (value, unit) pairs, so keep
+				// them all rather than maintaining an allowlist.
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
 				}
+				r.Extra[fields[i+1]] = v
 			}
 		}
 		if ok {

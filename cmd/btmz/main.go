@@ -4,6 +4,12 @@
 //
 // Usage: btmz [-steps 20] [-lb greedy] [-coll tree|flat] [-agg off|on|N:B]
 //             [-steal off|on] [-chunks N]
+//
+// With -mode ult|event the zone step runs as a continuation Program
+// on the chosen flow backend instead of the legacy thread job: one
+// zone per rank on the skewed class (-class, default Z4K), reported
+// with and without the LB gate. Event mode is the configuration that
+// scales past 10^5 zones, moving ~180-byte records instead of stacks.
 package main
 
 import (
@@ -30,7 +36,17 @@ func main() {
 	aggSpec := flag.String("agg", "off", "boundary-exchange aggregation: off | on | maxPayloads:maxBytes (e.g. 16:8192)")
 	stealSpec := flag.String("steal", "off", "idle-cycle work stealing: off (deterministic pump) | on (parallel runner)")
 	chunks := flag.Int("chunks", 0, "split each rank's per-step solve into N yieldable slices (steal points); 0 keeps one slice")
+	mode := flag.String("mode", "", "program-mode flow backend: ult | event (empty = legacy thread job)")
+	className := flag.String("class", "Z4K", "problem class for -mode runs: A | B | SP-A | LU-A | Z4K")
+	npes := flag.Int("npes", 8, "PE count for -mode runs")
 	flag.Parse()
+
+	if *mode != "" {
+		if err := programReport(*mode, *className, *steps, *lbName, *npes); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	coll, err := parseColl(*collName)
 	if err != nil {
@@ -63,6 +79,38 @@ func main() {
 	if _, err := harness.Figure12With(os.Stdout, *steps, cfg); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// programReport runs the one-zone-per-rank program-mode study: the
+// graded class without LB, then with the chosen strategy's gate.
+func programReport(mode, className string, steps int, lbName string, npes int) error {
+	class, err := npb.ClassByName(className)
+	if err != nil {
+		return err
+	}
+	strat, err := loadbalance.ByName(lbName)
+	if err != nil {
+		return err
+	}
+	base := npb.Params{
+		Class: class, NProcs: class.NumZones(), NPEs: npes,
+		Steps: steps, Mode: mode,
+	}
+	before, err := npb.Run(base)
+	if err != nil {
+		return err
+	}
+	with := base
+	with.LB = strat
+	after, err := npb.Run(with)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %d zone-ranks on %d PEs, %d steps\n", with.Label(), base.NProcs, npes, steps)
+	fmt.Printf("  no LB:            %10.2f ms  (imbalance %.3f)\n", before.TimeNs/1e6, before.Imbalance)
+	fmt.Printf("  with %-10s   %10.2f ms  (imbalance %.3f, moved %d ranks, %d B migrated)\n",
+		strat.Name()+" LB:", after.TimeNs/1e6, after.Imbalance, after.MovedRanks, after.MigratedBytes)
+	return nil
 }
 
 func parseSteal(spec string) (bool, error) {

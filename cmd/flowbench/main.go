@@ -17,7 +17,12 @@
 //
 //	flowbench [-platform linux-x86] [-rounds 3] [-max 8192]
 //	flowbench -all   # all five paper platforms (Figures 4-8)
-//	flowbench -mode both [-ranks 4096] [-iters 8] [-jpes 1,2,4,8]
+//	flowbench -mode both [-ranks 4096] [-iters 8] [-jpes 1,2,4,8] [-migrate 4]
+//
+// -migrate N inserts one collective LB gate after Jacobi iteration N
+// (with a deterministic work skew so the balancer has something to
+// fix): ULT ranks migrate as threads, event ranks as ~180-byte
+// continuation records.
 package main
 
 import (
@@ -41,7 +46,30 @@ func main() {
 	ranks := flag.Int("ranks", 4096, "AMPI Jacobi rank count (with -mode)")
 	iters := flag.Int("iters", 8, "AMPI Jacobi iterations (with -mode)")
 	jpes := flag.String("jpes", "1,2,4,8", "comma-separated simulating PE counts (with -mode)")
+	migrateAt := flag.Int("migrate", 0, "insert one mid-run LB gate after this Jacobi iteration (with -mode; 0 = never)")
 	flag.Parse()
+
+	// Validate the workload flags BEFORE the (long) figure runs and
+	// before any rank store is allocated: a typoed -mode used to
+	// surface only after minutes of switch-curve measurement.
+	switch *mode {
+	case "", ampi.ModeULT, ampi.ModeEvent, "both":
+	default:
+		log.Fatalf("bad -mode %q: want ult, event, or both", *mode)
+	}
+	if *migrateAt < 0 || *migrateAt > *iters {
+		log.Fatalf("bad -migrate %d: want 0 (never) to -iters (%d)", *migrateAt, *iters)
+	}
+	var peCounts []int
+	if *mode != "" {
+		for _, s := range strings.Split(*jpes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				log.Fatalf("bad -jpes entry %q", s)
+			}
+			peCounts = append(peCounts, n)
+		}
+	}
 
 	var counts []int
 	for n := 2; n <= *max; n *= 2 {
@@ -64,25 +92,15 @@ func main() {
 	if *mode == "" {
 		return
 	}
-	var peCounts []int
-	for _, s := range strings.Split(*jpes, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			log.Fatalf("bad -jpes entry %q: %v", s, err)
-		}
-		peCounts = append(peCounts, n)
-	}
 	fmt.Println("\n== AMPI Jacobi flows ==")
 	switch *mode {
 	case ampi.ModeULT, ampi.ModeEvent:
-		if err := harness.JacobiBackend(os.Stdout, *ranks, *iters, peCounts, *mode); err != nil {
+		if err := harness.JacobiBackend(os.Stdout, *ranks, *iters, peCounts, *mode, *migrateAt); err != nil {
 			log.Fatal(err)
 		}
 	case "both":
-		if _, err := harness.JacobiMode(os.Stdout, *ranks, *iters, peCounts); err != nil {
+		if _, err := harness.JacobiMode(os.Stdout, *ranks, *iters, peCounts, *migrateAt); err != nil {
 			log.Fatal(err)
 		}
-	default:
-		log.Fatalf("bad -mode %q: want ult, event, or both", *mode)
 	}
 }

@@ -130,7 +130,9 @@ type Options struct {
 	// Mode selects the flow-of-control mechanism behind each rank:
 	// ModeULT (default, also the zero value) or ModeEvent. Event mode
 	// requires a continuation Program — see NewProgram — and does not
-	// support Aggregate or migration.
+	// support Aggregate. Event ranks migrate like ULT ranks (the
+	// Migrate gate, or a runtime-driven Rebalance), but move as
+	// ~180-byte continuation records instead of stack images.
 	Mode string
 }
 
@@ -161,6 +163,14 @@ type Job struct {
 	lbPlans  map[uint64]loadbalance.Plan // epoch → plan
 	lbEpochs map[uint64]int              // epoch → ranks arrived
 	traffic  map[[2]int]float64          // rank pair (lo,hi) → bytes
+
+	// LB-gate state for program jobs (the Migrate Proc): every rank
+	// parks at the gate; the Run/RunParallel driver services it at
+	// quiescence and resumes the ranks post-plan.
+	gateMu       sync.Mutex
+	gateArrived  int
+	gateStrategy loadbalance.Strategy
+	lbMoved      int
 }
 
 // Rank is one MPI rank: a migratable thread plus a tag/source-matched
@@ -283,10 +293,92 @@ func (j *Job) Start() {
 }
 
 // Run starts the job and drives the machine to quiescence
-// (deterministic single-goroutine mode).
+// (deterministic single-goroutine mode). If the program parks at a
+// Migrate gate, the driver services it — measure, plan, move, resume
+// — and keeps driving until the program completes. At a full gate
+// the machine is quiescent with zero in-flight messages, so moving
+// ranks cannot reorder deliveries: per-rank results stay
+// bit-identical with and without migration.
 func (j *Job) Run() {
 	j.Start()
-	j.m.RunUntilQuiescent()
+	for {
+		j.m.RunUntilQuiescent()
+		if !j.gateReady() {
+			return
+		}
+		j.serviceGate()
+	}
+}
+
+// RunParallel starts the job and drives the machine with one
+// goroutine per PE (the wall-clock mode), servicing Migrate gates
+// between parallel phases exactly like Run.
+func (j *Job) RunParallel() {
+	j.Start()
+	for {
+		j.m.RunParallel(func() bool { return j.Done() || j.gateReady() })
+		if !j.gateReady() {
+			return
+		}
+		j.serviceGate()
+	}
+}
+
+// gateSetStrategy records the gate's strategy (every rank passes the
+// same Migrate node of the shared tree, so last-write-wins is fine).
+func (j *Job) gateSetStrategy(s loadbalance.Strategy) {
+	j.gateMu.Lock()
+	j.gateStrategy = s
+	j.gateMu.Unlock()
+}
+
+// gateArrive registers one rank at the LB gate.
+func (j *Job) gateArrive() {
+	j.gateMu.Lock()
+	j.gateArrived++
+	if j.gateArrived > j.size {
+		j.gateMu.Unlock()
+		panic("ampi: more gate arrivals than ranks (Migrate is collective, once per rank per gate)")
+	}
+	j.gateMu.Unlock()
+}
+
+// gateReady reports whether every rank is parked at the gate.
+func (j *Job) gateReady() bool {
+	j.gateMu.Lock()
+	defer j.gateMu.Unlock()
+	return j.gateArrived == j.size
+}
+
+// serviceGate runs one LB step for a full gate and resumes the
+// ranks. The machine is stopped (quiescent) when this runs.
+func (j *Job) serviceGate() {
+	j.gateMu.Lock()
+	strategy := j.gateStrategy
+	j.gateArrived = 0
+	j.gateStrategy = nil
+	j.gateMu.Unlock()
+	moved, err := j.Rebalance(strategy)
+	if err != nil {
+		panic(fmt.Sprintf("ampi: LB gate: %v", err))
+	}
+	j.gateMu.Lock()
+	j.lbMoved += moved
+	j.gateMu.Unlock()
+	if j.ev != nil {
+		j.ev.resumeGate()
+		return
+	}
+	for _, rk := range j.ranks {
+		rk.th.Awaken()
+	}
+}
+
+// LBMoved returns the total ranks moved by Migrate-gate LB steps.
+func (j *Job) LBMoved() int {
+	j.gateMu.Lock()
+	defer j.gateMu.Unlock()
+	return j.lbMoved
 }
 
 // Size returns the number of ranks.
@@ -306,7 +398,7 @@ func (j *Job) Rank(r int) *Rank { return j.ranks[r] }
 // destination processor.
 func (j *Job) PEOf(r int) int {
 	if j.ev != nil {
-		return j.ev.peIdx(r)
+		return j.ev.peOf(r)
 	}
 	return j.ranks[r].th.Scheduler().PE().Index
 }

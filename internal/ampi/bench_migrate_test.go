@@ -1,0 +1,177 @@
+package ampi
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"migflow/internal/converse"
+	"migflow/internal/loadbalance"
+	"migflow/internal/migrate"
+)
+
+// eventMigRanks is the headline LB-step rank count; EVENTMIG_RANKS
+// overrides it (CI smoke runs use a tiny value, `make
+// bench-eventmigrate` defaults to the full million).
+func eventMigRanks(b *testing.B) int {
+	if s := os.Getenv("EVENTMIG_RANKS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			b.Fatalf("bad EVENTMIG_RANKS %q", s)
+		}
+		return n
+	}
+	return 1_000_000
+}
+
+// parkAtGate builds a Jacobi job with one Migrate gate and drives it
+// until every rank is parked there — the quiescent point an LB step
+// operates at. The returned job has an armed gate; finishParked
+// releases it and runs the program to completion.
+func parkAtGate(b *testing.B, cfg JacobiConfig) (*Job, func()) {
+	cfg.MigrateAt = 1
+	if cfg.LB == nil {
+		cfg.LB = loadbalance.GreedyLB{}
+	}
+	m, job, err := NewJacobi(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	job.Start()
+	m.RunUntilQuiescent()
+	if !job.gateReady() {
+		b.Fatal("ranks did not park at the gate")
+	}
+	return job, func() {
+		job.serviceGate()
+		for {
+			m.RunUntilQuiescent()
+			if !job.gateReady() {
+				break
+			}
+			job.serviceGate()
+		}
+		if !job.Done() {
+			b.Fatal("job did not complete after the measured LB steps")
+		}
+	}
+}
+
+// BenchmarkEventMigrate is the migration-mechanism A/B: the identical
+// Jacobi job parked at an LB gate, every rank rotated to the next PE
+// per op. Event ranks move as ~180-byte continuation records through
+// the same BulkMigrate pipeline ULT ranks push stack images through —
+// ns/rank and B/rank are the two numbers the tentpole claims a ≥10x
+// win on (vs isomalloc, the paper's preferred ULT technique).
+func BenchmarkEventMigrate(b *testing.B) {
+	headline := eventMigRanks(b)
+	ab := 16_384
+	if headline < ab {
+		ab = headline
+	}
+	cases := []struct {
+		name     string
+		mode     string
+		ranks    int
+		strategy converse.StackStrategy
+	}{
+		{"event/r" + strconv.Itoa(ab), ModeEvent, ab, nil},
+		{"ult-isomalloc/r" + strconv.Itoa(ab), ModeULT, ab, migrate.Isomalloc{}},
+		{"ult-stackcopy/r" + strconv.Itoa(ab), ModeULT, ab, migrate.StackCopy{}},
+		{"ult-memalias/r" + strconv.Itoa(ab), ModeULT, ab, migrate.MemoryAlias{}},
+	}
+	if headline > ab {
+		cases = append(cases, struct {
+			name     string
+			mode     string
+			ranks    int
+			strategy converse.StackStrategy
+		}{"event/r" + strconv.Itoa(headline), ModeEvent, headline, nil})
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := JacobiConfig{
+				Ranks: c.ranks, Iters: 2, PEs: 8,
+				Mode: c.mode, Strategy: c.strategy, BlockPlacement: true,
+			}
+			if c.mode == ModeULT {
+				// A realistic thread carries live frames; half the
+				// 16 KiB stack is what each ULT migration must ship.
+				cfg.StackUse = 8 << 10
+			}
+			job, finish := parkAtGate(b, cfg)
+			m := job.Machine()
+			count0, bytes0 := m.MigrationStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				moved, err := job.Rebalance(loadbalance.RotateLB{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if moved != c.ranks {
+					b.Fatalf("rotate moved %d of %d ranks", moved, c.ranks)
+				}
+			}
+			b.StopTimer()
+			count1, bytes1 := m.MigrationStats()
+			moved := count1 - count0
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(moved), "ns/rank")
+			b.ReportMetric(float64(bytes1-bytes0)/float64(moved), "B/rank")
+			b.ReportMetric(float64(c.ranks), "ranks")
+			finish()
+		})
+	}
+}
+
+// BenchmarkEventLBStepMillion is the headline scale run: one full LB
+// step — measure skewed loads, plan greedily, move every reassigned
+// rank's record — over EVENTMIG_RANKS event ranks (default one
+// million). Virtual time is summed before and after each step and
+// must not change by a bit: migration is invisible to the simulation.
+func BenchmarkEventLBStepMillion(b *testing.B) {
+	ranks := eventMigRanks(b)
+	job, finish := parkAtGate(b, JacobiConfig{
+		Ranks: ranks, Iters: 2, PEs: 8,
+		Mode: ModeEvent, WorkSkew: 4, BlockPlacement: true,
+	})
+	m := job.Machine()
+	vtSum := func() float64 {
+		var s float64
+		for r := 0; r < ranks; r++ {
+			s += job.VT(r)
+		}
+		return s
+	}
+	before := vtSum()
+	count0, bytes0 := m.MigrationStats()
+	var movedTotal int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate greedy (fixes the skew) and rotate (restores
+		// imbalance) so every op has real work to plan and move.
+		var strat loadbalance.Strategy = loadbalance.GreedyLB{}
+		if i%2 == 1 {
+			strat = loadbalance.RotateLB{}
+		}
+		moved, err := job.Rebalance(strat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		movedTotal += moved
+	}
+	b.StopTimer()
+	if after := vtSum(); math.Float64bits(after) != math.Float64bits(before) {
+		b.Fatalf("LB step changed virtual time: %v vs %v", after, before)
+	}
+	frac := float64(movedTotal) / float64(b.N) / float64(ranks)
+	if frac < 0.01 {
+		b.Fatalf("LB step moved %.2f%% of ranks, want ≥ 1%%", frac*100)
+	}
+	count1, bytes1 := m.MigrationStats()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/step")
+	b.ReportMetric(frac*100, "moved%")
+	b.ReportMetric(float64(bytes1-bytes0)/float64(count1-count0), "B/rank")
+	b.ReportMetric(float64(ranks), "ranks")
+	finish()
+}

@@ -10,32 +10,56 @@ package ampi
 // the reason a million-rank job fits where the ULT backend needs a
 // stack and a goroutine per rank.
 //
-// Concurrency: a rank is owned by the PE it was born on (event ranks
-// are pinned — comm.PinnedEntity), and every touch of its slot
-// happens on that PE's goroutine (its Pump, or the job-start
-// bootstrap thread scheduled there), so slots need no locks. The only
-// cross-PE communication is the atomic remaining counter, whose
-// final decrement orders the engine's teardown after every other
-// PE's last write.
+// Migration: an event rank's migratable state is its continuation
+// RECORD — rank number, virtual time, measured load, the pending
+// receive spec, and any buffered messages: ~180 bytes, serialized
+// faithfully through pup (eventRecord implements migrate.Record).
+// The continuation closure itself (kont) and the program's Local
+// state are SHARED CODE plus state reachable from the record, the
+// CPC argument: because every rank runs the same immutable program
+// tree, the destination PE needs no stack or code image, only the
+// record. Moving a rank is therefore: batch-update the comm range
+// table (one epoch bump per LB step), flip the engine's owner word,
+// and round-trip the record through Extract/Install — no eviction,
+// no vmem image, no adoption.
+//
+// Concurrency: each rank carries its own mutex. The owning PE's
+// dispatch paths (dispatchStart, deliver, resumeGate) hold it while
+// running the rank's continuation, and migration's Extract/Install
+// take it too — so a mover never observes a half-run activation, and
+// a dispatcher never runs a rank that is mid-flight. The lock is
+// per-rank, not per-PE, because ownership itself changes: a per-PE
+// lock names a PE, and the name goes stale at exactly the moment it
+// matters. In-flight messages that raced a move are chased: deliver
+// re-checks the owner word (one atomic load, only once any LB step
+// has happened — migEpoch gates the check) and forwards losers with
+// Endpoint.Forward.
 
 import (
 	"fmt"
+	"math"
+	"sync"
 	"sync/atomic"
 
 	"migflow/internal/comm"
 	"migflow/internal/converse"
+	"migflow/internal/core"
+	"migflow/internal/loadbalance"
+	"migflow/internal/pup"
 	"migflow/internal/sdag"
 )
 
 // deregBatchSize bounds how many finished ranks accumulate per PE
 // before their directory entries are removed in one batch (each batch
-// clones the touched directory shards once, not once per rank).
+// tombstones range-table entries in place).
 const deregBatchSize = 4096
 
-// eventRank is one rank's entire flow-of-control state: ~120 bytes
+// eventRank is one rank's entire flow-of-control state: ~180 bytes
 // plus whatever the program keeps in pc.Local, versus a goroutine,
 // two channels, and an isomalloc stack for a ULT rank.
 type eventRank struct {
+	mu sync.Mutex // guards every field; held while the rank's continuation runs
+
 	pc eventPC
 
 	// mbox buffers messages that arrived before a matching Recv,
@@ -47,6 +71,28 @@ type eventRank struct {
 	waiting matchSpec
 	hasWait bool
 	kont    func(*comm.Message)
+
+	// lbKont is the continuation parked at a Migrate gate, resumed by
+	// the runtime after the LB step.
+	lbKont func()
+
+	// busy accumulates Work nanoseconds since the last LB step — the
+	// event-mode load measurement (the record's analogue of a thread's
+	// consumed CPU time).
+	busy float64
+
+	// tramp is the rank's continuation trampoline (CPS backedges).
+	// Per-rank rather than per-PE because it is only ever touched
+	// under er.mu: a per-PE trampoline would be shared by whichever
+	// goroutines happen to dispatch residents mid-migration.
+	tramp sdag.Tramp
+
+	// seq counts activations and buffered deliveries. A migration
+	// record carries the seq it was extracted at; if the rank ran
+	// again before the record installs (possible only when an LB step
+	// races live traffic, never at a quiescent gate), the snapshot is
+	// stale and Install yields to the newer in-slot state.
+	seq uint64
 
 	done bool
 }
@@ -61,15 +107,32 @@ type eventEngine struct {
 	size int
 	base comm.EntityID // entity of rank 0 (carries PinnedEntity)
 
-	ranks []eventRank // contiguous store; released at completion
+	// ranks points at the contiguous store; swapped to nil at
+	// completion so straggler deliveries after release are safe.
+	ranks atomic.Pointer[[]eventRank]
 
-	// dispatch[pe] is the precomputed EventDispatch.At(flows) charge
-	// per activation (constant once residency is fixed: ranks never
-	// migrate), and tramps[pe] is the PE's continuation trampoline.
-	dispatch []float64
-	tramps   []sdag.Tramp
+	// pes[r] is rank r's current owner PE — the engine-side mirror of
+	// the comm range table, flipped (with the table, in one batch) by
+	// each LB step.
+	pes []atomic.Int32
+
+	// dispatch[pe] holds Float64bits of the EventDispatch.At(flows)
+	// charge per activation on that PE, recomputed per LB step as
+	// residency changes.
+	dispatch []atomic.Uint64
+
+	// migEpoch counts LB steps; zero means no rank has ever moved, so
+	// deliver can skip the owner check entirely.
+	migEpoch atomic.Uint64
+
+	// lbMu serializes Rebalance steps (plan → table batch → records).
+	lbMu sync.Mutex
 
 	// pendDereg[pe] batches finished ranks' directory removals.
+	// deregMu guards the batches: a rank usually finishes on its
+	// owner's pump, but a racing LB step can flip the owner word
+	// mid-activation, landing two pumps on the same batch.
+	deregMu   sync.Mutex
 	pendDereg [][]comm.EntityID
 
 	remaining atomic.Int64
@@ -80,8 +143,8 @@ type eventEngine struct {
 }
 
 // newEventEngine builds the store, reserves a dense pinned entity-ID
-// block, and registers locations (one batch) and the shared dispatch
-// handler (one range) for all ranks.
+// block, and registers one comm range location table and one shared
+// dispatch handler range for all ranks.
 func newEventEngine(j *Job) (*eventEngine, error) {
 	size := j.size
 	numPEs := j.m.NumPEs()
@@ -89,35 +152,37 @@ func newEventEngine(j *Job) (*eventEngine, error) {
 		job:       j,
 		size:      size,
 		base:      comm.PinnedEntity | comm.EntityID(converse.AllocFlowIDs(size)),
-		ranks:     make([]eventRank, size),
-		dispatch:  make([]float64, numPEs),
-		tramps:    make([]sdag.Tramp, numPEs),
+		pes:       make([]atomic.Int32, size),
+		dispatch:  make([]atomic.Uint64, numPEs),
 		pendDereg: make([][]comm.EntityID, numPEs),
 	}
 	e.remaining.Store(int64(size))
 
+	store := make([]eventRank, size)
 	flows := make([]int, numPEs)
 	pes := make([]int, size)
 	for r := 0; r < size; r++ {
 		pes[r] = placePE(r, size, numPEs, j.opts.BlockPlacement)
+		e.pes[r].Store(int32(pes[r]))
 		flows[pes[r]]++
 	}
 	for p := 0; p < numPEs; p++ {
 		if flows[p] > 0 {
-			e.dispatch[p] = j.m.PE(p).Prof.EventDispatch.At(flows[p])
+			e.dispatch[p].Store(math.Float64bits(j.m.PE(p).Prof.EventDispatch.At(flows[p])))
 		}
 	}
 	for r := 0; r < size; r++ {
-		pc := &e.ranks[r].pc
+		pc := &store[r].pc
 		pc.job, pc.rank = j, r
 		pc.be = e
-		pc.tramp = &e.tramps[pes[r]]
+		pc.tramp = &store[r].tramp
 	}
-	if err := j.m.Network().RegisterBatch(e.base, pes); err != nil {
+	e.ranks.Store(&store)
+	if err := j.m.Network().RegisterRange(e.base, pes); err != nil {
 		return nil, err
 	}
 	if err := j.m.RegisterEntityRange(e.base, e.base+comm.EntityID(size-1), e.deliver); err != nil {
-		j.m.Network().DeregisterBatch(e.allIDs())
+		j.m.Network().DeregisterRange(e.base)
 		return nil, err
 	}
 	return e, nil
@@ -133,16 +198,20 @@ func (e *eventEngine) rankIdx(id comm.EntityID) int {
 	return int(id - e.base)
 }
 
-func (e *eventEngine) peIdx(rank int) int {
-	return placePE(rank, e.size, e.job.m.NumPEs(), e.job.opts.BlockPlacement)
+// peOf returns rank r's current owner PE.
+func (e *eventEngine) peOf(r int) int { return int(e.pes[r].Load()) }
+
+// dispatchNs returns PE p's per-activation charge.
+func (e *eventEngine) dispatchNs(p int) float64 {
+	return math.Float64frombits(e.dispatch[p].Load())
 }
 
-func (e *eventEngine) allIDs() []comm.EntityID {
-	ids := make([]comm.EntityID, e.size)
-	for r := range ids {
-		ids[r] = e.idOf(r)
+// store returns the rank slice, or nil after release.
+func (e *eventEngine) store() []eventRank {
+	if p := e.ranks.Load(); p != nil {
+		return *p
 	}
-	return ids
+	return nil
 }
 
 // start bootstraps the job: one short-lived thread per populated PE
@@ -150,24 +219,31 @@ func (e *eventEngine) allIDs() []comm.EntityID {
 // work runs on the owning PE under both Run drivers (and in parallel
 // under RunParallel).
 func (e *eventEngine) start() {
+	e.bootstrap(func(r int) bool { return true }, e.dispatchStart)
+}
+
+// bootstrap runs fn(r) for every rank selected by want, grouped by
+// current owner PE on a short-lived thread per PE.
+func (e *eventEngine) bootstrap(want func(r int) bool, fn func(r int)) {
 	numPEs := e.job.m.NumPEs()
-	for p := 0; p < numPEs; p++ {
-		first := make([]int, 0, (e.size+numPEs-1)/numPEs)
-		for r := 0; r < e.size; r++ {
-			if e.peIdx(r) == p {
-				first = append(first, r)
-			}
+	perPE := make([][]int, numPEs)
+	for r := 0; r < e.size; r++ {
+		if want(r) {
+			p := e.peOf(r)
+			perPE[p] = append(perPE[p], r)
 		}
-		if len(first) == 0 {
+	}
+	for p := 0; p < numPEs; p++ {
+		if len(perPE[p]) == 0 {
 			continue
 		}
-		list := first
+		list := perPE[p]
 		pe := e.job.m.PE(p)
 		th, err := pe.Sched.CthCreate(converse.ThreadOptions{
 			Strategy: e.job.opts.Strategy,
 		}, func(*converse.Ctx) {
 			for _, r := range list {
-				e.dispatchStart(r)
+				fn(r)
 			}
 		})
 		if err != nil {
@@ -178,46 +254,70 @@ func (e *eventEngine) start() {
 }
 
 // dispatchStart runs rank r's program until its first blocking point
-// (or completion), charging one activation.
+// (or completion), charging one activation. The rank's lock is held
+// for the whole activation.
 func (e *eventEngine) dispatchStart(r int) {
-	p := e.peIdx(r)
-	e.job.m.PE(p).Clock.Advance(e.dispatch[p])
-	tr := &e.tramps[p]
-	tr.Schedule(func() {
-		e.job.prog.run(&e.ranks[r].pc, func() { e.finish(r) })
+	er := &e.store()[r]
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	er.seq++
+	p := e.peOf(r)
+	e.job.m.PE(p).Clock.Advance(e.dispatchNs(p))
+	er.tramp.Schedule(func() {
+		e.job.prog.run(&er.pc, func() { e.finish(r) })
 	})
-	tr.Drain()
+	er.tramp.Drain()
 }
 
 // deliver is the shared range handler: it runs on the destination
 // PE's goroutine via Machine.Pump. A message either resumes the
-// rank's stored continuation (one EventDispatch activation) or
-// buffers in its slot.
+// rank's stored continuation (one EventDispatch activation), buffers
+// in its slot, or — when the rank moved after the message was sent —
+// is forwarded to chase it.
 func (e *eventEngine) deliver(pe int, msg *comm.Message) {
-	r := e.rankIdx(msg.To)
-	if r < 0 || e.ranks == nil {
+	ranks := e.store()
+	if ranks == nil {
 		return
 	}
-	er := &e.ranks[r]
+	r := e.rankIdx(msg.To)
+	if r < 0 {
+		return
+	}
+	er := &ranks[r]
+	er.mu.Lock()
 	if er.done {
+		er.mu.Unlock()
 		return // a straggler for a finished rank (program bug); drop like a closed mailbox
 	}
+	// Owner check: free until the first LB step ever happens, one
+	// atomic load after. A message that raced a move chases the rank
+	// to its new PE; the extra hop shows up in Hops and Arrival, and
+	// the directory stays O(1) arithmetic either way.
+	if e.migEpoch.Load() != 0 && e.peOf(r) != pe {
+		er.mu.Unlock()
+		if err := e.job.m.Network().Endpoint(pe).Forward(msg); err != nil {
+			return // rank finished and deregistered mid-chase; drop
+		}
+		return
+	}
+	er.seq++
 	if er.hasWait && e.matches(er.waiting, msg) {
 		er.hasWait = false
 		k := er.kont
 		er.kont = nil
 		p := e.job.m.PE(pe)
-		p.Clock.Advance(e.dispatch[pe]) // the activation: continuation re-enters the loop
+		p.Clock.Advance(e.dispatchNs(pe)) // the activation: continuation re-enters the loop
 		p.Clock.AdvanceTo(msg.Arrival)
 		if ovh := e.job.opts.MsgOverheadNs; ovh > 0 {
 			p.Clock.Advance(ovh)
 		}
-		tr := &e.tramps[pe]
-		tr.Schedule(func() { k(msg) })
-		tr.Drain()
+		er.tramp.Schedule(func() { k(msg) })
+		er.tramp.Drain()
+		er.mu.Unlock()
 		return
 	}
 	er.mbox = append(er.mbox, msg)
+	er.mu.Unlock()
 }
 
 func (e *eventEngine) matches(spec matchSpec, m *comm.Message) bool {
@@ -249,12 +349,16 @@ func (er *eventRank) take(e *eventEngine, spec matchSpec) *comm.Message {
 
 // ---------------------------------------------------------------
 // backend interface
+//
+// send/recv/work/lbpoint are always called from a continuation
+// already running under the rank's lock (dispatchStart, deliver, or
+// resumeGate holds it), so they never lock the rank themselves.
 
 func (e *eventEngine) send(pc *PC, dest, tag int, data []byte) {
 	if dest < 0 || dest >= e.size {
 		panic(fmt.Sprintf("ampi: program Send to rank %d of %d", dest, e.size))
 	}
-	p := e.job.m.PE(e.peIdx(pc.rank))
+	p := e.job.m.PE(e.peOf(pc.rank))
 	if ovh := e.job.opts.MsgOverheadNs; ovh > 0 {
 		p.Clock.Advance(ovh)
 	}
@@ -272,13 +376,13 @@ func (e *eventEngine) send(pc *PC, dest, tag int, data []byte) {
 }
 
 func (e *eventEngine) recv(pc *PC, src, tag int, k func(*comm.Message)) {
-	er := &e.ranks[pc.rank]
+	er := &e.store()[pc.rank]
 	spec := matchSpec{src: src, tag: tag}
 	if m := er.take(e, spec); m != nil {
 		// Consuming a buffered message is not a fresh activation (the
 		// rank is already running); only the arrival constraint and
 		// software overhead are charged, mirroring the thread path.
-		p := e.job.m.PE(e.peIdx(pc.rank))
+		p := e.job.m.PE(e.peOf(pc.rank))
 		p.Clock.AdvanceTo(m.Arrival)
 		if ovh := e.job.opts.MsgOverheadNs; ovh > 0 {
 			p.Clock.Advance(ovh)
@@ -290,7 +394,248 @@ func (e *eventEngine) recv(pc *PC, src, tag int, k func(*comm.Message)) {
 }
 
 func (e *eventEngine) work(pc *PC, ns float64) {
-	e.job.m.PE(e.peIdx(pc.rank)).Clock.Advance(ns)
+	e.store()[pc.rank].busy += ns
+	e.job.m.PE(e.peOf(pc.rank)).Clock.Advance(ns)
+}
+
+func (e *eventEngine) pe(pc *PC) int { return e.peOf(pc.rank) }
+
+// usestack is a no-op: an event rank's entire migratable state is its
+// record; there is no stack to reserve or dirty.
+func (e *eventEngine) usestack(pc *PC, n uint64) {}
+
+// lbpoint parks the rank at the job's LB gate: the continuation goes
+// into lbKont (the record analogue of a thread suspending in
+// MPI_Migrate) and the arrival is registered. The runtime resumes it
+// — possibly on a different PE — after the plan is applied. A gate
+// sends no messages and never touches vt, so predicted time stays
+// bit-identical with and without migration.
+func (e *eventEngine) lbpoint(pc *PC, k func()) {
+	e.store()[pc.rank].lbKont = k
+	pc.job.gateArrive()
+}
+
+// ---------------------------------------------------------------
+// Migration
+
+// eventRecord is rank r's migratable continuation record — the
+// migrate.Record the LB batch hands to core.Machine.MigrateMany. Its
+// Extract/Install round trip is a faithful PUP of everything a
+// destination PE needs that is not shared program code: identity,
+// virtual time, measured load, the pending receive spec, and
+// buffered messages.
+type eventRecord struct {
+	e *eventEngine
+	r int
+}
+
+func (rec eventRecord) ID() uint64 { return uint64(rec.e.idOf(rec.r)) }
+
+// Extract serializes the record under the rank's lock (so a mover
+// never sees a half-run activation).
+func (rec eventRecord) Extract(p *pup.PUPer) error {
+	ranks := rec.e.store()
+	if ranks == nil {
+		return fmt.Errorf("ampi: rank %d migrated after job completion", rec.r)
+	}
+	er := &ranks[rec.r]
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	return er.pupLocked(p)
+}
+
+// Install overwrites the rank's state from a prior Extract — the
+// other half of the round trip. The slot is addressed by rank, so
+// "where the record lands" is the owner word and the comm range
+// table, both already flipped by the LB batch.
+func (rec eventRecord) Install(data []byte) error {
+	ranks := rec.e.store()
+	if ranks == nil {
+		return fmt.Errorf("ampi: rank %d installed after job completion", rec.r)
+	}
+	er := &ranks[rec.r]
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	u := pup.NewUnpacker(data)
+	return er.pupLocked(u)
+}
+
+// pupLocked packs or unpacks the rank's migratable state; er.mu held.
+// kont/lbKont (closures over the shared program tree) and pc.Local
+// travel by reference — they are reachable state, not wire bytes; the
+// wire image is what a distributed implementation would send, and its
+// size is what the migration benchmarks report.
+func (er *eventRank) pupLocked(p *pup.PUPer) error {
+	rank := uint64(er.pc.rank)
+	if err := p.Uint64(&rank); err != nil {
+		return err
+	}
+	if p.IsUnpacking() && rank != uint64(er.pc.rank) {
+		return fmt.Errorf("ampi: record for rank %d installed into slot %d", rank, er.pc.rank)
+	}
+	seq := er.seq
+	if err := p.Uint64(&seq); err != nil {
+		return err
+	}
+	if p.IsUnpacking() && (er.done || seq != er.seq) {
+		// The rank ran (or finished) after this snapshot was
+		// extracted — only possible when an LB step races live
+		// traffic; a quiescent gate never gets here. The slot already
+		// holds the newer state, so the stale image is discarded.
+		return nil
+	}
+	if err := p.Float64(&er.pc.vt); err != nil {
+		return err
+	}
+	if err := p.Float64(&er.busy); err != nil {
+		return err
+	}
+	if err := p.Bool(&er.hasWait); err != nil {
+		return err
+	}
+	if err := p.Int(&er.waiting.src); err != nil {
+		return err
+	}
+	if err := p.Int(&er.waiting.tag); err != nil {
+		return err
+	}
+	pending := len(er.mbox) - er.head
+	if err := p.Int(&pending); err != nil {
+		return err
+	}
+	if p.IsUnpacking() {
+		er.mbox, er.head = make([]*comm.Message, pending), 0
+		for i := range er.mbox {
+			er.mbox[i] = &comm.Message{To: er.pc.job.ev.idOf(er.pc.rank)}
+		}
+	}
+	for i := 0; i < pending; i++ {
+		m := er.mbox[er.head+i]
+		from := uint64(m.From)
+		if err := p.Uint64(&from); err != nil {
+			return err
+		}
+		m.From = comm.EntityID(from)
+		if err := p.Int(&m.Tag); err != nil {
+			return err
+		}
+		if err := p.Int(&m.Hops); err != nil {
+			return err
+		}
+		if err := p.Float64(&m.SendTime); err != nil {
+			return err
+		}
+		if err := p.Float64(&m.Arrival); err != nil {
+			return err
+		}
+		if err := p.Float64(&m.VTime); err != nil {
+			return err
+		}
+		if err := p.Bytes(&m.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectEventLoads appends every live rank's (id, owner, busy)
+// sample to buf — the event-mode measurement walk.
+func (e *eventEngine) collectEventLoads(buf []loadbalance.Item) []loadbalance.Item {
+	ranks := e.store()
+	for r := range ranks {
+		er := &ranks[r]
+		er.mu.Lock()
+		done, busy := er.done, er.busy
+		er.mu.Unlock()
+		if done {
+			continue
+		}
+		buf = append(buf, loadbalance.Item{ID: uint64(e.idOf(r)), PE: e.peOf(r), Load: busy})
+	}
+	return buf
+}
+
+// applyMoves commits one LB step: ONE comm range-table batch (one
+// epoch bump total, not one per rank), the engine's owner words and
+// per-PE dispatch charges, then the record round trips through
+// core.Machine.MigrateMany — which also charges the postal model for
+// each record's bytes and counts it in MigrationStats, exactly as for
+// a thread move. Returns ranks moved.
+func (e *eventEngine) applyMoves(moves []core.Move, rmoves []comm.RangeMove) (int, error) {
+	if len(moves) == 0 {
+		return 0, nil
+	}
+	if err := e.job.m.Network().MoveRangeBatch(e.base, rmoves); err != nil {
+		return 0, fmt.Errorf("ampi: event LB table batch: %w", err)
+	}
+	for _, mv := range rmoves {
+		e.pes[mv.Index].Store(int32(mv.To))
+	}
+	// Residency changed: recompute each PE's activation charge from
+	// the live flow counts.
+	flows := make([]int, e.job.m.NumPEs())
+	ranks := e.store()
+	for r := range ranks {
+		er := &ranks[r]
+		er.mu.Lock()
+		done := er.done
+		er.mu.Unlock()
+		if !done {
+			flows[e.peOf(r)]++
+		}
+	}
+	for p := range flows {
+		if flows[p] > 0 {
+			e.dispatch[p].Store(math.Float64bits(e.job.m.PE(p).Prof.EventDispatch.At(flows[p])))
+		}
+	}
+	e.migEpoch.Add(1)
+	moved, err := e.job.m.MigrateMany(moves)
+	if err != nil {
+		return moved, fmt.Errorf("ampi: event LB record batch: %w", err)
+	}
+	return moved, nil
+}
+
+// resetLoads zeroes the per-rank busy measurements after an LB step.
+func (e *eventEngine) resetLoads() {
+	ranks := e.store()
+	for r := range ranks {
+		er := &ranks[r]
+		er.mu.Lock()
+		er.busy = 0
+		er.mu.Unlock()
+	}
+}
+
+// resumeGate re-dispatches every rank parked at the LB gate, on its
+// (possibly new) owner PE, charging one activation each.
+func (e *eventEngine) resumeGate() {
+	ranks := e.store()
+	e.bootstrap(func(r int) bool {
+		er := &ranks[r]
+		er.mu.Lock()
+		parked := er.lbKont != nil
+		er.mu.Unlock()
+		return parked
+	}, e.dispatchResume)
+}
+
+// dispatchResume runs rank r's gate continuation under its lock.
+func (e *eventEngine) dispatchResume(r int) {
+	er := &e.store()[r]
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	k := er.lbKont
+	if k == nil {
+		return
+	}
+	er.lbKont = nil
+	er.seq++
+	p := e.peOf(r)
+	e.job.m.PE(p).Clock.Advance(e.dispatchNs(p))
+	er.tramp.Schedule(k)
+	er.tramp.Drain()
 }
 
 // ---------------------------------------------------------------
@@ -300,44 +645,71 @@ func (e *eventEngine) work(pc *PC, ns float64) {
 // program state are released immediately, and its directory entry
 // joins the owning PE's batched deregistration — so a completed
 // million-rank job walks the Machine back to its idle footprint.
+// Called with er.mu held (from within the rank's final activation).
 func (e *eventEngine) finish(r int) {
-	er := &e.ranks[r]
+	er := &e.store()[r]
 	er.done = true
 	er.mbox, er.head = nil, 0
 	er.kont, er.hasWait = nil, false
+	er.lbKont = nil
 	er.pc.Local = nil
-	p := e.peIdx(r)
+	p := e.peOf(r)
+	e.deregMu.Lock()
 	e.pendDereg[p] = append(e.pendDereg[p], e.idOf(r))
+	var flush []comm.EntityID
 	if len(e.pendDereg[p]) >= deregBatchSize {
-		e.job.m.Network().DeregisterBatch(e.pendDereg[p])
-		e.pendDereg[p] = e.pendDereg[p][:0]
+		flush = e.pendDereg[p]
+		e.pendDereg[p] = make([]comm.EntityID, 0, deregBatchSize)
+	}
+	e.deregMu.Unlock()
+	if flush != nil {
+		e.job.m.Network().DeregisterBatch(flush)
 	}
 	if e.remaining.Add(-1) == 0 {
-		e.shutdown()
+		e.shutdown(r)
 	}
 }
 
 // shutdown runs once, on whichever PE finished the last rank: the
 // atomic decrement chain orders it after every other PE's final slot
 // writes. It snapshots results, flushes every deregistration batch,
-// removes the shared handler range, and releases the store.
-func (e *eventEngine) shutdown() {
+// removes the location table and the shared handler range, and
+// releases the store.
+// caller is the rank whose final activation triggered shutdown: its
+// er.mu is already held, so the snapshot loop must not re-lock it.
+// Every other rank is done too, but a straggling external Rebalance
+// may still hold (or be about to take) its lock, so the loop locks
+// around each read.
+func (e *eventEngine) shutdown(caller int) {
+	ranks := e.store()
 	e.vts = make([]float64, e.size)
-	for r := range e.ranks {
-		e.vts[r] = e.ranks[r].pc.vt
+	for r := range ranks {
+		if r != caller {
+			ranks[r].mu.Lock()
+		}
+		e.vts[r] = ranks[r].pc.vt
+		if r != caller {
+			ranks[r].mu.Unlock()
+		}
 	}
+	e.deregMu.Lock()
 	for p := range e.pendDereg {
 		e.job.m.Network().DeregisterBatch(e.pendDereg[p])
 		e.pendDereg[p] = nil
 	}
+	e.deregMu.Unlock()
 	e.job.m.DeregisterEntityRange(e.base, e.base+comm.EntityID(e.size-1))
-	e.ranks = nil
+	e.job.m.Network().DeregisterRange(e.base)
+	e.ranks.Store(nil)
 }
 
 // vtOf returns rank r's predicted time, live or snapshotted.
 func (e *eventEngine) vtOf(r int) float64 {
-	if e.ranks != nil {
-		return e.ranks[r].pc.vt
+	if ranks := e.store(); ranks != nil {
+		er := &ranks[r]
+		er.mu.Lock()
+		defer er.mu.Unlock()
+		return er.pc.vt
 	}
 	return e.vts[r]
 }

@@ -14,7 +14,9 @@ import (
 	"math"
 	"time"
 
+	"migflow/internal/converse"
 	"migflow/internal/core"
+	"migflow/internal/loadbalance"
 	"migflow/internal/vmem"
 )
 
@@ -40,17 +42,41 @@ type JacobiConfig struct {
 	// WorkNs models the per-iteration relaxation compute (default
 	// 1000).
 	WorkNs float64
+	// WorkSkew makes per-rank compute uneven: rank r works
+	// WorkNs·(1 + WorkSkew·r/(Ranks-1)) per iteration. Deterministic
+	// per rank, so VT stays placement-invariant; it exists to give a
+	// load balancer something to fix.
+	WorkSkew float64
 	// ReduceEvery joins a "max" residual Allreduce every k iterations
 	// (0 = never).
 	ReduceEvery int
 
+	// MigrateAt inserts one collective LB gate (Migrate) after
+	// iteration MigrateAt (1-based; 0 = never). The gate measures
+	// per-rank loads, plans with LB, and moves ranks — threads in ULT
+	// mode, continuation records in event mode.
+	MigrateAt int
+	// LB is the gate's strategy (default loadbalance.GreedyLB when
+	// MigrateAt > 0).
+	LB loadbalance.Strategy
+
 	// BlockPlacement maps contiguous rank blocks per PE (so ring
 	// neighbours are usually co-resident) instead of round-robin.
 	BlockPlacement bool
+	// Strategy is the ULT stack-migration technique (§3.4):
+	// migrate.StackCopy/Isomalloc/MemoryAlias. Nil uses the runtime
+	// default; ignored in event mode, where ranks move as records.
+	Strategy converse.StackStrategy
 	// StackSize is the per-rank stack in ULT mode (default 16 KiB —
 	// the program needs no real frames, but every ULT rank pays for
 	// one).
 	StackSize uint64
+	// StackUse makes each ULT rank push and dirty this many bytes of
+	// live frames at startup (pc.UseStack) — the payload every later
+	// thread migration must carry. Event ranks ignore it: a
+	// continuation record has no stack. Must leave headroom below
+	// StackSize.
+	StackUse uint64
 	// MsgOverheadNs is Options.MsgOverheadNs.
 	MsgOverheadNs float64
 }
@@ -74,6 +100,12 @@ func (c *JacobiConfig) defaults() error {
 	if c.StackSize == 0 {
 		c.StackSize = 16 << 10
 	}
+	if c.MigrateAt < 0 || c.MigrateAt > c.Iters {
+		return fmt.Errorf("ampi: Jacobi MigrateAt %d must be in [0, Iters]", c.MigrateAt)
+	}
+	if c.MigrateAt > 0 && c.LB == nil {
+		c.LB = loadbalance.GreedyLB{}
+	}
 	return nil
 }
 
@@ -93,6 +125,12 @@ func JacobiProgram(cfg JacobiConfig) Proc {
 		b := make([]byte, cfg.HaloBytes)
 		binary.LittleEndian.PutUint64(b, math.Float64bits(v))
 		return b
+	}
+	workOf := func(pc *PC) float64 {
+		if cfg.WorkSkew == 0 || cfg.Ranks < 2 {
+			return cfg.WorkNs
+		}
+		return cfg.WorkNs * (1 + cfg.WorkSkew*float64(pc.rank)/float64(cfg.Ranks-1))
 	}
 	step := func(i int) Proc {
 		return Call(func(pc *PC) Proc {
@@ -118,13 +156,16 @@ func JacobiProgram(cfg JacobiConfig) Proc {
 					next := (st.left + st.x + st.right) / 3
 					st.resid = math.Abs(next - st.x)
 					st.x = next
-					pc.Work(cfg.WorkNs)
+					pc.Work(workOf(pc))
 				}),
 			}
 			if cfg.ReduceEvery > 0 && (i+1)%cfg.ReduceEvery == 0 {
 				ps = append(ps, Allreduce("max",
 					func(pc *PC) float64 { return pc.Local.(*jacobiState).resid },
 					func(pc *PC, v float64) { pc.Local.(*jacobiState).global = v }))
+			}
+			if cfg.MigrateAt > 0 && i+1 == cfg.MigrateAt {
+				ps = append(ps, Migrate(cfg.LB))
 			}
 			return Seq(ps...)
 		})
@@ -133,6 +174,7 @@ func JacobiProgram(cfg JacobiConfig) Proc {
 		Do(func(pc *PC) {
 			// Deterministic per-rank initial condition.
 			pc.Local = &jacobiState{x: float64(pc.rank%97) / 97}
+			pc.UseStack(cfg.StackUse)
 		}),
 		For(cfg.Iters, step),
 	)
@@ -144,6 +186,7 @@ type JacobiResult struct {
 	Msgs        uint64  // network messages sent
 	WallNs      float64 // real elapsed time of the whole run
 	StepWallNs  float64 // WallNs / Iters
+	Moved       int     // ranks moved by the Migrate gate (MigrateAt > 0)
 }
 
 // NewJacobi boots a machine sized for the config and builds (but does
@@ -174,6 +217,7 @@ func NewJacobi(cfg JacobiConfig) (*core.Machine, *Job, error) {
 		StackSize:      cfg.StackSize,
 		BlockPlacement: cfg.BlockPlacement,
 		MsgOverheadNs:  cfg.MsgOverheadNs,
+		Strategy:       cfg.Strategy,
 	}, JacobiProgram(cfg))
 	if err != nil {
 		return nil, nil, err
@@ -204,5 +248,6 @@ func RunJacobi(cfg JacobiConfig) (JacobiResult, error) {
 		Msgs:        sent,
 		WallNs:      wall,
 		StepWallNs:  wall / float64(cfg.Iters),
+		Moved:       job.LBMoved(),
 	}, nil
 }

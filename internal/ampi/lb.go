@@ -3,6 +3,7 @@ package ampi
 import (
 	"fmt"
 
+	"migflow/internal/comm"
 	"migflow/internal/converse"
 	"migflow/internal/core"
 	"migflow/internal/loadbalance"
@@ -75,16 +76,21 @@ func (j *Job) collectLoads(buf []loadbalance.Item) []loadbalance.Item {
 }
 
 // Rebalance is the runtime-driven balancing mode: called from
-// *outside* the job at a quiescent point, it plans over the measured
-// loads and moves ranks with forced (external) migration — no
-// MPI_Migrate call appears in the application at all. Ranks blocked
-// in Recv keep waiting on their new PE. The whole plan is issued as
-// ONE bulk batch (core.Machine.MigrateMany), so extraction on the
-// overloaded PEs overlaps installation on the underloaded ones. It
+// *outside* the job at a quiescent point (or by the Migrate gate's
+// driver), it plans over the measured loads and moves ranks with
+// forced migration — no MPI_Migrate call appears in the application
+// at all. One strategy serves both backends: ULT ranks move as
+// threads (stack images through the bulk pipeline), event ranks as
+// continuation records — the SAME core.Machine.MigrateMany batch
+// API, so a mixed runtime could balance both populations with one
+// plan. Ranks blocked in Recv keep waiting on their new PE. It
 // returns the number of ranks moved.
 func (j *Job) Rebalance(strategy loadbalance.Strategy) (int, error) {
 	if strategy == nil {
 		return 0, fmt.Errorf("ampi: Rebalance: nil strategy")
+	}
+	if j.ev != nil {
+		return j.rebalanceEvent(strategy)
 	}
 	buf := loadbalance.AcquireItems()
 	*buf = j.collectLoads(*buf)
@@ -114,6 +120,46 @@ func (j *Job) Rebalance(strategy loadbalance.Strategy) (int, error) {
 		rk.th.ResetCPUTime()
 	}
 	return moved, nil
+}
+
+// rebalanceEvent is the event-mode LB step: measure every live
+// rank's accumulated busy time (under its lock), plan, then commit —
+// ONE comm range-table batch (a single epoch bump re-arms the
+// deliver-side owner check), the engine's owner words and dispatch
+// charges, and one MigrateMany batch of ~180-byte continuation
+// records. The records' PUP round trips and network charges go
+// through exactly the machinery a thread move uses, minus eviction,
+// vmem imaging, and adoption.
+func (j *Job) rebalanceEvent(strategy loadbalance.Strategy) (int, error) {
+	e := j.ev
+	e.lbMu.Lock()
+	defer e.lbMu.Unlock()
+	if e.store() == nil {
+		return 0, nil // job already completed
+	}
+	buf := loadbalance.AcquireItems()
+	*buf = e.collectEventLoads(*buf)
+	plan := strategy.Plan(*buf, j.m.NumPEs())
+	loadbalance.ReleaseItems(buf)
+	var moves []core.Move
+	var rmoves []comm.RangeMove
+	// Walk ranks in order (plan map iteration is randomized) so the
+	// batch — and everything downstream of it — is deterministic.
+	for r := 0; r < e.size; r++ {
+		dest, ok := plan[uint64(e.idOf(r))]
+		if !ok {
+			continue
+		}
+		src := e.peOf(r)
+		if dest == src {
+			continue
+		}
+		rmoves = append(rmoves, comm.RangeMove{Index: r, To: dest})
+		moves = append(moves, core.Move{R: eventRecord{e, r}, Src: src, Dest: dest})
+	}
+	moved, err := e.applyMoves(moves, rmoves)
+	e.resetLoads()
+	return moved, err
 }
 
 // CommGraph returns the measured application traffic between ranks

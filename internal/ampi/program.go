@@ -29,7 +29,9 @@ import (
 	"migflow/internal/comm"
 	"migflow/internal/converse"
 	"migflow/internal/core"
+	"migflow/internal/loadbalance"
 	"migflow/internal/sdag"
+	"migflow/internal/vmem"
 )
 
 // Proc is one statement of a continuation program. Implementations
@@ -52,6 +54,17 @@ type backend interface {
 	recv(pc *PC, src, tag int, k func(*comm.Message))
 	// work charges ns nanoseconds of computation to the simulating PE.
 	work(pc *PC, ns float64)
+	// pe reports which simulating PE the rank currently runs on —
+	// placement-dependent by design (per-PE makespan accounting).
+	pe(pc *PC) int
+	// lbpoint parks the flow at the job's collective LB gate; the
+	// runtime resumes k after the rebalance, possibly on another PE.
+	lbpoint(pc *PC, k func())
+	// usestack models per-rank live frames: ULT ranks push and dirty
+	// a frame of n bytes (which every later migration must carry);
+	// event ranks have no stack, so it is a no-op — the asymmetry the
+	// migration-cost comparison measures.
+	usestack(pc *PC, n uint64)
 }
 
 // PC is one rank's program context: its identity, its predicted
@@ -86,6 +99,18 @@ func (pc *PC) Size() int { return pc.job.size }
 
 // VT returns the rank's predicted virtual time in nanoseconds.
 func (pc *PC) VT() float64 { return pc.vt }
+
+// PE returns the simulating PE the rank currently runs on. Unlike VT
+// it is placement-dependent — it changes when the rank migrates —
+// and exists precisely for per-PE accounting (a zone step charging
+// its busy time to the processor that executed it).
+func (pc *PC) PE() int { return pc.be.pe(pc) }
+
+// UseStack models the rank holding n bytes of live stack frames from
+// here on: ULT ranks really push and dirty the frame (so every later
+// migration ships it); event ranks keep nothing — a continuation has
+// no stack to carry. No effect on virtual time in either mode.
+func (pc *PC) UseStack(n uint64) { pc.be.usestack(pc, n) }
 
 // Work models ns nanoseconds of local computation: it advances the
 // rank's predicted time and charges the simulating PE.
@@ -284,6 +309,30 @@ func (wp waitallProc) run(pc *PC, k func()) {
 		})
 	}
 	step(0)
+}
+
+type migrateProc struct{ strategy loadbalance.Strategy }
+
+// Migrate is the program form of MPI_Migrate: a collective
+// load-balancing gate. EVERY rank must reach it (a program where
+// some rank exits first deadlocks, as in MPI). When the last rank
+// arrives the runtime — the Run/RunParallel driver, at quiescence —
+// measures per-rank loads, plans with strategy, moves ULT ranks as
+// threads and event ranks as ~180-byte continuation records through
+// the same core.Machine.MigrateMany batch, and resumes every rank on
+// its assigned PE. The gate sends no messages and never advances vt,
+// so predicted time stays bit-identical whether or not anything
+// moved.
+func Migrate(strategy loadbalance.Strategy) Proc {
+	if strategy == nil {
+		panic("ampi: Migrate: nil strategy")
+	}
+	return migrateProc{strategy}
+}
+
+func (mp migrateProc) run(pc *PC, k func()) {
+	pc.job.gateSetStrategy(mp.strategy)
+	pc.be.lbpoint(pc, k)
 }
 
 // Sendrecv is the halo-exchange primitive: an eager send followed by
@@ -622,6 +671,35 @@ func (b ultBE) recv(pc *PC, src, tag int, k func(*comm.Message)) {
 }
 
 func (b ultBE) work(pc *PC, ns float64) { b.r.ctx.Work(ns) }
+
+func (b ultBE) pe(pc *PC) int { return b.r.ctx.PE().Index }
+
+// lbpoint suspends the rank's thread at the gate; the driver's
+// serviceGate migrates it (as a suspended thread, via the ordinary
+// bulk path) and Awakens it on the destination.
+func (b ultBE) lbpoint(pc *PC, k func()) {
+	pc.job.gateArrive()
+	b.r.ctx.Suspend()
+	k()
+}
+
+func (b ultBE) usestack(pc *PC, n uint64) {
+	if n == 0 {
+		return
+	}
+	frame, err := b.r.ctx.PushFrame(n)
+	if err != nil {
+		panic(fmt.Sprintf("ampi: rank %d UseStack(%d): %v", pc.rank, n, err))
+	}
+	// Dirty one word per page so the frame is live data the stack
+	// strategy must actually move, not just reserved address space.
+	space := b.r.ctx.Space()
+	for off := uint64(0); off+8 <= n; off += vmem.PageSize {
+		if err := space.WriteUint64(frame.Add(off), off); err != nil {
+			panic(fmt.Sprintf("ampi: rank %d UseStack dirty: %v", pc.rank, err))
+		}
+	}
+}
 
 // senderOf maps a message's From identity back to its rank.
 func (j *Job) senderOf(from comm.EntityID) int {

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+
+	"migflow/internal/loadbalance"
 )
 
 // mixState is the per-rank Local state the randomized mix and the
@@ -96,7 +98,10 @@ func TestJacobiModesAgree(t *testing.T) {
 // pairs, and local work. Every rank folds everything it observes into
 // an accumulator and writes it to sink[rank] at the end, so two runs
 // agree iff every received value and every reduction agreed.
-func buildMix(seed int64, size, phases int, sink []float64) Proc {
+// gates, when non-nil, inserts a Migrate LB gate after each phase
+// index present in the map (the migration-equivalence property test's
+// randomized migration schedule).
+func buildMix(seed int64, size, phases int, sink []float64, gates map[int]loadbalance.Strategy) Proc {
 	rng := rand.New(rand.NewSource(seed))
 	acc := func(pc *PC, v float64) {
 		st := pc.Local.(*mixState)
@@ -184,6 +189,9 @@ func buildMix(seed int64, size, phases int, sink []float64) Proc {
 				)
 			}))
 		}
+		if s, ok := gates[p]; ok {
+			ps = append(ps, Migrate(s))
+		}
 	}
 	ps = append(ps, Do(func(pc *PC) {
 		sink[pc.rank] = pc.Local.(*mixState).x
@@ -224,7 +232,7 @@ func TestCrossBackendEquivalence(t *testing.T) {
 				sink := make([]float64, size)
 				o := opts
 				o.Mode = mode
-				job, err := NewProgram(m, size, o, buildMix(seed, size, phases, sink))
+				job, err := NewProgram(m, size, o, buildMix(seed, size, phases, sink, nil))
 				if err != nil {
 					t.Fatalf("NewProgram(%s): %v", mode, err)
 				}
@@ -406,7 +414,7 @@ func TestEventFootprintReleased(t *testing.T) {
 	if got := m.NumEntityRanges(); got != 0 {
 		t.Fatalf("after completion %d entity ranges remain, want 0", got)
 	}
-	if job.ev.ranks != nil {
+	if job.ev.store() != nil {
 		t.Fatal("after completion the contiguous store was not released")
 	}
 	// VT results must survive the release.

@@ -37,13 +37,16 @@ import (
 // location-independently.
 type EntityID uint64
 
-// PinnedEntity is an EntityID bit marking an entity that never
-// migrates (event-mode AMPI ranks: millions of small state structs
-// pinned to their birth PE). Sends to a pinned entity skip the
-// per-endpoint location cache entirely — the authoritative directory
-// lookup Send already performs is the final answer — so first contact
-// with each of a million ranks does not clone a million-entry cache
-// map per sender, and MigrateEntity refuses to move one.
+// PinnedEntity is an EntityID bit marking a *directly addressed*
+// entity (event-mode AMPI ranks: millions of small state structs in
+// dense ID blocks). Sends to one skip the per-endpoint location cache
+// entirely — the authoritative lookup Send already performs is the
+// final answer — so first contact with each of a million ranks does
+// not clone a million-entry cache map per sender. Such entities live
+// in range location tables (RegisterRange) where a lookup is O(1)
+// array arithmetic, and they migrate through batched MoveRangeBatch
+// updates (one epoch bump per LB step), never through the per-entity
+// MigrateEntity path — which still refuses them.
 const PinnedEntity EntityID = 1 << 63
 
 // Pinned reports whether id carries the PinnedEntity bit.
@@ -102,11 +105,45 @@ type locShard struct {
 	m  atomic.Pointer[map[EntityID]int]
 }
 
+// rangeLoc is one dense ID block's location table: entity base+i
+// lives on PE pes[i]. Lookups are array arithmetic (no map, no lock);
+// entries are atomics so a batched LB-step update (MoveRangeBatch)
+// publishes new locations without cloning a million-entry structure —
+// the clone-per-batch COW discipline of the shard maps would move
+// megabytes per deregistration batch at event-job scale. A negative
+// entry is a tombstone (deregistered entity). epoch counts completed
+// move batches; receivers use it as the "has anything ever moved"
+// fast check before comparing per-entity locations.
+type rangeLoc struct {
+	base  EntityID
+	pes   []atomic.Int32
+	live  atomic.Int64
+	epoch atomic.Uint64
+}
+
+func (rl *rangeLoc) contains(id EntityID) bool {
+	return id >= rl.base && id < rl.base+EntityID(len(rl.pes))
+}
+
+// RangeMove is one entry of a batched range-table update: entity
+// base+Index moves to PE To.
+type RangeMove struct {
+	Index int
+	To    int
+}
+
 // Network connects NumPEs endpoints through a directory.
 type Network struct {
 	lat       LatencyModel
 	endpoints []*Endpoint
 	shards    [locShards]locShard
+
+	// ranges holds the dense range location tables (COW slice of
+	// pointers: the slice is rewritten under rangesMu when a table is
+	// added or removed — rare — while the tables' entries themselves
+	// mutate in place through atomics).
+	rangesMu sync.Mutex
+	ranges   atomic.Pointer[[]*rangeLoc]
 
 	// stats
 	sent     atomic.Uint64
@@ -251,10 +288,29 @@ func (n *Network) RegisterBatch(base EntityID, pes []int) error {
 
 // DeregisterBatch removes a set of entities, cloning each directory
 // shard at most once (the exit path of a finished event-mode job).
-// Unregistered ids are ignored.
+// Ids living in range tables are tombstoned in place — no clone at
+// all. Unregistered ids are ignored.
 func (n *Network) DeregisterBatch(ids []EntityID) {
 	if len(ids) == 0 {
 		return
+	}
+	if n.ranges.Load() != nil {
+		inShards := ids[:0:0]
+		for _, id := range ids {
+			if rl := n.rangeOf(id); rl != nil {
+				i := int(id - rl.base)
+				if rl.pes[i].Load() >= 0 {
+					rl.pes[i].Store(-1)
+					rl.live.Add(-1)
+				}
+				continue
+			}
+			inShards = append(inShards, id)
+		}
+		if len(inShards) == 0 {
+			return
+		}
+		ids = inShards
 	}
 	for si := range n.shards {
 		n.shards[si].mu.Lock()
@@ -289,9 +345,10 @@ func (n *Network) DeregisterBatch(ids []EntityID) {
 	}
 }
 
-// NumEntities returns how many entities are currently registered — a
-// footprint diagnostic: a completed job should leave the directory at
-// its pre-job size.
+// NumEntities returns how many entities are currently registered
+// (shard maps plus live range-table entries) — a footprint
+// diagnostic: a completed job should leave the directory at its
+// pre-job size.
 func (n *Network) NumEntities() int {
 	total := 0
 	for si := range n.shards {
@@ -299,7 +356,119 @@ func (n *Network) NumEntities() int {
 			total += len(*m)
 		}
 	}
+	if rs := n.ranges.Load(); rs != nil {
+		for _, rl := range *rs {
+			total += int(rl.live.Load())
+		}
+	}
 	return total
+}
+
+// rangeOf returns the range table containing id, or nil. One atomic
+// load when no tables exist (every non-event workload).
+func (n *Network) rangeOf(id EntityID) *rangeLoc {
+	if rs := n.ranges.Load(); rs != nil {
+		for _, rl := range *rs {
+			if rl.contains(id) {
+				return rl
+			}
+		}
+	}
+	return nil
+}
+
+// RegisterRange places the dense entity block base..base+len(pes)-1
+// in a new range location table: entity base+i lives on PE pes[i].
+// Compared with RegisterBatch's shard maps, a range table costs 4
+// bytes per entity, locates with array arithmetic instead of a map
+// probe, and — the point — supports batched location updates, so
+// range entities are migratable. The block must not overlap an
+// existing range; ids also present in the shard maps would shadow the
+// range (shards are consulted first) and are the caller's mistake.
+func (n *Network) RegisterRange(base EntityID, pes []int) error {
+	if len(pes) == 0 {
+		return fmt.Errorf("comm: RegisterRange(%d): empty range", base)
+	}
+	for i, pe := range pes {
+		if pe < 0 || pe >= len(n.endpoints) {
+			return fmt.Errorf("comm: RegisterRange(%d+%d): PE %d out of range", base, i, pe)
+		}
+	}
+	rl := &rangeLoc{base: base, pes: make([]atomic.Int32, len(pes))}
+	for i, pe := range pes {
+		rl.pes[i].Store(int32(pe))
+	}
+	rl.live.Store(int64(len(pes)))
+	n.rangesMu.Lock()
+	defer n.rangesMu.Unlock()
+	var next []*rangeLoc
+	if old := n.ranges.Load(); old != nil {
+		for _, r := range *old {
+			if base < r.base+EntityID(len(r.pes)) && r.base < base+EntityID(len(pes)) {
+				return fmt.Errorf("comm: RegisterRange(%d, %d entities) overlaps existing range at %d", base, len(pes), r.base)
+			}
+		}
+		next = append(next, *old...)
+	}
+	next = append(next, rl)
+	n.ranges.Store(&next)
+	return nil
+}
+
+// MoveRangeBatch applies one load-balancing step's moves to a range
+// table: entity base+Index now lives on PE To. The whole batch is one
+// epoch — per-entity atomic stores followed by a single epoch bump —
+// so a million-rank LB step updates the directory in one linear pass
+// with no allocation, and unmoved entities keep their O(1) lookups.
+// Senders that routed a message before its entry was updated cost one
+// forwarding hop (Endpoint.Forward), exactly like a stale cache.
+func (n *Network) MoveRangeBatch(base EntityID, moves []RangeMove) error {
+	rl := n.rangeOf(base)
+	if rl == nil {
+		return fmt.Errorf("comm: MoveRangeBatch(%d): no such range", base)
+	}
+	for _, mv := range moves {
+		if mv.Index < 0 || mv.Index >= len(rl.pes) {
+			return fmt.Errorf("comm: MoveRangeBatch(%d): index %d outside range of %d", base, mv.Index, len(rl.pes))
+		}
+		if mv.To < 0 || mv.To >= len(n.endpoints) {
+			return fmt.Errorf("comm: MoveRangeBatch(%d): PE %d out of range", base, mv.To)
+		}
+		if rl.pes[mv.Index].Load() < 0 {
+			return fmt.Errorf("comm: MoveRangeBatch(%d): entity %d is deregistered", base, mv.Index)
+		}
+	}
+	for _, mv := range moves {
+		rl.pes[mv.Index].Store(int32(mv.To))
+	}
+	rl.epoch.Add(1)
+	return nil
+}
+
+// RangeEpoch returns how many MoveRangeBatch updates the range at
+// base has completed (0 for an unknown base: nothing ever moved).
+func (n *Network) RangeEpoch(base EntityID) uint64 {
+	if rl := n.rangeOf(base); rl != nil {
+		return rl.epoch.Load()
+	}
+	return 0
+}
+
+// DeregisterRange removes the whole range table registered at base.
+func (n *Network) DeregisterRange(base EntityID) {
+	n.rangesMu.Lock()
+	defer n.rangesMu.Unlock()
+	old := n.ranges.Load()
+	if old == nil {
+		return
+	}
+	next := make([]*rangeLoc, 0, len(*old))
+	for _, r := range *old {
+		if r.base != base {
+			next = append(next, r)
+		}
+	}
+	n.ranges.Store(&next)
 }
 
 // store clones the shard map with id set to pe. Caller holds s.mu.
@@ -319,11 +488,18 @@ func (s *locShard) store(id EntityID, pe int) {
 }
 
 // Locate returns the authoritative location of id. It takes no lock:
-// one atomic load of the entity's directory shard plus a map probe.
+// one atomic load of the entity's directory shard plus a map probe,
+// or — for range-table entities — one atomic table load plus array
+// arithmetic.
 func (n *Network) Locate(id EntityID) (int, error) {
 	if m := n.shard(id).m.Load(); m != nil {
 		if pe, ok := (*m)[id]; ok {
 			return pe, nil
+		}
+	}
+	if rl := n.rangeOf(id); rl != nil {
+		if pe := rl.pes[id-rl.base].Load(); pe >= 0 {
+			return int(pe), nil
 		}
 	}
 	return 0, fmt.Errorf("comm: entity %d is not registered", id)
@@ -445,10 +621,12 @@ func (e *Endpoint) Send(msg *Message) error {
 	e.net.bytes.Add(uint64(len(msg.Data)))
 
 	if msg.To.Pinned() {
-		// Pinned entities never move: the authoritative lookup above is
-		// final, so skip the location cache on both the read and write
-		// side. A million-rank event job neither consults nor grows any
-		// sender's cache.
+		// Directly addressed entities: the authoritative range-table
+		// lookup above is O(1) and current as of this instant, so skip
+		// the location cache on both the read and write side. A
+		// million-rank event job neither consults nor grows any sender's
+		// cache. If the entity moves while this message is in flight,
+		// the receiver's owner check catches it and Forward chases.
 		msg.Hops++
 		msg.Arrival = msg.SendTime + e.net.lat.Cost(len(msg.Data))
 		e.net.endpoints[actual].deliver(msg)
@@ -484,6 +662,22 @@ func (e *Endpoint) forward(msg *Message, to int) error {
 	msg.Arrival = msg.SendTime + e.net.lat.Cost(len(msg.Data))
 	e.net.endpoints[to].deliver(msg)
 	return nil
+}
+
+// Forward re-routes a message this PE received for an entity that no
+// longer lives here — the receive-side half of migration with
+// messages in flight. It costs one forwarding hop (the message leaves
+// again at its arrival time) and counts as a forward, not a fresh
+// send, so migrated and unmigrated runs of the same program report
+// identical sent counts.
+func (e *Endpoint) Forward(msg *Message) error {
+	actual, err := e.net.Locate(msg.To)
+	if err != nil {
+		return err
+	}
+	e.net.forwards.Add(1)
+	msg.SendTime = msg.Arrival
+	return e.forward(msg, actual)
 }
 
 // deliver appends msg to the inbox and wakes any waiter.

@@ -315,21 +315,26 @@ func (m *Machine) migrateThread(t *converse.Thread, src, dest int) error {
 	if err != nil {
 		return err
 	}
-	return m.finishMigration(t, src, dest, nbytes)
+	return m.finishMigration(comm.EntityID(t.ID()), src, dest, nbytes)
 }
 
 // finishMigration is the machine-level bookkeeping shared by every
-// migration path (self-initiated, external, bulk): the image crossed
-// the network, so charge the postal model and synchronize the
-// destination clock, forward the thread's communication endpoint if
-// registered, and account stats and trace events.
-func (m *Machine) finishMigration(t *converse.Thread, src, dest, nbytes int) error {
+// migration path (self-initiated, external, bulk, record): the image
+// crossed the network, so charge the postal model and synchronize the
+// destination clock, forward the flow's communication endpoint if
+// registered, and account stats and trace events. Directly addressed
+// (pinned) ids live in range location tables whose entries the owning
+// engine updates in one batch per LB step — the per-entity
+// MigrateEntity path would refuse them, and is skipped.
+func (m *Machine) finishMigration(id comm.EntityID, src, dest, nbytes int) error {
 	cost := m.net.Latency().Cost(nbytes)
 	arrive := m.pes[src].Clock.Now() + cost
 	m.pes[dest].Clock.AdvanceTo(arrive)
-	if _, err := m.net.Locate(comm.EntityID(t.ID())); err == nil {
-		if err := m.net.MigrateEntity(comm.EntityID(t.ID()), dest); err != nil {
-			return err
+	if !id.Pinned() {
+		if _, err := m.net.Locate(id); err == nil {
+			if err := m.net.MigrateEntity(id, dest); err != nil {
+				return err
+			}
 		}
 	}
 	m.mu.Lock()
@@ -338,8 +343,8 @@ func (m *Machine) finishMigration(t *converse.Thread, src, dest, nbytes int) err
 	tlog := m.tlog
 	m.mu.Unlock()
 	if tlog != nil {
-		tlog.Record(trace.Event{TimeNs: m.pes[src].Clock.Now(), PE: src, Kind: trace.EvMigrateOut, Thread: uint64(t.ID()), Arg: uint64(dest)})
-		tlog.Record(trace.Event{TimeNs: arrive, PE: dest, Kind: trace.EvMigrateIn, Thread: uint64(t.ID()), Arg: uint64(nbytes)})
+		tlog.Record(trace.Event{TimeNs: m.pes[src].Clock.Now(), PE: src, Kind: trace.EvMigrateOut, Thread: uint64(id), Arg: uint64(dest)})
+		tlog.Record(trace.Event{TimeNs: arrive, PE: dest, Kind: trace.EvMigrateIn, Thread: uint64(id), Arg: uint64(nbytes)})
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"migflow/internal/comm"
 	"migflow/internal/migrate"
 )
 
@@ -66,7 +67,7 @@ func (m *Machine) stealInto(thief int, rng *rand.Rand) bool {
 			if err != nil {
 				panic(fmt.Sprintf("core: stealing thread %d from PE %d to %d: %v", t.ID(), victim, thief, err))
 			}
-			if err := m.finishMigration(t, victim, thief, nbytes); err != nil {
+			if err := m.finishMigration(comm.EntityID(t.ID()), victim, thief, nbytes); err != nil {
 				panic(fmt.Sprintf("core: stealing thread %d from PE %d to %d: %v", t.ID(), victim, thief, err))
 			}
 		}

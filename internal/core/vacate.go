@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"migflow/internal/comm"
 	"migflow/internal/converse"
 	"migflow/internal/migrate"
 )
@@ -25,12 +26,16 @@ func (m *Machine) MigrateExternal(t *converse.Thread, dest int) error {
 	if err != nil {
 		return err
 	}
-	return m.finishMigration(t, src.Index, dest, nbytes)
+	return m.finishMigration(comm.EntityID(t.ID()), src.Index, dest, nbytes)
 }
 
-// Move is one entry in a batch migration: thread T goes to PE Dest.
+// Move is one entry in a batch migration: thread T — or record R,
+// when non-nil — goes to PE Dest. Record moves also name their source
+// PE in Src (a thread's source is its scheduler; a record has none).
 type Move struct {
 	T    *converse.Thread
+	R    migrate.Record
+	Src  int
 	Dest int
 }
 
@@ -47,6 +52,16 @@ func (m *Machine) MigrateMany(moves []Move) (int, error) {
 	for _, mv := range moves {
 		if mv.Dest < 0 || mv.Dest >= len(m.pes) {
 			return 0, fmt.Errorf("core: MigrateMany: PE %d out of range", mv.Dest)
+		}
+		if mv.R != nil {
+			if mv.Src < 0 || mv.Src >= len(m.pes) {
+				return 0, fmt.Errorf("core: MigrateMany: record %d source PE %d out of range", mv.R.ID(), mv.Src)
+			}
+			if mv.Src == mv.Dest {
+				continue
+			}
+			ops = append(ops, migrate.Op{R: mv.R, Src: m.pes[mv.Src], Dst: m.pes[mv.Dest]})
+			continue
 		}
 		src := mv.T.Scheduler().PE()
 		if src.Index == mv.Dest {
@@ -67,11 +82,11 @@ func (m *Machine) MigrateMany(moves []Move) (int, error) {
 				continue
 			}
 			if firstErr == nil {
-				firstErr = fmt.Errorf("core: MigrateMany: thread %d: %w", ops[i].T.ID(), res.Err)
+				firstErr = fmt.Errorf("core: MigrateMany: flow %d: %w", opFlowID(ops[i]), res.Err)
 			}
 			continue
 		}
-		if err := m.finishMigration(ops[i].T, ops[i].Src.Index, ops[i].Dst.Index, res.Bytes); err != nil {
+		if err := m.finishMigration(opFlowID(ops[i]), ops[i].Src.Index, ops[i].Dst.Index, res.Bytes); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -80,6 +95,15 @@ func (m *Machine) MigrateMany(moves []Move) (int, error) {
 		moved++
 	}
 	return moved, firstErr
+}
+
+// opFlowID names an op's flow: the record's entity id or the thread's
+// id (thread ids double as entity ids throughout the runtime).
+func opFlowID(op migrate.Op) comm.EntityID {
+	if op.R != nil {
+		return comm.EntityID(op.R.ID())
+	}
+	return comm.EntityID(op.T.ID())
 }
 
 // Vacate evacuates every thread from PE pe in one bulk batch,

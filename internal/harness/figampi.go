@@ -23,13 +23,16 @@ type JacobiModePoint struct {
 // rather than BigSim: what does it cost to give every MPI rank a
 // user-level thread (stack + scheduler slot) versus an event-driven
 // continuation record?
-func JacobiBackend(w io.Writer, ranks, iters int, peCounts []int, mode string) error {
+// migrateAt > 0 inserts one collective LB gate after that iteration
+// (ULT ranks move as threads, event ranks as continuation records)
+// and adds a moved-ranks column.
+func JacobiBackend(w io.Writer, ranks, iters int, peCounts []int, mode string, migrateAt int) error {
 	flowDesc := "one ULT each"
 	if mode == ampi.ModeEvent {
 		flowDesc = "continuation records"
 	}
 	fmt.Fprintf(w, "AMPI Jacobi: wall time per iteration (%d ranks, %s)\n", ranks, flowDesc)
-	fmt.Fprintf(w, "%8s %10s %14s %14s\n", "simPEs", "ranks/PE", "step(ms)", "predicted(ms)")
+	fmt.Fprintf(w, "%8s %10s %14s %14s %8s\n", "simPEs", "ranks/PE", "step(ms)", "predicted(ms)", "moved")
 	for _, p := range peCounts {
 		if p > ranks {
 			break
@@ -37,14 +40,24 @@ func JacobiBackend(w io.Writer, ranks, iters int, peCounts []int, mode string) e
 		res, err := ampi.RunJacobi(ampi.JacobiConfig{
 			Ranks: ranks, Iters: iters, PEs: p, Mode: mode,
 			ReduceEvery: 4, BlockPlacement: true,
+			MigrateAt: migrateAt, WorkSkew: skewFor(migrateAt),
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%8d %10d %14.3f %14.3f\n",
-			p, ranks/p, res.StepWallNs/1e6, res.PredictedNs/1e6)
+		fmt.Fprintf(w, "%8d %10d %14.3f %14.3f %8d\n",
+			p, ranks/p, res.StepWallNs/1e6, res.PredictedNs/1e6, res.Moved)
 	}
 	return nil
+}
+
+// skewFor enables a deterministic per-rank work gradient whenever a
+// migration gate is requested, so the balancer has imbalance to fix.
+func skewFor(migrateAt int) float64 {
+	if migrateAt > 0 {
+		return 2
+	}
+	return 0
 }
 
 // JacobiMode is the flows A/B applied to AMPI: every simulating-PE
@@ -52,7 +65,10 @@ func JacobiBackend(w io.Writer, ranks, iters int, peCounts []int, mode string) e
 // predicted target time is checked bit-identical between them (the
 // flow mechanism must be invisible to the simulated program), and the
 // table gains a ULT-vs-event column pair.
-func JacobiMode(w io.Writer, ranks, iters int, peCounts []int) ([]JacobiModePoint, error) {
+// migrateAt > 0 adds the same LB gate to both backends; the
+// prediction stays bit-identical because migration never touches
+// virtual time.
+func JacobiMode(w io.Writer, ranks, iters int, peCounts []int, migrateAt int) ([]JacobiModePoint, error) {
 	fmt.Fprintf(w, "AMPI Jacobi (flows A/B): ULT vs event-driven ranks (%d ranks, %d iterations)\n", ranks, iters)
 	fmt.Fprintf(w, "%8s %10s %14s %14s %10s %14s\n",
 		"simPEs", "ranks/PE", "ult/step(ms)", "event/step(ms)", "ult/event", "predicted(ms)")
@@ -65,6 +81,7 @@ func JacobiMode(w io.Writer, ranks, iters int, peCounts []int) ([]JacobiModePoin
 			return ampi.RunJacobi(ampi.JacobiConfig{
 				Ranks: ranks, Iters: iters, PEs: p, Mode: mode,
 				ReduceEvery: 4, BlockPlacement: true,
+				MigrateAt: migrateAt, WorkSkew: skewFor(migrateAt),
 			})
 		}
 		ult, err := run(ampi.ModeULT)

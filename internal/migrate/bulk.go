@@ -11,11 +11,29 @@ import (
 	"migflow/internal/swapglobal"
 )
 
-// Op is one thread move in a bulk migration: thread t leaves Src for
-// Dst. The thread must be Ready or Suspended (not Running) — the same
-// contract as MigrateExternal.
+// Record is a migratable flow that is NOT a thread: a compact,
+// self-describing state record (an event-mode AMPI continuation, ~180
+// bytes) that serializes and reinstates itself. Unlike a thread, a
+// record has no stack, heap, or scheduler entry — Extract/Install ARE
+// the whole migration, so the bulk pipeline skips eviction, vmem
+// image validation, and adoption entirely.
+type Record interface {
+	// ID names the record (its comm entity id) for error reporting.
+	ID() uint64
+	// Extract serializes the record's migratable state into p.
+	Extract(p *pup.PUPer) error
+	// Install overwrites the record's state from a prior Extract's
+	// bytes, completing the move.
+	Install(data []byte) error
+}
+
+// Op is one move in a bulk migration: thread T (or record R, when
+// non-nil) leaves Src for Dst. A thread must be Ready or Suspended
+// (not Running) — the same contract as MigrateExternal. Exactly one
+// of T and R is set.
 type Op struct {
 	T   *converse.Thread
+	R   Record
 	Src *converse.PE
 	Dst *converse.PE
 }
@@ -84,9 +102,18 @@ func BulkMigrate(ops []Op, layout *swapglobal.Layout, workers int) []Result {
 
 	// packOne evicts op i and serializes its image into p (which must
 	// be empty). It reports whether the thread was suspended; on error
-	// it fills results[i] and returns false, false.
+	// it fills results[i] and returns false, false. Record ops skip
+	// eviction: a record is not scheduled, and its Extract is
+	// internally synchronized against deliveries.
 	packOne := func(i int, p *pup.PUPer) (suspended, ok bool) {
 		op := ops[i]
+		if op.R != nil {
+			if err := op.R.Extract(p); err != nil {
+				results[i].Err = err
+				return false, false
+			}
+			return false, true
+		}
 		wasSuspended, err := op.Src.Sched.Evict(op.T)
 		if err != nil {
 			results[i].Err = err
@@ -108,6 +135,14 @@ func BulkMigrate(ops []Op, layout *swapglobal.Layout, workers int) []Result {
 	// the thread over, filling results[i] either way.
 	installOne := func(i int, data []byte, suspended bool) {
 		op := ops[i]
+		if op.R != nil {
+			if err := op.R.Install(data); err != nil {
+				results[i].Err = fmt.Errorf("migrate: bulk install of record %d: %w", op.R.ID(), err)
+				return
+			}
+			results[i].Bytes = len(data)
+			return
+		}
 		var im ThreadImage
 		if err := pup.Unpack(data, &im); err != nil {
 			results[i].Err = fmt.Errorf("migrate: bulk unpack of thread %d: %w", op.T.ID(), err)

@@ -71,6 +71,8 @@ func ClassByName(name string) (Class, error) {
 		return SPClassA, nil
 	case "LU-A":
 		return LUClassA, nil
+	case "Z4K":
+		return ClassZ4K, nil
 	}
 	return Class{}, fmt.Errorf("npb: unknown class %q", name)
 }
@@ -164,6 +166,14 @@ type Params struct {
 	NProcs int // AMPI ranks
 	NPEs   int // physical processors
 	Steps  int // solver timesteps
+	// Mode selects the execution path: "" is the legacy thread job
+	// (NewJob rank bodies, byte-identical to prior releases);
+	// ampi.ModeULT and ampi.ModeEvent run the same zone step as a
+	// continuation Program on the respective flow backend. Program
+	// mode is what reaches 10^5+ zones: each zone-rank is then a
+	// ~180-byte record instead of a stack. Incompatible with
+	// Steal/Aggregate/Trace.
+	Mode string
 	// LB, when non-nil, triggers MPI_Migrate with this strategy after
 	// the warm-up step.
 	LB loadbalance.Strategy
@@ -208,9 +218,14 @@ type Params struct {
 // time for steal-mode runs.
 const DefaultSpinScale = 50
 
-// Label renders the paper's case naming ("A.8,4PE").
+// Label renders the paper's case naming ("A.8,4PE"), suffixed with
+// the flow mode for program-mode runs ("Z4K.4096,8PE/event").
 func (p Params) Label() string {
-	return fmt.Sprintf("%s.%d,%dPE", p.Class.Name, p.NProcs, p.NPEs)
+	l := fmt.Sprintf("%s.%d,%dPE", p.Class.Name, p.NProcs, p.NPEs)
+	if p.Mode != "" {
+		l += "/" + p.Mode
+	}
+	return l
 }
 
 // Result is one benchmark execution.
@@ -221,12 +236,17 @@ type Result struct {
 	// (reflecting where each rank was at that moment, i.e. the
 	// migrations), plus halo-exchange latency, plus the one-time
 	// migration transfer cost.
-	TimeNs     float64
-	CommNs     float64   // halo-exchange component of TimeNs
+	TimeNs float64
+	// PredictedNs is the program-mode virtual-time makespan (max rank
+	// VT) — placement-invariant, so it is bit-identical across modes
+	// and across LB decisions (zero in legacy mode, which has no VT).
+	PredictedNs float64
+	CommNs      float64   // halo-exchange component of TimeNs
 	PELoads    []float64 // measured per-PE work (current placement)
 	Imbalance  float64   // max/avg of PELoads
-	Migrations uint64
-	MovedRanks int
+	Migrations    uint64
+	MigratedBytes uint64
+	MovedRanks    int
 	// Envelopes/AggPayloads report the streaming-aggregation traffic
 	// (zero unless Params.Aggregate).
 	Envelopes   uint64
@@ -252,6 +272,9 @@ func Run(p Params) (*Result, error) {
 	}
 	if p.HaloBytes == 0 {
 		p.HaloBytes = 4096
+	}
+	if p.Mode != "" {
+		return runProgram(p)
 	}
 	layout := swapglobal.NewLayout()
 	layout.Declare("step", 8) // the solver's "global" iteration counter
@@ -460,9 +483,10 @@ func Run(p Params) (*Result, error) {
 		TimeNs:      total,
 		CommNs:      commTotal,
 		PELoads:     loads,
-		Imbalance:   loadbalance.Imbalance(loads),
-		Migrations:  migs,
-		MovedRanks:  moved,
+		Imbalance:     loadbalance.Imbalance(loads),
+		Migrations:    migs,
+		MigratedBytes: migBytes,
+		MovedRanks:    moved,
 		Envelopes:   envelopes,
 		AggPayloads: payloads,
 		Steals:      m.StealStats(),

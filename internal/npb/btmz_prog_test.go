@@ -1,0 +1,115 @@
+package npb
+
+import (
+	"math"
+	"testing"
+
+	"migflow/internal/ampi"
+	"migflow/internal/loadbalance"
+)
+
+// TestProgramModesAgree: the shared step body interpreted by threads
+// and by event records must predict bit-identical makespans — both
+// the placement-derived TimeNs (no LB, so placements coincide) and
+// the placement-invariant PredictedNs.
+func TestProgramModesAgree(t *testing.T) {
+	for _, base := range []Params{
+		{Class: ClassA, NProcs: 8, NPEs: 4, Steps: 6},
+		{Class: ClassB, NProcs: 64, NPEs: 8, Steps: 4},
+		{Class: ClassZ4K, NProcs: 512, NPEs: 8, Steps: 3},
+	} {
+		p := base
+		p.Mode = ampi.ModeULT
+		ult, err := Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label(), err)
+		}
+		p.Mode = ampi.ModeEvent
+		ev, err := Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label(), err)
+		}
+		if math.Float64bits(ult.TimeNs) != math.Float64bits(ev.TimeNs) {
+			t.Errorf("%s: TimeNs diverged: ult %v, event %v", base.Label(), ult.TimeNs, ev.TimeNs)
+		}
+		if math.Float64bits(ult.PredictedNs) != math.Float64bits(ev.PredictedNs) {
+			t.Errorf("%s: PredictedNs diverged: ult %v, event %v", base.Label(), ult.PredictedNs, ev.PredictedNs)
+		}
+		if ult.PredictedNs == 0 {
+			t.Errorf("%s: program mode reported zero predicted makespan", base.Label())
+		}
+	}
+}
+
+// TestProgramPredictedInvariantUnderLB: PredictedNs is virtual time,
+// so even when the two modes' LB gates move different ranks (thread
+// loads are measured CPU, event loads are modeled busy-ns), the
+// predicted makespan must not budge — and must match the ungated run.
+func TestProgramPredictedInvariantUnderLB(t *testing.T) {
+	base := Params{Class: ClassZ4K, NProcs: 256, NPEs: 8, Steps: 4, Mode: ampi.ModeEvent}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{ampi.ModeULT, ampi.ModeEvent} {
+		p := base
+		p.Mode = mode
+		p.LB = loadbalance.GreedyLB{}
+		got, err := Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label(), err)
+		}
+		if got.MovedRanks == 0 {
+			t.Errorf("%s: skewed zones + greedy gate moved nothing", p.Label())
+		}
+		if math.Float64bits(got.PredictedNs) != math.Float64bits(ref.PredictedNs) {
+			t.Errorf("%s: LB changed PredictedNs: %v vs %v", p.Label(), got.PredictedNs, ref.PredictedNs)
+		}
+	}
+}
+
+// TestEventLBImprovesSkewedMakespan is the acceptance run shrunk to
+// CI scale: the skewed 4,096-zone class, one zone per event rank, LB
+// gate after the measurement step. Block placement concentrates the
+// graded (large) zones on the last PEs, so the balancer has real
+// imbalance to fix and TimeNs must drop.
+func TestEventLBImprovesSkewedMakespan(t *testing.T) {
+	base := Params{Class: ClassZ4K, NProcs: ClassZ4K.NumZones(), NPEs: 8, Steps: 4, Mode: ampi.ModeEvent}
+	before, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := base
+	p.LB = loadbalance.GreedyLB{}
+	after, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.MovedRanks == 0 {
+		t.Fatal("LB gate moved nothing on the skewed class")
+	}
+	if after.TimeNs >= before.TimeNs {
+		t.Fatalf("LB did not improve makespan: %.0f → %.0f ns", before.TimeNs, after.TimeNs)
+	}
+	if after.Imbalance >= before.Imbalance {
+		t.Fatalf("LB did not improve imbalance: %.3f → %.3f", before.Imbalance, after.Imbalance)
+	}
+	// Moving a zone cost a record, not a stack: the whole 4,096-rank
+	// reshuffle must stay in hundreds of bytes per rank.
+	if per := float64(after.Migrations) / float64(after.MovedRanks); per != 1 {
+		t.Fatalf("migration count %v != moved ranks %v", after.Migrations, after.MovedRanks)
+	}
+	t.Logf("skewed %s: %.2f ms → %.2f ms (moved %d ranks, imbalance %.3f → %.3f)",
+		p.Label(), before.TimeNs/1e6, after.TimeNs/1e6, after.MovedRanks, before.Imbalance, after.Imbalance)
+}
+
+// TestProgramModeRejectsBadCombos: mode validation happens before any
+// machine is built.
+func TestProgramModeRejectsBadCombos(t *testing.T) {
+	if _, err := Run(Params{Class: ClassA, NProcs: 8, NPEs: 4, Mode: "fiber"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := Run(Params{Class: ClassA, NProcs: 8, NPEs: 4, Mode: ampi.ModeEvent, Steal: true}); err == nil {
+		t.Error("event mode + Steal accepted")
+	}
+}
