@@ -31,8 +31,11 @@ bench: bench-collectives bench-lb bench-bigsim
 	$(GO) run ./cmd/benchjson < bench_migrate_output.txt > BENCH_migrate.json
 
 # Collectives + aggregation A/B: flat vs tree barrier/allreduce at
-# P ∈ {8,64,256}, and per-message vs aggregated ghost/boundary
-# exchange (vns/op columns are modeled virtual time).
+# P ∈ {8,64,256}, rank-order vs topology-aware spanning trees (hops
+# columns count torus hops crossed by tree edges), the BT-MZ
+# split-phase overlap A/B (off-ms/on-ms makespans per flow backend),
+# and per-message vs aggregated ghost/boundary exchange (vns/op
+# columns are modeled virtual time).
 bench-collectives:
 	$(GO) test -bench 'BenchmarkColl|BenchmarkAgg|BenchmarkGhost|BenchmarkBTMZ' -benchmem -run '^$$' $(BENCHFLAGS) \
 		./internal/ampi/ ./internal/comm/ ./internal/bigsim/ ./internal/npb/ | tee bench_collectives_output.txt

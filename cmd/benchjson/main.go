@@ -15,8 +15,9 @@ import (
 )
 
 // Result is one benchmark line's numbers. Custom metrics reported via
-// b.ReportMetric (e.g. "vns/op", modeled virtual ns per collective, or
-// "B/flow", resident bytes per BigSim target flow) land in Extra keyed
+// b.ReportMetric (e.g. "vns/op", modeled virtual ns per collective;
+// "B/flow", resident bytes per BigSim target flow; or dimensionless
+// counts like "hops", torus hops per collective) land in Extra keyed
 // by their unit.
 type Result struct {
 	NsPerOp     float64            `json:"ns_per_op"`
@@ -26,54 +27,60 @@ type Result struct {
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
+// parseLine reads one `go test -bench` output line. It returns the
+// benchmark name (with the trailing "-<GOMAXPROCS>" suffix stripped)
+// and the parsed numbers; ok is false for non-benchmark lines and
+// for lines without an ns/op column.
+func parseLine(line string) (name string, r Result, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	// Benchmark lines look like:
+	//   BenchmarkSend-8  1000  59.2 ns/op  12.3 MB/s  0 B/op  0 allocs/op
+	// Strip only the trailing "-<GOMAXPROCS>" suffix; sub-benchmark
+	// names may legitimately contain hyphens ("ult-isomalloc").
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			ok = true
+		case "allocs/op":
+			r.AllocsPerOp = &v
+		case "B/op":
+			r.BytesPerOp = &v
+		case "MB/s":
+			r.MBPerSec = &v
+		default:
+			// Everything else is a custom b.ReportMetric column:
+			// "vns/op", "B/flow", "ranks", "moved%", "LB-ms", "hops",
+			// ... — bench lines are strict (value, unit) pairs, so
+			// keep them all (dimensionless units included) rather
+			// than maintaining an allowlist.
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[fields[i+1]] = v
+		}
+	}
+	return name, r, ok
+}
+
 func main() {
 	results := make(map[string]Result)
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
-		line := sc.Text()
-		fields := strings.Fields(line)
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		// Benchmark lines look like:
-		//   BenchmarkSend-8  1000  59.2 ns/op  12.3 MB/s  0 B/op  0 allocs/op
-		// Strip only the trailing "-<GOMAXPROCS>" suffix; sub-benchmark
-		// names may legitimately contain hyphens ("ult-isomalloc").
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		var r Result
-		ok := false
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				r.NsPerOp = v
-				ok = true
-			case "allocs/op":
-				r.AllocsPerOp = &v
-			case "B/op":
-				r.BytesPerOp = &v
-			case "MB/s":
-				r.MBPerSec = &v
-			default:
-				// Everything else is a custom b.ReportMetric column:
-				// "vns/op", "B/flow", "ranks", "moved%", "LB-ms", ... —
-				// bench lines are strict (value, unit) pairs, so keep
-				// them all rather than maintaining an allowlist.
-				if r.Extra == nil {
-					r.Extra = make(map[string]float64)
-				}
-				r.Extra[fields[i+1]] = v
-			}
-		}
-		if ok {
+		if name, r, ok := parseLine(sc.Text()); ok {
 			results[name] = r
 		}
 	}

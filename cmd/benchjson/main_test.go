@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestParseLineBasic(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkSend-8  1000  59.2 ns/op  12.3 MB/s  16 B/op  2 allocs/op")
+	if !ok || name != "BenchmarkSend" {
+		t.Fatalf("parse failed: name=%q ok=%v", name, ok)
+	}
+	if r.NsPerOp != 59.2 || *r.MBPerSec != 12.3 || *r.BytesPerOp != 16 || *r.AllocsPerOp != 2 {
+		t.Errorf("wrong numbers: %+v", r)
+	}
+}
+
+// TestParseLineDimensionlessUnits pins the contract the topology
+// benchmarks rely on: custom b.ReportMetric columns with
+// dimensionless units ("hops") and named milliseconds ("off-ms")
+// land in Extra keyed by unit, alongside the modeled-time "vns/op".
+func TestParseLineDimensionlessUnits(t *testing.T) {
+	line := "BenchmarkCollTopoTree/topo/P256-8  5  1088145 ns/op  32.00 hops  287769 vns/op  252692 B/op  4271 allocs/op"
+	name, r, ok := parseLine(line)
+	if !ok || name != "BenchmarkCollTopoTree/topo/P256" {
+		t.Fatalf("parse failed: name=%q ok=%v", name, ok)
+	}
+	if got := r.Extra["hops"]; got != 32 {
+		t.Errorf("Extra[hops] = %g, want 32", got)
+	}
+	if got := r.Extra["vns/op"]; got != 287769 {
+		t.Errorf("Extra[vns/op] = %g, want 287769", got)
+	}
+	line = "BenchmarkBTMZOverlap/event-8  3  21080980 ns/op  96.00 hops  24.78 off-ms  23.51 on-ms"
+	if _, r, ok = parseLine(line); !ok || r.Extra["off-ms"] != 24.78 || r.Extra["on-ms"] != 23.51 || r.Extra["hops"] != 96 {
+		t.Errorf("overlap metrics not kept: ok=%v extra=%v", ok, r.Extra)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"ok  	migflow/internal/ampi	1.3s",
+		"PASS",
+		"BenchmarkBroken-8 only three",
+		"goos: linux",
+	} {
+		if name, _, ok := parseLine(line); ok {
+			t.Errorf("accepted %q as %q", line, name)
+		}
+	}
+}
+
+// The GOMAXPROCS suffix is stripped, but hyphens inside sub-benchmark
+// names survive.
+func TestParseLineNameHyphens(t *testing.T) {
+	name, _, ok := parseLine("BenchmarkMigration/ult-isomalloc-16  10  5000 ns/op")
+	if !ok || name != "BenchmarkMigration/ult-isomalloc" {
+		t.Errorf("name = %q ok=%v, want BenchmarkMigration/ult-isomalloc", name, ok)
+	}
+}

@@ -2,8 +2,15 @@
 // and without AMPI thread-migration load balancing, across the
 // paper's problem classes and rank/PE configurations.
 //
-// Usage: btmz [-steps 20] [-lb greedy] [-coll tree|flat] [-agg off|on|N:B]
-//             [-steal off|on] [-chunks N]
+// Usage: btmz [-steps 20] [-lb greedy] [-coll tree|flat|topo] [-agg off|on|N:B]
+//             [-steal off|on] [-chunks N] [-overlap] [-reduce N]
+//
+// -overlap makes the halo exchange split-phase (receives posted and
+// halos sent before the solve, completed after it) and pipelines the
+// residual reduction through Iallreduce — communication hides under
+// compute. -coll topo builds the collective spanning trees along the
+// torus/PE-group hierarchy instead of rank order and reports the
+// logical hops the tree edges crossed.
 //
 // With -mode ult|event the zone step runs as a continuation Program
 // on the chosen flow backend instead of the legacy thread job: one
@@ -32,7 +39,9 @@ func main() {
 	steps := flag.Int("steps", 20, "solver timesteps")
 	lbName := flag.String("lb", "greedy", "load balancer: greedy | refine | rotate | commaware | hier")
 	showTrace := flag.Bool("trace", false, "print per-PE utilization traces for B.64,8PE")
-	collName := flag.String("coll", "tree", "collective algorithm: tree | flat")
+	collName := flag.String("coll", "tree", "collective algorithm: tree | flat | topo")
+	overlap := flag.Bool("overlap", false, "split-phase halo exchange: communication overlaps the solve")
+	reduceEvery := flag.Int("reduce", 0, "residual-proxy Allreduce every N steps (0 = never; pipelined with -overlap)")
 	aggSpec := flag.String("agg", "off", "boundary-exchange aggregation: off | on | maxPayloads:maxBytes (e.g. 16:8192)")
 	stealSpec := flag.String("steal", "off", "idle-cycle work stealing: off (deterministic pump) | on (parallel runner)")
 	chunks := flag.Int("chunks", 0, "split each rank's per-step solve into N yieldable slices (steal points); 0 keeps one slice")
@@ -41,16 +50,16 @@ func main() {
 	npes := flag.Int("npes", 8, "PE count for -mode runs")
 	flag.Parse()
 
-	if *mode != "" {
-		if err := programReport(*mode, *className, *steps, *lbName, *npes); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
-
 	coll, err := parseColl(*collName)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *mode != "" {
+		if err := programReport(*mode, *className, *steps, *lbName, *npes, coll, *overlap, *reduceEvery); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	aggregate, pol, err := parseAgg(*aggSpec)
 	if err != nil {
@@ -68,6 +77,7 @@ func main() {
 	cfg := harness.Fig12Config{
 		Coll: coll, Aggregate: aggregate, AggPolicy: pol,
 		Steal: steal, WorkChunks: *chunks,
+		Overlap: *overlap, ReduceEvery: *reduceEvery,
 	}
 	if *lbName != "greedy" {
 		strat, err := loadbalance.ByName(*lbName)
@@ -83,7 +93,7 @@ func main() {
 
 // programReport runs the one-zone-per-rank program-mode study: the
 // graded class without LB, then with the chosen strategy's gate.
-func programReport(mode, className string, steps int, lbName string, npes int) error {
+func programReport(mode, className string, steps int, lbName string, npes int, coll ampi.CollAlgo, overlap bool, reduceEvery int) error {
 	class, err := npb.ClassByName(className)
 	if err != nil {
 		return err
@@ -95,6 +105,7 @@ func programReport(mode, className string, steps int, lbName string, npes int) e
 	base := npb.Params{
 		Class: class, NProcs: class.NumZones(), NPEs: npes,
 		Steps: steps, Mode: mode,
+		Collectives: coll, Overlap: overlap, ReduceEvery: reduceEvery,
 	}
 	before, err := npb.Run(base)
 	if err != nil {
@@ -106,10 +117,17 @@ func programReport(mode, className string, steps int, lbName string, npes int) e
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s — %d zone-ranks on %d PEs, %d steps\n", with.Label(), base.NProcs, npes, steps)
+	variant := ""
+	if overlap {
+		variant = ", split-phase overlap"
+	}
+	fmt.Printf("%s — %d zone-ranks on %d PEs, %d steps%s\n", with.Label(), base.NProcs, npes, steps, variant)
 	fmt.Printf("  no LB:            %10.2f ms  (imbalance %.3f)\n", before.TimeNs/1e6, before.Imbalance)
 	fmt.Printf("  with %-10s   %10.2f ms  (imbalance %.3f, moved %d ranks, %d B migrated)\n",
 		strat.Name()+" LB:", after.TimeNs/1e6, after.Imbalance, after.MovedRanks, after.MigratedBytes)
+	if after.TopoHops > 0 || before.TopoHops > 0 {
+		fmt.Printf("  collective tree hops: %d (noLB) / %d (LB)\n", before.TopoHops, after.TopoHops)
+	}
 	return nil
 }
 
@@ -129,8 +147,10 @@ func parseColl(name string) (ampi.CollAlgo, error) {
 		return ampi.CollTree, nil
 	case "flat":
 		return ampi.CollFlat, nil
+	case "topo":
+		return ampi.CollTopoTree, nil
 	}
-	return 0, fmt.Errorf("btmz: unknown -coll %q (want tree or flat)", name)
+	return 0, fmt.Errorf("btmz: unknown -coll %q (want tree, flat, or topo)", name)
 }
 
 // parseAgg reads "off", "on" (default policy), or an explicit

@@ -23,6 +23,11 @@
 // (with a deterministic work skew so the balancer has something to
 // fix): ULT ranks migrate as threads, event ranks as ~180-byte
 // continuation records.
+//
+// -overlap switches the Jacobi runs to the split-phase schedule
+// (halos and the pipelined residual Iallreduce fly under the
+// relaxation work) and additionally prints the BT-MZ overlap A/B and
+// the rank-order-vs-topology spanning-tree hop comparison.
 package main
 
 import (
@@ -47,6 +52,7 @@ func main() {
 	iters := flag.Int("iters", 8, "AMPI Jacobi iterations (with -mode)")
 	jpes := flag.String("jpes", "1,2,4,8", "comma-separated simulating PE counts (with -mode)")
 	migrateAt := flag.Int("migrate", 0, "insert one mid-run LB gate after this Jacobi iteration (with -mode; 0 = never)")
+	overlap := flag.Bool("overlap", false, "split-phase overlap: nonblocking collectives hide exchange latency; prints the BT-MZ overlap and topo-tree studies")
 	flag.Parse()
 
 	// Validate the workload flags BEFORE the (long) figure runs and
@@ -89,17 +95,26 @@ func main() {
 		}
 	}
 
-	if *mode == "" {
-		return
+	if *mode != "" {
+		fmt.Println("\n== AMPI Jacobi flows ==")
+		switch *mode {
+		case ampi.ModeULT, ampi.ModeEvent:
+			if err := harness.JacobiBackend(os.Stdout, *ranks, *iters, peCounts, *mode, *migrateAt, *overlap); err != nil {
+				log.Fatal(err)
+			}
+		case "both":
+			if _, err := harness.JacobiMode(os.Stdout, *ranks, *iters, peCounts, *migrateAt, *overlap); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
-	fmt.Println("\n== AMPI Jacobi flows ==")
-	switch *mode {
-	case ampi.ModeULT, ampi.ModeEvent:
-		if err := harness.JacobiBackend(os.Stdout, *ranks, *iters, peCounts, *mode, *migrateAt); err != nil {
+
+	if *overlap {
+		fmt.Println("\n== Split-phase overlap and topology-aware trees ==")
+		if _, err := harness.OverlapStudy(os.Stdout, 12, 8); err != nil {
 			log.Fatal(err)
 		}
-	case "both":
-		if _, err := harness.JacobiMode(os.Stdout, *ranks, *iters, peCounts, *migrateAt); err != nil {
+		if err := harness.TopoTreeStudy(os.Stdout, 256, 16); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -109,7 +109,7 @@ func main() {
 		fmt.Printf("  %s ranks: %.3f ms/step wall, %.3f ms predicted, %d messages\n",
 			*mode, res.StepWallNs/1e6, res.PredictedNs/1e6, res.Msgs)
 	case "both":
-		if _, err := harness.JacobiMode(os.Stdout, ranks, iters, []int{4}, 0); err != nil {
+		if _, err := harness.JacobiMode(os.Stdout, ranks, iters, []int{4}, 0, false); err != nil {
 			log.Fatal(err)
 		}
 	default:

@@ -51,11 +51,41 @@ const (
 	// directly to the root, which serializes O(P) messages. Kept for
 	// A/B comparison against the trees.
 	CollFlat
+	// CollTopoTree builds the spanning tree along the machine's
+	// torus/PE-group hierarchy (Options.Topo) instead of rank order:
+	// ranks first combine within their logical node, node leaders
+	// combine within their PE group, and group leaders combine across
+	// groups — the same grouping HierarchicalLB exploits — so tree
+	// edges follow physical neighbours and collective hop counts drop.
+	CollTopoTree
 )
 
 // DefaultTreeArity is the spanning-tree fan-out when Options.TreeArity
 // is zero.
 const DefaultTreeArity = 4
+
+// Topology describes the machine shape collective trees can exploit:
+// ranks live on logical nodes arranged in a 1-D torus (ring), and
+// nodes belong to contiguous PE groups — the hierarchy
+// loadbalance.HierarchicalLB balances along. The zero value disables
+// topology modeling entirely (no hop charges, rank-order trees
+// unchanged).
+type Topology struct {
+	// Nodes is the logical node count along the torus. Ranks map to
+	// nodes with the job's placement function (block or round-robin),
+	// so co-resident ranks share a node. 0 disables topology; under
+	// CollTopoTree it defaults to the machine's PE count.
+	Nodes int
+	// GroupSize is how many consecutive nodes form one group (default
+	// loadbalance.DefaultGroupSize) — CollTopoTree keeps tree edges
+	// inside a node, then inside a group, before crossing groups.
+	GroupSize int
+	// HopNs is the virtual time charged per torus hop on every
+	// collective tree edge (default Options.MsgOverheadNs). A pure
+	// function of the two ranks and the options, so virtual time stays
+	// invariant across mode, PE count, and migration.
+	HopNs float64
+}
 
 // Execution modes: how each rank exists as a flow of control on the
 // simulating machine (the paper's §2 taxonomy applied to AMPI
@@ -107,6 +137,13 @@ type Options struct {
 	// TreeArity is the spanning-tree fan-out k for CollTree (default
 	// DefaultTreeArity).
 	TreeArity int
+	// Topo describes the torus/PE-group machine shape. When set (Nodes
+	// > 0) every collective tree edge — rank-order or topology-aware —
+	// is charged HopNs per torus hop into virtual time and counted in
+	// comm stats (Network.TopoHops), making the rank-order vs
+	// CollTopoTree comparison an A/B at identical cost model. The zero
+	// value keeps the topology-blind behavior bit-for-bit.
+	Topo Topology
 
 	// MsgOverheadNs charges every point-to-point message this many
 	// virtual nanoseconds of software overhead on the sender's clock
@@ -255,8 +292,27 @@ func newJobCommon(m *core.Machine, size int, opts *Options) (*Job, error) {
 	if opts.TreeArity == 0 {
 		opts.TreeArity = DefaultTreeArity
 	}
-	if opts.Collectives != CollTree && opts.Collectives != CollFlat {
+	switch opts.Collectives {
+	case CollTree, CollFlat, CollTopoTree:
+	default:
 		return nil, fmt.Errorf("ampi: unknown collective algorithm %d", opts.Collectives)
+	}
+	if opts.Topo.Nodes < 0 || opts.Topo.GroupSize < 0 {
+		return nil, fmt.Errorf("ampi: Topology %+v must be non-negative", opts.Topo)
+	}
+	if opts.Collectives == CollTopoTree && opts.Topo.Nodes == 0 {
+		// Topology-aware trees need a shape; default to one logical
+		// node per simulating PE. Pass explicit Nodes for predictions
+		// that must stay invariant across PE counts.
+		opts.Topo.Nodes = m.NumPEs()
+	}
+	if opts.Topo.Nodes > 0 {
+		if opts.Topo.GroupSize == 0 {
+			opts.Topo.GroupSize = loadbalance.DefaultGroupSize
+		}
+		if opts.Topo.HopNs == 0 {
+			opts.Topo.HopNs = opts.MsgOverheadNs
+		}
 	}
 	if opts.Mode == ModeEvent && opts.Aggregate {
 		return nil, fmt.Errorf("ampi: Aggregate is not supported in %q mode (flush-before-block needs a parkable thread)", ModeEvent)
@@ -279,6 +335,49 @@ func placePE(r, size, numPEs int, block bool) int {
 		return r * numPEs / size
 	}
 	return r % numPEs
+}
+
+// ringDist is the 1-D torus distance between nodes a and b of n.
+func ringDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := n - d; alt < d {
+		return alt
+	}
+	return d
+}
+
+// edgeHops returns the logical torus hops a collective tree edge
+// between ranks a and b crosses: the ring distance between their
+// logical nodes under Options.Topo, or 0 when no topology is
+// configured. It is a pure function of the two ranks and the job
+// options — never of current placement — so hop charges keep virtual
+// time invariant across mode, PE count, and migration.
+func (j *Job) edgeHops(a, b int) int {
+	t := j.opts.Topo
+	if t.Nodes <= 0 {
+		return 0
+	}
+	eff := t.Nodes
+	if eff > j.size {
+		eff = j.size
+	}
+	na := placePE(a, j.size, eff, j.opts.BlockPlacement)
+	nb := placePE(b, j.size, eff, j.opts.BlockPlacement)
+	return ringDist(na, nb, eff)
+}
+
+// chargeHops records a tree edge's hop count in comm stats and
+// returns the virtual-time cost to add.
+func (j *Job) chargeHops(a, b int) float64 {
+	h := j.edgeHops(a, b)
+	if h == 0 {
+		return 0
+	}
+	j.m.Network().ChargeTopoHops(uint64(h))
+	return float64(h) * j.opts.Topo.HopNs
 }
 
 // Start makes every rank runnable.
@@ -497,6 +596,16 @@ func (r *Rank) sendv(dest, tag int, data []byte, vtime float64) error {
 	return ep.Send(msg)
 }
 
+// sendEdge is send along a collective tree edge: when a topology is
+// configured it charges the edge's torus hops to the rank's clock and
+// the comm hop counter before the ordinary eager send.
+func (r *Rank) sendEdge(dest, tag int, data []byte) error {
+	if ns := r.job.chargeHops(r.rank, dest); ns > 0 {
+		r.ctx.PE().Clock.Advance(ns)
+	}
+	return r.send(dest, tag, data)
+}
+
 // flushStream pushes any coalesced messages buffered on the rank's
 // current PE onto the wire. Called before every block and at exit so
 // streamed traffic cannot deadlock: whenever every rank is parked,
@@ -596,7 +705,7 @@ func (r *Rank) Barrier() error {
 	if n == 1 {
 		return nil
 	}
-	if r.job.opts.Collectives == CollTree {
+	if r.job.opts.Collectives != CollFlat {
 		return r.barrierTree()
 	}
 	if r.rank == 0 {
@@ -629,7 +738,7 @@ func (r *Rank) Allreduce(op string, v float64) (float64, error) {
 	if n == 1 {
 		return v, nil
 	}
-	if r.job.opts.Collectives == CollTree {
+	if r.job.opts.Collectives != CollFlat {
 		return r.allreduceTree(combine, v)
 	}
 	if r.rank == 0 {

@@ -64,8 +64,66 @@ func BenchmarkCollAllreduce(b *testing.B) {
 }
 
 func algoName(a CollAlgo) string {
-	if a == CollFlat {
+	switch a {
+	case CollFlat:
 		return "flat"
+	case CollTopoTree:
+		return "topo"
 	}
 	return "tree"
+}
+
+// BenchmarkCollTopoTree A/Bs rank-order spanning trees against
+// topology-aware ones on an 8-node torus (groups of 4), charging one
+// HopNs per node-to-node hop a tree edge crosses. Both runs must
+// produce the same reduction bits; the topo tree must cross fewer
+// hops (reported as hops/op) and therefore finish in less virtual
+// time (vns/op).
+func BenchmarkCollTopoTree(b *testing.B) {
+	topo := Topology{Nodes: 8, GroupSize: 4, HopNs: 2000}
+	for _, p := range []int{64, 256} {
+		var rankOrderHops float64
+		for _, algo := range []CollAlgo{CollTree, CollTopoTree} {
+			algo := algo
+			b.Run(fmt.Sprintf("%s/P%d", algoName(algo), p), func(b *testing.B) {
+				m := newMachine(b, 8, nil)
+				j, err := NewJob(m, p, Options{
+					Collectives: algo, MsgOverheadNs: 1000,
+					Topo: topo, BlockPlacement: true,
+				}, func(r *Rank) {
+					for i := 0; i < b.N; i++ {
+						v, err := r.Allreduce("max", float64(r.Rank()))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if v != float64(p-1) {
+							b.Errorf("allreduce max = %g, want %d", v, p-1)
+							return
+						}
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				j.Run()
+				b.StopTimer()
+				if !j.Done() {
+					b.Fatal("job deadlocked")
+				}
+				hops := float64(m.Network().TopoHops()) / float64(b.N)
+				b.ReportMetric(m.MaxTime()/float64(b.N), "vns/op")
+				b.ReportMetric(hops, "hops")
+				if algo == CollTopoTree {
+					if !(hops < rankOrderHops) {
+						b.Fatalf("topo tree crossed %.0f hops/op, rank-order %.0f — no win", hops, rankOrderHops)
+					}
+				} else {
+					rankOrderHops = hops
+				}
+			})
+		}
+	}
 }

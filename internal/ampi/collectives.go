@@ -23,7 +23,7 @@ func (r *Rank) Bcast(root int, data []byte) ([]byte, error) {
 	if root < 0 || root >= len(r.job.ranks) {
 		return nil, fmt.Errorf("ampi: Bcast root %d of %d", root, len(r.job.ranks))
 	}
-	if r.job.opts.Collectives == CollTree {
+	if r.job.opts.Collectives != CollFlat {
 		return r.bcastTree(root, data)
 	}
 	if r.rank == root {
@@ -51,7 +51,7 @@ func (r *Rank) Reduce(root int, op string, v float64) (float64, error) {
 	if root < 0 || root >= len(r.job.ranks) {
 		return 0, fmt.Errorf("ampi: Reduce root %d of %d", root, len(r.job.ranks))
 	}
-	if r.job.opts.Collectives == CollTree {
+	if r.job.opts.Collectives != CollFlat {
 		return r.reduceTree(root, combine, v)
 	}
 	if r.rank != root {
@@ -71,7 +71,7 @@ func (r *Rank) Gather(root int, data []byte) ([][]byte, error) {
 	if root < 0 || root >= len(r.job.ranks) {
 		return nil, fmt.Errorf("ampi: Gather root %d of %d", root, len(r.job.ranks))
 	}
-	if r.job.opts.Collectives == CollTree {
+	if r.job.opts.Collectives != CollFlat {
 		return r.gatherTree(root, data)
 	}
 	if r.rank != root {

@@ -50,6 +50,22 @@ type JacobiConfig struct {
 	// ReduceEvery joins a "max" residual Allreduce every k iterations
 	// (0 = never).
 	ReduceEvery int
+	// Overlap turns each iteration split-phase: halos go out first,
+	// the relaxation work runs while they are in flight, and only then
+	// are the neighbour halos consumed — so exchange latency hides
+	// under compute instead of adding to it. The residual Allreduce
+	// pipelines too (Iallreduce): iteration j starts the reduction and
+	// iteration j+1 collects it under its own work, so the global
+	// residual lags one reduce period. Cell values and residuals are
+	// identical to the blocking schedule; only predicted time drops.
+	Overlap bool
+
+	// Collectives selects the collective topology (default CollTree;
+	// CollTopoTree follows Topo's torus/PE-group hierarchy).
+	Collectives CollAlgo
+	// Topo is the torus/PE-group shape for hop accounting and
+	// CollTopoTree (zero value = topology-blind).
+	Topo Topology
 
 	// MigrateAt inserts one collective LB gate (Migrate) after
 	// iteration MigrateAt (1-based; 0 = never). The gate measures
@@ -132,37 +148,67 @@ func JacobiProgram(cfg JacobiConfig) Proc {
 		}
 		return cfg.WorkNs * (1 + cfg.WorkSkew*float64(pc.rank)/float64(cfg.Ranks-1))
 	}
+	// One pipelined residual reduction site for overlap mode: the
+	// reducing iteration starts it after relaxing, the next iteration
+	// collects it under its own work (or the epilogue does, when the
+	// last iteration is the reducing one). One site suffices — at most
+	// one reduction is ever outstanding.
+	var arStart, arWait Proc
+	if cfg.Overlap && cfg.ReduceEvery > 0 {
+		arStart, arWait = Iallreduce("max",
+			func(pc *PC) float64 { return pc.Local.(*jacobiState).resid },
+			func(pc *PC, v float64) { pc.Local.(*jacobiState).global = v })
+	}
+	sendHalos := Do(func(pc *PC) {
+		n := pc.Size()
+		st := pc.Local.(*jacobiState)
+		pc.Send((pc.rank-1+n)%n, tagHaloLeft, pack(st.x))
+		pc.Send((pc.rank+1)%n, tagHaloRight, pack(st.x))
+	})
+	relax := func(pc *PC) {
+		st := pc.Local.(*jacobiState)
+		next := (st.left + st.x + st.right) / 3
+		st.resid = math.Abs(next - st.x)
+		st.x = next
+	}
 	step := func(i int) Proc {
 		return Call(func(pc *PC) Proc {
 			n := pc.Size()
 			left := (pc.rank - 1 + n) % n
 			right := (pc.rank + 1) % n
-			ps := []Proc{
-				Do(func(pc *PC) {
-					st := pc.Local.(*jacobiState)
-					pc.Send(left, tagHaloLeft, pack(st.x))
-					pc.Send(right, tagHaloRight, pack(st.x))
-				}),
-				// The message my right neighbour sent "toward the
-				// left" is mine, and symmetrically for the left.
-				Recv(right, tagHaloLeft, func(pc *PC, data []byte, _ int) {
-					pc.Local.(*jacobiState).right = f64(data)
-				}),
-				Recv(left, tagHaloRight, func(pc *PC, data []byte, _ int) {
-					pc.Local.(*jacobiState).left = f64(data)
-				}),
-				Do(func(pc *PC) {
-					st := pc.Local.(*jacobiState)
-					next := (st.left + st.x + st.right) / 3
-					st.resid = math.Abs(next - st.x)
-					st.x = next
-					pc.Work(workOf(pc))
-				}),
-			}
-			if cfg.ReduceEvery > 0 && (i+1)%cfg.ReduceEvery == 0 {
-				ps = append(ps, Allreduce("max",
-					func(pc *PC) float64 { return pc.Local.(*jacobiState).resid },
-					func(pc *PC, v float64) { pc.Local.(*jacobiState).global = v }))
+			// The message my right neighbour sent "toward the left"
+			// is mine, and symmetrically for the left.
+			recvRight := Recv(right, tagHaloLeft, func(pc *PC, data []byte, _ int) {
+				pc.Local.(*jacobiState).right = f64(data)
+			})
+			recvLeft := Recv(left, tagHaloRight, func(pc *PC, data []byte, _ int) {
+				pc.Local.(*jacobiState).left = f64(data)
+			})
+			reduceNow := cfg.ReduceEvery > 0 && (i+1)%cfg.ReduceEvery == 0
+			var ps []Proc
+			if cfg.Overlap {
+				// Split-phase: halos fly while this iteration's work
+				// runs; the previous iteration's reduction (if any)
+				// completes under that work too.
+				ps = append(ps, sendHalos, Do(func(pc *PC) { pc.Work(workOf(pc)) }))
+				if cfg.ReduceEvery > 0 && i > 0 && i%cfg.ReduceEvery == 0 {
+					ps = append(ps, arWait)
+				}
+				ps = append(ps, recvRight, recvLeft, Do(relax))
+				if reduceNow {
+					ps = append(ps, arStart)
+				}
+			} else {
+				ps = append(ps, sendHalos, recvRight, recvLeft,
+					Do(func(pc *PC) {
+						relax(pc)
+						pc.Work(workOf(pc))
+					}))
+				if reduceNow {
+					ps = append(ps, Allreduce("max",
+						func(pc *PC) float64 { return pc.Local.(*jacobiState).resid },
+						func(pc *PC, v float64) { pc.Local.(*jacobiState).global = v }))
+				}
 			}
 			if cfg.MigrateAt > 0 && i+1 == cfg.MigrateAt {
 				ps = append(ps, Migrate(cfg.LB))
@@ -170,14 +216,19 @@ func JacobiProgram(cfg JacobiConfig) Proc {
 			return Seq(ps...)
 		})
 	}
-	return Seq(
+	body := []Proc{
 		Do(func(pc *PC) {
 			// Deterministic per-rank initial condition.
 			pc.Local = &jacobiState{x: float64(pc.rank%97) / 97}
 			pc.UseStack(cfg.StackUse)
 		}),
 		For(cfg.Iters, step),
-	)
+	}
+	if cfg.Overlap && cfg.ReduceEvery > 0 && cfg.Iters%cfg.ReduceEvery == 0 {
+		// The last iteration started a reduction; collect it.
+		body = append(body, arWait)
+	}
+	return Seq(body...)
 }
 
 // JacobiResult reports one run.
@@ -187,6 +238,7 @@ type JacobiResult struct {
 	WallNs      float64 // real elapsed time of the whole run
 	StepWallNs  float64 // WallNs / Iters
 	Moved       int     // ranks moved by the Migrate gate (MigrateAt > 0)
+	Hops        uint64  // collective-tree topology hops (zero unless Topo set)
 }
 
 // NewJacobi boots a machine sized for the config and builds (but does
@@ -218,6 +270,8 @@ func NewJacobi(cfg JacobiConfig) (*core.Machine, *Job, error) {
 		BlockPlacement: cfg.BlockPlacement,
 		MsgOverheadNs:  cfg.MsgOverheadNs,
 		Strategy:       cfg.Strategy,
+		Collectives:    cfg.Collectives,
+		Topo:           cfg.Topo,
 	}, JacobiProgram(cfg))
 	if err != nil {
 		return nil, nil, err
@@ -249,5 +303,6 @@ func RunJacobi(cfg JacobiConfig) (JacobiResult, error) {
 		WallNs:      wall,
 		StepWallNs:  wall / float64(cfg.Iters),
 		Moved:       job.LBMoved(),
+		Hops:        m.Network().TopoHops(),
 	}, nil
 }

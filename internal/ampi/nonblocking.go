@@ -77,3 +77,167 @@ func (r *Rank) Waitall(qs []*Request) error {
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------
+// Nonblocking collectives (MPI-3 I-collectives).
+//
+// A CollRequest is an in-progress collective schedule (tree.go): the
+// Ixxx call runs the schedule's leading sends — with eager buffering
+// a leaf's contribution is on the wire before the call returns — and
+// Wait executes the rest (receives and the sends that depend on
+// them). Because the blocking collectives execute the *same* schedule
+// front to back, a blocking call is exactly Ixxx + Wait: results and
+// virtual-time charges are bit-identical by construction, and the gap
+// between start and wait is where compute overlaps communication.
+//
+// Like MPI, collectives of the same kind must complete in program
+// order: do not start another collective that shares this one's tags
+// (the same Ixxx kind, or its blocking form) before Wait returns.
+
+// CollRequest is a nonblocking-collective handle. After Wait, the
+// operation's result is in Value (reductions), Data (Bcast), or
+// Parts (Gather, root only).
+type CollRequest struct {
+	r      *Rank
+	acts   []collAct
+	next   int
+	finish func()
+	done   bool
+
+	Value float64  // Iallreduce / Ireduce (root) result
+	Data  []byte   // Ibcast result
+	Parts [][]byte // Igather result (root only)
+}
+
+// startColl builds the request and runs the schedule's leading sends.
+func (r *Rank) startColl(acts []collAct, finish func()) (*CollRequest, error) {
+	q := &CollRequest{r: r, acts: acts, finish: finish}
+	for q.next < len(acts) && acts[q.next].send {
+		a := acts[q.next]
+		var payload []byte
+		if a.data != nil {
+			payload = a.data()
+		}
+		if err := r.sendEdge(a.peer, a.tag, payload); err != nil {
+			return nil, err
+		}
+		q.next++
+	}
+	return q, nil
+}
+
+// Wait completes the collective: remaining receives block (in
+// schedule order), dependent sends go out, and the result fields are
+// filled. Waiting twice is a no-op.
+func (q *CollRequest) Wait() error {
+	if q.done {
+		return nil
+	}
+	for q.next < len(q.acts) {
+		a := q.acts[q.next]
+		if a.send {
+			var payload []byte
+			if a.data != nil {
+				payload = a.data()
+			}
+			if err := q.r.sendEdge(a.peer, a.tag, payload); err != nil {
+				return err
+			}
+		} else {
+			m := q.r.recv(a.peer, a.tag)
+			if a.on != nil {
+				if err := a.on(m.Data); err != nil {
+					return err
+				}
+			}
+		}
+		q.next++
+	}
+	q.done = true
+	if q.finish != nil {
+		q.finish()
+	}
+	return nil
+}
+
+// Done reports whether the collective has completed (Wait returned).
+func (q *CollRequest) Done() bool { return q.done }
+
+// Ibarrier starts a nonblocking barrier; Wait returns once every rank
+// has entered it.
+func (r *Rank) Ibarrier() (*CollRequest, error) {
+	parent, children := r.family(0)
+	return r.startColl(barrierActs(parent, children), nil)
+}
+
+// Iallreduce starts a nonblocking Allreduce of v under op ("sum",
+// "max", "min"); Wait fills Value on every rank.
+func (r *Rank) Iallreduce(op string, v float64) (*CollRequest, error) {
+	combine, err := combiner(op)
+	if err != nil {
+		return nil, err
+	}
+	parent, children := r.family(0)
+	acc := new(float64)
+	*acc = v
+	var q *CollRequest
+	q, err = r.startColl(allreduceActs(parent, children, acc, combine), func() { q.Value = *acc })
+	return q, err
+}
+
+// Ireduce starts a nonblocking Reduce at root; Wait fills Value on
+// the root (0 elsewhere, like the blocking Reduce).
+func (r *Rank) Ireduce(root int, op string, v float64) (*CollRequest, error) {
+	combine, err := combiner(op)
+	if err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= len(r.job.ranks) {
+		return nil, fmt.Errorf("ampi: Ireduce root %d of %d", root, len(r.job.ranks))
+	}
+	parent, children := r.family(root)
+	acc := new(float64)
+	*acc = v
+	var q *CollRequest
+	q, err = r.startColl(reduceActs(parent, children, acc, combine), func() {
+		if parent < 0 {
+			q.Value = *acc
+		}
+	})
+	return q, err
+}
+
+// Ibcast starts a nonblocking broadcast of root's data; Wait fills
+// Data on every rank (root keeps its own copy).
+func (r *Rank) Ibcast(root int, data []byte) (*CollRequest, error) {
+	if root < 0 || root >= len(r.job.ranks) {
+		return nil, fmt.Errorf("ampi: Ibcast root %d of %d", root, len(r.job.ranks))
+	}
+	parent, children := r.family(root)
+	buf := new([]byte)
+	*buf = data
+	var q *CollRequest
+	q, err := r.startColl(bcastActs(parent, children, buf), func() { q.Data = *buf })
+	return q, err
+}
+
+// Igather starts a nonblocking Gather at root; Wait fills Parts
+// (indexed by rank) on the root only.
+func (r *Rank) Igather(root int, data []byte) (*CollRequest, error) {
+	if root < 0 || root >= len(r.job.ranks) {
+		return nil, fmt.Errorf("ampi: Igather root %d of %d", root, len(r.job.ranks))
+	}
+	parent, children := r.family(root)
+	entries := &[]gatherEntry{{rank: r.rank, data: data}}
+	var q *CollRequest
+	q, err := r.startColl(gatherActs(parent, children, entries, len(r.job.ranks)), func() {
+		if parent < 0 {
+			out := make([][]byte, len(r.job.ranks))
+			for _, e := range *entries {
+				out[e.rank] = e.data
+			}
+			q.Parts = out
+		}
+	})
+	return q, err
+}

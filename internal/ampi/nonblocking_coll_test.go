@@ -1,0 +1,313 @@
+package ampi
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"migflow/internal/loadbalance"
+)
+
+// ncOut is one rank's collective results in the equivalence tests.
+type ncOut struct {
+	allred float64
+	red    float64
+	bcast  []byte
+	parts  [][]byte
+	vt     float64
+}
+
+// TestThreadNonblockingMatchesBlocking runs the full collective set
+// through the thread (Rank) API twice — once blocking, once as
+// Ixxx + Wait — and demands identical results and identical modeled
+// time: the blocking calls execute the same schedules, so splitting
+// them may not change a single charge.
+func TestThreadNonblockingMatchesBlocking(t *testing.T) {
+	const ranks, root = 12, 3
+	run := func(split bool) ([]ncOut, float64) {
+		m := newMachine(t, 4, nil)
+		out := make([]ncOut, ranks)
+		var mu sync.Mutex
+		j, err := NewJob(m, ranks, Options{Collectives: CollTree, TreeArity: 2, MsgOverheadNs: 500}, func(r *Rank) {
+			var o ncOut
+			var seed []byte
+			if r.Rank() == root {
+				seed = []byte("split-phase")
+			}
+			if split {
+				if q, err := r.Ibarrier(); err != nil {
+					t.Error(err)
+					return
+				} else if err := q.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+				q, err := r.Iallreduce("sum", float64(r.Rank()+1))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := q.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+				o.allred = q.Value
+				if q, err = r.Ireduce(root, "max", float64(r.Rank()*3)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := q.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+				o.red = q.Value
+				if q, err = r.Ibcast(root, seed); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := q.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+				o.bcast = q.Data
+				if q, err = r.Igather(root, []byte{byte(r.Rank())}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := q.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+				o.parts = q.Parts
+			} else {
+				if err := r.Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+				var err error
+				if o.allred, err = r.Allreduce("sum", float64(r.Rank()+1)); err != nil {
+					t.Error(err)
+					return
+				}
+				if o.red, err = r.Reduce(root, "max", float64(r.Rank()*3)); err != nil {
+					t.Error(err)
+					return
+				}
+				if o.bcast, err = r.Bcast(root, seed); err != nil {
+					t.Error(err)
+					return
+				}
+				if o.parts, err = r.Gather(root, []byte{byte(r.Rank())}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			mu.Lock()
+			out[r.Rank()] = o
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Run()
+		if !j.Done() {
+			t.Fatal("job deadlocked")
+		}
+		return out, m.MaxTime()
+	}
+	blk, blkT := run(false)
+	spl, splT := run(true)
+	if math.Float64bits(blkT) != math.Float64bits(splT) {
+		t.Errorf("modeled time diverged: blocking %g, split %g", blkT, splT)
+	}
+	for rk := range blk {
+		if blk[rk].allred != spl[rk].allred || blk[rk].red != spl[rk].red {
+			t.Errorf("rank %d reductions diverged: %+v vs %+v", rk, blk[rk], spl[rk])
+		}
+		if !bytes.Equal(blk[rk].bcast, spl[rk].bcast) {
+			t.Errorf("rank %d bcast diverged: %q vs %q", rk, blk[rk].bcast, spl[rk].bcast)
+		}
+		if len(blk[rk].parts) != len(spl[rk].parts) {
+			t.Errorf("rank %d gather diverged", rk)
+		}
+	}
+}
+
+// TestThreadIcollOverlapWindow pins the point of the split: Test on
+// an unfinished CollRequest is answerable (Done is false before Wait,
+// true after), a leaf's contribution is already in flight at start,
+// and interleaving independent point-to-point traffic between start
+// and wait neither corrupts the collective nor the messages.
+func TestThreadIcollOverlapWindow(t *testing.T) {
+	const ranks = 8
+	m := newMachine(t, 2, nil)
+	var mu sync.Mutex
+	sums := make([]float64, ranks)
+	j, err := NewJob(m, ranks, Options{Collectives: CollTree}, func(r *Rank) {
+		q, err := r.Iallreduce("sum", 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if q.Done() {
+			t.Errorf("rank %d: request done before Wait", r.Rank())
+		}
+		// Unrelated halo traffic inside the overlap window.
+		peer := (r.Rank() + 1) % ranks
+		if err := r.Send(peer, 7, []byte{byte(r.Rank())}); err != nil {
+			t.Error(err)
+			return
+		}
+		if data, _, err := r.Recv((r.Rank()+ranks-1)%ranks, 7); err != nil || data[0] != byte((r.Rank()+ranks-1)%ranks) {
+			t.Errorf("rank %d: halo inside window broken: %v %v", r.Rank(), data, err)
+			return
+		}
+		if err := q.Wait(); err != nil {
+			t.Error(err)
+			return
+		}
+		if !q.Done() {
+			t.Errorf("rank %d: request not done after Wait", r.Rank())
+		}
+		if err := q.Wait(); err != nil { // second Wait is a no-op
+			t.Error(err)
+		}
+		mu.Lock()
+		sums[r.Rank()] = q.Value
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	if !j.Done() {
+		t.Fatal("job deadlocked")
+	}
+	for rk, v := range sums {
+		if v != ranks {
+			t.Errorf("rank %d sum = %g, want %d", rk, v, ranks)
+		}
+	}
+}
+
+// ncProgram builds the program-API equivalence workload. gap selects
+// what separates each collective's start from its wait:
+// "none" (adjacent — the blocking decomposition), "work" (compute in
+// the overlap window), or "migrate" (a full LB gate between the
+// halves — collectives in flight across a migration).
+func ncProgram(gap string, out *[]ncOut, mu *sync.Mutex) Proc {
+	const root = 2
+	gapProc := func() Proc {
+		switch gap {
+		case "work":
+			return Do(func(pc *PC) { pc.Work(700) })
+		case "migrate":
+			return Migrate(loadbalance.GreedyLB{})
+		}
+		return Seq()
+	}
+	arS, arW := Iallreduce("sum",
+		func(pc *PC) float64 { return float64(pc.Rank() + 1) },
+		func(pc *PC, v float64) { pc.Local.(*ncOut).allred = v })
+	rdS, rdW := Ireduce(root, "max",
+		func(pc *PC) float64 { return float64(pc.Rank() * 3) },
+		func(pc *PC, v float64) { pc.Local.(*ncOut).red = v })
+	bcS, bcW := Ibcast(root,
+		func(pc *PC) []byte { return []byte("program-split") },
+		func(pc *PC, b []byte) { pc.Local.(*ncOut).bcast = b })
+	gaS, gaW := Igather(root,
+		func(pc *PC) []byte { return []byte{byte(pc.Rank())} },
+		func(pc *PC, parts [][]byte) { pc.Local.(*ncOut).parts = parts })
+	baS, baW := Ibarrier()
+	return Seq(
+		Do(func(pc *PC) {
+			pc.Local = &ncOut{}
+			pc.Work(float64(10 * (pc.Rank() + 1))) // skew so LB has something to move
+		}),
+		baS, gapProc(), baW,
+		arS, gapProc(), arW,
+		rdS, gapProc(), rdW,
+		bcS, gapProc(), bcW,
+		gaS, gapProc(), gaW,
+		Do(func(pc *PC) {
+			o := *pc.Local.(*ncOut)
+			o.vt = pc.VT()
+			mu.Lock()
+			(*out)[pc.Rank()] = o
+			mu.Unlock()
+		}),
+	)
+}
+
+// TestNonblockingCollEquivalence is the acceptance matrix: the same
+// split-phase collective program across mode (ult|event) × PE count ×
+// gap (adjacent | work in the window | LB gate in the window) must
+// produce bit-identical per-rank virtual times and results within
+// each gap variant — the flow backend, the placement, and a
+// mid-collective migration are all invisible to the simulated
+// program. The "none" variant must additionally match the blocking
+// forms exactly, which it does by construction (blocking = start;wait).
+func TestNonblockingCollEquivalence(t *testing.T) {
+	const ranks = 24
+	run := func(gap, mode string, pes int) []ncOut {
+		var mu sync.Mutex
+		out := make([]ncOut, ranks)
+		m := newMachine(t, pes, nil)
+		// The logical topology is fixed (not tied to the PE count):
+		// hop charges and the tree shape are pure functions of rank
+		// and Options, which is what keeps VT invariant across
+		// placements.
+		j, err := NewProgram(m, ranks, Options{
+			Mode: mode, MsgOverheadNs: 250, BlockPlacement: true,
+			Collectives: CollTopoTree, Topo: Topology{Nodes: 6, GroupSize: 2},
+		}, ncProgram(gap, &out, &mu))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Run()
+		if !j.Done() {
+			t.Fatalf("gap=%s mode=%s pes=%d: job deadlocked", gap, mode, pes)
+		}
+		return out
+	}
+	for _, gap := range []string{"none", "work", "migrate"} {
+		gap := gap
+		t.Run(gap, func(t *testing.T) {
+			ref := run(gap, ModeULT, 4)
+			for _, mode := range []string{ModeULT, ModeEvent} {
+				for _, pes := range []int{1, 4, 6} {
+					got := run(gap, mode, pes)
+					for rk := range got {
+						label := fmt.Sprintf("gap=%s mode=%s pes=%d rank=%d", gap, mode, pes, rk)
+						if math.Float64bits(got[rk].vt) != math.Float64bits(ref[rk].vt) {
+							t.Fatalf("%s: VT %g differs from reference %g", label, got[rk].vt, ref[rk].vt)
+						}
+						if got[rk].allred != ref[rk].allred || got[rk].allred != ranks*(ranks+1)/2 {
+							t.Fatalf("%s: allreduce %g, ref %g", label, got[rk].allred, ref[rk].allred)
+						}
+						if got[rk].red != ref[rk].red {
+							t.Fatalf("%s: reduce %g, ref %g", label, got[rk].red, ref[rk].red)
+						}
+						if !bytes.Equal(got[rk].bcast, []byte("program-split")) {
+							t.Fatalf("%s: bcast %q", label, got[rk].bcast)
+						}
+						if (rk == 2) != (got[rk].parts != nil) {
+							t.Fatalf("%s: gather presence wrong", label)
+						}
+					}
+				}
+			}
+		})
+	}
+	// The work-gap schedule must be cheaper than serializing the same
+	// work after blocking collectives: overlap hides the tree latency.
+	serial := run("none", ModeULT, 4)
+	overlap := run("work", ModeULT, 4)
+	extra := 5 * 700.0 // five gaps of Work(700) per rank
+	if !(overlap[ranks-1].vt < serial[ranks-1].vt+extra) {
+		t.Errorf("overlap bought nothing: split VT %g vs blocking-then-work %g",
+			overlap[ranks-1].vt, serial[ranks-1].vt+extra)
+	}
+}

@@ -1,0 +1,77 @@
+package ampi
+
+import (
+	"math"
+	"testing"
+)
+
+// TestJacobiOverlapHidesLatency is the Jacobi A/B the split-phase
+// schedule exists for: with a per-message software overhead making
+// the exchange a visible fraction of each iteration, the overlapped
+// schedule must finish in less virtual time than the blocking one,
+// in both flow backends, with bit-identical predictions between them
+// and unchanged message counts.
+func TestJacobiOverlapHidesLatency(t *testing.T) {
+	base := JacobiConfig{
+		Ranks: 64, Iters: 12, PEs: 4,
+		WorkNs: 2000, MsgOverheadNs: 400, ReduceEvery: 3,
+		BlockPlacement: true,
+	}
+	run := func(mode string, overlap bool) JacobiResult {
+		cfg := base
+		cfg.Mode = mode
+		cfg.Overlap = overlap
+		res, err := RunJacobi(cfg)
+		if err != nil {
+			t.Fatalf("mode=%s overlap=%v: %v", mode, overlap, err)
+		}
+		return res
+	}
+	for _, overlap := range []bool{false, true} {
+		ult := run(ModeULT, overlap)
+		evt := run(ModeEvent, overlap)
+		if math.Float64bits(ult.PredictedNs) != math.Float64bits(evt.PredictedNs) {
+			t.Errorf("overlap=%v: prediction diverged between backends: %g (ult) vs %g (event)",
+				overlap, ult.PredictedNs, evt.PredictedNs)
+		}
+		if ult.Msgs != evt.Msgs {
+			t.Errorf("overlap=%v: message count diverged: %d vs %d", overlap, ult.Msgs, evt.Msgs)
+		}
+	}
+	blocking := run(ModeULT, false)
+	overlap := run(ModeULT, true)
+	if !(overlap.PredictedNs < blocking.PredictedNs) {
+		t.Errorf("overlap did not lower predicted time: %g vs blocking %g",
+			overlap.PredictedNs, blocking.PredictedNs)
+	}
+	if overlap.Msgs != blocking.Msgs {
+		t.Errorf("overlap changed message count: %d vs %d", overlap.Msgs, blocking.Msgs)
+	}
+}
+
+// TestJacobiTopoTreeFewerHops runs the same Jacobi job under
+// rank-order and topology-aware collective trees: identical
+// residual-reduction behavior (same prediction structure aside from
+// hop charges), strictly fewer torus hops for the topo tree.
+func TestJacobiTopoTreeFewerHops(t *testing.T) {
+	run := func(algo CollAlgo) JacobiResult {
+		res, err := RunJacobi(JacobiConfig{
+			Ranks: 96, Iters: 6, PEs: 4, ReduceEvery: 2,
+			BlockPlacement: true,
+			Collectives:    algo,
+			Topo:           Topology{Nodes: 8, GroupSize: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rankOrder := run(CollTree)
+	topo := run(CollTopoTree)
+	if rankOrder.Hops == 0 || topo.Hops == 0 {
+		t.Fatalf("hop accounting inert: rank-order %d, topo %d", rankOrder.Hops, topo.Hops)
+	}
+	if !(topo.Hops < rankOrder.Hops) {
+		t.Errorf("topo tree crossed %d hops, rank-order %d — no win", topo.Hops, rankOrder.Hops)
+	}
+}

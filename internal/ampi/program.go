@@ -87,6 +87,12 @@ type PC struct {
 	// completes.
 	Local any
 
+	// colls holds the rank's in-flight nonblocking collectives, keyed
+	// by their program-tree site (collDef). Like Local it rides the
+	// rank's slot by reference, so an outstanding collective survives
+	// migration between its start and wait halves.
+	colls map[*collDef]*collRun
+
 	be    backend
 	tramp *sdag.Tramp
 }
@@ -138,6 +144,18 @@ func (pc *PC) sendRaw(dest, tag int, data []byte) {
 		pc.vt += ovh
 	}
 	pc.be.send(pc, dest, tag, data)
+}
+
+// sendEdge is sendRaw along a collective tree edge: when a topology
+// is configured, the edge's torus hops are charged into vt and the
+// comm hop counter before the send. Hop distance is a pure function
+// of the two ranks and the job options, keeping vt mode-, placement-
+// and PE-count-invariant.
+func (pc *PC) sendEdge(peer, tag int, data []byte) {
+	if ns := pc.job.chargeHops(pc.rank, peer); ns > 0 {
+		pc.vt += ns
+	}
+	pc.sendRaw(peer, tag, data)
 }
 
 // consume applies the mode-independent receive cost model: the
@@ -356,163 +374,237 @@ func Sendrecv(dest, sendTag int, data func(*PC) []byte, src, recvTag int, then f
 // construction, unlike the thread API's AnySource flat loops).
 
 // family returns pc's parent and children in the job's collective
-// topology rooted at root: the k-ary tree for CollTree, or the
-// one-level star for CollFlat.
+// topology rooted at root: the k-ary tree for CollTree, the
+// topology-aware tree for CollTopoTree, or the one-level star for
+// CollFlat.
 func family(pc *PC, root int) (parent int, children []int) {
-	if pc.job.opts.Collectives == CollFlat {
-		if pc.rank == root {
-			children = make([]int, 0, pc.Size()-1)
-			for i := 0; i < pc.Size(); i++ {
-				if i != root {
-					children = append(children, i)
+	return collFamily(pc.rank, pc.Size(), &pc.job.opts, root)
+}
+
+// Every collective executes a collective schedule (tree.go): a fixed
+// per-rank sequence of tree-edge sends and receives. The blocking
+// form is literally its nonblocking start half followed immediately
+// by its wait half, which is what makes blocking and nonblocking
+// collectives bit-identical in virtual time and results — the
+// equivalence the CI race tests pin. The nonblocking (start, wait)
+// pairs let a program put Work (or halo exchange) between the two
+// halves, hiding the collective's latency under compute.
+//
+// Like MPI, collectives must complete in program order: the wait half
+// must run before the same site starts again (enforced per rank), and
+// no other collective of the same kind may run between a start and
+// its wait — same-kind operations share tags, so an interloper could
+// consume the in-flight contributions. Different kinds interleave
+// freely.
+
+// collDef identifies one collective site in the program tree. Each
+// rank keys its in-flight run state by the site, so one shared
+// definition serves every rank and every loop iteration.
+type collDef struct{ name string }
+
+// collRun is one rank's in-flight collective: the schedule, the
+// cursor, and the completion callback.
+type collRun struct {
+	acts   []collAct
+	next   int
+	finish func(*PC)
+}
+
+// sendPrefix executes the schedule's pending leading sends.
+func (run *collRun) sendPrefix(pc *PC) {
+	for run.next < len(run.acts) && run.acts[run.next].send {
+		a := run.acts[run.next]
+		var payload []byte
+		if a.data != nil {
+			payload = a.data()
+		}
+		pc.sendEdge(a.peer, a.tag, payload)
+		run.next++
+	}
+}
+
+// startColl registers the run under its site and fires its leading
+// sends — with eager buffering the rank's contribution is in flight
+// before the start Proc completes.
+func (pc *PC) startColl(d *collDef, run *collRun) {
+	if pc.colls == nil {
+		pc.colls = make(map[*collDef]*collRun)
+	}
+	if _, dup := pc.colls[d]; dup {
+		panic(fmt.Sprintf("ampi: rank %d: %s started again before its wait completed", pc.rank, d.name))
+	}
+	run.sendPrefix(pc)
+	pc.colls[d] = run
+}
+
+// collWaitProc completes a started collective: remaining receives
+// park the flow (one at a time — the event backend holds a single
+// continuation), dependent sends go out, and finish delivers the
+// result.
+type collWaitProc struct{ d *collDef }
+
+func (wp collWaitProc) run(pc *PC, k func()) {
+	run, ok := pc.colls[wp.d]
+	if !ok {
+		panic(fmt.Sprintf("ampi: rank %d: wait for %s with no matching start", pc.rank, wp.d.name))
+	}
+	var step func()
+	step = func() {
+		run.sendPrefix(pc)
+		if run.next >= len(run.acts) {
+			delete(pc.colls, wp.d)
+			if run.finish != nil {
+				run.finish(pc)
+			}
+			k()
+			return
+		}
+		a := run.acts[run.next]
+		pc.be.recv(pc, a.peer, a.tag, func(m *comm.Message) {
+			pc.consume(m)
+			if a.on != nil {
+				if err := a.on(m.Data); err != nil {
+					panic(err)
 				}
 			}
-			return -1, children
-		}
-		return root, nil
+			run.next++
+			pc.tramp.Schedule(step)
+		})
 	}
-	return treeFamily(pc.rank, pc.Size(), pc.job.opts.TreeArity, root)
+	step()
+}
+
+// icoll builds a (start, wait) Proc pair around a run constructor.
+func icoll(name string, build func(*PC) *collRun) (start, wait Proc) {
+	d := &collDef{name}
+	return Do(func(pc *PC) { pc.startColl(d, build(pc)) }), collWaitProc{d}
+}
+
+func barrierRun(pc *PC) *collRun {
+	parent, children := family(pc, 0)
+	return &collRun{acts: barrierActs(parent, children)}
+}
+
+func reduceRun(pc *PC, root int, op string, val func(*PC) float64, then func(*PC, float64)) *collRun {
+	combine := mustCombiner(op)
+	parent, children := family(pc, root)
+	acc := new(float64)
+	*acc = val(pc)
+	run := &collRun{acts: reduceActs(parent, children, acc, combine)}
+	if then != nil && parent < 0 {
+		run.finish = func(pc *PC) { then(pc, *acc) }
+	}
+	return run
+}
+
+func allreduceRun(pc *PC, op string, val func(*PC) float64, then func(*PC, float64)) *collRun {
+	combine := mustCombiner(op)
+	parent, children := family(pc, 0)
+	acc := new(float64)
+	*acc = val(pc)
+	run := &collRun{acts: allreduceActs(parent, children, acc, combine)}
+	if then != nil {
+		run.finish = func(pc *PC) { then(pc, *acc) }
+	}
+	return run
+}
+
+func bcastRun(pc *PC, root int, val func(*PC) []byte, then func(*PC, []byte)) *collRun {
+	parent, children := family(pc, root)
+	data := new([]byte)
+	if parent < 0 {
+		*data = val(pc)
+	}
+	run := &collRun{acts: bcastActs(parent, children, data)}
+	if then != nil {
+		run.finish = func(pc *PC) { then(pc, *data) }
+	}
+	return run
+}
+
+func gatherRun(pc *PC, root int, val func(*PC) []byte, then func(*PC, [][]byte)) *collRun {
+	parent, children := family(pc, root)
+	entries := &[]gatherEntry{{rank: pc.rank, data: val(pc)}}
+	run := &collRun{acts: gatherActs(parent, children, entries, pc.Size())}
+	if then != nil && parent < 0 {
+		run.finish = func(pc *PC) {
+			out := make([][]byte, pc.Size())
+			for _, e := range *entries {
+				out[e.rank] = e.data
+			}
+			then(pc, out)
+		}
+	}
+	return run
 }
 
 // Barrier blocks until every rank has entered it: arrivals combine up
 // the topology, the release broadcasts down.
 func Barrier() Proc {
-	return Call(func(pc *PC) Proc {
-		if pc.Size() == 1 {
-			return Do(func(*PC) {})
-		}
-		parent, children := family(pc, 0)
-		var ps []Proc
-		for _, c := range children {
-			ps = append(ps, Recv(c, tagBarrier, nil))
-		}
-		if parent >= 0 {
-			p := parent
-			ps = append(ps,
-				Do(func(pc *PC) { pc.sendRaw(p, tagBarrier, nil) }),
-				Recv(p, tagBarrierRelease, nil))
-		}
-		for _, c := range children {
-			c := c
-			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(c, tagBarrierRelease, nil) }))
-		}
-		return Seq(ps...)
-	})
+	start, wait := icoll("Barrier", barrierRun)
+	return Seq(start, wait)
+}
+
+// Ibarrier is the nonblocking Barrier: start fires the rank's arrival
+// up the tree, wait blocks until the release comes down. Statements
+// between the two run while other ranks are still arriving.
+func Ibarrier() (start, wait Proc) {
+	return icoll("Ibarrier", barrierRun)
 }
 
 // Reduce combines every rank's value (from val) at root with op
 // ("sum", "max", "min"); then runs on root only.
 func Reduce(root int, op string, val func(*PC) float64, then func(*PC, float64)) Proc {
-	return Call(func(pc *PC) Proc {
-		combine := mustCombiner(op)
-		parent, children := family(pc, root)
-		acc := new(float64)
-		var ps []Proc
-		ps = append(ps, Do(func(pc *PC) { *acc = val(pc) }))
-		for _, c := range children {
-			ps = append(ps, Recv(c, tagReduceRoot, func(pc *PC, data []byte, _ int) {
-				*acc = combine(*acc, f64(data))
-			}))
-		}
-		if parent >= 0 {
-			p := parent
-			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(p, tagReduceRoot, f64bytes(*acc)) }))
-		} else if then != nil {
-			ps = append(ps, Do(func(pc *PC) { then(pc, *acc) }))
-		}
-		return Seq(ps...)
-	})
+	start, wait := icoll("Reduce", func(pc *PC) *collRun { return reduceRun(pc, root, op, val, then) })
+	return Seq(start, wait)
+}
+
+// Ireduce is the nonblocking Reduce: val is read at start, then runs
+// (on root) at wait.
+func Ireduce(root int, op string, val func(*PC) float64, then func(*PC, float64)) (start, wait Proc) {
+	return icoll("Ireduce", func(pc *PC) *collRun { return reduceRun(pc, root, op, val, then) })
 }
 
 // Allreduce combines every rank's value with op and delivers the
 // result to then on every rank.
 func Allreduce(op string, val func(*PC) float64, then func(*PC, float64)) Proc {
-	return Call(func(pc *PC) Proc {
-		combine := mustCombiner(op)
-		parent, children := family(pc, 0)
-		acc := new(float64)
-		var ps []Proc
-		ps = append(ps, Do(func(pc *PC) { *acc = val(pc) }))
-		for _, c := range children {
-			ps = append(ps, Recv(c, tagReduce, func(pc *PC, data []byte, _ int) {
-				*acc = combine(*acc, f64(data))
-			}))
-		}
-		if parent >= 0 {
-			p := parent
-			ps = append(ps,
-				Do(func(pc *PC) { pc.sendRaw(p, tagReduce, f64bytes(*acc)) }),
-				Recv(p, tagReduceResult, func(pc *PC, data []byte, _ int) { *acc = f64(data) }))
-		}
-		for _, c := range children {
-			c := c
-			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(c, tagReduceResult, f64bytes(*acc)) }))
-		}
-		if then != nil {
-			ps = append(ps, Do(func(pc *PC) { then(pc, *acc) }))
-		}
-		return Seq(ps...)
-	})
+	start, wait := icoll("Allreduce", func(pc *PC) *collRun { return allreduceRun(pc, op, val, then) })
+	return Seq(start, wait)
+}
+
+// Iallreduce is the nonblocking Allreduce: val is read at start (a
+// leaf's contribution is on the wire before start completes), then
+// runs with the combined result at wait — so Work placed between the
+// two halves overlaps the reduction's tree latency.
+func Iallreduce(op string, val func(*PC) float64, then func(*PC, float64)) (start, wait Proc) {
+	return icoll("Iallreduce", func(pc *PC) *collRun { return allreduceRun(pc, op, val, then) })
 }
 
 // Bcast broadcasts root's data (from val, called on root only) down
 // the topology; then runs on every rank with the received copy.
 func Bcast(root int, val func(*PC) []byte, then func(*PC, []byte)) Proc {
-	return Call(func(pc *PC) Proc {
-		parent, children := family(pc, root)
-		data := new([]byte)
-		var ps []Proc
-		if parent < 0 {
-			ps = append(ps, Do(func(pc *PC) { *data = val(pc) }))
-		} else {
-			p := parent
-			ps = append(ps, Recv(p, tagBcast, func(pc *PC, d []byte, _ int) { *data = d }))
-		}
-		for _, c := range children {
-			c := c
-			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(c, tagBcast, *data) }))
-		}
-		if then != nil {
-			ps = append(ps, Do(func(pc *PC) { then(pc, *data) }))
-		}
-		return Seq(ps...)
-	})
+	start, wait := icoll("Bcast", func(pc *PC) *collRun { return bcastRun(pc, root, val, then) })
+	return Seq(start, wait)
+}
+
+// Ibcast is the nonblocking Bcast: root's sends fire at start, every
+// rank's then runs at wait.
+func Ibcast(root int, val func(*PC) []byte, then func(*PC, []byte)) (start, wait Proc) {
+	return icoll("Ibcast", func(pc *PC) *collRun { return bcastRun(pc, root, val, then) })
 }
 
 // Gather collects every rank's data (from val) at root, indexed by
 // rank; then runs on root only. Subtrees pack their entries into one
 // message per edge, like the thread API's gatherTree.
 func Gather(root int, val func(*PC) []byte, then func(*PC, [][]byte)) Proc {
-	return Call(func(pc *PC) Proc {
-		parent, children := family(pc, root)
-		entries := new([]gatherEntry)
-		var ps []Proc
-		ps = append(ps, Do(func(pc *PC) {
-			*entries = []gatherEntry{{rank: pc.rank, data: val(pc)}}
-		}))
-		for _, c := range children {
-			ps = append(ps, Recv(c, tagGather, func(pc *PC, data []byte, _ int) {
-				sub, err := unpackGather(data, pc.Size())
-				if err != nil {
-					panic(err)
-				}
-				*entries = append(*entries, sub...)
-			}))
-		}
-		if parent >= 0 {
-			p := parent
-			ps = append(ps, Do(func(pc *PC) { pc.sendRaw(p, tagGather, packGather(*entries)) }))
-		} else if then != nil {
-			ps = append(ps, Do(func(pc *PC) {
-				out := make([][]byte, pc.Size())
-				for _, e := range *entries {
-					out[e.rank] = e.data
-				}
-				then(pc, out)
-			}))
-		}
-		return Seq(ps...)
-	})
+	start, wait := icoll("Gather", func(pc *PC) *collRun { return gatherRun(pc, root, val, then) })
+	return Seq(start, wait)
+}
+
+// Igather is the nonblocking Gather: leaf contributions fire at
+// start, the root's then runs at wait.
+func Igather(root int, val func(*PC) []byte, then func(*PC, [][]byte)) (start, wait Proc) {
+	return icoll("Igather", func(pc *PC) *collRun { return gatherRun(pc, root, val, then) })
 }
 
 // Scatter distributes chunks (from val, called on root only; one

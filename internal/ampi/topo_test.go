@@ -1,0 +1,256 @@
+package ampi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// topoJob builds an offline Job literal just big enough for family()
+// and edgeHops() — the same pattern TestTreeFamilyShape uses.
+func topoJob(n, k, nodes, gsize int, block bool) *Job {
+	j := &Job{
+		size: n,
+		opts: Options{
+			Collectives:    CollTopoTree,
+			TreeArity:      k,
+			Topo:           Topology{Nodes: nodes, GroupSize: gsize},
+			BlockPlacement: block,
+		},
+		ranks: make([]*Rank, n),
+	}
+	for i := range j.ranks {
+		j.ranks[i] = &Rank{job: j, rank: i}
+	}
+	return j
+}
+
+// TestTopoFamilyShape checks the topology-aware tree is a well-formed
+// spanning tree across sizes, arities, roots, node counts, group
+// sizes, and both placements: every non-root has exactly one parent,
+// parent/child views agree, and every rank reaches the root.
+func TestTopoFamilyShape(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 16, 33, 64} {
+		for _, k := range []int{1, 2, 4} {
+			for _, nodes := range []int{1, 2, 4, 7, 16} {
+				for _, gsize := range []int{1, 2, 4} {
+					for _, block := range []bool{false, true} {
+						for _, root := range []int{0, 1, n - 1} {
+							if root < 0 || root >= n {
+								continue
+							}
+							j := topoJob(n, k, nodes, gsize, block)
+							label := fmt.Sprintf("n=%d k=%d nodes=%d g=%d block=%v root=%d",
+								n, k, nodes, gsize, block, root)
+							parents := make(map[int]int)
+							for i := 0; i < n; i++ {
+								p, children := j.ranks[i].family(root)
+								if i == root && p != -1 {
+									t.Fatalf("%s: root has parent %d", label, p)
+								}
+								if i != root && (p < 0 || p >= n) {
+									t.Fatalf("%s: rank %d parent %d out of range", label, i, p)
+								}
+								for _, c := range children {
+									if c < 0 || c >= n || c == i {
+										t.Fatalf("%s: rank %d has bad child %d", label, i, c)
+									}
+									if old, dup := parents[c]; dup {
+										t.Fatalf("%s: rank %d has parents %d and %d", label, c, old, i)
+									}
+									parents[c] = i
+								}
+							}
+							if len(parents) != n-1 {
+								t.Fatalf("%s: %d edges, want %d", label, len(parents), n-1)
+							}
+							for c, p := range parents {
+								gotP, _ := j.ranks[c].family(root)
+								if gotP != p {
+									t.Fatalf("%s: rank %d sees parent %d, parent list says %d", label, c, gotP, p)
+								}
+								cur, steps := c, 0
+								for cur != root {
+									next, ok := parents[cur]
+									if !ok || steps > n {
+										t.Fatalf("%s: rank %d not connected to root", label, c)
+									}
+									cur, steps = next, steps+1
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// treeEdgeHops sums edgeHops over every tree edge of the given
+// collective algorithm on j's topology.
+func treeEdgeHops(j *Job, root int) int {
+	total := 0
+	for i := range j.ranks {
+		p, _ := j.ranks[i].family(root)
+		if p >= 0 {
+			total += j.edgeHops(i, p)
+		}
+	}
+	return total
+}
+
+// TestTopoHopsAtMostRankOrder is the hop-count property on torus
+// layouts: for every configuration, the topology-aware tree's edges
+// cross no more node-to-node hops than the rank-order tree's, and on
+// multi-rank-per-node layouts strictly fewer somewhere.
+func TestTopoHopsAtMostRankOrder(t *testing.T) {
+	anyStrict := false
+	for _, n := range []int{16, 48, 64, 100} {
+		for _, nodes := range []int{4, 8, 16} {
+			for _, gsize := range []int{2, 4} {
+				for _, block := range []bool{false, true} {
+					for _, root := range []int{0, 3} {
+						topo := topoJob(n, 2, nodes, gsize, block)
+						rankOrder := topoJob(n, 2, nodes, gsize, block)
+						rankOrder.opts.Collectives = CollTree
+						th := treeEdgeHops(topo, root)
+						rh := treeEdgeHops(rankOrder, root)
+						if th > rh {
+							t.Errorf("n=%d nodes=%d g=%d block=%v root=%d: topo %d hops > rank-order %d",
+								n, nodes, gsize, block, root, th, rh)
+						}
+						if th < rh {
+							anyStrict = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if !anyStrict {
+		t.Error("topology tree never beat rank-order on any layout")
+	}
+}
+
+// TestTopoTreeCollectivesAgree runs the full collective set under the
+// rank-order and the topology-aware tree — including a non-zero root
+// — and demands bit-identical results. (Values are small integers,
+// exact in float64, so combine-order differences cannot hide behind
+// rounding.)
+func TestTopoTreeCollectivesAgree(t *testing.T) {
+	type outcome struct {
+		allred float64
+		red    float64
+		bcast  []byte
+		gather [][]byte
+	}
+	run := func(algo CollAlgo) []outcome {
+		m := newMachine(t, 4, nil)
+		const ranks, root = 24, 5
+		out := make([]outcome, ranks)
+		var mu sync.Mutex
+		j, err := NewJob(m, ranks, Options{
+			Collectives: algo, TreeArity: 2, BlockPlacement: true,
+			Topo: Topology{Nodes: 4, GroupSize: 2},
+		}, func(r *Rank) {
+			ar, err := r.Allreduce("sum", float64(r.Rank()+1))
+			if err != nil {
+				t.Errorf("Allreduce: %v", err)
+				return
+			}
+			rd, err := r.Reduce(root, "max", float64(r.Rank()*2))
+			if err != nil {
+				t.Errorf("Reduce: %v", err)
+				return
+			}
+			var seed []byte
+			if r.Rank() == root {
+				seed = []byte("topo-vs-rank-order")
+			}
+			bc, err := r.Bcast(root, seed)
+			if err != nil {
+				t.Errorf("Bcast: %v", err)
+				return
+			}
+			ga, err := r.Gather(root, []byte{byte(r.Rank())})
+			if err != nil {
+				t.Errorf("Gather: %v", err)
+				return
+			}
+			mu.Lock()
+			out[r.Rank()] = outcome{allred: ar, red: rd, bcast: bc, gather: ga}
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Run()
+		if !j.Done() {
+			t.Fatalf("algo %d: job deadlocked", algo)
+		}
+		return out
+	}
+	topo, rank := run(CollTopoTree), run(CollTree)
+	for rk := range topo {
+		if topo[rk].allred != rank[rk].allred || topo[rk].allred != 300 {
+			t.Errorf("rank %d allreduce: topo %g rank-order %g want 300", rk, topo[rk].allred, rank[rk].allred)
+		}
+		if topo[rk].red != rank[rk].red {
+			t.Errorf("rank %d reduce: topo %g rank-order %g", rk, topo[rk].red, rank[rk].red)
+		}
+		if !bytes.Equal(topo[rk].bcast, rank[rk].bcast) {
+			t.Errorf("rank %d bcast: topo %q rank-order %q", rk, topo[rk].bcast, rank[rk].bcast)
+		}
+		if (rk == 5) != (topo[rk].gather != nil) {
+			t.Errorf("rank %d gather presence wrong", rk)
+		}
+		for i := range topo[rk].gather {
+			if !bytes.Equal(topo[rk].gather[i], rank[rk].gather[i]) {
+				t.Errorf("rank %d gather[%d]: topo %v rank-order %v", rk, i, topo[rk].gather[i], rank[rk].gather[i])
+			}
+		}
+	}
+}
+
+// TestTopoOptionValidation covers the new Options surface: negative
+// topology fields are rejected, CollTopoTree defaults its node count
+// to the PE count, and hop accounting stays off with a zero Topology.
+func TestTopoOptionValidation(t *testing.T) {
+	m := newMachine(t, 2, nil)
+	if _, err := NewJob(m, 2, Options{Topo: Topology{Nodes: -1}}, func(*Rank) {}); err == nil {
+		t.Error("negative Topo.Nodes accepted")
+	}
+	if _, err := NewJob(m, 2, Options{Topo: Topology{Nodes: 2, GroupSize: -3}}, func(*Rank) {}); err == nil {
+		t.Error("negative Topo.GroupSize accepted")
+	}
+	j, err := NewJob(m, 4, Options{Collectives: CollTopoTree}, func(r *Rank) {
+		if err := r.Barrier(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Run()
+	if !j.Done() {
+		t.Fatal("CollTopoTree job with defaulted topology deadlocked")
+	}
+	if hops := m.Network().TopoHops(); hops == 0 {
+		t.Error("defaulted CollTopoTree charged no hops")
+	}
+	// Zero topology = no hop accounting.
+	m2 := newMachine(t, 2, nil)
+	j2, err := NewJob(m2, 4, Options{}, func(r *Rank) {
+		if err := r.Barrier(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Run()
+	if hops := m2.Network().TopoHops(); hops != 0 {
+		t.Errorf("topology-blind job charged %d hops", hops)
+	}
+}

@@ -19,6 +19,11 @@ import (
 // other's contributions. The flat Reduce/Gather match AnySource, so a
 // fast rank's epoch-N+1 message can be consumed into the root's
 // epoch-N combine; they are kept, unchanged, for A/B comparison.
+//
+// CollTopoTree replaces the rank-order shape with a topology-aware
+// one (topoFamily): tree edges follow the torus/PE-group hierarchy,
+// so when Options.Topo charges per-hop costs, the same reduction
+// crosses fewer hops at identical combine order per node.
 
 // treeFamily returns rank's parent (-1 for the root) and children in
 // the k-ary collective tree of n ranks rooted at root. Ranks are
@@ -42,82 +47,339 @@ func treeFamily(rank, n, k, root int) (parent int, children []int) {
 	return parent, children
 }
 
-func (r *Rank) treeFamily(root int) (parent int, children []int) {
-	return treeFamily(r.rank, len(r.job.ranks), r.job.opts.TreeArity, root)
+// topoMap is the rank↔(node, index) arithmetic topoFamily runs on:
+// ranks in [0, n) map onto eff logical nodes with the same placement
+// function the job uses for PEs (contiguous blocks or round-robin),
+// so co-resident ranks share a node.
+type topoMap struct {
+	n, eff, k int
+	block     bool
 }
 
-// barrierTree: arrivals combine up the tree, the release broadcasts
+// node returns the logical node holding rank x.
+func (tm topoMap) node(x int) int { return placePE(x, tm.n, tm.eff, tm.block) }
+
+// rankAt returns node m's i-th resident rank (i < count(m)).
+func (tm topoMap) rankAt(m, i int) int {
+	if tm.block {
+		return (m*tm.n+tm.eff-1)/tm.eff + i
+	}
+	return m + i*tm.eff
+}
+
+// idx returns rank x's index within its node.
+func (tm topoMap) idx(x int) int {
+	if tm.block {
+		return x - tm.rankAt(tm.node(x), 0)
+	}
+	return x / tm.eff
+}
+
+// count returns how many ranks live on node m (≥ 1 for eff ≤ n).
+func (tm topoMap) count(m int) int {
+	if tm.block {
+		lo := (m*tm.n + tm.eff - 1) / tm.eff
+		hi := ((m+1)*tm.n + tm.eff - 1) / tm.eff
+		if hi > tm.n {
+			hi = tm.n
+		}
+		return hi - lo
+	}
+	return 1 + (tm.n-1-m)/tm.eff
+}
+
+// topoFamily returns rank's parent and children in the topology-aware
+// spanning tree of n ranks rooted at root (CollTopoTree). The tree
+// follows the torus/PE-group hierarchy of t instead of rank order:
+//
+//   - ranks on one logical node form a k-ary subtree under the node's
+//     first resident (its leader), so those edges cross zero hops;
+//   - node leaders within one GroupSize-node group form a k-ary
+//     subtree under the group's lead node, so those edges stay short;
+//   - group lead nodes form a k-ary tree across groups — only these
+//     few edges cross long torus distances.
+//
+// Like treeFamily, ranks are renumbered relative to root and the
+// result depends only on (rank, n, k, root, t, block) — never on
+// current placement — so collectives built on it stay deterministic
+// and migration-invariant.
+func topoFamily(rank, n, k, root int, t Topology, block bool) (parent int, children []int) {
+	eff, gsize := t.Nodes, t.GroupSize
+	if eff > n {
+		eff = n
+	}
+	if eff <= 0 || gsize <= 0 {
+		return treeFamily(rank, n, k, root)
+	}
+	tm := topoMap{n: n, eff: eff, k: k, block: block}
+	abs := func(x int) int { return (x + root) % n }
+	rel := (rank - root + n) % n
+
+	m := tm.node(rel)
+	i := tm.idx(rel)
+	g := m / gsize
+	lead := g * gsize // the group's lead node
+
+	parent = -1
+	switch {
+	case i != 0: // within-node subtree
+		parent = abs(tm.rankAt(m, (i-1)/k))
+	case m != lead: // node leader under the group's lead node
+		parent = abs(tm.rankAt(lead+(m-lead-1)/k, 0))
+	case g != 0: // group leader under its parent group's lead node
+		parent = abs(tm.rankAt(((g-1)/k)*gsize, 0))
+	}
+
+	for c := k*i + 1; c <= k*i+k; c++ {
+		if c >= tm.count(m) {
+			break
+		}
+		children = append(children, abs(tm.rankAt(m, c)))
+	}
+	if i == 0 {
+		groupNodes := gsize
+		if lead+groupNodes > eff {
+			groupNodes = eff - lead
+		}
+		j := m - lead
+		for c := k*j + 1; c <= k*j+k; c++ {
+			if c >= groupNodes {
+				break
+			}
+			children = append(children, abs(tm.rankAt(lead+c, 0)))
+		}
+		if m == lead {
+			ngroups := (eff + gsize - 1) / gsize
+			for c := k*g + 1; c <= k*g+k; c++ {
+				if c >= ngroups {
+					break
+				}
+				children = append(children, abs(tm.rankAt(c*gsize, 0)))
+			}
+		}
+	}
+	return parent, children
+}
+
+// collFamily returns rank's parent and children in the job's
+// collective topology rooted at root: the rank-order k-ary tree
+// (CollTree), the topology-aware tree (CollTopoTree), or the
+// one-level star (CollFlat; children in rank order, so star
+// collectives built on it are deterministic, unlike the blocking flat
+// loops' AnySource matching).
+func collFamily(rank, n int, opts *Options, root int) (parent int, children []int) {
+	switch opts.Collectives {
+	case CollFlat:
+		if rank == root {
+			children = make([]int, 0, n-1)
+			for i := 0; i < n; i++ {
+				if i != root {
+					children = append(children, i)
+				}
+			}
+			return -1, children
+		}
+		return root, nil
+	case CollTopoTree:
+		return topoFamily(rank, n, opts.TreeArity, root, opts.Topo, opts.BlockPlacement)
+	default:
+		return treeFamily(rank, n, opts.TreeArity, root)
+	}
+}
+
+func (r *Rank) family(root int) (parent int, children []int) {
+	return collFamily(r.rank, len(r.job.ranks), &r.job.opts, root)
+}
+
+// ---------------------------------------------------------------
+// Collective schedules
+//
+// A collective, for one rank, is a fixed sequence of edge actions:
+// sends to and receives from its family, in an order that encodes the
+// up-combine/down-broadcast dance. The builders below emit that
+// sequence once; the blocking thread collectives (runActs), the
+// nonblocking thread requests (CollRequest, nonblocking.go), and both
+// program backends (collWaitProc, program.go) all execute the same
+// schedule — which is what makes blocking and nonblocking collectives
+// bit-identical by construction: a blocking collective IS its
+// nonblocking start followed immediately by its wait.
+
+// collAct is one edge action of a collective schedule. Send payloads
+// are computed at execution time (an up-phase send depends on data
+// combined from earlier receives); receive handlers fold the payload
+// into the rank's accumulator.
+type collAct struct {
+	send bool
+	peer int
+	tag  int
+	data func() []byte      // send payload (nil = empty message)
+	on   func([]byte) error // receive handler (nil = discard)
+}
+
+// barrierActs: arrivals combine up the tree, the release broadcasts
 // down. Depth is ceil(log_k P), and every rank handles at most k+1
 // messages.
-func (r *Rank) barrierTree() error {
-	parent, children := r.treeFamily(0)
+func barrierActs(parent int, children []int) []collAct {
+	var acts []collAct
 	for _, c := range children {
-		r.recv(c, tagBarrier)
+		acts = append(acts, collAct{peer: c, tag: tagBarrier})
 	}
 	if parent >= 0 {
-		if err := r.send(parent, tagBarrier, nil); err != nil {
-			return err
-		}
-		r.recv(parent, tagBarrierRelease)
+		acts = append(acts,
+			collAct{send: true, peer: parent, tag: tagBarrier},
+			collAct{peer: parent, tag: tagBarrierRelease})
 	}
 	for _, c := range children {
-		if err := r.send(c, tagBarrierRelease, nil); err != nil {
-			return err
+		acts = append(acts, collAct{send: true, peer: c, tag: tagBarrierRelease})
+	}
+	return acts
+}
+
+// allreduceActs combines partial values up the tree into *acc and
+// broadcasts the result down the same edges.
+func allreduceActs(parent int, children []int, acc *float64, combine func(a, b float64) float64) []collAct {
+	var acts []collAct
+	for _, c := range children {
+		acts = append(acts, collAct{peer: c, tag: tagReduce, on: func(d []byte) error {
+			*acc = combine(*acc, f64(d))
+			return nil
+		}})
+	}
+	if parent >= 0 {
+		acts = append(acts,
+			collAct{send: true, peer: parent, tag: tagReduce, data: func() []byte { return f64bytes(*acc) }},
+			collAct{peer: parent, tag: tagReduceResult, on: func(d []byte) error {
+				*acc = f64(d)
+				return nil
+			}})
+	}
+	for _, c := range children {
+		acts = append(acts, collAct{send: true, peer: c, tag: tagReduceResult, data: func() []byte { return f64bytes(*acc) }})
+	}
+	return acts
+}
+
+// reduceActs combines partial values up the tree into *acc; only the
+// root's *acc ends up meaningful.
+func reduceActs(parent int, children []int, acc *float64, combine func(a, b float64) float64) []collAct {
+	var acts []collAct
+	for _, c := range children {
+		acts = append(acts, collAct{peer: c, tag: tagReduceRoot, on: func(d []byte) error {
+			*acc = combine(*acc, f64(d))
+			return nil
+		}})
+	}
+	if parent >= 0 {
+		acts = append(acts, collAct{send: true, peer: parent, tag: tagReduceRoot, data: func() []byte { return f64bytes(*acc) }})
+	}
+	return acts
+}
+
+// bcastActs forwards *data (pre-set on the root) down the tree.
+func bcastActs(parent int, children []int, data *[]byte) []collAct {
+	var acts []collAct
+	if parent >= 0 {
+		acts = append(acts, collAct{peer: parent, tag: tagBcast, on: func(d []byte) error {
+			*data = d
+			return nil
+		}})
+	}
+	for _, c := range children {
+		acts = append(acts, collAct{send: true, peer: c, tag: tagBcast, data: func() []byte { return *data }})
+	}
+	return acts
+}
+
+// gatherActs merges (rank, data) entries up the tree: *entries starts
+// with the rank's own contribution, children's packed subtrees append
+// to it, and one packed message goes to the parent — so the root
+// receives exactly its children's subtrees instead of P-1 messages.
+func gatherActs(parent int, children []int, entries *[]gatherEntry, nranks int) []collAct {
+	var acts []collAct
+	for _, c := range children {
+		acts = append(acts, collAct{peer: c, tag: tagGather, on: func(d []byte) error {
+			sub, err := unpackGather(d, nranks)
+			if err != nil {
+				return err
+			}
+			*entries = append(*entries, sub...)
+			return nil
+		}})
+	}
+	if parent >= 0 {
+		acts = append(acts, collAct{send: true, peer: parent, tag: tagGather, data: func() []byte { return packGather(*entries) }})
+	}
+	return acts
+}
+
+// runActs executes a collective schedule synchronously — the blocking
+// thread collectives.
+func (r *Rank) runActs(acts []collAct) error {
+	for _, a := range acts {
+		if a.send {
+			var payload []byte
+			if a.data != nil {
+				payload = a.data()
+			}
+			if err := r.sendEdge(a.peer, a.tag, payload); err != nil {
+				return err
+			}
+			continue
+		}
+		m := r.recv(a.peer, a.tag)
+		if a.on != nil {
+			if err := a.on(m.Data); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
+// ---------------------------------------------------------------
+// Blocking tree collectives: schedule + immediate execution.
+
+func (r *Rank) barrierTree() error {
+	parent, children := r.family(0)
+	return r.runActs(barrierActs(parent, children))
+}
+
 // allreduceTree combines partial values up the tree rooted at rank 0
 // and broadcasts the result down the same edges.
 func (r *Rank) allreduceTree(combine func(a, b float64) float64, v float64) (float64, error) {
-	parent, children := r.treeFamily(0)
-	acc := v
-	for _, c := range children {
-		m := r.recv(c, tagReduce)
-		acc = combine(acc, f64(m.Data))
+	parent, children := r.family(0)
+	acc := new(float64)
+	*acc = v
+	if err := r.runActs(allreduceActs(parent, children, acc, combine)); err != nil {
+		return 0, err
 	}
-	if parent >= 0 {
-		if err := r.send(parent, tagReduce, f64bytes(acc)); err != nil {
-			return 0, err
-		}
-		acc = f64(r.recv(parent, tagReduceResult).Data)
-	}
-	for _, c := range children {
-		if err := r.send(c, tagReduceResult, f64bytes(acc)); err != nil {
-			return 0, err
-		}
-	}
-	return acc, nil
+	return *acc, nil
 }
 
 // reduceTree combines partial values up the tree; only root gets the
 // result (others return 0, like the flat Reduce).
 func (r *Rank) reduceTree(root int, combine func(a, b float64) float64, v float64) (float64, error) {
-	parent, children := r.treeFamily(root)
-	acc := v
-	for _, c := range children {
-		m := r.recv(c, tagReduceRoot)
-		acc = combine(acc, f64(m.Data))
+	parent, children := r.family(root)
+	acc := new(float64)
+	*acc = v
+	if err := r.runActs(reduceActs(parent, children, acc, combine)); err != nil {
+		return 0, err
 	}
 	if parent >= 0 {
-		return 0, r.send(parent, tagReduceRoot, f64bytes(acc))
+		return 0, nil
 	}
-	return acc, nil
+	return *acc, nil
 }
 
 // bcastTree forwards root's data down the tree.
 func (r *Rank) bcastTree(root int, data []byte) ([]byte, error) {
-	parent, children := r.treeFamily(root)
-	if parent >= 0 {
-		data = r.recv(parent, tagBcast).Data
+	parent, children := r.family(root)
+	buf := new([]byte)
+	*buf = data
+	if err := r.runActs(bcastActs(parent, children, buf)); err != nil {
+		return nil, err
 	}
-	for _, c := range children {
-		if err := r.send(c, tagBcast, data); err != nil {
-			return nil, err
-		}
-	}
-	return data, nil
+	return *buf, nil
 }
 
 // gatherTree merges (rank, data) entries up the tree: each node packs
@@ -125,20 +387,16 @@ func (r *Rank) bcastTree(root int, data []byte) ([]byte, error) {
 // its parent, so the root receives exactly its k children's packed
 // subtrees instead of P-1 individual messages.
 func (r *Rank) gatherTree(root int, data []byte) ([][]byte, error) {
-	parent, children := r.treeFamily(root)
-	entries := []gatherEntry{{rank: r.rank, data: data}}
-	for _, c := range children {
-		sub, err := unpackGather(r.recv(c, tagGather).Data, len(r.job.ranks))
-		if err != nil {
-			return nil, err
-		}
-		entries = append(entries, sub...)
+	parent, children := r.family(root)
+	entries := &[]gatherEntry{{rank: r.rank, data: data}}
+	if err := r.runActs(gatherActs(parent, children, entries, len(r.job.ranks))); err != nil {
+		return nil, err
 	}
 	if parent >= 0 {
-		return nil, r.send(parent, tagGather, packGather(entries))
+		return nil, nil
 	}
 	out := make([][]byte, len(r.job.ranks))
-	for _, e := range entries {
+	for _, e := range *entries {
 		out[e.rank] = e.data
 	}
 	return out, nil

@@ -24,7 +24,7 @@ func TestTreeFamilyShape(t *testing.T) {
 				}
 				parents := make(map[int]int)
 				for i := 0; i < n; i++ {
-					p, children := j.ranks[i].treeFamily(root)
+					p, children := j.ranks[i].family(root)
 					if i == root && p != -1 {
 						t.Fatalf("n=%d k=%d root=%d: root has parent %d", n, k, root, p)
 					}
@@ -45,7 +45,7 @@ func TestTreeFamilyShape(t *testing.T) {
 					t.Fatalf("n=%d k=%d root=%d: %d edges, want %d", n, k, root, len(parents), n-1)
 				}
 				for c, p := range parents {
-					gotP, _ := j.ranks[c].treeFamily(root)
+					gotP, _ := j.ranks[c].family(root)
 					if gotP != p {
 						t.Fatalf("n=%d k=%d root=%d: rank %d sees parent %d, parent list says %d", n, k, root, c, gotP, p)
 					}

@@ -153,6 +153,12 @@ type Network struct {
 	// streaming-aggregation stats (see aggregate.go)
 	envelopes   atomic.Uint64
 	aggPayloads atomic.Uint64
+
+	// topoHops counts logical network hops charged by topology-aware
+	// collective trees (see ampi's Topology): the layer above reports
+	// each tree edge's hop distance here so harnesses can compare
+	// rank-order vs topology-aware spanning trees on the same run.
+	topoHops atomic.Uint64
 }
 
 // NewNetwork builds a network of numPEs endpoints.
@@ -535,6 +541,13 @@ func (n *Network) MigrateEntity(id EntityID, to int) error {
 func (n *Network) Stats() (sent, forwards, bytes uint64) {
 	return n.sent.Load(), n.forwards.Load(), n.bytes.Load()
 }
+
+// ChargeTopoHops adds h logical hops to the topology-hop counter.
+func (n *Network) ChargeTopoHops(h uint64) { n.topoHops.Add(h) }
+
+// TopoHops returns the total logical hops charged by topology-aware
+// collective trees (zero when no topology is configured).
+func (n *Network) TopoHops() uint64 { return n.topoHops.Load() }
 
 // Endpoint is one PE's attachment to the network: an inbox plus a
 // location cache.

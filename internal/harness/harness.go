@@ -245,6 +245,16 @@ type Fig12Config struct {
 	// WorkChunks splits each rank's per-step solve into this many
 	// Work+Yield slices (steal points); ≤1 keeps the single-shot solve.
 	WorkChunks int
+	// Overlap makes the halo exchange split-phase (Params.Overlap):
+	// receives posted and halos sent before the solve, completed after
+	// it, so exchange cost hides under compute.
+	Overlap bool
+	// ReduceEvery joins a residual-proxy Allreduce every k steps —
+	// pipelined (Iallreduce) when Overlap is on.
+	ReduceEvery int
+	// Topo charges collective tree edges logical torus hops
+	// (Params.Topo) and adds a hops column to the table.
+	Topo ampi.Topology
 }
 
 // Figure12With is the fully-configurable Figure 12 driver. With the
@@ -267,10 +277,17 @@ func Figure12With(w io.Writer, steps int, cfg Fig12Config) ([][2]*npb.Result, er
 	if cfg.Steal {
 		mode += ", idle stealing"
 	}
+	if cfg.Overlap {
+		mode += ", split-phase overlap"
+	}
+	topo := cfg.Topo.Nodes > 0 || cfg.Coll == ampi.CollTopoTree
 	fmt.Fprintf(w, "Figure 12: NAS BT-MZ with and without thread-migration load balancing%s\n", mode)
 	fmt.Fprintf(w, "%-10s %14s %14s %9s %7s %10s", "case", "noLB time(ms)", "LB time(ms)", "speedup", "moved", "envelopes")
 	if cfg.Steal {
 		fmt.Fprintf(w, " %7s", "stolen")
+	}
+	if topo {
+		fmt.Fprintf(w, " %7s", "hops")
 	}
 	fmt.Fprintln(w)
 	for _, p := range npb.Cases(steps, nil) {
@@ -279,6 +296,9 @@ func Figure12With(w io.Writer, steps int, cfg Fig12Config) ([][2]*npb.Result, er
 		p.AggPolicy = cfg.AggPolicy
 		p.Steal = cfg.Steal
 		p.WorkChunks = cfg.WorkChunks
+		p.Overlap = cfg.Overlap
+		p.ReduceEvery = cfg.ReduceEvery
+		p.Topo = cfg.Topo
 		base, err := npb.Run(p)
 		if err != nil {
 			return nil, err
@@ -293,6 +313,9 @@ func Figure12With(w io.Writer, steps int, cfg Fig12Config) ([][2]*npb.Result, er
 			p.Label(), base.TimeNs/1e6, lb.TimeNs/1e6, base.TimeNs/lb.TimeNs, lb.MovedRanks, lb.Envelopes)
 		if cfg.Steal {
 			fmt.Fprintf(w, " %7d", base.Steals.Moved+lb.Steals.Moved)
+		}
+		if topo {
+			fmt.Fprintf(w, " %7d", lb.TopoHops)
 		}
 		fmt.Fprintln(w)
 		out = append(out, [2]*npb.Result{base, lb})

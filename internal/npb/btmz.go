@@ -183,8 +183,25 @@ type Params struct {
 	// Result.Trace.
 	Trace bool
 	// Collectives selects the AMPI collective topology (tree by
-	// default; CollFlat for A/B).
+	// default; CollFlat for A/B; CollTopoTree follows Topo).
 	Collectives ampi.CollAlgo
+	// Topo is the torus/PE-group shape collective trees can exploit:
+	// when set, every collective tree edge is charged per-hop cost and
+	// counted in Result.TopoHops (ampi.Topology docs).
+	Topo ampi.Topology
+	// Overlap makes the halo exchange split-phase: receives are
+	// posted and halos sent before the solve, and the exchange
+	// completes (Waitall) after it — so exchange latency hides under
+	// solver work, and the per-step modeled time becomes
+	// max(solve, exchange) instead of solve + exchange. The residual
+	// reduction (ReduceEvery) pipelines the same way: each reduction
+	// starts after its step's exchange and is collected a reduce
+	// period later.
+	Overlap bool
+	// ReduceEvery joins a "max" residual-proxy Allreduce every k
+	// steps (0 = never) — blocking by default, pipelined
+	// (Iallreduce + deferred Wait) with Overlap.
+	ReduceEvery int
 	// Aggregate routes the boundary exchange through comm streaming
 	// aggregation: each rank's halos coalesce per destination PE, so
 	// the modeled per-step exchange pays one Alpha per (rank, dest-PE)
@@ -254,6 +271,9 @@ type Result struct {
 	// Steals reports the work-stealing counters (zero unless
 	// Params.Steal).
 	Steals core.StealStats
+	// TopoHops counts the logical torus hops collective tree edges
+	// crossed (zero unless Params.Topo is set).
+	TopoHops uint64
 	// Trace is the event log when Params.Trace was set (nil
 	// otherwise).
 	Trace *trace.Log
@@ -272,6 +292,9 @@ func Run(p Params) (*Result, error) {
 	}
 	if p.HaloBytes == 0 {
 		p.HaloBytes = 4096
+	}
+	if p.ReduceEvery < 0 {
+		return nil, fmt.Errorf("npb: ReduceEvery %d must be ≥ 0", p.ReduceEvery)
 	}
 	if p.Mode != "" {
 		return runProgram(p)
@@ -340,6 +363,7 @@ func Run(p Params) (*Result, error) {
 		Globals:        layout,
 		BlockPlacement: true,
 		Collectives:    p.Collectives,
+		Topo:           p.Topo,
 		Aggregate:      p.Aggregate,
 		AggPolicy:      p.AggPolicy,
 	}
@@ -352,6 +376,11 @@ func Run(p Params) (*Result, error) {
 			myWork += sizes[z] * p.Class.WorkPerPointNs
 		}
 		halo := make([]byte, p.HaloBytes)
+		// Pipelined residual reduction (Overlap + ReduceEvery): the
+		// reduction started at the previous reduce step is collected
+		// just before the next one starts, so its tree latency hides
+		// under the intervening solves.
+		var ar *ampi.CollRequest
 		for step := 0; step < p.Steps; step++ {
 			// Privatized global: each rank tracks its own step
 			// counter, unchanged application style under AMPI.
@@ -365,33 +394,59 @@ func Run(p Params) (*Result, error) {
 			// the remaining sweeps run (and are charged) where the free
 			// cycles are. chunks == 1 charges the whole solve at once,
 			// byte-identical to the unsliced model.
-			chunks := p.WorkChunks
-			if chunks < 1 {
-				chunks = 1
-			}
-			slice := myWork / float64(chunks)
-			for k := 0; k < chunks; k++ {
-				r.Work(slice)
-				if p.Steal {
-					// Occupy the PE for wall time proportional to the
-					// modeled slice, so real idleness tracks modeled
-					// load and thieves pull from genuinely busy PEs.
-					spinWall(slice / spinScale)
+			solve := func() {
+				chunks := p.WorkChunks
+				if chunks < 1 {
+					chunks = 1
 				}
-				mu.Lock()
-				stepBusy[step][r.PE()] += slice
-				mu.Unlock()
-				if chunks > 1 {
-					r.Yield()
+				slice := myWork / float64(chunks)
+				for k := 0; k < chunks; k++ {
+					r.Work(slice)
+					if p.Steal {
+						// Occupy the PE for wall time proportional to the
+						// modeled slice, so real idleness tracks modeled
+						// load and thieves pull from genuinely busy PEs.
+						spinWall(slice / spinScale)
+					}
+					mu.Lock()
+					stepBusy[step][r.PE()] += slice
+					mu.Unlock()
+					if chunks > 1 {
+						r.Yield()
+					}
 				}
 			}
 			// Boundary exchange along the real zone adjacency: one
 			// halo message per crossing zone-neighbour pair, sent
 			// nonblocking, then receive the expected inbound count.
-			for _, dest := range sendTo[r.Rank()] {
-				if _, err := r.Isend(dest, 1, halo); err != nil {
-					fail(err)
-					return
+			// With Overlap the receives are posted and the halos sent
+			// BEFORE the solve, and the exchange completes after it —
+			// the MPI-3 split-phase pattern the request objects exist
+			// for.
+			var reqs []*ampi.Request
+			if p.Overlap {
+				for i := 0; i < expectIn[r.Rank()]; i++ {
+					q, err := r.Irecv(ampi.AnySource, 1)
+					if err != nil {
+						fail(err)
+						return
+					}
+					reqs = append(reqs, q)
+				}
+				for _, dest := range sendTo[r.Rank()] {
+					if _, err := r.Isend(dest, 1, halo); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+			solve()
+			if !p.Overlap {
+				for _, dest := range sendTo[r.Rank()] {
+					if _, err := r.Isend(dest, 1, halo); err != nil {
+						fail(err)
+						return
+					}
 				}
 			}
 			// Critical-path exchange model for this step: the worst
@@ -416,8 +471,37 @@ func Run(p Params) (*Result, error) {
 				stepComm[step] = commCost
 			}
 			mu.Unlock()
-			for i := 0; i < expectIn[r.Rank()]; i++ {
-				if _, _, err := r.Recv(ampi.AnySource, 1); err != nil {
+			if p.Overlap {
+				if err := r.Waitall(reqs); err != nil {
+					fail(err)
+					return
+				}
+			} else {
+				for i := 0; i < expectIn[r.Rank()]; i++ {
+					if _, _, err := r.Recv(ampi.AnySource, 1); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+			// Residual-proxy reduction every ReduceEvery steps:
+			// blocking, or started now and collected a period later
+			// under Overlap.
+			if p.ReduceEvery > 0 && (step+1)%p.ReduceEvery == 0 {
+				if p.Overlap {
+					if ar != nil {
+						if err := ar.Wait(); err != nil {
+							fail(err)
+							return
+						}
+					}
+					q, err := r.Iallreduce("max", myWork)
+					if err != nil {
+						fail(err)
+						return
+					}
+					ar = q
+				} else if _, err := r.Allreduce("max", myWork); err != nil {
 					fail(err)
 					return
 				}
@@ -437,6 +521,13 @@ func Run(p Params) (*Result, error) {
 			}
 			if v, err := got().LoadUint64("step"); err != nil || v != uint64(step) {
 				fail(fmt.Errorf("rank %d: privatized step = %d/%v, want %d", r.Rank(), v, err, step))
+				return
+			}
+		}
+		// Collect the reduction the last reduce step left in flight.
+		if ar != nil {
+			if err := ar.Wait(); err != nil {
+				fail(err)
 				return
 			}
 		}
@@ -467,7 +558,13 @@ func Run(p Params) (*Result, error) {
 				max = b
 			}
 		}
-		total += max + stepComm[step]
+		if p.Overlap {
+			// Split-phase exchange: the halos fly while the solve
+			// runs, so a step costs whichever is longer, not the sum.
+			total += math.Max(max, stepComm[step])
+		} else {
+			total += max + stepComm[step]
+		}
 		commTotal += stepComm[step]
 	}
 	// Migration transfers cross the network once, spread over PEs.
@@ -490,6 +587,7 @@ func Run(p Params) (*Result, error) {
 		Envelopes:   envelopes,
 		AggPayloads: payloads,
 		Steals:      m.StealStats(),
+		TopoHops:    m.Network().TopoHops(),
 		Trace:       tlog,
 	}
 	return res, nil

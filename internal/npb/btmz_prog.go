@@ -12,6 +12,7 @@ package npb
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"migflow/internal/ampi"
@@ -83,20 +84,52 @@ func buildTopology(p Params) btmzTopology {
 // placement-independent.
 func btmzProgram(p Params, t btmzTopology, workPE [][]int32) ampi.Proc {
 	halo := make([]byte, p.HaloBytes)
+	// One pipelined residual-reduction site (Overlap + ReduceEvery):
+	// the reduce step starts it, the next reduce step (or the
+	// epilogue) collects it — at most one outstanding at a time.
+	var arStart, arWait ampi.Proc
+	if p.Overlap && p.ReduceEvery > 0 {
+		arStart, arWait = ampi.Iallreduce("max",
+			func(pc *ampi.PC) float64 { return t.myWork[pc.Rank()] }, nil)
+	}
 	step := func(i int) ampi.Proc {
 		return ampi.Call(func(pc *ampi.PC) ampi.Proc {
 			r := pc.Rank()
-			ps := []ampi.Proc{
-				ampi.Do(func(pc *ampi.PC) {
+			reduceNow := p.ReduceEvery > 0 && (i+1)%p.ReduceEvery == 0
+			var ps []ampi.Proc
+			if p.Overlap {
+				// Split-phase: halos leave before the solve, so their
+				// flight time hides under it; a reduction started last
+				// reduce step completes under this solve too.
+				ps = append(ps, ampi.Do(func(pc *ampi.PC) {
+					for _, dest := range t.sendTo[r] {
+						pc.Send(dest, 1, halo)
+					}
+					pc.Work(t.myWork[r])
+					workPE[i][r] = int32(pc.PE())
+				}))
+				if p.ReduceEvery > 0 && i > 0 && i%p.ReduceEvery == 0 {
+					ps = append(ps, arWait)
+				}
+			} else {
+				ps = append(ps, ampi.Do(func(pc *ampi.PC) {
 					pc.Work(t.myWork[r])
 					workPE[i][r] = int32(pc.PE())
 					for _, dest := range t.sendTo[r] {
 						pc.Send(dest, 1, halo)
 					}
-				}),
+				}))
 			}
 			for _, src := range t.recvFrom[r] {
 				ps = append(ps, ampi.Recv(src, 1, nil))
+			}
+			if reduceNow {
+				if p.Overlap {
+					ps = append(ps, arStart)
+				} else {
+					ps = append(ps, ampi.Allreduce("max",
+						func(pc *ampi.PC) float64 { return t.myWork[pc.Rank()] }, nil))
+				}
 			}
 			// After the first (measurement) step, everyone meets at
 			// the LB gate — threads move as stacks, event ranks as
@@ -107,7 +140,12 @@ func btmzProgram(p Params, t btmzTopology, workPE [][]int32) ampi.Proc {
 			return ampi.Seq(ps...)
 		})
 	}
-	return ampi.For(p.Steps, step)
+	body := []ampi.Proc{ampi.For(p.Steps, step)}
+	if p.Overlap && p.ReduceEvery > 0 && p.Steps%p.ReduceEvery == 0 {
+		// The last step started a reduction; collect it.
+		body = append(body, arWait)
+	}
+	return ampi.Seq(body...)
 }
 
 // runProgram is the Params.Mode != "" execution path.
@@ -130,6 +168,8 @@ func runProgram(p Params) (*Result, error) {
 	job, err := ampi.NewProgram(m, p.NProcs, ampi.Options{
 		Mode:           p.Mode,
 		BlockPlacement: true,
+		Collectives:    p.Collectives,
+		Topo:           p.Topo,
 	}, btmzProgram(p, t, workPE))
 	if err != nil {
 		return nil, err
@@ -161,7 +201,12 @@ func runProgram(p Params) (*Result, error) {
 				max = b
 			}
 		}
-		total += max + commStep
+		if p.Overlap {
+			// Split-phase steps cost the longer of solve and exchange.
+			total += math.Max(max, commStep)
+		} else {
+			total += max + commStep
+		}
 	}
 	if migs > 0 {
 		total += lat.Cost(int(migBytes)) / float64(p.NPEs)
@@ -182,5 +227,6 @@ func runProgram(p Params) (*Result, error) {
 		Migrations:    migs,
 		MigratedBytes: migBytes,
 		MovedRanks:    job.LBMoved(),
+		TopoHops:      m.Network().TopoHops(),
 	}, nil
 }

@@ -103,6 +103,63 @@ func TestEventLBImprovesSkewedMakespan(t *testing.T) {
 		p.Label(), before.TimeNs/1e6, after.TimeNs/1e6, after.MovedRanks, before.Imbalance, after.Imbalance)
 }
 
+// TestBTMZOverlapImproves is the split-phase acceptance at CI scale:
+// on the skewed graded class the overlapped schedule (nonblocking
+// halo exchange + pipelined residual Iallreduce) must beat blocking
+// in every execution path — the legacy thread job and both program
+// backends — and the program backends must still agree bit-for-bit
+// with each other under overlap.
+func TestBTMZOverlapImproves(t *testing.T) {
+	class := GradedClass("Z256", 16, 16, 1<<17, 20, 50)
+	base := Params{
+		Class: class, NProcs: class.NumZones(), NPEs: 8,
+		Steps: 8, ReduceEvery: 4,
+		Collectives: ampi.CollTopoTree,
+		Topo:        ampi.Topology{Nodes: 8, GroupSize: 4},
+	}
+	for _, mode := range []string{"", ampi.ModeULT, ampi.ModeEvent} {
+		p := base
+		p.Mode = mode
+		off, err := Run(p)
+		if err != nil {
+			t.Fatalf("mode=%q off: %v", mode, err)
+		}
+		p.Overlap = true
+		on, err := Run(p)
+		if err != nil {
+			t.Fatalf("mode=%q on: %v", mode, err)
+		}
+		if !(on.TimeNs < off.TimeNs) {
+			t.Errorf("mode=%q: overlap did not improve makespan: %.0f → %.0f ns", mode, off.TimeNs, on.TimeNs)
+		}
+		if mode != "" && !(on.PredictedNs < off.PredictedNs) {
+			t.Errorf("mode=%q: overlap did not lower predicted time: %.0f → %.0f ns", mode, off.PredictedNs, on.PredictedNs)
+		}
+		if on.TopoHops == 0 {
+			t.Errorf("mode=%q: topo trees charged no hops", mode)
+		}
+	}
+	// Modes must stay bit-identical with overlap on.
+	p := base
+	p.Overlap = true
+	p.Mode = ampi.ModeULT
+	ult, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Mode = ampi.ModeEvent
+	evt, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(ult.PredictedNs) != math.Float64bits(evt.PredictedNs) {
+		t.Errorf("overlap: PredictedNs diverged: ult %v, event %v", ult.PredictedNs, evt.PredictedNs)
+	}
+	if math.Float64bits(ult.TimeNs) != math.Float64bits(evt.TimeNs) {
+		t.Errorf("overlap: TimeNs diverged: ult %v, event %v", ult.TimeNs, evt.TimeNs)
+	}
+}
+
 // TestProgramModeRejectsBadCombos: mode validation happens before any
 // machine is built.
 func TestProgramModeRejectsBadCombos(t *testing.T) {
@@ -111,5 +168,8 @@ func TestProgramModeRejectsBadCombos(t *testing.T) {
 	}
 	if _, err := Run(Params{Class: ClassA, NProcs: 8, NPEs: 4, Mode: ampi.ModeEvent, Steal: true}); err == nil {
 		t.Error("event mode + Steal accepted")
+	}
+	if _, err := Run(Params{Class: ClassA, NProcs: 8, NPEs: 4, ReduceEvery: -1}); err == nil {
+		t.Error("negative ReduceEvery accepted")
 	}
 }
