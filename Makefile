@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-collectives bench-lb bench-bigsim bench-ampi bench-eventmigrate bench-all repro repro-quick examples cover clean
+.PHONY: all build vet test race bench bench-collectives bench-lb bench-bigsim bench-ampi bench-eventmigrate bench-transport bench-all repro repro-quick examples cover clean
 
 all: build vet test
 
@@ -86,8 +86,17 @@ bench-eventmigrate:
 		./internal/ampi/ ./internal/npb/ | tee bench_eventmigrate_output.txt
 	$(GO) run ./cmd/benchjson < bench_eventmigrate_output.txt > BENCH_eventmigrate.json
 
-bench-all:
-	$(GO) test -bench . -benchmem ./...
+# Transport A/B: in-process ring-buffer Send vs cross-process socket
+# Send (single-message and coalesced-stream ns/op, B/op, ghosts per
+# envelope), plus event-rank migration across a live socket (ns/rank).
+bench-transport:
+	$(GO) test -bench 'BenchmarkTransport|BenchmarkCrossProcessMigration' -benchmem -run '^$$' $(BENCHFLAGS) \
+		./internal/shard/ | tee bench_transport_output.txt
+	$(GO) run ./cmd/benchjson < bench_transport_output.txt > BENCH_transport.json
+
+# Every named benchmark family, each writing its BENCH_*.json
+# (bench already pulls in collectives/lb/bigsim).
+bench-all: bench bench-ampi bench-eventmigrate bench-transport
 
 # Regenerate every table and figure of the paper's evaluation.
 repro:

@@ -1,0 +1,176 @@
+// Shardrun launches a sharded (multi-OS-process) run of one of the
+// registered apps and, with -compare, checks it bitwise against the
+// in-process ring-buffer run of the identical configuration.
+//
+// The same binary serves as parent and worker: shard.WorkerMain
+// re-enters through main in each spawned process (selected by
+// environment, never by flags), so the launcher needs no separate
+// worker executable.
+//
+// Usage:
+//
+//	shardrun [-app jacobi|btmz|bigsim] [-workers 2] [-net unix|tcp]
+//	         [-compare] [-migrate N]
+//	         [-ranks 64] [-iters 20] [-pes 4] [-steps 6]
+//	         [-x 20 -y 20 -z 10 -simpes 8] [-agg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"migflow/internal/ampi"
+	"migflow/internal/bigsim"
+	"migflow/internal/harness"
+	"migflow/internal/npb"
+	"migflow/internal/shard"
+)
+
+func main() {
+	if shard.WorkerMain() {
+		return
+	}
+	app := flag.String("app", "jacobi", "sharded app: jacobi, btmz, or bigsim")
+	workers := flag.Int("workers", 2, "worker process count")
+	netKind := flag.String("net", "unix", "worker mesh transport: unix or tcp")
+	compare := flag.Bool("compare", true, "also run in-process and demand bitwise equality")
+	migrate := flag.Int("migrate", 0, "event ranks worker 0 ships to worker 1 mid-run (jacobi/btmz)")
+	ranks := flag.Int("ranks", 64, "jacobi: event ranks")
+	iters := flag.Int("iters", 20, "jacobi: iterations")
+	pes := flag.Int("pes", 4, "jacobi/btmz: simulating PEs per machine")
+	steps := flag.Int("steps", 6, "btmz/bigsim: timesteps")
+	x := flag.Int("x", 20, "bigsim: target torus X")
+	y := flag.Int("y", 20, "bigsim: target torus Y")
+	z := flag.Int("z", 10, "bigsim: target torus Z")
+	simpes := flag.Int("simpes", 8, "bigsim: simulating PEs")
+	agg := flag.Bool("agg", false, "bigsim: coalesce ghost traffic")
+	flag.Parse()
+
+	var (
+		row harness.CrossProcessRow
+		err error
+	)
+	switch *app {
+	case "jacobi":
+		cfg := ampi.JacobiConfig{Ranks: *ranks, Iters: *iters, PEs: *pes, Mode: ampi.ModeEvent}
+		row, err = runRanked(*app, *ranks, *workers, *netKind, *compare,
+			shard.JacobiSpec{Cfg: cfg, Migrate: *migrate},
+			func() (*shard.Report, error) { return shard.RunJacobiReference(cfg) })
+	case "btmz":
+		p := npb.Params{
+			Class: npb.GradedClass("T64", 8, 8, 1<<12, 8, 20),
+			Mode:  ampi.ModeEvent, NProcs: *ranks, NPEs: *pes, Steps: *steps,
+		}
+		row, err = runRanked(*app, p.NProcs, *workers, *netKind, *compare,
+			shard.BTMZSpec{Params: p, Migrate: *migrate},
+			func() (*shard.Report, error) { return shard.RunBTMZReference(p) })
+	case "bigsim":
+		spec := shard.BigSimSpec{
+			Cfg: bigsim.Config{
+				X: *x, Y: *y, Z: *z, SimPEs: *simpes, Mode: bigsim.ModeEvent,
+				Aggregate: *agg,
+			},
+			Steps: *steps,
+		}
+		row, err = runBigSim(spec, *workers, *netKind, *compare)
+	default:
+		log.Fatalf("unknown -app %q", *app)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.CrossProcessTable(os.Stdout, fmt.Sprintf("%d workers over %s", *workers, *netKind),
+		[]harness.CrossProcessRow{row})
+	if *compare && !row.Bitwise {
+		os.Exit(1)
+	}
+}
+
+// runRanked drives a rank-based app (jacobi/btmz) sharded, optionally
+// checking the merged result bitwise against the in-process reference.
+func runRanked(app string, size, workers int, netKind string, compare bool,
+	payload any, reference func() (*shard.Report, error)) (harness.CrossProcessRow, error) {
+	row := harness.CrossProcessRow{App: app, Flows: size, Workers: workers, Net: netKind, Bitwise: true}
+	start := time.Now()
+	raws, err := shard.Run(shard.ProcSpec{App: app, Workers: workers, Net: netKind, Payload: payload})
+	if err != nil {
+		return row, err
+	}
+	row.WallMs = float64(time.Since(start)) / 1e6
+	reps, err := shard.DecodeReports(raws)
+	if err != nil {
+		return row, err
+	}
+	mg, err := shard.MergeReports(reps, size)
+	if err != nil {
+		return row, err
+	}
+	row.PredictedMs = mg.PredictedNs / 1e6
+	row.Envelopes, row.EnvBytes, row.Moved = mg.RemoteEnv, mg.RemoteBytes, mg.Moved
+	if !compare {
+		return row, nil
+	}
+	ref, err := reference()
+	if err != nil {
+		return row, err
+	}
+	for _, rv := range ref.Ranks {
+		if mg.VTBits[rv.Rank] != rv.Bits {
+			row.Bitwise = false
+			fmt.Fprintf(os.Stderr, "rank %d VT: in-process %g, sharded %g\n",
+				rv.Rank, math.Float64frombits(rv.Bits), math.Float64frombits(mg.VTBits[rv.Rank]))
+		}
+	}
+	for _, c := range ref.Cells {
+		got, ok := mg.Cells[c.Rank]
+		if !ok || got != c {
+			row.Bitwise = false
+			fmt.Fprintf(os.Stderr, "rank %d numeric state differs\n", c.Rank)
+		}
+	}
+	return row, nil
+}
+
+// runBigSim drives the sharded parallel-simulator and compares its
+// per-step prediction stream bitwise against the serial simulator.
+func runBigSim(spec shard.BigSimSpec, workers int, netKind string, compare bool) (harness.CrossProcessRow, error) {
+	row := harness.CrossProcessRow{
+		App: "bigsim", Flows: spec.Cfg.SimPEs, Workers: workers, Net: netKind, Bitwise: true,
+	}
+	start := time.Now()
+	raws, err := shard.Run(shard.ProcSpec{App: "bigsim", Workers: workers, Net: netKind, Payload: spec})
+	if err != nil {
+		return row, err
+	}
+	row.WallMs = float64(time.Since(start)) / 1e6
+	reps, err := shard.DecodeBigSimReports(raws)
+	if err != nil {
+		return row, err
+	}
+	got := reps[0]
+	for _, st := range got.Steps {
+		row.PredictedMs += math.Float64frombits(st.PredBits) / 1e6
+		row.Envelopes += uint64(st.Envelopes)
+	}
+	if !compare {
+		return row, nil
+	}
+	ref, err := shard.RunBigSimReference(spec)
+	if err != nil {
+		return row, err
+	}
+	if len(ref.Steps) != len(got.Steps) {
+		return row, fmt.Errorf("step counts differ: %d vs %d", len(ref.Steps), len(got.Steps))
+	}
+	for i := range ref.Steps {
+		if ref.Steps[i] != got.Steps[i] {
+			row.Bitwise = false
+			fmt.Fprintf(os.Stderr, "step %d: serial %+v, sharded %+v\n", i, ref.Steps[i], got.Steps[i])
+		}
+	}
+	return row, nil
+}

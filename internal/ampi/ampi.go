@@ -21,6 +21,7 @@ import (
 	"migflow/internal/core"
 	"migflow/internal/loadbalance"
 	"migflow/internal/migrate"
+	"migflow/internal/pup"
 	"migflow/internal/swapglobal"
 )
 
@@ -171,6 +172,15 @@ type Options struct {
 	// Migrate gate, or a runtime-driven Rebalance), but move as
 	// ~180-byte continuation records instead of stack images.
 	Mode string
+
+	// LocalPUP serializes a rank's PC.Local across a process boundary
+	// for sharded runs (shard.go). Packing: called with the rank's
+	// Local (never nil) and a packing PUPer; returns the same value.
+	// Unpacking: called with nil and an unpacking PUPer; returns the
+	// reconstructed state. Sharded cross-process migration of a rank
+	// whose Local is non-nil fails without it. In-process migration
+	// never needs it — Local rides the rank's slot by reference.
+	LocalPUP func(p *pup.PUPer, local any) (any, error)
 }
 
 // Job is one AMPI program: size ranks running body, mapped
@@ -317,6 +327,11 @@ func newJobCommon(m *core.Machine, size int, opts *Options) (*Job, error) {
 	if opts.Mode == ModeEvent && opts.Aggregate {
 		return nil, fmt.Errorf("ampi: Aggregate is not supported in %q mode (flush-before-block needs a parkable thread)", ModeEvent)
 	}
+	if m.Sharded() && opts.Mode != ModeEvent {
+		// ULT ranks block real goroutine stacks whose closures cannot
+		// cross a process boundary; only continuation records can.
+		return nil, fmt.Errorf("ampi: sharded machines support %q mode only", ModeEvent)
+	}
 	if opts.Aggregate {
 		m.Network().EnableAggregation(opts.AggPolicy)
 	}
@@ -433,6 +448,13 @@ func (j *Job) gateSetStrategy(s loadbalance.Strategy) {
 
 // gateArrive registers one rank at the LB gate.
 func (j *Job) gateArrive() {
+	if j.m.Sharded() {
+		// The gate counts arrivals against the full job size, but a
+		// sharded worker only runs its local ranks — the gate would
+		// never fill. Cross-process migration goes through the shard
+		// record API (ShardExtract/ShardInstall) instead.
+		panic("ampi: the Migrate gate is not supported in sharded runs; move ranks with ShardExtract/ShardInstall")
+	}
 	j.gateMu.Lock()
 	j.gateArrived++
 	if j.gateArrived > j.size {

@@ -94,6 +94,20 @@ type eventRank struct {
 	// stale and Install yields to the newer in-slot state.
 	seq uint64
 
+	// hasReseek marks a slot freshly installed from another process
+	// (shard.go): pc.seek holds the shipped tree path, and the next
+	// tagReseek activation re-descends the program to the blocked Recv.
+	hasReseek bool
+
+	// sendSeq/recvSeq number the per-peer payload streams and held
+	// parks out-of-order arrivals, all nil until a sharded run needs
+	// them: a message routed straight to a rank's new owner can
+	// overtake an older one still chasing through the old owner, and
+	// matching is by send order, not arrival order (see deliver).
+	sendSeq map[int]uint64
+	recvSeq map[int]uint64
+	held    []*comm.Message
+
 	done bool
 }
 
@@ -125,6 +139,14 @@ type eventEngine struct {
 	// deliver can skip the owner check entirely.
 	migEpoch atomic.Uint64
 
+	// sharded mirrors the machine: this process runs only the ranks
+	// whose owner PE is local. remaining then counts LOCAL unfinished
+	// ranks (adjusted by cross-process moves), finish never deregisters
+	// or releases the store (peers still forward through the
+	// directory), and every rank tracks its program-tree path so a
+	// blocked continuation can be re-seeked on another process.
+	sharded bool
+
 	// lbMu serializes Rebalance steps (plan → table batch → records).
 	lbMu sync.Mutex
 
@@ -151,7 +173,7 @@ func newEventEngine(j *Job) (*eventEngine, error) {
 	e := &eventEngine{
 		job:       j,
 		size:      size,
-		base:      comm.PinnedEntity | comm.EntityID(converse.AllocFlowIDs(size)),
+		base:      j.m.Network().AllocFlowIDs(size),
 		pes:       make([]atomic.Int32, size),
 		dispatch:  make([]atomic.Uint64, numPEs),
 		pendDereg: make([][]comm.EntityID, numPEs),
@@ -171,11 +193,24 @@ func newEventEngine(j *Job) (*eventEngine, error) {
 			e.dispatch[p].Store(math.Float64bits(j.m.PE(p).Prof.EventDispatch.At(flows[p])))
 		}
 	}
+	e.sharded = j.m.Sharded()
+	if e.sharded {
+		local := int64(0)
+		for r := 0; r < size; r++ {
+			if j.m.LocalPE(pes[r]) {
+				local++
+			}
+		}
+		e.remaining.Store(local)
+	}
 	for r := 0; r < size; r++ {
 		pc := &store[r].pc
 		pc.job, pc.rank = j, r
 		pc.be = e
 		pc.tramp = &store[r].tramp
+		if e.sharded {
+			pc.path = make([]int32, 0, 8)
+		}
 	}
 	e.ranks.Store(&store)
 	if err := j.m.Network().RegisterRange(e.base, pes); err != nil {
@@ -219,6 +254,10 @@ func (e *eventEngine) store() []eventRank {
 // work runs on the owning PE under both Run drivers (and in parallel
 // under RunParallel).
 func (e *eventEngine) start() {
+	if e.sharded {
+		e.bootstrap(func(r int) bool { return e.job.m.LocalPE(e.peOf(r)) }, e.dispatchStart)
+		return
+	}
 	e.bootstrap(func(r int) bool { return true }, e.dispatchStart)
 }
 
@@ -285,14 +324,20 @@ func (e *eventEngine) deliver(pe int, msg *comm.Message) {
 	}
 	er := &ranks[r]
 	er.mu.Lock()
-	if er.done {
+	if msg.Tag == tagReseek {
+		// Internal activation injected by ShardInstall: re-seek the
+		// installed continuation on the owning PE's own goroutine.
+		e.reseekLocked(er, pe)
 		er.mu.Unlock()
-		return // a straggler for a finished rank (program bug); drop like a closed mailbox
+		return
 	}
-	// Owner check: free until the first LB step ever happens, one
-	// atomic load after. A message that raced a move chases the rank
-	// to its new PE; the extra hop shows up in Hops and Arrival, and
-	// the directory stays O(1) arithmetic either way.
+	// Owner check BEFORE the done check: free until the first move
+	// ever happens, one atomic load after. A message that raced a move
+	// chases the rank to its new PE; the extra hop shows up in Hops
+	// and Arrival, and the directory stays O(1) arithmetic either way.
+	// The order matters for sharded runs — a rank extracted to another
+	// process leaves a cleared slot that is NOT done, and its
+	// stragglers must forward, not buffer.
 	if e.migEpoch.Load() != 0 && e.peOf(r) != pe {
 		er.mu.Unlock()
 		if err := e.job.m.Network().Endpoint(pe).Forward(msg); err != nil {
@@ -300,6 +345,32 @@ func (e *eventEngine) deliver(pe int, msg *comm.Message) {
 		}
 		return
 	}
+	if er.done {
+		er.mu.Unlock()
+		return // a straggler for a finished rank (program bug); drop like a closed mailbox
+	}
+	if msg.Seq != 0 {
+		// Sequenced stream (sharded runs): accept strictly in send
+		// order. A message that crossed a migration on the direct route
+		// while an older one is still chasing through the old owner
+		// would otherwise match a Recv meant for its predecessor.
+		src := e.rankIdx(msg.From)
+		if msg.Seq != er.recvSeq[src]+1 {
+			er.held = append(er.held, msg)
+			er.mu.Unlock()
+			return
+		}
+		er.noteSeq(src, msg.Seq)
+	}
+	e.acceptLocked(er, pe, msg)
+	e.releaseHeldLocked(er, pe)
+	er.mu.Unlock()
+}
+
+// acceptLocked hands one in-order message to the rank: resume the
+// stored continuation if it matches the parked Recv, else buffer.
+// er.mu held.
+func (e *eventEngine) acceptLocked(er *eventRank, pe int, msg *comm.Message) {
 	er.seq++
 	if er.hasWait && e.matches(er.waiting, msg) {
 		er.hasWait = false
@@ -313,11 +384,42 @@ func (e *eventEngine) deliver(pe int, msg *comm.Message) {
 		}
 		er.tramp.Schedule(func() { k(msg) })
 		er.tramp.Drain()
-		er.mu.Unlock()
 		return
 	}
 	er.mbox = append(er.mbox, msg)
-	er.mu.Unlock()
+}
+
+// noteSeq records the acceptance of seq from peer rank src.
+func (er *eventRank) noteSeq(src int, seq uint64) {
+	if er.recvSeq == nil {
+		er.recvSeq = make(map[int]uint64)
+	}
+	er.recvSeq[src] = seq
+}
+
+// releaseHeldLocked re-examines held arrivals after an acceptance
+// closed a stream gap, accepting any that are now next in their
+// sender's order; each acceptance can close another gap. A rank that
+// finished mid-release drops the rest like its mailbox. er.mu held.
+func (e *eventEngine) releaseHeldLocked(er *eventRank, pe int) {
+	for progress := len(er.held) > 0; progress; {
+		progress = false
+		if er.done {
+			er.held = nil
+			return
+		}
+		for i, m := range er.held {
+			src := e.rankIdx(m.From)
+			if m.Seq != er.recvSeq[src]+1 {
+				continue
+			}
+			er.held = append(er.held[:i], er.held[i+1:]...)
+			er.noteSeq(src, m.Seq)
+			e.acceptLocked(er, pe, m)
+			progress = true
+			break
+		}
+	}
 }
 
 func (e *eventEngine) matches(spec matchSpec, m *comm.Message) bool {
@@ -369,6 +471,19 @@ func (e *eventEngine) send(pc *PC, dest, tag int, data []byte) {
 		Data:     data,
 		SendTime: p.Clock.Now(),
 		VTime:    pc.vt,
+	}
+	if e.sharded {
+		// Number the stream so the receiver can restore send order if
+		// this message and a predecessor take different routes across a
+		// migration. Non-sharded runs only move ranks at quiescent
+		// gates, so their delivery order is already send order — they
+		// skip the map work and their envelopes stay byte-identical.
+		er := &e.store()[pc.rank]
+		if er.sendSeq == nil {
+			er.sendSeq = make(map[int]uint64)
+		}
+		er.sendSeq[dest]++
+		msg.Seq = er.sendSeq[dest]
 	}
 	if err := e.job.m.Network().Endpoint(p.Index).Send(msg); err != nil {
 		panic(fmt.Sprintf("ampi: event send: %v", err))
@@ -653,6 +768,16 @@ func (e *eventEngine) finish(r int) {
 	er.kont, er.hasWait = nil, false
 	er.lbKont = nil
 	er.pc.Local = nil
+	er.sendSeq, er.recvSeq, er.held = nil, nil, nil
+	if e.sharded {
+		// Peers may still Forward stragglers through this worker's
+		// directory, so entries are never deregistered and the store
+		// is never released; the process exit reclaims both. remaining
+		// counts local ranks only — the shard layer's termination
+		// barrier combines the per-worker Done() signals.
+		e.remaining.Add(-1)
+		return
+	}
 	p := e.peOf(r)
 	e.deregMu.Lock()
 	e.pendDereg[p] = append(e.pendDereg[p], e.idOf(r))

@@ -17,6 +17,7 @@ import (
 	"migflow/internal/converse"
 	"migflow/internal/core"
 	"migflow/internal/loadbalance"
+	"migflow/internal/pup"
 	"migflow/internal/vmem"
 )
 
@@ -95,6 +96,20 @@ type JacobiConfig struct {
 	StackUse uint64
 	// MsgOverheadNs is Options.MsgOverheadNs.
 	MsgOverheadNs float64
+
+	// Observe, when set, runs at the very end of each rank's program
+	// with the rank's final cell state — how the cross-process
+	// equivalence harness captures per-rank results without keeping
+	// Local alive past completion. It runs in whatever process the
+	// rank finishes in.
+	Observe func(rank int, cell JacobiCell) `json:"-"`
+}
+
+// JacobiCell is one rank's final state as seen by Observe.
+type JacobiCell struct {
+	X      float64 // the cell value
+	Resid  float64 // |Δx| of the last relaxation
+	Global float64 // last Allreduce result (zero if ReduceEvery = 0)
 }
 
 func (c *JacobiConfig) defaults() error {
@@ -228,7 +243,28 @@ func JacobiProgram(cfg JacobiConfig) Proc {
 		// The last iteration started a reduction; collect it.
 		body = append(body, arWait)
 	}
+	if cfg.Observe != nil {
+		body = append(body, Do(func(pc *PC) {
+			st := pc.Local.(*jacobiState)
+			cfg.Observe(pc.rank, JacobiCell{X: st.x, Resid: st.resid, Global: st.global})
+		}))
+	}
 	return Seq(body...)
+}
+
+// jacobiLocalPUP serializes jacobiState for cross-process migration
+// (Options.LocalPUP).
+func jacobiLocalPUP(p *pup.PUPer, local any) (any, error) {
+	st, _ := local.(*jacobiState)
+	if st == nil {
+		st = &jacobiState{}
+	}
+	for _, f := range []*float64{&st.x, &st.left, &st.right, &st.resid, &st.global} {
+		if err := p.Float64(f); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
 }
 
 // JacobiResult reports one run.
@@ -264,7 +300,24 @@ func NewJacobi(cfg JacobiConfig) (*core.Machine, *Job, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	job, err := NewProgram(m, cfg.Ranks, Options{
+	job, err := NewJacobiOn(m, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, job, nil
+}
+
+// NewJacobiOn builds the Jacobi job on an existing machine — the
+// entry point sharded workers use, where the machine carries a local
+// PE range and a socket transport. cfg.PEs must match the machine.
+func NewJacobiOn(m *core.Machine, cfg JacobiConfig) (*Job, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if cfg.PEs != m.NumPEs() {
+		return nil, fmt.Errorf("ampi: Jacobi config wants %d PEs, machine has %d", cfg.PEs, m.NumPEs())
+	}
+	return NewProgram(m, cfg.Ranks, Options{
 		Mode:           cfg.Mode,
 		StackSize:      cfg.StackSize,
 		BlockPlacement: cfg.BlockPlacement,
@@ -272,11 +325,8 @@ func NewJacobi(cfg JacobiConfig) (*core.Machine, *Job, error) {
 		Strategy:       cfg.Strategy,
 		Collectives:    cfg.Collectives,
 		Topo:           cfg.Topo,
+		LocalPUP:       jacobiLocalPUP,
 	}, JacobiProgram(cfg))
-	if err != nil {
-		return nil, nil, err
-	}
-	return m, job, nil
 }
 
 // RunJacobi boots a machine sized for the config, runs the Jacobi
@@ -296,10 +346,10 @@ func RunJacobi(cfg JacobiConfig) (JacobiResult, error) {
 	if !job.Done() {
 		return JacobiResult{}, fmt.Errorf("ampi: Jacobi run did not complete (%d ranks, mode %s)", cfg.Ranks, job.Mode())
 	}
-	sent, _, _ := m.Network().Stats()
+	stats := m.Network().Snapshot()
 	return JacobiResult{
 		PredictedNs: job.PredictedNs(),
-		Msgs:        sent,
+		Msgs:        stats.Sent,
 		WallNs:      wall,
 		StepWallNs:  wall / float64(cfg.Iters),
 		Moved:       job.LBMoved(),

@@ -73,7 +73,7 @@ func TestMigrationEquivalence(t *testing.T) {
 				for r := range vts {
 					vts[r] = job.VT(r)
 				}
-				sent, _, _ := m.Network().Stats()
+				sent := m.Network().Snapshot().Sent
 				return result{vts: vts, out: sink, sent: sent, moved: job.LBMoved()}
 			}
 			ref := run(ModeULT, peChoices[rng.Intn(len(peChoices))], nil)

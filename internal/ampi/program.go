@@ -95,6 +95,69 @@ type PC struct {
 
 	be    backend
 	tramp *sdag.Tramp
+
+	// path, when non-nil, tracks the rank's structural position in the
+	// shared program tree: one frame per enclosing Seq/For giving the
+	// current statement/iteration index. Cross-process migration ships
+	// it so the destination can re-seek the blocked continuation by
+	// re-descending the (identical) tree — closures don't cross a
+	// process boundary, tree coordinates do. Nil (the default) costs
+	// one nil check per structural node; sharded event jobs enable it.
+	path []int32
+
+	// seek/seekPos replay a shipped path during a reseek descent:
+	// every Seq/For consumes one frame to jump straight to the blocked
+	// statement without re-running completed ones. Exhausted (or nil)
+	// outside a reseek.
+	seek    []int32
+	seekPos int
+
+	// blockKind records which combinator parked the rank (only
+	// maintained when path tracking is on): cross-process migration is
+	// supported at a plain Recv, whose spec the record carries; a
+	// collective wait or Waitall holds closure state that cannot be
+	// re-derived from tree coordinates alone.
+	blockKind uint8
+}
+
+// blockKind values.
+const (
+	blockNone uint8 = iota
+	blockRecv
+	blockColl
+	blockWaitall
+)
+
+// pathPush opens a structural frame (Seq/For entry).
+func (pc *PC) pathPush() {
+	if pc.path != nil {
+		pc.path = append(pc.path, 0)
+	}
+}
+
+// pathSet updates the innermost frame's index.
+func (pc *PC) pathSet(v int32) {
+	if pc.path != nil {
+		pc.path[len(pc.path)-1] = v
+	}
+}
+
+// pathPop closes the innermost frame (Seq/For completion).
+func (pc *PC) pathPop() {
+	if pc.path != nil {
+		pc.path = pc.path[:len(pc.path)-1]
+	}
+}
+
+// seekFrame consumes one replay frame during a reseek descent, or
+// returns 0 (start from the beginning) when not seeking.
+func (pc *PC) seekFrame() int {
+	if pc.seekPos < len(pc.seek) {
+		v := pc.seek[pc.seekPos]
+		pc.seekPos++
+		return int(v)
+	}
+	return 0
 }
 
 // Rank returns the rank number.
@@ -230,17 +293,20 @@ type seqProc struct{ ps []Proc }
 func Seq(ps ...Proc) Proc { return seqProc{ps} }
 
 func (s seqProc) run(pc *PC, k func()) {
+	pc.pathPush()
 	var step func(i int)
 	step = func(i int) {
 		if i >= len(s.ps) {
+			pc.pathPop()
 			k()
 			return
 		}
+		pc.pathSet(int32(i))
 		s.ps[i].run(pc, func() {
 			pc.tramp.Schedule(func() { step(i + 1) })
 		})
 	}
-	step(0)
+	step(pc.seekFrame())
 }
 
 type forProc struct {
@@ -254,17 +320,20 @@ type forProc struct {
 func For(n int, body func(i int) Proc) Proc { return forProc{n, body} }
 
 func (f forProc) run(pc *PC, k func()) {
+	pc.pathPush()
 	var iter func(i int)
 	iter = func(i int) {
 		if i >= f.n {
+			pc.pathPop()
 			k()
 			return
 		}
+		pc.pathSet(int32(i))
 		f.body(i).run(pc, func() {
 			pc.tramp.Schedule(func() { iter(i + 1) })
 		})
 	}
-	iter(0)
+	iter(pc.seekFrame())
 }
 
 type callProc struct{ gen func(*PC) Proc }
@@ -292,6 +361,7 @@ func Recv(src, tag int, then func(pc *PC, data []byte, from int)) Proc {
 }
 
 func (r recvProc) run(pc *PC, k func()) {
+	pc.blockKind = blockRecv
 	pc.be.recv(pc, r.src, r.tag, func(m *comm.Message) {
 		pc.consume(m)
 		if r.then != nil {
@@ -320,6 +390,7 @@ func (wp waitallProc) run(pc *PC, k func()) {
 			return
 		}
 		q := rs[i]
+		pc.blockKind = blockWaitall
 		pc.be.recv(pc, q.src, q.tag, func(m *comm.Message) {
 			pc.consume(m)
 			q.done, q.Data, q.From = true, m.Data, pc.job.senderOf(m.From)
@@ -460,6 +531,7 @@ func (wp collWaitProc) run(pc *PC, k func()) {
 			return
 		}
 		a := run.acts[run.next]
+		pc.blockKind = blockColl
 		pc.be.recv(pc, a.peer, a.tag, func(m *comm.Message) {
 			pc.consume(m)
 			if a.on != nil {

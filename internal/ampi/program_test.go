@@ -65,7 +65,7 @@ func runJacobiOn(t *testing.T, cfg JacobiConfig, pes int, mode string) ([]float6
 	for r := range vts {
 		vts[r] = job.VT(r)
 	}
-	sent, _, _ := m.Network().Stats()
+	sent := m.Network().Snapshot().Sent
 	return vts, sent
 }
 
@@ -244,7 +244,7 @@ func TestCrossBackendEquivalence(t *testing.T) {
 				for r := range vts {
 					vts[r] = job.VT(r)
 				}
-				sent, _, _ := m.Network().Stats()
+				sent := m.Network().Snapshot().Sent
 				return result{vts: vts, out: sink, sent: sent}
 			}
 			ref := run(ModeULT, peChoices[rng.Intn(len(peChoices))])

@@ -101,13 +101,6 @@ func (n *Network) EnableAggregation(p AggPolicy) {
 	}
 }
 
-// AggStats returns (envelopes flushed, payloads they carried) across
-// the network. payloads/envelopes is the mean coalescing factor — the
-// Alpha amortization streaming bought.
-func (n *Network) AggStats() (envelopes, payloads uint64) {
-	return n.envelopes.Load(), n.aggPayloads.Load()
-}
-
 // SendStream routes msg like Send but through the streaming
 // aggregation path: the message is buffered by destination PE and
 // crosses the network inside the next envelope for that PE (when a
@@ -195,7 +188,6 @@ func (e *Endpoint) flushBucketLocked(pe int) error {
 	arrival := departs + e.net.lat.Cost(bytes)
 	e.net.envelopes.Add(1)
 	e.net.aggPayloads.Add(uint64(len(msgs)))
-	dst := e.net.endpoints[pe]
 	var first error
 	// Fan-out: payloads whose entity is still on pe deliver in one
 	// batch; any that migrated since buffering forward individually.
@@ -214,15 +206,17 @@ func (e *Endpoint) flushBucketLocked(pe int) error {
 		}
 		if actual != pe {
 			e.net.forwards.Add(1)
-			e.noteLocation(m.To, actual)
+			if e.net.xport == nil {
+				e.noteLocation(m.To, actual)
+			}
 			m.SendTime = arrival // forwarding leaves on arrival
-			if err := dst.forward(m, actual); err != nil && first == nil {
+			if err := e.net.forwardTo(m, actual); err != nil && first == nil {
 				first = err
 			}
 			continue
 		}
 		deliverable = append(deliverable, m)
 	}
-	dst.deliverBatch(deliverable)
+	e.net.deliverBatchTo(pe, deliverable)
 	return first
 }

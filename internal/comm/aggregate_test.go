@@ -50,12 +50,12 @@ func TestAggCoalesceByCount(t *testing.T) {
 			t.Errorf("payload %d hops = %d, want 1", i, m.Hops)
 		}
 	}
-	env, pay := n.AggStats()
+	s := n.Snapshot()
+	env, pay := s.Envelopes, s.AggPayloads
 	if env != 1 || pay != 4 {
 		t.Errorf("AggStats = (%d, %d), want (1, 4)", env, pay)
 	}
-	sent, _, bytes := n.Stats()
-	if sent != 4 || bytes != 4 {
+	if sent, bytes := s.Sent, s.Bytes; sent != 4 || bytes != 4 {
 		t.Errorf("Stats sent=%d bytes=%d, want 4, 4", sent, bytes)
 	}
 }
@@ -103,8 +103,8 @@ func TestAggExplicitFlush(t *testing.T) {
 	if n.Endpoint(1).Pending() != 1 || n.Endpoint(2).Pending() != 1 {
 		t.Error("explicit flush did not reach both destination PEs")
 	}
-	if env, pay := n.AggStats(); env != 2 || pay != 2 {
-		t.Errorf("AggStats = (%d, %d), want (2, 2): one envelope per destination PE", env, pay)
+	if s := n.Snapshot(); s.Envelopes != 2 || s.AggPayloads != 2 {
+		t.Errorf("Snapshot = (%d, %d), want (2, 2): one envelope per destination PE", s.Envelopes, s.AggPayloads)
 	}
 	if src.BufferedPayloads() != 0 {
 		t.Error("buffers not drained by Flush")
@@ -179,7 +179,7 @@ func TestAggMigrationInFlight(t *testing.T) {
 	if want := 112 + 100 + 2.0; m.Arrival != want {
 		t.Errorf("arrival = %g, want %g", m.Arrival, want)
 	}
-	if _, fwd, _ := n.Stats(); fwd != 1 {
+	if fwd := n.Snapshot().Forwards; fwd != 1 {
 		t.Errorf("forwards = %d, want 1", fwd)
 	}
 }
@@ -195,7 +195,7 @@ func TestSendStreamFallsBackWithoutAggregation(t *testing.T) {
 	if n.Endpoint(1).Pending() != 1 {
 		t.Error("fallback Send did not deliver immediately")
 	}
-	if env, _ := n.AggStats(); env != 0 {
+	if env := n.Snapshot().Envelopes; env != 0 {
 		t.Error("fallback counted an envelope")
 	}
 }
@@ -273,8 +273,9 @@ func TestAggConcurrentStream(t *testing.T) {
 	if total != workers*each {
 		t.Errorf("delivered %d, want %d", total, workers*each)
 	}
-	env, pay := n.AggStats()
-	if pay != workers*each {
+	s := n.Snapshot()
+	env, pay := s.Envelopes, s.AggPayloads
+	if pay != uint64(workers*each) {
 		t.Errorf("payloads = %d, want %d", pay, workers*each)
 	}
 	if env == 0 || env > pay {

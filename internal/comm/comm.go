@@ -74,6 +74,13 @@ type Message struct {
 
 	// Hops counts delivery attempts; >1 means forwarding happened.
 	Hops int
+
+	// Seq numbers the sender→receiver payload stream, starting at 1;
+	// zero means unsequenced. Sharded AMPI stamps it so a receiver can
+	// restore send order when a message routed straight to a rank's
+	// new owner overtakes an older one still chasing through the old
+	// owner's Forward path — per-link FIFO cannot order two routes.
+	Seq uint64
 }
 
 // LatencyModel charges alpha + beta*bytes nanoseconds per hop — the
@@ -159,6 +166,35 @@ type Network struct {
 	// each tree edge's hop distance here so harnesses can compare
 	// rank-order vs topology-aware spanning trees on the same run.
 	topoHops atomic.Uint64
+
+	// Sharding (see transport.go): xport is nil on the default
+	// in-process backend. When set, endpoints in [peLo, peHi) are
+	// local and everything else crosses the transport; the remote*
+	// counters tally that wire traffic.
+	xport           Transport
+	peLo, peHi      int
+	remoteEnvelopes atomic.Uint64
+	remotePayloads  atomic.Uint64
+	remoteBytes     atomic.Uint64
+
+	// flowIDs allocates dense pinned-entity blocks (AllocFlowIDs).
+	flowIDs atomic.Uint64
+}
+
+// AllocFlowIDs reserves a contiguous block of n pinned entity
+// identifiers from THIS network's ID space and returns the first.
+// Per-network (not process-global) allocation matters for sharded
+// runs: every worker process builds its machine and jobs in the same
+// order, so identical construction yields identical entity bases —
+// the invariant that makes each worker's directory authoritative for
+// traffic arriving over the transport. Only event-mode flows draw
+// from this space; ULT thread entities use raw converse thread IDs,
+// which never carry the PinnedEntity bit, so the two can't collide.
+func (n *Network) AllocFlowIDs(count int) EntityID {
+	if count < 1 {
+		panic(fmt.Sprintf("comm: AllocFlowIDs(%d)", count))
+	}
+	return PinnedEntity | EntityID(n.flowIDs.Add(uint64(count))-uint64(count)+1)
 }
 
 // NewNetwork builds a network of numPEs endpoints.
@@ -535,13 +571,6 @@ func (n *Network) MigrateEntity(id EntityID, to int) error {
 	return nil
 }
 
-// Stats returns (messages sent, forwarding hops, payload bytes).
-// Sends and payload bytes are counted once per Send call — including
-// re-sends of a message that already carries hops — at entry.
-func (n *Network) Stats() (sent, forwards, bytes uint64) {
-	return n.sent.Load(), n.forwards.Load(), n.bytes.Load()
-}
-
 // ChargeTopoHops adds h logical hops to the topology-hop counter.
 func (n *Network) ChargeTopoHops(h uint64) { n.topoHops.Add(h) }
 
@@ -642,13 +671,18 @@ func (e *Endpoint) Send(msg *Message) error {
 		// the receiver's owner check catches it and Forward chases.
 		msg.Hops++
 		msg.Arrival = msg.SendTime + e.net.lat.Cost(len(msg.Data))
-		e.net.endpoints[actual].deliver(msg)
+		e.net.deliverTo(actual, msg)
 		return nil
 	}
 	dest, cached := actual, false
-	if m := e.cache.Load(); m != nil {
-		if d, ok := (*m)[msg.To]; ok {
-			dest, cached = d, true
+	if e.net.xport == nil {
+		// Sharded networks skip the per-endpoint cache entirely (read
+		// and write): the authoritative answer above is current, and a
+		// stale cached PE could belong to another process.
+		if m := e.cache.Load(); m != nil {
+			if d, ok := (*m)[msg.To]; ok {
+				dest, cached = d, true
+			}
 		}
 	}
 	msg.Hops++
@@ -659,22 +693,19 @@ func (e *Endpoint) Send(msg *Message) error {
 		e.net.forwards.Add(1)
 		e.noteLocation(msg.To, actual)
 		msg.SendTime = msg.Arrival // forwarding leaves on arrival
-		return e.net.endpoints[dest].forward(msg, actual)
+		return e.net.forwardTo(msg, actual)
 	}
-	if !cached {
+	if !cached && e.net.xport == nil {
 		e.noteLocation(msg.To, actual)
 	}
-	e.net.endpoints[dest].deliver(msg)
+	e.net.deliverTo(dest, msg)
 	return nil
 }
 
 // forward re-sends a misdelivered message from this PE to the
 // authoritative location.
 func (e *Endpoint) forward(msg *Message, to int) error {
-	msg.Hops++
-	msg.Arrival = msg.SendTime + e.net.lat.Cost(len(msg.Data))
-	e.net.endpoints[to].deliver(msg)
-	return nil
+	return e.net.forwardTo(msg, to)
 }
 
 // Forward re-routes a message this PE received for an entity that no

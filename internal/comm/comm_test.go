@@ -112,7 +112,8 @@ func TestMigrationForwarding(t *testing.T) {
 	if got := n.Endpoint(2).Recv(); got.Hops != 1 {
 		t.Errorf("cache not corrected: Hops = %d, want 1", got.Hops)
 	}
-	sent, forwards, _ := n.Stats()
+	s := n.Snapshot()
+	sent, forwards := s.Sent, s.Forwards
 	if sent != 3 || forwards != 1 {
 		t.Errorf("stats = %d sent, %d forwards; want 3, 1", sent, forwards)
 	}
@@ -178,7 +179,7 @@ func TestStatsBytes(t *testing.T) {
 	if err := n.Endpoint(0).Send(&Message{To: 1, Data: make([]byte, 100)}); err != nil {
 		t.Fatal(err)
 	}
-	_, _, bytes := n.Stats()
+	bytes := n.Snapshot().Bytes
 	if bytes != 100 {
 		t.Errorf("bytes = %d, want 100", bytes)
 	}
@@ -216,7 +217,8 @@ func TestForwardingChainBounded(t *testing.T) {
 	if m := n.Endpoint(3).Recv(); m.Hops != 1 {
 		t.Errorf("cache not corrected: %d hops", m.Hops)
 	}
-	sent, forwards, _ := n.Stats()
+	s := n.Snapshot()
+	sent, forwards := s.Sent, s.Forwards
 	if sent != 3 || forwards != 1 {
 		t.Errorf("stats = %d sent, %d forwards; want 3, 1", sent, forwards)
 	}
@@ -238,7 +240,8 @@ func TestStatsCountResends(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	sent, _, bytes := n.Stats()
+	snap := n.Snapshot()
+	sent, bytes := snap.Sent, snap.Bytes
 	if sent != 3 || bytes != 30 {
 		t.Errorf("stats = %d sent, %d bytes; want 3 sent, 30 bytes", sent, bytes)
 	}

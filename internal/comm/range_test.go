@@ -144,7 +144,8 @@ func TestRangeSendAndForwardChase(t *testing.T) {
 	if got == nil {
 		t.Fatal("message not delivered to owner PE")
 	}
-	sent0, fwd0, _ := n.Stats()
+	s0 := n.Snapshot()
+	sent0, fwd0 := s0.Sent, s0.Forwards
 	if sent0 != 1 || fwd0 != 0 {
 		t.Fatalf("stats after direct send = (%d, %d), want (1, 0)", sent0, fwd0)
 	}
@@ -167,7 +168,8 @@ func TestRangeSendAndForwardChase(t *testing.T) {
 	if chased.Arrival <= arrivalBefore {
 		t.Fatal("forwarding hop did not delay arrival")
 	}
-	sent1, fwd1, _ := n.Stats()
+	s1 := n.Snapshot()
+	sent1, fwd1 := s1.Sent, s1.Forwards
 	if sent1 != 1 {
 		t.Fatalf("Forward counted as a send: sent = %d, want 1", sent1)
 	}

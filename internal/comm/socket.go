@@ -1,0 +1,354 @@
+// SocketTransport: the multi-process Transport backend. Worker
+// processes hold one stream connection (unix-domain or TCP — anything
+// net.Conn) to every peer; envelopes encoded by wire.go cross as
+// length-prefixed frames. Each peer link has a dedicated writer
+// goroutine that drains every frame queued since its last write into
+// a single net.Buffers write — the writev-style coalescing that turns
+// a burst of fine-grained envelopes into one syscall — and a reader
+// goroutine that decodes frames and injects them with DeliverLocal.
+// Per (sender, link) frame order is the enqueue order, so the
+// transport contract's in-order guarantee falls out of stream FIFO.
+//
+// Besides envelopes the wire carries control frames — small typed
+// blobs for the orchestration layer (termination barriers, migration
+// records, step exchanges). Control frames share the link FIFO with
+// envelopes, which the shard layer exploits: a DONE sent after the
+// last data frame is received after it too.
+//
+// Failure policy: a peer error (or EOF) before Retire marks the run
+// broken and panics — a worker process dying mid-run is a hard error
+// for now, there is no restart or rebalance protocol.
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Frame types on a socket link.
+const (
+	frameEnvelope byte = 1
+	frameControl  byte = 2
+)
+
+// maxFrameLen caps a claimed frame length (hostile-input guard: a
+// forged prefix cannot make the reader allocate unbounded memory).
+const maxFrameLen = 64 << 20
+
+// ControlHandler receives control frames: the sending worker's index,
+// the frame kind, and its payload. It runs on the link's reader
+// goroutine — keep it quick and thread-safe.
+type ControlHandler func(from int, kind uint32, payload []byte)
+
+// SocketTransport bridges this process's PEs to its peers over stream
+// sockets. Construct with NewSocketTransport, add one connection per
+// peer with AddPeer, wire it to the network with Attach, then Start.
+type SocketTransport struct {
+	self    int
+	workers int
+	owner   func(pe int) int // global PE → owning worker index
+	network *Network
+	peers   []*sockPeer
+	ctrl    ControlHandler
+
+	done    chan struct{}
+	closed  atomic.Bool
+	retired atomic.Bool
+	wgW     sync.WaitGroup
+	wgR     sync.WaitGroup
+
+	writeBatches atomic.Uint64
+	framesSent   atomic.Uint64
+	bytesSent    atomic.Uint64
+	framesRecv   atomic.Uint64
+	bytesRecv    atomic.Uint64
+}
+
+// sockPeer is one link: a connection plus the pending frame queue its
+// writer goroutine drains.
+type sockPeer struct {
+	index int
+	conn  net.Conn
+	mu    sync.Mutex
+	q     net.Buffers
+	kick  chan struct{}
+}
+
+// NewSocketTransport builds a transport for worker self of workers
+// total; owner maps a global PE index to the worker owning it.
+func NewSocketTransport(self, workers int, owner func(pe int) int) *SocketTransport {
+	return &SocketTransport{
+		self:    self,
+		workers: workers,
+		owner:   owner,
+		peers:   make([]*sockPeer, workers),
+		done:    make(chan struct{}),
+	}
+}
+
+// AddPeer attaches the connection to peer worker idx. Must be called
+// for every peer before Start.
+func (t *SocketTransport) AddPeer(idx int, conn net.Conn) error {
+	if idx < 0 || idx >= t.workers || idx == t.self {
+		return fmt.Errorf("comm: AddPeer(%d): invalid peer for worker %d of %d", idx, t.self, t.workers)
+	}
+	if t.peers[idx] != nil {
+		return fmt.Errorf("comm: AddPeer(%d): duplicate peer", idx)
+	}
+	t.peers[idx] = &sockPeer{index: idx, conn: conn, kick: make(chan struct{}, 1)}
+	return nil
+}
+
+// SetControlHandler installs the control-frame callback (before
+// Start).
+func (t *SocketTransport) SetControlHandler(h ControlHandler) { t.ctrl = h }
+
+// Attach shards n onto this transport: PEs [peLo, peHi) are local.
+func (t *SocketTransport) Attach(n *Network, peLo, peHi int) error {
+	if err := n.SetTransport(t, peLo, peHi); err != nil {
+		return err
+	}
+	t.network = n
+	return nil
+}
+
+// Start launches the per-link reader and writer goroutines. Every
+// peer must have been added.
+func (t *SocketTransport) Start() error {
+	for idx, p := range t.peers {
+		if idx == t.self {
+			continue
+		}
+		if p == nil {
+			return fmt.Errorf("comm: Start: missing peer %d", idx)
+		}
+	}
+	if t.network == nil {
+		return fmt.Errorf("comm: Start: transport not attached to a network")
+	}
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.wgW.Add(1)
+		go t.writeLoop(p)
+		t.wgR.Add(1)
+		go t.readLoop(p)
+	}
+	return nil
+}
+
+// Deliver implements Transport: encode msgs as one envelope frame and
+// queue it on the link to the worker owning pe.
+func (t *SocketTransport) Deliver(pe int, msgs []*Message) error {
+	w := t.owner(pe)
+	if w == t.self || w < 0 || w >= t.workers {
+		return fmt.Errorf("comm: Deliver(%d): PE maps to worker %d (self %d)", pe, w, t.self)
+	}
+	body, err := EncodeEnvelope(pe, msgs)
+	if err != nil {
+		return err
+	}
+	return t.enqueue(t.peers[w], frameEnvelope, body)
+}
+
+// SendControl queues a control frame for peer worker w. FIFO with any
+// envelopes previously queued for w.
+func (t *SocketTransport) SendControl(w int, kind uint32, payload []byte) error {
+	if w == t.self || w < 0 || w >= t.workers {
+		return fmt.Errorf("comm: SendControl(%d): invalid peer", w)
+	}
+	body := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(body, uint32(t.self))
+	binary.LittleEndian.PutUint32(body[4:], kind)
+	copy(body[8:], payload)
+	return t.enqueue(t.peers[w], frameControl, body)
+}
+
+// Broadcast sends a control frame to every peer.
+func (t *SocketTransport) Broadcast(kind uint32, payload []byte) error {
+	for idx := range t.peers {
+		if idx == t.self {
+			continue
+		}
+		if err := t.SendControl(idx, kind, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enqueue frames body (4-byte length prefix + type byte) and hands it
+// to the link's writer.
+func (t *SocketTransport) enqueue(p *sockPeer, typ byte, body []byte) error {
+	if t.closed.Load() {
+		return fmt.Errorf("comm: socket transport closed")
+	}
+	n := 1 + len(body)
+	if n > maxFrameLen {
+		return fmt.Errorf("comm: frame of %d bytes exceeds the %d limit", n, maxFrameLen)
+	}
+	frame := make([]byte, 4+n)
+	binary.LittleEndian.PutUint32(frame, uint32(n))
+	frame[4] = typ
+	copy(frame[5:], body)
+	p.mu.Lock()
+	p.q = append(p.q, frame)
+	p.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// writeLoop drains the pending queue into single net.Buffers writes —
+// on unix/TCP connections Go issues these as writev, so every frame
+// queued between two wakeups coalesces into (usually) one syscall.
+func (t *SocketTransport) writeLoop(p *sockPeer) {
+	defer t.wgW.Done()
+	for {
+		select {
+		case <-p.kick:
+			t.drain(p)
+		case <-t.done:
+			t.drain(p) // final flush before teardown
+			return
+		}
+	}
+}
+
+// drain writes every queued frame in one batch, repeating until the
+// queue stays empty.
+func (t *SocketTransport) drain(p *sockPeer) {
+	for {
+		p.mu.Lock()
+		batch := p.q
+		p.q = nil
+		p.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		var bytes uint64
+		for _, b := range batch {
+			bytes += uint64(len(b))
+		}
+		t.writeBatches.Add(1)
+		t.framesSent.Add(uint64(len(batch)))
+		t.bytesSent.Add(bytes)
+		if _, err := batch.WriteTo(p.conn); err != nil {
+			t.linkFailed(p, err)
+			return
+		}
+	}
+}
+
+// readLoop decodes frames off the link: envelopes go to DeliverLocal,
+// control frames to the handler.
+func (t *SocketTransport) readLoop(p *sockPeer) {
+	defer t.wgR.Done()
+	br := bufio.NewReaderSize(p.conn, 1<<16)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			t.linkFailed(p, err)
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrameLen {
+			t.linkFailed(p, fmt.Errorf("frame length %d out of range", n))
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			t.linkFailed(p, err)
+			return
+		}
+		t.framesRecv.Add(1)
+		t.bytesRecv.Add(uint64(4 + n))
+		switch buf[0] {
+		case frameEnvelope:
+			pe, msgs, err := DecodeEnvelope(buf[1:])
+			if err != nil {
+				t.linkFailed(p, err)
+				return
+			}
+			if err := t.network.DeliverLocal(pe, msgs); err != nil {
+				t.linkFailed(p, err)
+				return
+			}
+		case frameControl:
+			if len(buf) < 9 {
+				t.linkFailed(p, fmt.Errorf("control frame truncated: %d bytes", len(buf)))
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(buf[1:5]))
+			kind := binary.LittleEndian.Uint32(buf[5:9])
+			if h := t.ctrl; h != nil {
+				h(from, kind, buf[9:])
+			}
+		default:
+			t.linkFailed(p, fmt.Errorf("unknown frame type %d", buf[0]))
+			return
+		}
+	}
+}
+
+// linkFailed enforces the hard-error policy: any link fault before
+// Retire kills the process.
+func (t *SocketTransport) linkFailed(p *sockPeer, err error) {
+	if t.closed.Load() || t.retired.Load() {
+		return // expected teardown noise
+	}
+	panic(fmt.Sprintf("comm: socket transport worker %d: link to worker %d failed: %v", t.self, p.index, err))
+}
+
+// Retire marks the run complete: link errors after this point (peers
+// closing their side first) are expected and ignored. Call once the
+// termination barrier has been crossed, before Close.
+func (t *SocketTransport) Retire() { t.retired.Store(true) }
+
+// Close implements Transport: flush every pending frame, stop the
+// writers, then tear the links down.
+func (t *SocketTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.done)
+	t.wgW.Wait() // writers flush their queues on the way out
+	t.retired.Store(true)
+	for _, p := range t.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	t.wgR.Wait()
+	return nil
+}
+
+// SocketStats snapshots the link counters. FramesSent/WriteBatches is
+// the mean envelopes coalesced per writev — the syscall amortization
+// the per-link writer bought.
+type SocketStats struct {
+	WriteBatches uint64 // net.Buffers writes issued
+	FramesSent   uint64 // frames those writes carried
+	BytesSent    uint64 // wire bytes written (frames + prefixes)
+	FramesRecv   uint64 // frames decoded off the links
+	BytesRecv    uint64 // wire bytes read
+}
+
+// SocketStats returns the current link counters.
+func (t *SocketTransport) SocketStats() SocketStats {
+	return SocketStats{
+		WriteBatches: t.writeBatches.Load(),
+		FramesSent:   t.framesSent.Load(),
+		BytesSent:    t.bytesSent.Load(),
+		FramesRecv:   t.framesRecv.Load(),
+		BytesRecv:    t.bytesRecv.Load(),
+	}
+}

@@ -93,7 +93,7 @@ func TestConcurrentSendMigrateStress(t *testing.T) {
 	if want := senders * perSender; total != want {
 		t.Errorf("delivered %d messages, want %d", total, want)
 	}
-	sent, _, _ := n.Stats()
+	sent := n.Snapshot().Sent
 	if want := uint64(senders * perSender); sent != want {
 		t.Errorf("sent stat = %d, want %d (one per Send call)", sent, want)
 	}

@@ -16,19 +16,12 @@ type ID uint64
 
 var nextThreadID atomic.Uint64
 
-// AllocFlowIDs reserves a contiguous block of n identifiers from the
-// machine-wide thread-ID space and returns the first. Non-thread
-// flows of control (event-mode AMPI ranks: state structs dispatched
-// by a PE loop, with no Thread behind them) draw their comm
-// identities from the same space as threads, so the two kinds of flow
-// can never collide in the location directory, and a dense block
-// makes rank→ID and ID→rank arithmetic O(1).
-func AllocFlowIDs(n int) ID {
-	if n < 1 {
-		panic(fmt.Sprintf("converse: AllocFlowIDs(%d)", n))
-	}
-	return ID(nextThreadID.Add(uint64(n)) - uint64(n) + 1)
-}
+// Non-thread flows of control (event-mode AMPI ranks) used to draw
+// comm identities from this process-global space; they now use
+// comm.Network.AllocFlowIDs so identical machine construction yields
+// identical entity bases in every process of a sharded run. Their IDs
+// carry the PinnedEntity bit, which raw thread IDs never do, so the
+// two spaces cannot collide in a location directory.
 
 // State is a thread's scheduling state.
 type State int

@@ -56,6 +56,17 @@ type Config struct {
 	// StealMax caps the threads taken per successful steal; 0 means
 	// half the victim's ready queue.
 	StealMax int
+
+	// LocalPELo/LocalPEHi shard the machine across OS processes: this
+	// process drives only PEs [LocalPELo, LocalPEHi) while the full
+	// NumPEs-wide network directory and clock arrays stay global, so
+	// entity IDs, placements, and virtual-time accounting are identical
+	// to an unsharded run. Both zero (the default) means every PE is
+	// local. A sharded machine needs a comm.Transport attached to its
+	// network (see comm.SocketTransport) before traffic flows, and is
+	// incompatible with work stealing — a remote PE's ready queue is in
+	// another process.
+	LocalPELo, LocalPEHi int
 }
 
 // DefaultStealAttempts is the idle-phase probe bound when
@@ -126,6 +137,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.IsoSlotPages == 0 {
 		cfg.IsoSlotPages = DefaultIsoSlotPages
 	}
+	if cfg.LocalPELo == 0 && cfg.LocalPEHi == 0 {
+		cfg.LocalPEHi = cfg.NumPEs
+	}
+	if cfg.LocalPELo < 0 || cfg.LocalPEHi > cfg.NumPEs || cfg.LocalPELo >= cfg.LocalPEHi {
+		return nil, fmt.Errorf("core: local PE range [%d,%d) invalid for %d PEs", cfg.LocalPELo, cfg.LocalPEHi, cfg.NumPEs)
+	}
+	if cfg.Steal && (cfg.LocalPELo != 0 || cfg.LocalPEHi != cfg.NumPEs) {
+		return nil, fmt.Errorf("core: work stealing is incompatible with a sharded machine")
+	}
 	region, err := mem.NewIsoRegion(mem.DefaultIsoBase,
 		uint64(cfg.NumPEs)*cfg.IsoSlotPages*vmem.PageSize, cfg.NumPEs)
 	if err != nil {
@@ -162,6 +182,21 @@ func NewMachine(cfg Config) (*Machine, error) {
 
 // NumPEs returns the processor count.
 func (m *Machine) NumPEs() int { return len(m.pes) }
+
+// LocalPEs returns the [lo, hi) range of PEs this process drives —
+// [0, NumPEs) unless the machine is sharded.
+func (m *Machine) LocalPEs() (lo, hi int) { return m.cfg.LocalPELo, m.cfg.LocalPEHi }
+
+// Sharded reports whether this machine drives only a subset of its
+// PEs (other subsets live in other OS processes).
+func (m *Machine) Sharded() bool {
+	return m.cfg.LocalPELo != 0 || m.cfg.LocalPEHi != len(m.pes)
+}
+
+// LocalPE reports whether PE pe is driven by this process.
+func (m *Machine) LocalPE(pe int) bool {
+	return pe >= m.cfg.LocalPELo && pe < m.cfg.LocalPEHi
+}
 
 // PE returns processor i.
 func (m *Machine) PE(i int) *converse.PE { return m.pes[i] }
@@ -349,6 +384,28 @@ func (m *Machine) finishMigration(id comm.EntityID, src, dest, nbytes int) error
 	return nil
 }
 
+// FinishRemoteMigration charges the machine-level bookkeeping for a
+// migration record that arrived from another OS process (sharded
+// runs): the image crossed the interconnect from a PE this process
+// does not simulate, so the sender ships its clock reading (departNs)
+// inside the record and the destination clock synchronizes against
+// departure plus the postal cost of the record's bytes — the same
+// model finishMigration applies in-process. Directory updates are the
+// shard layer's job (range tables flip by batch on every worker).
+func (m *Machine) FinishRemoteMigration(id comm.EntityID, dest int, departNs float64, nbytes int) {
+	cost := m.net.Latency().Cost(nbytes)
+	arrive := departNs + cost
+	m.pes[dest].Clock.AdvanceTo(arrive)
+	m.mu.Lock()
+	m.migrations++
+	m.migBytes += uint64(nbytes)
+	tlog := m.tlog
+	m.mu.Unlock()
+	if tlog != nil {
+		tlog.Record(trace.Event{TimeNs: arrive, PE: dest, Kind: trace.EvMigrateIn, Thread: uint64(id), Arg: uint64(nbytes)})
+	}
+}
+
 // Pump drains PE pe's network inbox through the delivery handler,
 // advancing the PE clock to each message's arrival time. It returns
 // the number of messages processed.
@@ -386,7 +443,8 @@ func (m *Machine) Pump(pe int) int {
 func (m *Machine) RunUntilQuiescent() {
 	for {
 		progress := false
-		for i, pe := range m.pes {
+		for i := m.cfg.LocalPELo; i < m.cfg.LocalPEHi; i++ {
+			pe := m.pes[i]
 			if m.Pump(i) > 0 {
 				progress = true
 			}
@@ -414,7 +472,7 @@ func (m *Machine) RunUntilQuiescent() {
 // handler), call Wake so blocked PEs notice.
 func (m *Machine) RunParallel(done func() bool) {
 	gates := make([]*wakeGate, len(m.pes))
-	for i := range gates {
+	for i := m.cfg.LocalPELo; i < m.cfg.LocalPEHi; i++ {
 		gates[i] = newWakeGate()
 	}
 	m.mu.Lock()
@@ -422,12 +480,14 @@ func (m *Machine) RunParallel(done func() bool) {
 	m.mu.Unlock()
 	wakeAll := func() {
 		for _, g := range gates {
-			g.wake()
+			if g != nil {
+				g.wake()
+			}
 		}
 	}
 	var wg sync.WaitGroup
-	for i, pe := range m.pes {
-		i, pe := i, pe
+	for i := m.cfg.LocalPELo; i < m.cfg.LocalPEHi; i++ {
+		i, pe := i, m.pes[i]
 		ep := m.net.Endpoint(i)
 		ep.SetWakeHook(gates[i].wake)
 		pe.Sched.SetWakeHook(gates[i].wake)
@@ -465,9 +525,9 @@ func (m *Machine) RunParallel(done func() bool) {
 		}()
 	}
 	wg.Wait()
-	for i, pe := range m.pes {
+	for i := m.cfg.LocalPELo; i < m.cfg.LocalPEHi; i++ {
 		m.net.Endpoint(i).SetWakeHook(nil)
-		pe.Sched.SetWakeHook(nil)
+		m.pes[i].Sched.SetWakeHook(nil)
 	}
 	m.mu.Lock()
 	m.gates = nil
@@ -482,7 +542,9 @@ func (m *Machine) Wake() {
 	gates := m.gates
 	m.mu.Unlock()
 	for _, g := range gates {
-		g.wake()
+		if g != nil {
+			g.wake()
+		}
 	}
 }
 

@@ -1,0 +1,51 @@
+package harness
+
+// Cross-process equivalence table: one row per (app, transport)
+// configuration comparing the in-process ring-buffer run against the
+// same job sharded over OS processes. The headline column is bitwise
+// VT equality — the sharded machine is only correct if it is
+// indistinguishable from the 1-process one.
+
+import (
+	"fmt"
+	"io"
+)
+
+// CrossProcessRow is one app/transport configuration's outcome.
+type CrossProcessRow struct {
+	App     string
+	Flows   int // event ranks (or simulating PEs for bigsim)
+	Workers int
+	Net     string // "inproc", "unix", "tcp"
+	// PredictedMs is the job's predicted completion (max rank VT),
+	// in milliseconds.
+	PredictedMs float64
+	// WallMs is the harness wall-clock for the whole run, including
+	// process spawn and rendezvous.
+	WallMs float64
+	// Envelopes and EnvBytes count coalesced cross-process frames;
+	// zero for in-process rows.
+	Envelopes uint64
+	EnvBytes  uint64
+	// Moved counts event ranks migrated across a live socket.
+	Moved int64
+	// Bitwise reports whether every rank VT (and app numeric state)
+	// matched the in-process reference bit for bit.
+	Bitwise bool
+}
+
+// CrossProcessTable renders the equivalence sweep.
+func CrossProcessTable(w io.Writer, title string, rows []CrossProcessRow) {
+	fmt.Fprintf(w, "Cross-process equivalence: %s\n", title)
+	fmt.Fprintf(w, "%-8s %8s %8s %7s %14s %10s %10s %10s %7s %8s\n",
+		"app", "flows", "workers", "net", "predicted(ms)", "wall(ms)", "envelopes", "env-bytes", "moved", "bitwise")
+	for _, r := range rows {
+		bit := "OK"
+		if !r.Bitwise {
+			bit = "FAIL"
+		}
+		fmt.Fprintf(w, "%-8s %8d %8d %7s %14.3f %10.1f %10d %10d %7d %8s\n",
+			r.App, r.Flows, r.Workers, r.Net, r.PredictedMs, r.WallMs,
+			r.Envelopes, r.EnvBytes, r.Moved, bit)
+	}
+}

@@ -574,7 +574,7 @@ func Run(p Params) (*Result, error) {
 	// Per-PE measured work under the current (post-LB if any)
 	// placement: CPU time since the last Migrate reset.
 	loads := job.PELoads()
-	envelopes, payloads := m.Network().AggStats()
+	stats := m.Network().Snapshot()
 	res := &Result{
 		Params:      p,
 		TimeNs:      total,
@@ -584,8 +584,8 @@ func Run(p Params) (*Result, error) {
 		Migrations:    migs,
 		MigratedBytes: migBytes,
 		MovedRanks:    moved,
-		Envelopes:   envelopes,
-		AggPayloads: payloads,
+		Envelopes:   stats.Envelopes,
+		AggPayloads: stats.AggPayloads,
 		Steals:      m.StealStats(),
 		TopoHops:    m.Network().TopoHops(),
 		Trace:       tlog,

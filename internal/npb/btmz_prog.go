@@ -148,6 +148,41 @@ func btmzProgram(p Params, t btmzTopology, workPE [][]int32) ampi.Proc {
 	return ampi.Seq(body...)
 }
 
+// ProgramJob builds the program-mode BT-MZ job on an existing machine
+// without running it — the entry point sharded workers use, where the
+// machine carries a local PE range and a socket transport. The same
+// deterministic topology and program tree are built in every process,
+// which is what makes the per-rank VT of a 2-process run bitwise
+// equal to the in-process one. Defaults mirror Run's.
+func ProgramJob(m *core.Machine, p Params) (*ampi.Job, error) {
+	if p.Mode == "" {
+		return nil, fmt.Errorf("npb: ProgramJob needs a program Mode")
+	}
+	if p.NProcs < 1 || p.NPEs < 1 || p.NPEs != m.NumPEs() {
+		return nil, fmt.Errorf("npb: bad params for machine with %d PEs: %+v", m.NumPEs(), p)
+	}
+	if p.NProcs > p.Class.NumZones() {
+		return nil, fmt.Errorf("npb: %d ranks exceed %d zones", p.NProcs, p.Class.NumZones())
+	}
+	if p.Steps == 0 {
+		p.Steps = 10
+	}
+	if p.HaloBytes == 0 {
+		p.HaloBytes = 4096
+	}
+	t := buildTopology(p)
+	workPE := make([][]int32, p.Steps)
+	for i := range workPE {
+		workPE[i] = make([]int32, p.NProcs)
+	}
+	return ampi.NewProgram(m, p.NProcs, ampi.Options{
+		Mode:           p.Mode,
+		BlockPlacement: true,
+		Collectives:    p.Collectives,
+		Topo:           p.Topo,
+	}, btmzProgram(p, t, workPE))
+}
+
 // runProgram is the Params.Mode != "" execution path.
 func runProgram(p Params) (*Result, error) {
 	if p.Mode != ampi.ModeULT && p.Mode != ampi.ModeEvent {

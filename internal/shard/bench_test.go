@@ -1,0 +1,180 @@
+package shard
+
+// Transport benchmarks behind make bench-transport: in-process versus
+// cross-process Send cost, envelope coalescing per syscall, and the
+// price of shipping an event-rank record across a socket. Both shard
+// endpoints live in this process (real unix sockets, separate
+// Networks), so the numbers include the full wire path — PUP encode,
+// writev, read, decode — without subprocess-spawn noise.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"migflow/internal/ampi"
+	"migflow/internal/comm"
+)
+
+// spinUntil waits for the far endpoint, yielding and then briefly
+// sleeping: on a single-CPU container a bare spin loop starves the
+// socket goroutines, and a goroutine that never sleeps keeps the
+// scheduler from blocking in netpoll at all — socket readiness would
+// then surface only on sysmon's ~10 ms sweeps.
+func spinUntil(pending func() int) {
+	for i := 0; pending() == 0; i++ {
+		if i < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// benchShards mirrors comm's twoShards helper for benchmarks: two
+// 4-PE sharded networks joined by one unix socket.
+func benchShards(b *testing.B) (n0, n1 *comm.Network, t0, t1 *comm.SocketTransport) {
+	b.Helper()
+	c0, c1 := pairConns(b)
+	owner := func(pe int) int { return pe / 2 }
+	lat := comm.LatencyModel{Alpha: 1000, BetaPerByte: 0.4}
+	n0, n1 = comm.NewNetwork(4, lat), comm.NewNetwork(4, lat)
+	t0, t1 = comm.NewSocketTransport(0, 2, owner), comm.NewSocketTransport(1, 2, owner)
+	if err := t0.AddPeer(1, c0); err != nil {
+		b.Fatal(err)
+	}
+	if err := t1.AddPeer(0, c1); err != nil {
+		b.Fatal(err)
+	}
+	if err := t0.Attach(n0, 0, 2); err != nil {
+		b.Fatal(err)
+	}
+	if err := t1.Attach(n1, 2, 4); err != nil {
+		b.Fatal(err)
+	}
+	if err := t0.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if err := t1.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		t0.Retire()
+		t1.Retire()
+		t0.Close()
+		t1.Close()
+	})
+	return n0, n1, t0, t1
+}
+
+// BenchmarkTransportSendLocal is the baseline: Send + Poll on the
+// default in-process ring-buffer transport.
+func BenchmarkTransportSendLocal(b *testing.B) {
+	n := comm.NewNetwork(4, comm.LatencyModel{Alpha: 1000, BetaPerByte: 0.4})
+	if err := n.Register(comm.EntityID(9), 1); err != nil {
+		b.Fatal(err)
+	}
+	src, dst := n.Endpoint(0), n.Endpoint(1)
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send(&comm.Message{To: 9, From: 1, Data: data}); err != nil {
+			b.Fatal(err)
+		}
+		spinUntil(dst.Pending)
+		dst.Poll()
+	}
+}
+
+// BenchmarkTransportSendCross sends PE0→PE2 across a real unix
+// socket and waits for delivery on the far Network — one message per
+// wire envelope, the anti-coalescing worst case.
+func BenchmarkTransportSendCross(b *testing.B) {
+	n0, n1, t0, _ := benchShards(b)
+	for _, n := range []*comm.Network{n0, n1} {
+		if err := n.Register(comm.EntityID(9), 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	src, dst := n0.Endpoint(0), n1.Endpoint(2)
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send(&comm.Message{To: 9, From: 1, Data: data}); err != nil {
+			b.Fatal(err)
+		}
+		spinUntil(dst.Pending)
+		dst.Poll()
+	}
+	b.StopTimer()
+	st := t0.SocketStats()
+	if st.WriteBatches > 0 {
+		b.ReportMetric(float64(st.FramesSent)/float64(st.WriteBatches), "envelopes/syscall")
+	}
+}
+
+// BenchmarkTransportSendCrossStream drives the same wire through the
+// TRAM aggregator: buckets of coalesced payloads cross as single
+// frames and the writer drains whole queues per writev, so the
+// envelopes-per-syscall metric is what the coalescing buys.
+func BenchmarkTransportSendCrossStream(b *testing.B) {
+	n0, n1, t0, _ := benchShards(b)
+	for _, n := range []*comm.Network{n0, n1} {
+		if err := n.Register(comm.EntityID(9), 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n0.EnableAggregation(comm.AggPolicy{MaxPayloads: 16})
+	src, dst := n0.Endpoint(0), n1.Endpoint(2)
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	got := 0
+	for i := 0; i < b.N; i++ {
+		if err := src.SendStream(&comm.Message{To: 9, From: 1, Data: data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := src.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	for got < b.N {
+		spinUntil(dst.Pending)
+		dst.Poll()
+		got++
+	}
+	b.StopTimer()
+	st := t0.SocketStats()
+	if st.WriteBatches > 0 {
+		b.ReportMetric(float64(st.FramesSent)/float64(st.WriteBatches), "envelopes/syscall")
+	}
+	if s := n0.Snapshot(); s.RemotePayloads > 0 && s.RemoteEnvelopes > 0 {
+		b.ReportMetric(float64(s.RemotePayloads)/float64(s.RemoteEnvelopes), "payloads/envelope")
+	}
+}
+
+// BenchmarkCrossProcessMigration runs the full 2-worker Jacobi with
+// the migration driver and charges the whole run to the ranks that
+// crossed the socket — record pack, wire, install, reseek, and the
+// directory traffic around them. ns/rank is the headline metric.
+func BenchmarkCrossProcessMigration(b *testing.B) {
+	cfg := ampi.JacobiConfig{
+		Mode: ampi.ModeEvent, Ranks: 64, Iters: 50, PEs: 4,
+		HaloBytes: 8, WorkNs: 1000, BlockPlacement: true,
+	}
+	spec := JacobiSpec{Cfg: cfg, Migrate: 16}
+	moved := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps := runPairJacobi(b, spec)
+		moved += reps[0].Moved + reps[1].Moved
+	}
+	b.StopTimer()
+	if moved > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(moved), "ns/rank-moved")
+		b.ReportMetric(float64(moved)/float64(b.N), "ranks-moved/op")
+	}
+}

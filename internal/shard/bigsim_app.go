@@ -1,0 +1,171 @@
+package shard
+
+// BigSim across processes: each worker drives a slab of the
+// simulating PEs (bigsim.Shard) and the per-step delta frames cross
+// the worker mesh as length-prefixed blobs directly on the rendezvous
+// sockets — BigSim has its own clocks and mailboxes, so it needs the
+// wire, not a comm.Network. Every worker reconstructs the identical
+// merged StepStats stream, and that stream must match the 1-process
+// simulator bit for bit.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"migflow/internal/bigsim"
+)
+
+// BigSimSpec parameterizes a sharded BigSim run.
+type BigSimSpec struct {
+	Cfg   bigsim.Config
+	Steps int
+}
+
+// StepWire is one StepStats with its float64s as bits, so reports
+// compare bitwise through JSON.
+type StepWire struct {
+	Step      int
+	TimeBits  uint64
+	PredBits  uint64
+	Cross     int
+	Intra     int
+	Envelopes int
+	Coalesced int
+}
+
+func stepWire(st bigsim.StepStats) StepWire {
+	return StepWire{
+		Step:      st.Step,
+		TimeBits:  math.Float64bits(st.TimeNs),
+		PredBits:  math.Float64bits(st.PredictedTargetNs),
+		Cross:     st.CrossPEMessages,
+		Intra:     st.IntraPEMessages,
+		Envelopes: st.Envelopes,
+		Coalesced: st.CoalescedGhosts,
+	}
+}
+
+// BigSimReport is one worker's (machine-wide, identical on every
+// worker) view of the run.
+type BigSimReport struct {
+	Worker int
+	Steps  []StepWire
+}
+
+// frameLimit bounds a peer frame's claimed size (hostile-input guard;
+// a 200k-target paper-scale frontier is well under 1 MiB).
+const frameLimit = 64 << 20
+
+// writeBlob / readBlob are the u32-length-prefixed frame transport.
+func writeBlob(c net.Conn, b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.Write(b)
+	return err
+}
+
+func readBlob(c net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > frameLimit {
+		return nil, fmt.Errorf("shard: peer frame claims %d bytes", n)
+	}
+	b := make([]byte, n)
+	_, err := io.ReadFull(c, b)
+	return b, err
+}
+
+// RunBigSimWorker runs one slab of a sharded BigSim simulation over
+// the worker mesh.
+func RunBigSimWorker(index, workers int, conns map[int]net.Conn, spec BigSimSpec) (*BigSimReport, error) {
+	if spec.Steps < 1 {
+		return nil, fmt.Errorf("shard: bigsim wants ≥ 1 step, got %d", spec.Steps)
+	}
+	sh, err := bigsim.NewShard(spec.Cfg, index, workers)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BigSimReport{Worker: index}
+	exchange := func(out [][]byte) ([][]byte, error) {
+		// Writes drain on a separate goroutine: with every worker
+		// sending before receiving, two full socket buffers would
+		// deadlock a synchronous write-then-read at paper scale.
+		werr := make(chan error, 1)
+		go func() {
+			for w, c := range conns {
+				if err := writeBlob(c, out[w]); err != nil {
+					werr <- fmt.Errorf("shard: frame to worker %d: %w", w, err)
+					return
+				}
+			}
+			werr <- nil
+		}()
+		in := make([][]byte, workers)
+		for w, c := range conns {
+			b, err := readBlob(c)
+			if err != nil {
+				return nil, fmt.Errorf("shard: frame from worker %d: %w", w, err)
+			}
+			in[w] = b
+		}
+		if err := <-werr; err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	for s := 0; s < spec.Steps; s++ {
+		st, err := sh.Step(exchange)
+		if err != nil {
+			return nil, err
+		}
+		rep.Steps = append(rep.Steps, stepWire(st))
+	}
+	return rep, nil
+}
+
+// RunBigSimReference runs the same simulation in one process.
+func RunBigSimReference(spec BigSimSpec) (*BigSimReport, error) {
+	sim, err := bigsim.New(spec.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sim.Close()
+	rep := &BigSimReport{Worker: -1}
+	for _, st := range sim.Run(spec.Steps) {
+		rep.Steps = append(rep.Steps, stepWire(st))
+	}
+	return rep, nil
+}
+
+// DecodeBigSimReports parses the subprocess outputs in worker order.
+func DecodeBigSimReports(raws []json.RawMessage) ([]*BigSimReport, error) {
+	reps := make([]*BigSimReport, len(raws))
+	for i, raw := range raws {
+		r := &BigSimReport{}
+		if err := json.Unmarshal(raw, r); err != nil {
+			return nil, fmt.Errorf("shard: bigsim report %d: %w", i, err)
+		}
+		reps[i] = r
+	}
+	return reps, nil
+}
+
+func init() {
+	RegisterApp("bigsim", func(index, workers int, conns map[int]net.Conn, payload []byte) (any, error) {
+		var spec BigSimSpec
+		if err := json.Unmarshal(payload, &spec); err != nil {
+			return nil, fmt.Errorf("shard: bigsim spec: %w", err)
+		}
+		return RunBigSimWorker(index, workers, conns, spec)
+	})
+}

@@ -1,0 +1,370 @@
+package shard
+
+// The cross-process equivalence suite: the same Jacobi/BT-MZ config
+// run in-process (ring-buffer transport) and as 2 OS processes over
+// sockets must produce bitwise-identical per-rank virtual times and
+// numeric results — including runs that migrate event ranks across a
+// live socket mid-flight. Worker processes re-enter through TestMain.
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"migflow/internal/ampi"
+	"migflow/internal/bigsim"
+	"migflow/internal/core"
+	"migflow/internal/npb"
+)
+
+func TestMain(m *testing.M) {
+	if WorkerMain() {
+		return // unreachable: WorkerMain exits, but keep the guard shape
+	}
+	os.Exit(m.Run())
+}
+
+// compareReports demands bitwise equality of the sharded run against
+// the in-process reference: every rank's VT, every Jacobi cell, and
+// the payload-send count.
+func compareReports(t *testing.T, ref *Report, merged *Merged, size int) {
+	t.Helper()
+	refVT := make(map[int]uint64, size)
+	for _, rv := range ref.Ranks {
+		refVT[rv.Rank] = rv.Bits
+	}
+	if len(refVT) != size || len(merged.VTBits) != size {
+		t.Fatalf("rank coverage: ref %d, sharded %d, want %d", len(refVT), len(merged.VTBits), size)
+	}
+	for r := 0; r < size; r++ {
+		if refVT[r] != merged.VTBits[r] {
+			t.Fatalf("rank %d VT differs: in-process %v, sharded %v",
+				r, math.Float64frombits(refVT[r]), math.Float64frombits(merged.VTBits[r]))
+		}
+	}
+	for _, c := range ref.Cells {
+		got, ok := merged.Cells[c.Rank]
+		if !ok {
+			t.Fatalf("rank %d cell missing from sharded run", c.Rank)
+		}
+		if got.X != c.X || got.Resid != c.Resid || got.Global != c.Global {
+			t.Fatalf("rank %d cell differs: in-process %+v, sharded %+v", c.Rank, c, got)
+		}
+	}
+	if merged.Sent != ref.Net.Sent {
+		t.Fatalf("payload sends differ: in-process %d, sharded %d", ref.Net.Sent, merged.Sent)
+	}
+}
+
+// runSharded spawns the subprocess run and merges the reports.
+func runSharded(t *testing.T, spec ProcSpec, size int) *Merged {
+	t.Helper()
+	raws, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := DecodeReports(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeReports(reps, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+// TestCrossProcessJacobiEquivalence runs randomized Jacobi configs
+// in-process and as 2 OS processes over unix sockets; per-rank VT and
+// final cell values must match bit for bit.
+func TestCrossProcessJacobiEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		cfg := ampi.JacobiConfig{
+			Mode:           ampi.ModeEvent,
+			Ranks:          32 + rng.Intn(64),
+			Iters:          4 + rng.Intn(12),
+			PEs:            4,
+			HaloBytes:      8 + 8*rng.Intn(16),
+			WorkNs:         500 + float64(rng.Intn(2000)),
+			WorkSkew:       float64(rng.Intn(3)),
+			ReduceEvery:    rng.Intn(4),
+			Overlap:        rng.Intn(2) == 1,
+			BlockPlacement: rng.Intn(2) == 1,
+			MsgOverheadNs:  float64(50 * rng.Intn(3)),
+		}
+		ref, err := RunJacobiReference(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		merged := runSharded(t, ProcSpec{App: "jacobi", Workers: 2, Net: "unix", Payload: JacobiSpec{Cfg: cfg}}, cfg.Ranks)
+		compareReports(t, ref, merged, cfg.Ranks)
+		if merged.RemoteEnv == 0 {
+			t.Fatalf("trial %d: no envelopes crossed the socket — not a sharded run", trial)
+		}
+	}
+}
+
+// TestCrossProcessJacobiTCP repeats one config over loopback TCP.
+func TestCrossProcessJacobiTCP(t *testing.T) {
+	cfg := ampi.JacobiConfig{
+		Mode: ampi.ModeEvent, Ranks: 48, Iters: 8, PEs: 4,
+		HaloBytes: 16, WorkNs: 800, ReduceEvery: 2, BlockPlacement: true,
+	}
+	ref, err := RunJacobiReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runSharded(t, ProcSpec{App: "jacobi", Workers: 2, Net: "tcp", Payload: JacobiSpec{Cfg: cfg}}, cfg.Ranks)
+	compareReports(t, ref, merged, cfg.Ranks)
+}
+
+// TestCrossProcessJacobiMigration ships event ranks across a live
+// socket mid-run (worker 0 extracts parked ranks, worker 1 installs
+// and reseeks them); the per-rank VT must still match the in-process
+// run bit for bit — migration is free in virtual time by design.
+func TestCrossProcessJacobiMigration(t *testing.T) {
+	cfg := ampi.JacobiConfig{
+		Mode: ampi.ModeEvent, Ranks: 64, Iters: 40, PEs: 4,
+		HaloBytes: 8, WorkNs: 1200, BlockPlacement: true,
+	}
+	ref, err := RunJacobiReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runSharded(t, ProcSpec{App: "jacobi", Workers: 2, Net: "unix",
+		Payload: JacobiSpec{Cfg: cfg, Migrate: 8}}, cfg.Ranks)
+	compareReports(t, ref, merged, cfg.Ranks)
+	t.Logf("migrated %d ranks across the socket", merged.Moved)
+}
+
+// TestCrossProcessJacobiLarge is the CI smoke scale: 4096 event ranks
+// across 2 processes.
+func TestCrossProcessJacobiLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large smoke run")
+	}
+	cfg := ampi.JacobiConfig{
+		Mode: ampi.ModeEvent, Ranks: 4096, Iters: 3, PEs: 8,
+		HaloBytes: 8, WorkNs: 700, ReduceEvery: 3, BlockPlacement: true,
+	}
+	ref, err := RunJacobiReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runSharded(t, ProcSpec{App: "jacobi", Workers: 2, Net: "unix", Payload: JacobiSpec{Cfg: cfg}}, cfg.Ranks)
+	compareReports(t, ref, merged, cfg.Ranks)
+}
+
+// TestCrossProcessBTMZEquivalence runs program-mode BT-MZ (graded
+// zones, specific-source receives, periodic Allreduce) across 2
+// processes and demands bitwise VT equality with the in-process run.
+func TestCrossProcessBTMZEquivalence(t *testing.T) {
+	p := npb.Params{
+		Class: npb.GradedClass("T64", 8, 8, 1<<12, 8, 20),
+		Mode:  ampi.ModeEvent, NProcs: 32, NPEs: 4, Steps: 6, ReduceEvery: 3, HaloBytes: 2048,
+	}
+	ref, err := RunBTMZReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runSharded(t, ProcSpec{App: "btmz", Workers: 2, Net: "unix", Payload: BTMZSpec{Params: p}}, p.NProcs)
+	compareReports(t, ref, merged, p.NProcs)
+}
+
+// bigsimEqual demands two report step streams match bit for bit.
+func bigsimEqual(t *testing.T, name string, ref, got *BigSimReport) {
+	t.Helper()
+	if len(ref.Steps) != len(got.Steps) {
+		t.Fatalf("%s: %d steps vs %d", name, len(ref.Steps), len(got.Steps))
+	}
+	for i := range ref.Steps {
+		if ref.Steps[i] != got.Steps[i] {
+			t.Fatalf("%s: step %d differs: %+v vs %+v", name, i, ref.Steps[i], got.Steps[i])
+		}
+	}
+}
+
+// runBigSimSharded runs the subprocess fleet and checks every worker
+// reconstructed the same machine-wide stream.
+func runBigSimSharded(t *testing.T, spec BigSimSpec, workers int, netKind string) *BigSimReport {
+	t.Helper()
+	raws, err := Run(ProcSpec{App: "bigsim", Workers: workers, Net: netKind, Payload: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := DecodeBigSimReports(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps[1:] {
+		bigsimEqual(t, "workers disagree", reps[0], rep)
+	}
+	return reps[0]
+}
+
+// TestCrossProcessBigSimEquivalence: the sharded simulator's per-step
+// predictions must match the serial one bit for bit, with and without
+// ghost aggregation.
+func TestCrossProcessBigSimEquivalence(t *testing.T) {
+	for _, agg := range []bool{false, true} {
+		spec := BigSimSpec{
+			Cfg: bigsim.Config{
+				X: 10, Y: 8, Z: 4, SimPEs: 6, Mode: bigsim.ModeEvent,
+				AtomsPerCell: 180, WorkPerAtomNs: 25, GhostBytes: 2048,
+				Aggregate: agg,
+			},
+			Steps: 5,
+		}
+		ref, err := RunBigSimReference(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bigsimEqual(t, "serial vs sharded", ref, runBigSimSharded(t, spec, 2, "unix"))
+	}
+}
+
+// TestCrossProcessBigSimPaperScale is the tentpole run: the paper's
+// 200,000-target machine (Figure 11 scale) simulated by 2 OS
+// processes, predictions bitwise-identical to 1 process.
+func TestCrossProcessBigSimPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	spec := BigSimSpec{
+		Cfg: bigsim.Config{
+			X: 100, Y: 50, Z: 40, SimPEs: 16, Mode: bigsim.ModeEvent,
+			AtomsPerCell: 200, WorkPerAtomNs: 25, GhostBytes: 2048,
+			Aggregate: true,
+		},
+		Steps: 3,
+	}
+	ref, err := RunBigSimReference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigsimEqual(t, "serial vs sharded", ref, runBigSimSharded(t, spec, 2, "unix"))
+}
+
+// pairConns builds one real unix-socket connection pair in-process.
+func pairConns(tb testing.TB) (net.Conn, net.Conn) {
+	tb.Helper()
+	l, err := net.Listen("unix", filepath.Join(tb.TempDir(), "p.sock"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer l.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		ch <- c
+	}()
+	dialed, err := net.Dial("unix", l.Addr().String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	accepted := <-ch
+	if accepted == nil {
+		tb.Fatal("accept failed")
+	}
+	return dialed, accepted
+}
+
+// runPairJacobi drives both shard workers inside this test process
+// over a real socket — the configuration the race detector can see
+// into, unlike subprocess runs.
+func runPairJacobi(tb testing.TB, spec JacobiSpec) [2]*Report {
+	tb.Helper()
+	c0, c1 := pairConns(tb)
+	var reps [2]*Report
+	var errs [2]error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		reps[0], errs[0] = RunJacobiWorker(0, 2, map[int]net.Conn{1: c0}, spec)
+	}()
+	go func() {
+		defer wg.Done()
+		reps[1], errs[1] = RunJacobiWorker(1, 2, map[int]net.Conn{0: c1}, spec)
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			tb.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	return reps
+}
+
+// TestInProcessPairEquivalence runs the base sharded protocol (no
+// migration) with both workers in this process under -race.
+func TestInProcessPairEquivalence(t *testing.T) {
+	cfg := ampi.JacobiConfig{
+		Mode: ampi.ModeEvent, Ranks: 32, Iters: 6, PEs: 4,
+		HaloBytes: 8, WorkNs: 900, BlockPlacement: true,
+	}
+	ref, err := RunJacobiReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := runPairJacobi(t, JacobiSpec{Cfg: cfg})
+	merged, err := MergeReports(reps[:], cfg.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, ref, merged, cfg.Ranks)
+}
+
+// TestInProcessPairMigration runs the full sharded protocol — both
+// workers in this process, so -race watches every interleaving —
+// with the migration driver racing the job.
+func TestInProcessPairMigration(t *testing.T) {
+	cfg := ampi.JacobiConfig{
+		Mode: ampi.ModeEvent, Ranks: 64, Iters: 40, PEs: 4,
+		HaloBytes: 8, WorkNs: 1000, ReduceEvery: 0, BlockPlacement: true,
+	}
+	ref, err := RunJacobiReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := runPairJacobi(t, JacobiSpec{Cfg: cfg, Migrate: 6})
+	merged, err := MergeReports(reps[:], cfg.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, ref, merged, cfg.Ranks)
+	t.Logf("moved %d ranks worker0→worker1", merged.Moved)
+}
+
+// TestShardedRejectsULT: sharded machines support event mode only —
+// ULT stacks hold raw pointers no wire codec can ship.
+func TestShardedRejectsULT(t *testing.T) {
+	c0, c1 := pairConns(t)
+	defer c0.Close()
+	defer c1.Close()
+	cfg := ampi.JacobiConfig{Mode: ampi.ModeULT, Ranks: 8, Iters: 2, PEs: 4}
+	_, err := NewWorker(0, 2, 4, map[int]net.Conn{1: c0}, func(m *core.Machine) (*ampi.Job, error) {
+		return ampi.NewJacobiOn(m, cfg)
+	})
+	if err == nil {
+		t.Fatal("ULT mode must be rejected on a sharded machine")
+	}
+}
+
+// TestCutPartition: the PE split is a partition for awkward shapes.
+func TestCutPartition(t *testing.T) {
+	for _, tc := range [][2]int{{4, 2}, {7, 3}, {16, 5}, {3, 2}} {
+		numPEs, workers := tc[0], tc[1]
+		for pe := 0; pe < numPEs; pe++ {
+			w := OwnerOf(numPEs, workers, pe)
+			if pe < Cut(numPEs, workers, w) || pe >= Cut(numPEs, workers, w+1) {
+				t.Fatalf("PE %d not in worker %d's range (%d PEs, %d workers)", pe, w, numPEs, workers)
+			}
+		}
+	}
+}
