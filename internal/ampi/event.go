@@ -31,9 +31,10 @@ package ampi
 // per-rank, not per-PE, because ownership itself changes: a per-PE
 // lock names a PE, and the name goes stale at exactly the moment it
 // matters. In-flight messages that raced a move are chased: deliver
-// re-checks the owner word (one atomic load, only once any LB step
-// has happened — migEpoch gates the check) and forwards losers with
-// Endpoint.Forward.
+// re-checks the owner word (one atomic load; in-process runs skip it
+// until the first LB step — migEpoch gates the check — while sharded
+// runs always check, since a peer's move can outrun its notice) and
+// forwards losers with Endpoint.Forward.
 
 import (
 	"fmt"
@@ -136,7 +137,9 @@ type eventEngine struct {
 	dispatch []atomic.Uint64
 
 	// migEpoch counts LB steps; zero means no rank has ever moved, so
-	// deliver can skip the owner check entirely.
+	// deliver can skip the owner check entirely — in-process runs
+	// only. Sharded deliver always checks: a peer's move can be in
+	// flight toward this worker while the local epoch still reads zero.
 	migEpoch atomic.Uint64
 
 	// sharded mirrors the machine: this process runs only the ranks
@@ -326,8 +329,11 @@ func (e *eventEngine) deliver(pe int, msg *comm.Message) {
 	er.mu.Lock()
 	if msg.Tag == tagReseek {
 		// Internal activation injected by ShardInstall: re-seek the
-		// installed continuation on the owning PE's own goroutine.
+		// installed continuation on the owning PE's own goroutine, then
+		// drain any held arrivals the record's stream state made
+		// in-order (the re-parked Recv may be waiting on exactly one).
 		e.reseekLocked(er, pe)
+		e.releaseHeldLocked(er, pe)
 		er.mu.Unlock()
 		return
 	}
@@ -337,8 +343,15 @@ func (e *eventEngine) deliver(pe int, msg *comm.Message) {
 	// and Arrival, and the directory stays O(1) arithmetic either way.
 	// The order matters for sharded runs — a rank extracted to another
 	// process leaves a cleared slot that is NOT done, and its
-	// stragglers must forward, not buffer.
-	if e.migEpoch.Load() != 0 && e.peOf(r) != pe {
+	// stragglers must forward, not buffer. Sharded runs always check:
+	// migEpoch is LOCAL knowledge, and a sender that learned of a move
+	// from the source can reach this worker before the record or MOVED
+	// notice does — with the epoch still zero here, skipping the check
+	// would absorb the message into a not-yet-installed slot. The
+	// stale directory bounces it back toward the old owner, whose
+	// flipped table returns it behind the record (link FIFO), so the
+	// chase terminates after install.
+	if (e.sharded || e.migEpoch.Load() != 0) && e.peOf(r) != pe {
 		er.mu.Unlock()
 		if err := e.job.m.Network().Endpoint(pe).Forward(msg); err != nil {
 			return // rank finished and deregistered mid-chase; drop

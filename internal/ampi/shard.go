@@ -224,8 +224,17 @@ func (j *Job) ShardInstall(data []byte) (int, error) {
 		er.mbox = append(rec.pending, er.mbox[er.head:]...)
 		er.head = 0
 	}
-	er.sendSeq, er.recvSeq = rec.sendSeq, rec.recvSeq
+	// Merge, don't overwrite: a message can slip into the slot between
+	// the directory flip above and this rebuild (deliver's owner check
+	// passes, the slot is still empty), advancing a stream past the
+	// record's snapshot or parking in held. Per-key max keeps both
+	// sides' acceptances; the release then drains anything the merged
+	// state made in-order — hasWait is false here, so releases only
+	// buffer into mbox for the reseek to consume.
+	er.sendSeq = mergeSeqMax(er.sendSeq, rec.sendSeq)
+	er.recvSeq = mergeSeqMax(er.recvSeq, rec.recvSeq)
 	er.held = append(er.held, rec.held...)
+	e.releaseHeldLocked(er, rec.toPE)
 	er.mu.Unlock()
 	e.remaining.Add(1)
 	j.m.FinishRemoteMigration(e.idOf(rec.rank), rec.toPE, rec.depart, len(data))
@@ -317,6 +326,25 @@ func pupRecMsg(p *pup.PUPer, m *comm.Message) error {
 	return nil
 }
 
+// mergeSeqMax folds src into dst taking the per-key max, reusing
+// whichever map exists. Install uses it so stream numbering survives
+// both the record's snapshot and any acceptance that beat the record
+// into the slot.
+func mergeSeqMax(dst, src map[int]uint64) map[int]uint64 {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		return src
+	}
+	for k, v := range src {
+		if v > dst[k] {
+			dst[k] = v
+		}
+	}
+	return dst
+}
+
 // packSeqMap writes a per-peer stream map sorted by rank, so
 // identical state always packs identically.
 func packSeqMap(p *pup.PUPer, mp map[int]uint64) error {
@@ -348,7 +376,9 @@ func (e *eventEngine) unpackSeqMap(p *pup.PUPer) (map[int]uint64, error) {
 	if err := p.Int(&n); err != nil {
 		return nil, err
 	}
-	if n < 0 || n*16 > p.Remaining() {
+	if n < 0 || n > p.Remaining()/16 {
+		// Division, not n*16: a hostile count near MaxInt64 would
+		// overflow the product and slip past the bound.
 		return nil, fmt.Errorf("record claims %d stream entries with %d bytes remaining", n, p.Remaining())
 	}
 	if n == 0 {
@@ -527,7 +557,9 @@ func (e *eventEngine) unpackMsgs(p *pup.PUPer, rank int, what string) ([]*comm.M
 	if err := p.Int(&n); err != nil {
 		return nil, err
 	}
-	if n < 0 || n*recMsgMin > p.Remaining() {
+	if n < 0 || n > p.Remaining()/recMsgMin {
+		// Division, not n*recMsgMin, so a hostile count cannot overflow
+		// past the bound.
 		return nil, fmt.Errorf("record claims %d %s messages with %d bytes remaining", n, what, p.Remaining())
 	}
 	if n == 0 {

@@ -1,0 +1,80 @@
+package ampi
+
+// Hostile-input hardening for the cross-process record codec: claimed
+// counts near MaxInt64 must fail the bound check cleanly instead of
+// overflowing the product and attempting a huge allocation.
+
+import (
+	"testing"
+
+	"migflow/internal/core"
+	"migflow/internal/pup"
+)
+
+func newShardedEventJob(t *testing.T) *Job {
+	t.Helper()
+	m, err := core.NewMachine(core.Config{NumPEs: 4, LocalPELo: 0, LocalPEHi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewProgram(m, 4, Options{Mode: ModeEvent}, Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestShardRecordHostileCounts(t *testing.T) {
+	e := newShardedEventJob(t).ev
+
+	// n*16 would overflow to exactly 0 for 1<<60, slipping past a
+	// multiplied bound; the division form must reject it.
+	for _, n := range []int{-1, 1 << 60, 1<<63 - 1} {
+		p := pup.NewGrowPacker()
+		v := n
+		if err := p.Int(&v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.unpackSeqMap(pup.NewUnpacker(p.PackedBytes())); err == nil {
+			t.Fatalf("unpackSeqMap accepted hostile count %d", n)
+		}
+	}
+	// n*recMsgMin overflows to 0 for 1<<62 (recMsgMin = 60 = 4·15).
+	for _, n := range []int{-1, 1 << 62, 1<<63 - 1} {
+		p := pup.NewGrowPacker()
+		v := n
+		if err := p.Int(&v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.unpackMsgs(pup.NewUnpacker(p.PackedBytes()), 0, "pending"); err == nil {
+			t.Fatalf("unpackMsgs accepted hostile count %d", n)
+		}
+	}
+}
+
+func TestShardInstallRejectsGarbage(t *testing.T) {
+	j := newShardedEventJob(t)
+	for _, data := range [][]byte{nil, {1}, {1, 2, 3}, make([]byte, 64)} {
+		if _, err := j.ShardInstall(data); err == nil {
+			t.Fatalf("ShardInstall accepted %d-byte garbage record", len(data))
+		}
+	}
+}
+
+func TestMergeSeqMax(t *testing.T) {
+	if got := mergeSeqMax(nil, nil); got != nil {
+		t.Fatalf("merge of two nils = %v", got)
+	}
+	src := map[int]uint64{1: 5, 2: 3}
+	if got := mergeSeqMax(nil, src); len(got) != 2 || got[1] != 5 {
+		t.Fatalf("merge into nil = %v", got)
+	}
+	dst := map[int]uint64{1: 7, 3: 1}
+	got := mergeSeqMax(dst, src)
+	want := map[int]uint64{1: 7, 2: 3, 3: 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("merged[%d] = %d, want %d (full: %v)", k, got[k], v, got)
+		}
+	}
+}

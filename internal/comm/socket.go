@@ -186,9 +186,6 @@ func (t *SocketTransport) Broadcast(kind uint32, payload []byte) error {
 // enqueue frames body (4-byte length prefix + type byte) and hands it
 // to the link's writer.
 func (t *SocketTransport) enqueue(p *sockPeer, typ byte, body []byte) error {
-	if t.closed.Load() {
-		return fmt.Errorf("comm: socket transport closed")
-	}
 	n := 1 + len(body)
 	if n > maxFrameLen {
 		return fmt.Errorf("comm: frame of %d bytes exceeds the %d limit", n, maxFrameLen)
@@ -198,6 +195,15 @@ func (t *SocketTransport) enqueue(p *sockPeer, typ byte, body []byte) error {
 	frame[4] = typ
 	copy(frame[5:], body)
 	p.mu.Lock()
+	// The closed check lives under p.mu so it orders against Close's
+	// final drain (which takes the same lock after flipping closed): a
+	// frame appended here is either flushed by that drain or rejected,
+	// never silently dropped between the writer's last pass and the
+	// connection teardown.
+	if t.closed.Load() {
+		p.mu.Unlock()
+		return fmt.Errorf("comm: socket transport closed")
+	}
 	p.q = append(p.q, frame)
 	p.mu.Unlock()
 	select {
@@ -321,6 +327,14 @@ func (t *SocketTransport) Close() error {
 	}
 	close(t.done)
 	t.wgW.Wait() // writers flush their queues on the way out
+	// One more pass per link: an enqueue that read closed==false could
+	// have appended after its writer's final drain; the lock ordering
+	// in enqueue guarantees any such frame is visible here.
+	for _, p := range t.peers {
+		if p != nil {
+			t.drain(p)
+		}
+	}
 	t.retired.Store(true)
 	for _, p := range t.peers {
 		if p != nil {

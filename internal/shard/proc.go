@@ -37,6 +37,12 @@ const (
 	envCfg     = "MIGFLOW_SHARD_CFG"
 )
 
+// meshDialTimeout bounds how long a worker keeps retrying a peer dial
+// during mesh construction. Listeners are all up before ADDRS is
+// broadcast, so failures here are transient OS-level conditions; a
+// generous deadline keeps loaded CI machines from failing whole runs.
+const meshDialTimeout = 30 * time.Second
+
 // App is a worker-side entry point: run this process's share given
 // the mesh and the spec payload; the returned value is marshaled as
 // the worker's RESULT.
@@ -279,12 +285,17 @@ func Mesh(index, workers int, netKind string, addrs []string, l net.Listener) (m
 	for j := 0; j < index; j++ {
 		var c net.Conn
 		var err error
-		for try := 0; try < 200; try++ {
+		// Deadline-based retry rather than a fixed attempt count: every
+		// peer was listening before ADDRS was broadcast, so a refused
+		// dial only means the OS is slow under load (full backlog, CI
+		// contention) — worth waiting out well past the happy path.
+		deadline := time.Now().Add(meshDialTimeout)
+		for {
 			c, err = net.Dial(netKind, addrs[j])
-			if err == nil {
+			if err == nil || time.Now().After(deadline) {
 				break
 			}
-			time.Sleep(5 * time.Millisecond)
+			time.Sleep(10 * time.Millisecond)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dialing worker %d at %s: %w", j, addrs[j], err)

@@ -7,13 +7,16 @@ package shard
 // live socket mid-flight. Worker processes re-enter through TestMain.
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"migflow/internal/ampi"
 	"migflow/internal/bigsim"
@@ -353,6 +356,146 @@ func TestShardedRejectsULT(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("ULT mode must be rejected on a sharded machine")
+	}
+}
+
+// meshConns builds the full pairwise connection mesh for n in-process
+// workers.
+func meshConns(tb testing.TB, n int) []map[int]net.Conn {
+	tb.Helper()
+	conns := make([]map[int]net.Conn, n)
+	for i := range conns {
+		conns[i] = map[int]net.Conn{}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ci, cj := pairConns(tb)
+			conns[i][j] = ci
+			conns[j][i] = cj
+		}
+	}
+	return conns
+}
+
+// delayedRecordMigrate extracts one specific rank and ships it to
+// toWorker, but holds the record back for delay after the directory
+// has flipped and the MOVED notices have gone out. That manufactures
+// the first-migration race window on purpose: while the record sits
+// here, the source's own re-routed sends and any third party's
+// direct sends reach the destination before ShardInstall, with the
+// destination's migEpoch still zero. Bookkeeping mirrors
+// MigrateRanks so the termination barrier stays sound.
+func delayedRecordMigrate(w *Worker, rank, toWorker int, delay time.Duration) bool {
+	toPE := Cut(w.NumPEs, w.Workers, toWorker)
+	for !w.stop.Load() && !w.Job.Done() {
+		if !w.Job.ShardMigratable(rank) {
+			runtime.Gosched()
+			continue
+		}
+		w.outstanding.Add(1)
+		data, err := w.Job.ShardExtract(rank, toPE)
+		if err != nil {
+			w.outstanding.Add(-1)
+			continue // raced a resume; rank will park again
+		}
+		var mv [8]byte
+		binary.LittleEndian.PutUint32(mv[:], uint32(rank))
+		binary.LittleEndian.PutUint32(mv[4:], uint32(toPE))
+		for p := 0; p < w.Workers; p++ {
+			if p != w.Index && p != toWorker {
+				if err := w.T.SendControl(p, ctrlMoved, mv[:]); err != nil {
+					panic(err)
+				}
+			}
+		}
+		time.Sleep(delay)
+		if err := w.T.SendControl(toWorker, ctrlRecord, data); err != nil {
+			panic(err)
+		}
+		w.movedOut.Add(1)
+		return true
+	}
+	return false
+}
+
+// TestRecordRaceNotYetInstalled is the regression for the
+// first-migration delivery race: worker 0 moves its boundary rank 7
+// (block placement, 24 ranks / 6 PEs: worker 0 owns ranks 0–7) to
+// worker 2, but the record is delayed 150ms while halo traffic keeps
+// flowing — rank 6's re-routed sends from worker 0 and rank 8's
+// direct sends from worker 1 (told by MOVED) hit worker 2 before the
+// record installs, with worker 2's migEpoch still zero. deliver must
+// bounce them through the directory until the table flips; absorbing
+// one into the not-yet-installed slot desyncs the sequenced stream
+// and hangs the run (caught by the watchdog). Results must still be
+// bitwise-identical to the in-process reference.
+func TestRecordRaceNotYetInstalled(t *testing.T) {
+	cfg := ampi.JacobiConfig{
+		Mode: ampi.ModeEvent, Ranks: 24, Iters: 40, PEs: 6,
+		HaloBytes: 8, WorkNs: 1000, BlockPlacement: true,
+	}
+	ref, err := RunJacobiReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 3
+	conns := meshConns(t, workers)
+	reps := make([]*Report, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sink := &cellSink{}
+			c := cfg
+			c.Observe = sink.observe
+			w, err := NewWorker(i, workers, c.PEs, conns[i], func(m *core.Machine) (*ampi.Job, error) {
+				return ampi.NewJacobiOn(m, c)
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var mig sync.WaitGroup
+			if i == 0 {
+				mig.Add(1)
+				go func() {
+					defer mig.Done()
+					delayedRecordMigrate(w, 7, 2, 150*time.Millisecond)
+				}()
+			}
+			w.Run()
+			mig.Wait()
+			sink.mu.Lock()
+			cells := append([]RankCell(nil), sink.cells...)
+			sink.mu.Unlock()
+			reps[i] = w.report(cells)
+			errs[i] = w.Close()
+		}(i)
+	}
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(60 * time.Second):
+		t.Fatal("sharded run hung: a pre-install delivery was absorbed instead of bounced")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	merged, err := MergeReports(reps, cfg.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, ref, merged, cfg.Ranks)
+	if merged.Moved != 1 {
+		t.Fatalf("moved %d ranks, want 1", merged.Moved)
 	}
 }
 
