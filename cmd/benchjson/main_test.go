@@ -34,6 +34,31 @@ func TestParseLineDimensionlessUnits(t *testing.T) {
 	}
 }
 
+// TestParseLineWireMetrics pins the transport-benchmark columns the
+// wire-tax table reads: syscall economy (envelopes/syscall,
+// bytes/syscall), coalescing (payloads/envelope), and the shm
+// reader's parks/op all land in Extra keyed by unit.
+func TestParseLineWireMetrics(t *testing.T) {
+	line := "BenchmarkTransportSendCrossStreamShm-8  1215925  987.8 ns/op  76034 bytes/syscall  866.8 envelopes/syscall  15.96 payloads/envelope  0.02 parks/op  290 B/op  1 allocs/op"
+	name, r, ok := parseLine(line)
+	if !ok || name != "BenchmarkTransportSendCrossStreamShm" {
+		t.Fatalf("parse failed: name=%q ok=%v", name, ok)
+	}
+	for unit, want := range map[string]float64{
+		"bytes/syscall":     76034,
+		"envelopes/syscall": 866.8,
+		"payloads/envelope": 15.96,
+		"parks/op":          0.02,
+	} {
+		if got := r.Extra[unit]; got != want {
+			t.Errorf("Extra[%s] = %g, want %g", unit, got, want)
+		}
+	}
+	if *r.AllocsPerOp != 1 {
+		t.Errorf("allocs/op = %g, want 1", *r.AllocsPerOp)
+	}
+}
+
 func TestParseLineRejectsNonBench(t *testing.T) {
 	for _, line := range []string{
 		"ok  	migflow/internal/ampi	1.3s",

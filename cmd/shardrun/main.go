@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	shardrun [-app jacobi|btmz|bigsim] [-workers 2] [-net unix|tcp]
+//	shardrun [-app jacobi|btmz|bigsim] [-workers 2] [-net unix|tcp|shm]
 //	         [-compare] [-migrate N]
 //	         [-ranks 64] [-iters 20] [-pes 4] [-steps 6]
 //	         [-x 20 -y 20 -z 10 -simpes 8] [-agg]
@@ -36,7 +36,7 @@ func main() {
 	}
 	app := flag.String("app", "jacobi", "sharded app: jacobi, btmz, or bigsim")
 	workers := flag.Int("workers", 2, "worker process count")
-	netKind := flag.String("net", "unix", "worker mesh transport: unix or tcp")
+	netKind := flag.String("net", "unix", "worker mesh transport: unix, tcp, or shm (shared-memory rings)")
 	compare := flag.Bool("compare", true, "also run in-process and demand bitwise equality")
 	migrate := flag.Int("migrate", 0, "event ranks worker 0 ships to worker 1 mid-run (jacobi/btmz)")
 	ranks := flag.Int("ranks", 64, "jacobi: event ranks")

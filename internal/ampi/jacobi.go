@@ -14,6 +14,7 @@ import (
 	"math"
 	"time"
 
+	"migflow/internal/comm"
 	"migflow/internal/converse"
 	"migflow/internal/core"
 	"migflow/internal/loadbalance"
@@ -96,6 +97,15 @@ type JacobiConfig struct {
 	StackUse uint64
 	// MsgOverheadNs is Options.MsgOverheadNs.
 	MsgOverheadNs float64
+
+	// Aggregate routes halo sends through comm's streaming
+	// aggregation (Options.Aggregate; ULT mode only). AggPolicy tunes
+	// the flush thresholds — including MaxDelay deadlines and the
+	// Adaptive backpressure mode, neither of which may change any
+	// rank's virtual time (the invariance property test runs random
+	// policies through here).
+	Aggregate bool
+	AggPolicy comm.AggPolicy
 
 	// Observe, when set, runs at the very end of each rank's program
 	// with the rank's final cell state — how the cross-process
@@ -325,6 +335,8 @@ func NewJacobiOn(m *core.Machine, cfg JacobiConfig) (*Job, error) {
 		Strategy:       cfg.Strategy,
 		Collectives:    cfg.Collectives,
 		Topo:           cfg.Topo,
+		Aggregate:      cfg.Aggregate,
+		AggPolicy:      cfg.AggPolicy,
 		LocalPUP:       jacobiLocalPUP,
 	}, JacobiProgram(cfg))
 }

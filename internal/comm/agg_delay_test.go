@@ -1,0 +1,140 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAggregationMaxDelayDelivers is the deadline-semantics contract:
+// a payload buffered below every threshold must still arrive within
+// MaxDelay, with no explicit Flush anywhere.
+func TestAggregationMaxDelayDelivers(t *testing.T) {
+	n := NewNetwork(2, LatencyModel{Alpha: 100, BetaPerByte: 1})
+	if err := n.Register(EntityID(7), 1); err != nil {
+		t.Fatal(err)
+	}
+	src := n.Endpoint(0)
+	src.EnableAggregation(AggPolicy{MaxPayloads: 1000, MaxBytes: 1 << 20, MaxDelay: 10 * time.Millisecond})
+	if err := src.SendStream(&Message{To: 7, From: 1, Data: []byte("late"), SendTime: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if src.BufferedPayloads() != 1 {
+		t.Fatal("payload should be buffered, not flushed")
+	}
+	dst := n.Endpoint(1)
+	waitFor(t, "deadline flush", func() bool { return dst.Pending() == 1 })
+	if src.BufferedPayloads() != 0 {
+		t.Fatal("bucket should be empty after the deadline flush")
+	}
+	m := dst.Poll()
+	// The deadline flush uses the same accounting as any flush: one
+	// envelope, arrival = departure + cost.
+	if want := 3 + n.Latency().Cost(4); m.Arrival != want {
+		t.Fatalf("arrival %v, want %v", m.Arrival, want)
+	}
+	if s := n.Snapshot(); s.Envelopes != 1 || s.AggPayloads != 1 {
+		t.Fatalf("agg stats: %+v", s)
+	}
+}
+
+// TestAggregationMaxDelayRearms staggers two buckets and checks the
+// single endpoint timer services both deadlines.
+func TestAggregationMaxDelayRearms(t *testing.T) {
+	n := NewNetwork(3, LatencyModel{Alpha: 100, BetaPerByte: 1})
+	if err := n.Register(EntityID(7), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(EntityID(8), 2); err != nil {
+		t.Fatal(err)
+	}
+	src := n.Endpoint(0)
+	src.EnableAggregation(AggPolicy{MaxPayloads: 1000, MaxDelay: 15 * time.Millisecond})
+	if err := src.SendStream(&Message{To: 7, From: 1, Data: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := src.SendStream(&Message{To: 8, From: 1, Data: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first bucket", func() bool { return n.Endpoint(1).Pending() == 1 })
+	waitFor(t, "second bucket", func() bool { return n.Endpoint(2).Pending() == 1 })
+}
+
+// TestAggregationMaxDelayAcrossWire runs the deadline flush over the
+// shared-memory fabric: the buffered payload crosses the process-
+// style boundary with no Flush call on either side.
+func TestAggregationMaxDelayAcrossWire(t *testing.T) {
+	n0, n1, t0, t1 := twoShmShards(t, 0)
+	for _, n := range []*Network{n0, n1} {
+		if err := n.Register(EntityID(9), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n0.EnableAggregation(AggPolicy{MaxPayloads: 1000, MaxDelay: 10 * time.Millisecond})
+	shmStart(t, t0, t1)
+	if err := n0.Endpoint(0).SendStream(&Message{To: 9, From: 1, Data: []byte("wxyz")}); err != nil {
+		t.Fatal(err)
+	}
+	dst := n1.Endpoint(2)
+	waitFor(t, "cross-wire deadline flush", func() bool { return dst.Pending() == 1 })
+}
+
+// backlogStub is a Transport whose Backlog the test dials directly.
+type backlogStub struct{ n int }
+
+func (s *backlogStub) Deliver(pe int, msgs []*Message) error { return nil }
+func (s *backlogStub) Close() error                          { return nil }
+func (s *backlogStub) Backlog() int                          { return s.n }
+
+// TestAdaptiveThresholds pins the adaptive scaling rule: idle wire
+// shrinks the batch, backlog widens it linearly up to the cap, and
+// non-adaptive policies pass through untouched.
+func TestAdaptiveThresholds(t *testing.T) {
+	a := &aggregator{policy: AggPolicy{MaxPayloads: 16, MaxBytes: 8192, Adaptive: true}.normalized()}
+	stub := &backlogStub{}
+	check := func(backlog, wantP, wantB int) {
+		t.Helper()
+		stub.n = backlog
+		if p, b := a.effective(stub); p != wantP || b != wantB {
+			t.Fatalf("backlog %d: got (%d, %d), want (%d, %d)", backlog, p, b, wantP, wantB)
+		}
+	}
+	check(0, 4, 2048)                          // idle: shrink 4x
+	check(1, 16, 8192)                         // any backlog: at least configured
+	check(adaptiveBacklogUnit, 32, 16384)      // one unit: 2x
+	check(100*adaptiveBacklogUnit, 128, 65536) // capped at 8x
+
+	// nil transport (in-process backend) reads as idle.
+	if p, b := a.effective(nil); p != 4 || b != 2048 {
+		t.Fatalf("nil transport: got (%d, %d)", p, b)
+	}
+	// Non-adaptive ignores backlog entirely.
+	a2 := &aggregator{policy: AggPolicy{MaxPayloads: 16, MaxBytes: 8192}.normalized()}
+	stub.n = 1 << 20
+	if p, b := a2.effective(stub); p != 16 || b != 8192 {
+		t.Fatalf("non-adaptive: got (%d, %d)", p, b)
+	}
+}
+
+// TestAdaptiveIdleFlushesPromptly checks the observable behaviour on
+// an idle in-process network: with Adaptive set, a 16-payload policy
+// dispatches after MaxPayloads/adaptiveIdleShrink sends.
+func TestAdaptiveIdleFlushesPromptly(t *testing.T) {
+	n := NewNetwork(2, LatencyModel{Alpha: 100, BetaPerByte: 1})
+	if err := n.Register(EntityID(7), 1); err != nil {
+		t.Fatal(err)
+	}
+	src := n.Endpoint(0)
+	src.EnableAggregation(AggPolicy{MaxPayloads: 16, Adaptive: true})
+	for i := 0; i < 4; i++ {
+		if err := src.SendStream(&Message{To: 7, From: 1, Data: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Endpoint(1).Pending(); got != 4 {
+		t.Fatalf("idle adaptive batch should flush at 4 payloads, delivered %d", got)
+	}
+	if src.BufferedPayloads() != 0 {
+		t.Fatal("bucket should have flushed")
+	}
+}

@@ -1,0 +1,614 @@
+// ShmTransport: the shared-memory fabric for co-located workers. The
+// PR 9 socket transport made the Machine shard across OS processes,
+// but priced every cross-worker Send at a writev + read pair — a
+// ~120x tax over the in-process path. Processes on one host do not
+// need the kernel to move bytes between them: this backend maps one
+// file per ordered worker pair (created at rendezvous by
+// CreateShmMesh, before any worker starts) and runs a lock-free
+// single-producer/single-consumer byte ring in each, so a Deliver is
+// an envelope encode plus a memcpy into the peer's ring, and a
+// receive is a memcpy out. Framing and codec are exactly the socket
+// wire's — `u32 len | u8 type | body` around the PUP envelope image —
+// so everything above the fabric (shard protocol, equivalence suites)
+// runs unchanged.
+//
+// Ring layout (one mmap'd file, header page + data):
+//
+//	off   0  u64 magic
+//	off   8  u64 capacity        (power of two, data bytes)
+//	off  64  u64 head            (reader cursor, absolute)
+//	off 128  u64 tail            (writer cursor, absolute)
+//	off 192  u32 wclosed         (writer: no more frames)
+//	off 224  u32 rclosed         (reader: detached, stop writing)
+//	off 256  data[capacity]
+//
+// head and tail are absolute byte counters (wrap = cursor &
+// (capacity-1)), each on its own cache line, each written by exactly
+// one side and read by the other through atomics — the classic SPSC
+// ring, no cross-process locks anywhere. A frame is published by one
+// release-store of tail after its bytes are in place, so the reader
+// only ever observes whole frames; senders within one process
+// serialize on a local mutex per ring (the SPSC "single producer" is
+// the process, not a goroutine).
+//
+// Wakeup is futex-free spin-then-park, in three rungs: an empty-ring
+// reader first yields the Go scheduler for a short burst (frames
+// already in flight land here), then surrenders its kernel timeslice
+// with sched_yield — co-located workers share cores, and the peer
+// process needs this one to produce the next frame — and only after
+// ~a millisecond of emptiness parks in timer sleeps. Wakes/Parks in
+// SocketStats count the sleep transitions, and a parked reader's wake
+// latency is bounded by one nap — no descriptor, no syscall on the
+// send side at all.
+//
+// Teardown follows the socket transport's Retire-before-Close
+// contract. Close marks every outbound ring wclosed *before* waiting
+// for the local readers, so two workers closing concurrently unblock
+// each other: a reader exits once its inbound ring is closed and
+// drained (or its own transport's Close is underway). Ring faults
+// after Retire are teardown noise; before it they panic, same hard
+// failure policy as the socket fabric.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+const (
+	shmMagic   uint64 = 0x6d6967666c6f7731 // "migflow1"
+	shmHdrSize        = 256
+	shmOffHead        = 64
+	shmOffTail        = 128
+	shmOffWCl         = 192
+	shmOffRCl         = 224
+
+	// shmMinRing is the smallest usable ring; a frame must fit whole.
+	shmMinRing = 4096
+
+	// DefaultShmRingBytes is the per-pair ring size CreateShmMesh uses
+	// when not told otherwise. The shard workloads' frontiers are well
+	// under 1 MiB; 4 MiB keeps even paper-scale BigSim step blobs a
+	// single-publish affair.
+	DefaultShmRingBytes = 4 << 20
+
+	// Spin-then-park tuning, three rungs per empty poll streak.
+	// Rung 1: shmSpinYields runtime.Gosched calls — cheap (~150ns),
+	// catches frames already in flight from another local goroutine's
+	// perspective. Rung 2: shmYieldSpins sched_yield calls — when the
+	// reader is the only runnable goroutine, Gosched returns instantly
+	// and the reader would busy-burn its whole OS quantum, starving
+	// the co-located peer process that is producing the very frame it
+	// waits for; sched_yield (~340ns, not a futex) hands the core to
+	// that peer while keeping wake latency at one scheduling round.
+	// Rung 3: timer sleeps — Linux timer granularity makes any
+	// sub-millisecond request sleep ~1ms regardless, so the nap is an
+	// honest millisecond and is entered only after the yield phase has
+	// kept the ring warm for over a millisecond of emptiness; a truly
+	// idle reader then costs ~0.1% of a core.
+	shmSpinYields = 64
+	shmYieldSpins = 4096
+	shmParkNap    = time.Millisecond
+)
+
+// OSYield surrenders the rest of this thread's kernel timeslice via
+// sched_yield, then rotates the local run queue too. runtime.Gosched
+// alone only rotates goroutines within this process — when a spinner
+// is the only runnable goroutine it returns instantly and the spin
+// burns the whole OS quantum a co-located peer process needs; the
+// OS yield alone would conversely starve same-process goroutines
+// (the in-process harnesses run both workers in one runtime). Both
+// together cost ~500ns and give everyone else a turn. Any busy-wait
+// that can face a co-located process on the other end of the fabric
+// (ring readers here, the shard migration driver) should use this
+// instead of bare Gosched.
+func OSYield() {
+	syscall.Syscall(syscall.SYS_SCHED_YIELD, 0, 0, 0)
+	runtime.Gosched()
+}
+
+// shmRing is one mapped SPSC ring (either direction of a pair).
+type shmRing struct {
+	f        *os.File
+	mem      []byte
+	data     []byte
+	capacity uint64
+	head     *atomic.Uint64
+	tail     *atomic.Uint64
+	wclosed  *atomic.Uint32
+	rclosed  *atomic.Uint32
+}
+
+// ShmDir returns the directory ring files should live in: /dev/shm
+// when it is a writable tmpfs (Linux), else the system temp dir.
+// This matters more than it looks: a MAP_SHARED mapping of a
+// disk-backed file (ext4 /tmp in most containers) takes a
+// write-protect fault through the filesystem's writeback machinery
+// every time a clean page is re-dirtied, which turns the ring's
+// memcpy publish into tens of microseconds per frame. tmpfs pages
+// are page cache with no writeback — the ring then costs what shared
+// memory should.
+func ShmDir() string {
+	const devShm = "/dev/shm"
+	if st, err := os.Stat(devShm); err == nil && st.IsDir() {
+		if f, err := os.CreateTemp(devShm, "migflow-probe-*"); err == nil {
+			f.Close()
+			os.Remove(f.Name())
+			return devShm
+		}
+	}
+	return os.TempDir()
+}
+
+// ShmRingPath names the ring file carrying frames from worker `from`
+// to worker `to` under the mesh directory.
+func ShmRingPath(dir string, from, to int) string {
+	return filepath.Join(dir, fmt.Sprintf("ring-%d-%d.shm", from, to))
+}
+
+// CreateShmMesh pre-creates every ordered-pair ring file for a
+// workers-wide mesh under dir. The parent calls this before spawning
+// workers, so no worker ever races file creation; each worker then
+// opens its rings with NewShmTransport. ringBytes is the per-ring
+// data capacity (0 = DefaultShmRingBytes; must be a power of two ≥
+// shmMinRing).
+func CreateShmMesh(dir string, workers, ringBytes int) error {
+	if ringBytes == 0 {
+		ringBytes = DefaultShmRingBytes
+	}
+	if ringBytes < shmMinRing || ringBytes&(ringBytes-1) != 0 {
+		return fmt.Errorf("comm: shm ring size %d must be a power of two ≥ %d", ringBytes, shmMinRing)
+	}
+	for i := 0; i < workers; i++ {
+		for j := 0; j < workers; j++ {
+			if i == j {
+				continue
+			}
+			if err := createShmRing(ShmRingPath(dir, i, j), ringBytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func createShmRing(path string, capacity int) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return fmt.Errorf("comm: creating shm ring: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(int64(shmHdrSize + capacity)); err != nil {
+		return fmt.Errorf("comm: sizing shm ring %s: %w", path, err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], shmMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(capacity))
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("comm: initializing shm ring %s: %w", path, err)
+	}
+	return nil
+}
+
+// openShmRing maps an existing ring file and validates its header.
+func openShmRing(path string) (*shmRing, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("comm: opening shm ring: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size < shmHdrSize+shmMinRing || size > shmHdrSize+(8<<30) {
+		f.Close()
+		return nil, fmt.Errorf("comm: shm ring %s has implausible size %d", path, size)
+	}
+	mem, err := mmapShared(f, int(size))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("comm: mapping shm ring %s: %w", path, err)
+	}
+	r := &shmRing{
+		f:       f,
+		mem:     mem,
+		data:    mem[shmHdrSize:],
+		head:    (*atomic.Uint64)(unsafe.Pointer(&mem[shmOffHead])),
+		tail:    (*atomic.Uint64)(unsafe.Pointer(&mem[shmOffTail])),
+		wclosed: (*atomic.Uint32)(unsafe.Pointer(&mem[shmOffWCl])),
+		rclosed: (*atomic.Uint32)(unsafe.Pointer(&mem[shmOffRCl])),
+	}
+	magic := binary.LittleEndian.Uint64(mem[0:])
+	r.capacity = binary.LittleEndian.Uint64(mem[8:])
+	if magic != shmMagic || r.capacity != uint64(len(r.data)) ||
+		r.capacity&(r.capacity-1) != 0 || r.capacity < shmMinRing {
+		r.close()
+		return nil, fmt.Errorf("comm: %s is not a valid shm ring (magic %#x, capacity %d, file %d)", path, magic, r.capacity, size)
+	}
+	return r, nil
+}
+
+func (r *shmRing) close() {
+	if r.mem != nil {
+		munmapShared(r.mem)
+		r.mem, r.data = nil, nil
+	}
+	r.f.Close()
+}
+
+// readable is the published byte count awaiting the reader.
+func (r *shmRing) readable() uint64 { return r.tail.Load() - r.head.Load() }
+
+// tryPush copies frame into the ring and publishes it with one
+// release-store of tail; false when the ring lacks space. Caller is
+// the single producer (holds the transport's per-ring mutex).
+func (r *shmRing) tryPush(frame []byte) bool {
+	need := uint64(len(frame))
+	tail := r.tail.Load()
+	if r.capacity-(tail-r.head.Load()) < need {
+		return false
+	}
+	off := tail & (r.capacity - 1)
+	n1 := copy(r.data[off:], frame)
+	copy(r.data, frame[n1:]) // wrap-around remainder (no-op when it fit)
+	r.tail.Store(tail + need)
+	return true
+}
+
+// readFrame pops the next whole frame into a recycled buffer (caller
+// putBufs it after dispatch). Returns ok=false with nil error when
+// the ring is empty. A corrupt image — torn header, zero or oversized
+// length claim, or a length exceeding what was published — is an
+// error: the protocol only ever publishes whole frames, so these
+// cannot happen short of a scribbled mapping, and the hostile-input
+// tests drive exactly those images through here.
+func (r *shmRing) readFrame() (buf []byte, ok bool, err error) {
+	avail := r.readable()
+	if avail == 0 {
+		return nil, false, nil
+	}
+	if avail < 4 {
+		return nil, false, fmt.Errorf("comm: torn shm frame header: %d bytes published", avail)
+	}
+	head := r.head.Load()
+	var hdr [4]byte
+	r.copyOut(hdr[:], head)
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || uint64(n) > r.capacity-4 || n > maxFrameLen {
+		return nil, false, fmt.Errorf("comm: shm frame length %d out of range (ring %d)", n, r.capacity)
+	}
+	if uint64(4)+uint64(n) > avail {
+		return nil, false, fmt.Errorf("comm: torn shm frame: claims %d bytes with %d published", n, avail-4)
+	}
+	buf = getBuf(int(n))[:n]
+	r.copyOut(buf, head+4)
+	r.head.Store(head + 4 + uint64(n))
+	return buf, true, nil
+}
+
+// copyOut copies len(dst) ring bytes starting at absolute position
+// pos, handling wrap-around.
+func (r *shmRing) copyOut(dst []byte, pos uint64) {
+	off := pos & (r.capacity - 1)
+	n1 := copy(dst, r.data[off:])
+	copy(dst[n1:], r.data)
+}
+
+// ShmTransport implements ShardTransport over the mapped ring mesh.
+type ShmTransport struct {
+	self    int
+	workers int
+	owner   func(pe int) int
+	network *Network
+	ctrl    ControlHandler
+
+	out   []*shmRing // out[w]: self → w (nil for self)
+	outMu []sync.Mutex
+	in    []*shmRing // in[w]: w → self
+
+	done    chan struct{}
+	closed  atomic.Bool
+	retired atomic.Bool
+	wgR     sync.WaitGroup
+
+	framesSent   atomic.Uint64
+	bytesWritten atomic.Uint64
+	framesRecv   atomic.Uint64
+	bytesRead    atomic.Uint64
+	wakes        atomic.Uint64
+	parks        atomic.Uint64
+}
+
+// NewShmTransport opens worker self's half of the ring mesh under dir
+// (created beforehand by CreateShmMesh). owner maps a global PE index
+// to its owning worker, exactly as for NewSocketTransport; it may be
+// nil for a control-only transport that never Delivers envelopes.
+func NewShmTransport(self, workers int, owner func(pe int) int, dir string) (*ShmTransport, error) {
+	if self < 0 || self >= workers || workers < 2 {
+		return nil, fmt.Errorf("comm: NewShmTransport: worker %d of %d", self, workers)
+	}
+	t := &ShmTransport{
+		self: self, workers: workers, owner: owner,
+		out: make([]*shmRing, workers), outMu: make([]sync.Mutex, workers),
+		in:   make([]*shmRing, workers),
+		done: make(chan struct{}),
+	}
+	fail := func(err error) (*ShmTransport, error) {
+		for _, r := range t.out {
+			if r != nil {
+				r.close()
+			}
+		}
+		for _, r := range t.in {
+			if r != nil {
+				r.close()
+			}
+		}
+		return nil, err
+	}
+	for w := 0; w < workers; w++ {
+		if w == t.self {
+			continue
+		}
+		var err error
+		if t.out[w], err = openShmRing(ShmRingPath(dir, self, w)); err != nil {
+			return fail(err)
+		}
+		if t.in[w], err = openShmRing(ShmRingPath(dir, w, self)); err != nil {
+			return fail(err)
+		}
+	}
+	return t, nil
+}
+
+// SetControlHandler installs the control-frame callback (before
+// Start). Same borrow-only payload rule as the socket transport.
+func (t *ShmTransport) SetControlHandler(h ControlHandler) { t.ctrl = h }
+
+// Attach shards n onto this transport: PEs [peLo, peHi) are local.
+func (t *ShmTransport) Attach(n *Network, peLo, peHi int) error {
+	if err := n.SetTransport(t, peLo, peHi); err != nil {
+		return err
+	}
+	t.network = n
+	return nil
+}
+
+// Start launches one reader goroutine per inbound ring. Unlike the
+// socket transport, a nil network is allowed: a control-only
+// ShmTransport (no Attach) carries SendControl traffic — the sharded
+// BigSim step exchange uses one — and an envelope frame arriving on
+// it is a protocol error.
+func (t *ShmTransport) Start() error {
+	for w, r := range t.in {
+		if r == nil {
+			continue
+		}
+		t.wgR.Add(1)
+		go t.readLoop(w, r)
+	}
+	return nil
+}
+
+// Deliver implements Transport: encode one envelope frame into a
+// recycled buffer and publish it into the destination worker's ring.
+func (t *ShmTransport) Deliver(pe int, msgs []*Message) error {
+	w := t.owner(pe)
+	if w == t.self || w < 0 || w >= t.workers {
+		return fmt.Errorf("comm: Deliver(%d): PE maps to worker %d (self %d)", pe, w, t.self)
+	}
+	frame, err := envelopeFrame(pe, msgs)
+	if err != nil {
+		return err
+	}
+	err = t.writeFrame(w, frame)
+	putBuf(frame)
+	return err
+}
+
+// SendControl publishes a control frame for peer worker w. FIFO with
+// any envelopes previously published for w (same ring).
+func (t *ShmTransport) SendControl(w int, kind uint32, payload []byte) error {
+	if w == t.self || w < 0 || w >= t.workers {
+		return fmt.Errorf("comm: SendControl(%d): invalid peer", w)
+	}
+	frame, err := controlFrame(t.self, kind, payload)
+	if err != nil {
+		return err
+	}
+	err = t.writeFrame(w, frame)
+	putBuf(frame)
+	return err
+}
+
+// Broadcast sends a control frame to every peer.
+func (t *ShmTransport) Broadcast(kind uint32, payload []byte) error {
+	for w := range t.out {
+		if w == t.self {
+			continue
+		}
+		if err := t.SendControl(w, kind, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFrame publishes one frame into the ring to w, waiting out a
+// full ring with the same yield-then-nap backoff the readers use. The
+// per-ring mutex both serializes local senders (SPSC's single
+// producer) and orders against Close, which acquires it before
+// marking the ring closed: a frame accepted here is published before
+// the peer can observe wclosed.
+func (t *ShmTransport) writeFrame(w int, frame []byte) error {
+	r := t.out[w]
+	if uint64(len(frame)) > r.capacity {
+		return fmt.Errorf("comm: frame of %d bytes exceeds shm ring capacity %d", len(frame), r.capacity)
+	}
+	t.outMu[w].Lock()
+	defer t.outMu[w].Unlock()
+	if t.closed.Load() {
+		return fmt.Errorf("comm: shm transport closed")
+	}
+	for idle := 0; !r.tryPush(frame); idle++ {
+		if r.rclosed.Load() != 0 {
+			return fmt.Errorf("comm: shm ring to worker %d: reader detached", w)
+		}
+		select {
+		case <-t.done:
+			return fmt.Errorf("comm: shm transport closed")
+		default:
+		}
+		switch {
+		case idle < shmSpinYields:
+			runtime.Gosched()
+		case idle < shmSpinYields+shmYieldSpins:
+			// A full ring means the reader's process is behind;
+			// give it the core so it can drain.
+			OSYield()
+		default:
+			time.Sleep(shmParkNap)
+		}
+	}
+	t.framesSent.Add(1)
+	t.bytesWritten.Add(uint64(len(frame)))
+	return nil
+}
+
+// readLoop drains one inbound ring: spin-then-park when empty, pop
+// and dispatch otherwise. Exits when the peer closed the ring and it
+// is drained, or when the local transport is closing.
+func (t *ShmTransport) readLoop(w int, r *shmRing) {
+	defer t.wgR.Done()
+	defer r.rclosed.Store(1)
+	idle := 0
+	for {
+		buf, ok, err := r.readFrame()
+		if err != nil {
+			t.ringFailed(w, err)
+			return
+		}
+		if !ok {
+			if r.wclosed.Load() != 0 {
+				if r.readable() == 0 {
+					return // peer closed and drained
+				}
+				continue // frames published before the close: drain them
+			}
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			idle++
+			switch {
+			case idle <= shmSpinYields:
+				runtime.Gosched()
+			case idle <= shmSpinYields+shmYieldSpins:
+				OSYield()
+			default:
+				if idle == shmSpinYields+shmYieldSpins+1 {
+					t.parks.Add(1)
+				}
+				time.Sleep(shmParkNap)
+			}
+			continue
+		}
+		if idle > shmSpinYields+shmYieldSpins {
+			t.wakes.Add(1)
+		}
+		idle = 0
+		t.framesRecv.Add(1)
+		t.bytesRead.Add(uint64(4 + len(buf)))
+		if err := dispatchFrame(t.network, t.ctrl, buf); err != nil {
+			t.ringFailed(w, err)
+			return
+		}
+		putBuf(buf)
+	}
+}
+
+// ringFailed enforces the hard-error policy, mirroring the socket
+// transport's linkFailed.
+func (t *ShmTransport) ringFailed(w int, err error) {
+	if t.closed.Load() || t.retired.Load() {
+		return // expected teardown noise
+	}
+	panic(fmt.Sprintf("comm: shm transport worker %d: ring with worker %d failed: %v", t.self, w, err))
+}
+
+// Retire marks the run complete: ring faults after this point are
+// expected teardown noise. Call once the termination barrier has been
+// crossed, before Close.
+func (t *ShmTransport) Retire() { t.retired.Store(true) }
+
+// Close implements Transport: mark every outbound ring closed (under
+// its mutex, so in-flight writes finish publishing first), stop the
+// readers, then unmap. Outbound rings close before the reader wait so
+// two workers closing concurrently cannot deadlock: each side's
+// readers see the peer's wclosed (or their own done) and exit.
+func (t *ShmTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.done)
+	for w, r := range t.out {
+		if r == nil {
+			continue
+		}
+		t.outMu[w].Lock()
+		r.wclosed.Store(1)
+		t.outMu[w].Unlock()
+	}
+	t.wgR.Wait()
+	t.retired.Store(true)
+	for _, r := range t.out {
+		if r != nil {
+			r.close()
+		}
+	}
+	for _, r := range t.in {
+		if r != nil {
+			r.close()
+		}
+	}
+	return nil
+}
+
+// Backlog reports bytes published to peers but not yet consumed — the
+// adaptive aggregation backpressure signal (Backlogger).
+func (t *ShmTransport) Backlog() int {
+	var n uint64
+	for _, r := range t.out {
+		if r != nil {
+			n += r.readable()
+		}
+	}
+	return int(n)
+}
+
+// SocketStats returns the ring counters in the shared multi-process
+// stats shape. WriteSyscalls stays zero — the whole point — and every
+// frame is its own publish, so WriteBatches == FramesSent.
+func (t *ShmTransport) SocketStats() SocketStats {
+	fs := t.framesSent.Load()
+	return SocketStats{
+		WriteBatches: fs,
+		FramesSent:   fs,
+		BytesWritten: t.bytesWritten.Load(),
+		FramesRecv:   t.framesRecv.Load(),
+		BytesRead:    t.bytesRead.Load(),
+		Wakes:        t.wakes.Load(),
+		Parks:        t.parks.Load(),
+	}
+}

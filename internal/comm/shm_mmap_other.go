@@ -1,0 +1,16 @@
+//go:build !unix
+
+package comm
+
+import (
+	"fmt"
+	"os"
+)
+
+// Non-unix platforms have no shared mapping shim; the shard layer
+// falls back to the socket fabric when ring setup fails.
+func mmapShared(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("comm: shm transport requires a unix platform")
+}
+
+func munmapShared(b []byte) error { return nil }

@@ -1,0 +1,16 @@
+//go:build unix
+
+package comm
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapShared maps size bytes of f read-write and shared — both sides
+// of a ring see the same physical pages, which is the entire fabric.
+func mmapShared(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapShared(b []byte) error { return syscall.Munmap(b) }

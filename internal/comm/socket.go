@@ -42,7 +42,9 @@ const maxFrameLen = 64 << 20
 
 // ControlHandler receives control frames: the sending worker's index,
 // the frame kind, and its payload. It runs on the link's reader
-// goroutine — keep it quick and thread-safe.
+// goroutine — keep it quick and thread-safe. The payload slice is a
+// view into a recycled read buffer and is valid only for the duration
+// of the call: a handler that keeps the bytes must copy them.
 type ControlHandler func(from int, kind uint32, payload []byte)
 
 // SocketTransport bridges this process's PEs to its peers over stream
@@ -62,21 +64,31 @@ type SocketTransport struct {
 	wgW     sync.WaitGroup
 	wgR     sync.WaitGroup
 
-	writeBatches atomic.Uint64
-	framesSent   atomic.Uint64
-	bytesSent    atomic.Uint64
-	framesRecv   atomic.Uint64
-	bytesRecv    atomic.Uint64
+	writeBatches  atomic.Uint64
+	writeSyscalls atomic.Uint64
+	framesSent    atomic.Uint64
+	bytesWritten  atomic.Uint64
+	framesRecv    atomic.Uint64
+	bytesRead     atomic.Uint64
+	qbytes        atomic.Int64 // frame bytes queued, not yet written
 }
 
 // sockPeer is one link: a connection plus the pending frame queue its
-// writer goroutine drains.
+// writer goroutine drains. Queued frames live in recycled buffers
+// (bufpool.go); ownership passes enqueue → drain, which returns them
+// to the pool once the writev completes. spare/scratch are the
+// writer-side slice recycling: spare is the previous batch's queue
+// slice handed back for reuse, scratch the net.Buffers copy WriteTo
+// is allowed to consume (it reslices its argument in place, and we
+// still need the original frame pointers to recycle them).
 type sockPeer struct {
-	index int
-	conn  net.Conn
-	mu    sync.Mutex
-	q     net.Buffers
-	kick  chan struct{}
+	index   int
+	conn    net.Conn
+	mu      sync.Mutex
+	q       net.Buffers
+	kick    chan struct{}
+	spare   net.Buffers
+	scratch net.Buffers
 }
 
 // NewSocketTransport builds a transport for worker self of workers
@@ -143,18 +155,50 @@ func (t *SocketTransport) Start() error {
 	return nil
 }
 
-// Deliver implements Transport: encode msgs as one envelope frame and
-// queue it on the link to the worker owning pe.
+// Deliver implements Transport: encode msgs as one envelope frame —
+// appended straight into a recycled buffer, no intermediate body
+// slice — and queue it on the link to the worker owning pe.
 func (t *SocketTransport) Deliver(pe int, msgs []*Message) error {
 	w := t.owner(pe)
 	if w == t.self || w < 0 || w >= t.workers {
 		return fmt.Errorf("comm: Deliver(%d): PE maps to worker %d (self %d)", pe, w, t.self)
 	}
-	body, err := EncodeEnvelope(pe, msgs)
+	frame, err := envelopeFrame(pe, msgs)
 	if err != nil {
 		return err
 	}
-	return t.enqueue(t.peers[w], frameEnvelope, body)
+	return t.enqueueFrame(t.peers[w], frame)
+}
+
+// envelopeFrame builds a complete envelope frame (length prefix, type
+// byte, envelope image) in a recycled buffer. Shared by both
+// multi-process transports; the caller owns the buffer and must
+// putBuf it once it is off the wire.
+func envelopeFrame(pe int, msgs []*Message) ([]byte, error) {
+	n := 1 + envelopeWireSize(msgs)
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("comm: frame of %d bytes exceeds the %d limit", n, maxFrameLen)
+	}
+	frame := getBuf(4 + n)
+	frame = appendU32(frame, uint32(n))
+	frame = append(frame, frameEnvelope)
+	frame = appendEnvelope(frame, pe, msgs)
+	return frame, nil
+}
+
+// controlFrame builds a complete control frame in a recycled buffer.
+func controlFrame(self int, kind uint32, payload []byte) ([]byte, error) {
+	n := 1 + 8 + len(payload)
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("comm: frame of %d bytes exceeds the %d limit", n, maxFrameLen)
+	}
+	frame := getBuf(4 + n)
+	frame = appendU32(frame, uint32(n))
+	frame = append(frame, frameControl)
+	frame = appendU32(frame, uint32(self))
+	frame = appendU32(frame, kind)
+	frame = append(frame, payload...)
+	return frame, nil
 }
 
 // SendControl queues a control frame for peer worker w. FIFO with any
@@ -163,11 +207,11 @@ func (t *SocketTransport) SendControl(w int, kind uint32, payload []byte) error 
 	if w == t.self || w < 0 || w >= t.workers {
 		return fmt.Errorf("comm: SendControl(%d): invalid peer", w)
 	}
-	body := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(body, uint32(t.self))
-	binary.LittleEndian.PutUint32(body[4:], kind)
-	copy(body[8:], payload)
-	return t.enqueue(t.peers[w], frameControl, body)
+	frame, err := controlFrame(t.self, kind, payload)
+	if err != nil {
+		return err
+	}
+	return t.enqueueFrame(t.peers[w], frame)
 }
 
 // Broadcast sends a control frame to every peer.
@@ -183,17 +227,9 @@ func (t *SocketTransport) Broadcast(kind uint32, payload []byte) error {
 	return nil
 }
 
-// enqueue frames body (4-byte length prefix + type byte) and hands it
-// to the link's writer.
-func (t *SocketTransport) enqueue(p *sockPeer, typ byte, body []byte) error {
-	n := 1 + len(body)
-	if n > maxFrameLen {
-		return fmt.Errorf("comm: frame of %d bytes exceeds the %d limit", n, maxFrameLen)
-	}
-	frame := make([]byte, 4+n)
-	binary.LittleEndian.PutUint32(frame, uint32(n))
-	frame[4] = typ
-	copy(frame[5:], body)
+// enqueueFrame hands a ready frame (built in a recycled buffer, whose
+// ownership transfers here) to the link's writer.
+func (t *SocketTransport) enqueueFrame(p *sockPeer, frame []byte) error {
 	p.mu.Lock()
 	// The closed check lives under p.mu so it orders against Close's
 	// final drain (which takes the same lock after flipping closed): a
@@ -202,10 +238,12 @@ func (t *SocketTransport) enqueue(p *sockPeer, typ byte, body []byte) error {
 	// connection teardown.
 	if t.closed.Load() {
 		p.mu.Unlock()
+		putBuf(frame)
 		return fmt.Errorf("comm: socket transport closed")
 	}
 	p.q = append(p.q, frame)
 	p.mu.Unlock()
+	t.qbytes.Add(int64(len(frame)))
 	select {
 	case p.kick <- struct{}{}:
 	default:
@@ -230,14 +268,19 @@ func (t *SocketTransport) writeLoop(p *sockPeer) {
 }
 
 // drain writes every queued frame in one batch, repeating until the
-// queue stays empty.
+// queue stays empty, and recycles the frame buffers afterwards. The
+// WriteTo goes through a scratch copy of the batch because
+// net.Buffers consumes (reslices) the slice it writes from — the
+// original batch keeps the frame pointers the pool needs back.
 func (t *SocketTransport) drain(p *sockPeer) {
 	for {
 		p.mu.Lock()
 		batch := p.q
-		p.q = nil
+		p.q = p.spare[:0]
+		p.spare = nil
 		p.mu.Unlock()
 		if len(batch) == 0 {
+			p.spare = batch // hand the empty slice back for reuse
 			return
 		}
 		var bytes uint64
@@ -245,12 +288,29 @@ func (t *SocketTransport) drain(p *sockPeer) {
 			bytes += uint64(len(b))
 		}
 		t.writeBatches.Add(1)
+		// Go's net.Buffers issues writev in chunks of up to 1024
+		// iovecs, so the syscall count is derivable from the batch
+		// size (partial writes can add more; this is the floor).
+		t.writeSyscalls.Add(uint64((len(batch) + 1023) / 1024))
 		t.framesSent.Add(uint64(len(batch)))
-		t.bytesSent.Add(bytes)
-		if _, err := batch.WriteTo(p.conn); err != nil {
+		t.bytesWritten.Add(bytes)
+		t.qbytes.Add(-int64(bytes))
+		// wb and scratch share a backing array; WriteTo consumes wb
+		// (advancing both the slice and its elements), scratch keeps
+		// the original header so its capacity survives for next time.
+		scratch := append(p.scratch[:0], batch...)
+		wb := scratch
+		_, err := wb.WriteTo(p.conn)
+		p.scratch = scratch[:0]
+		if err != nil {
 			t.linkFailed(p, err)
 			return
 		}
+		for i := range batch {
+			putBuf(batch[i])
+			batch[i] = nil
+		}
+		p.spare = batch[:0]
 	}
 }
 
@@ -270,38 +330,52 @@ func (t *SocketTransport) readLoop(p *sockPeer) {
 			t.linkFailed(p, fmt.Errorf("frame length %d out of range", n))
 			return
 		}
-		buf := make([]byte, n)
+		// Recycled read buffer: dispatchFrame's consumers fully copy
+		// out of it (DecodeEnvelope's payloads are fresh allocations,
+		// control handlers must not retain — see ControlHandler), so
+		// it goes straight back to the pool.
+		buf := getBuf(int(n))[:n]
 		if _, err := io.ReadFull(br, buf); err != nil {
 			t.linkFailed(p, err)
 			return
 		}
 		t.framesRecv.Add(1)
-		t.bytesRecv.Add(uint64(4 + n))
-		switch buf[0] {
-		case frameEnvelope:
-			pe, msgs, err := DecodeEnvelope(buf[1:])
-			if err != nil {
-				t.linkFailed(p, err)
-				return
-			}
-			if err := t.network.DeliverLocal(pe, msgs); err != nil {
-				t.linkFailed(p, err)
-				return
-			}
-		case frameControl:
-			if len(buf) < 9 {
-				t.linkFailed(p, fmt.Errorf("control frame truncated: %d bytes", len(buf)))
-				return
-			}
-			from := int(binary.LittleEndian.Uint32(buf[1:5]))
-			kind := binary.LittleEndian.Uint32(buf[5:9])
-			if h := t.ctrl; h != nil {
-				h(from, kind, buf[9:])
-			}
-		default:
-			t.linkFailed(p, fmt.Errorf("unknown frame type %d", buf[0]))
+		t.bytesRead.Add(uint64(4 + n))
+		if err := dispatchFrame(t.network, t.ctrl, buf); err != nil {
+			t.linkFailed(p, err)
 			return
 		}
+		putBuf(buf)
+	}
+}
+
+// dispatchFrame routes one decoded frame (type byte + body): envelopes
+// to DeliverLocal, control frames to the handler. Shared by both
+// multi-process transports. The buffer is only borrowed: by the time
+// dispatchFrame returns nothing retains it.
+func dispatchFrame(network *Network, ctrl ControlHandler, buf []byte) error {
+	switch buf[0] {
+	case frameEnvelope:
+		pe, msgs, err := DecodeEnvelope(buf[1:])
+		if err != nil {
+			return err
+		}
+		if network == nil {
+			return fmt.Errorf("comm: envelope frame on a control-only transport")
+		}
+		return network.DeliverLocal(pe, msgs)
+	case frameControl:
+		if len(buf) < 9 {
+			return fmt.Errorf("control frame truncated: %d bytes", len(buf))
+		}
+		from := int(binary.LittleEndian.Uint32(buf[1:5]))
+		kind := binary.LittleEndian.Uint32(buf[5:9])
+		if ctrl != nil {
+			ctrl(from, kind, buf[9:])
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown frame type %d", buf[0])
 	}
 }
 
@@ -345,24 +419,41 @@ func (t *SocketTransport) Close() error {
 	return nil
 }
 
-// SocketStats snapshots the link counters. FramesSent/WriteBatches is
-// the mean envelopes coalesced per writev — the syscall amortization
-// the per-link writer bought.
+// SocketStats snapshots the link counters of a multi-process
+// transport (both fabrics report the same shape).
+// FramesSent/WriteSyscalls is the mean envelopes coalesced per
+// syscall — the amortization the per-link writer bought; on the
+// shared-memory fabric WriteSyscalls is zero (no syscalls at all) and
+// Wakes/Parks describe the spin-then-park reader instead.
 type SocketStats struct {
-	WriteBatches uint64 // net.Buffers writes issued
-	FramesSent   uint64 // frames those writes carried
-	BytesSent    uint64 // wire bytes written (frames + prefixes)
-	FramesRecv   uint64 // frames decoded off the links
-	BytesRecv    uint64 // wire bytes read
+	WriteBatches  uint64 // whole-queue drain passes (socket: net.Buffers writes)
+	WriteSyscalls uint64 // writev syscalls issued (1024-iovec chunks; 0 on shm)
+	FramesSent    uint64 // frames written to the links
+	BytesWritten  uint64 // wire bytes written (frames + prefixes)
+	FramesRecv    uint64 // frames decoded off the links
+	BytesRead     uint64 // wire bytes read
+	Wakes         uint64 // shm readers finding data after having parked
+	Parks         uint64 // shm reader transitions from spinning to sleeping
 }
 
 // SocketStats returns the current link counters.
 func (t *SocketTransport) SocketStats() SocketStats {
 	return SocketStats{
-		WriteBatches: t.writeBatches.Load(),
-		FramesSent:   t.framesSent.Load(),
-		BytesSent:    t.bytesSent.Load(),
-		FramesRecv:   t.framesRecv.Load(),
-		BytesRecv:    t.bytesRecv.Load(),
+		WriteBatches:  t.writeBatches.Load(),
+		WriteSyscalls: t.writeSyscalls.Load(),
+		FramesSent:    t.framesSent.Load(),
+		BytesWritten:  t.bytesWritten.Load(),
+		FramesRecv:    t.framesRecv.Load(),
+		BytesRead:     t.bytesRead.Load(),
 	}
+}
+
+// Backlog reports the frame bytes queued on the links but not yet
+// written — the backpressure signal the adaptive aggregation policy
+// keys on (Backlogger).
+func (t *SocketTransport) Backlog() int {
+	if n := t.qbytes.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
 }

@@ -22,7 +22,9 @@
 package comm
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"migflow/internal/pup"
 )
@@ -90,6 +92,51 @@ func EncodeEnvelope(pe int, msgs []*Message) ([]byte, error) {
 	return p.PackedBytes(), nil
 }
 
+// envelopeWireSize is the exact encoded size of an envelope for
+// msgs, so the send path can draw a right-sized recycled buffer and
+// append without a single reallocation.
+func envelopeWireSize(msgs []*Message) int {
+	n := envWireMin
+	for _, m := range msgs {
+		n += msgWireMin + len(m.Data)
+	}
+	return n
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// appendEnvelope appends the envelope image for PE pe onto dst —
+// byte-for-byte the output of EncodeEnvelope (wire_test.go asserts
+// the equivalence), but allocation-free when dst has the capacity
+// (use envelopeWireSize). This is the hot-path encoder both
+// multi-process transports use; EncodeEnvelope stays as the
+// reference implementation and the convenience entry point.
+func appendEnvelope(dst []byte, pe int, msgs []*Message) []byte {
+	dst = appendU32(dst, uint32(pe))
+	dst = appendU32(dst, uint32(len(msgs)))
+	for _, m := range msgs {
+		dst = appendU64(dst, uint64(m.To))
+		dst = appendU64(dst, uint64(m.From))
+		dst = appendU64(dst, uint64(int64(m.Tag)))
+		dst = appendU64(dst, uint64(int64(m.Hops)))
+		dst = appendU64(dst, m.Seq)
+		dst = appendU64(dst, math.Float64bits(m.SendTime))
+		dst = appendU64(dst, math.Float64bits(m.Arrival))
+		dst = appendU64(dst, math.Float64bits(m.VTime))
+		dst = appendU32(dst, uint32(len(m.Data)))
+		dst = append(dst, m.Data...)
+	}
+	return dst
+}
+
 // DecodeEnvelope unpacks one envelope. The claimed message count is
 // validated against the remaining bytes (each message needs at least
 // msgWireMin) before the slice is sized, and each payload's length
@@ -101,27 +148,51 @@ func DecodeEnvelope(data []byte) (pe int, msgs []*Message, err error) {
 	if len(data) < envWireMin {
 		return 0, nil, fmt.Errorf("comm: envelope truncated: %d bytes", len(data))
 	}
-	p := pup.NewUnpacker(data)
-	var dst, count uint32
-	if err := p.Uint32(&dst); err != nil {
-		return 0, nil, err
+	dst := binary.LittleEndian.Uint32(data)
+	count := binary.LittleEndian.Uint32(data[4:])
+	rest := data[envWireMin:]
+	if int64(count)*msgWireMin > int64(len(rest)) {
+		return 0, nil, fmt.Errorf("comm: corrupt envelope: claims %d messages with %d bytes remaining", count, len(rest))
 	}
-	if err := p.Uint32(&count); err != nil {
-		return 0, nil, err
-	}
-	if int64(count)*msgWireMin > int64(p.Remaining()) {
-		return 0, nil, fmt.Errorf("comm: corrupt envelope: claims %d messages with %d bytes remaining", count, p.Remaining())
-	}
+	// Batch allocation: one Message block, one pointer slice, one
+	// shared data arena — three allocations per envelope no matter how
+	// many payloads it coalesced, which is what keeps the streamed
+	// receive path near zero allocs per message. The arena is sized
+	// from the envelope arithmetic (whatever isn't fixed fields is
+	// payload), so a forged dataLen can only fail the bounds checks
+	// below, never oversize an allocation. Holding one decoded
+	// message's Data alive keeps its envelope-mates' data reachable
+	// too; receivers that retain payloads long-term should copy.
+	block := make([]Message, count)
 	msgs = make([]*Message, count)
-	for i := range msgs {
-		m := &Message{}
-		if err := pupMessage(p, m); err != nil {
-			return 0, nil, fmt.Errorf("comm: corrupt envelope message %d: %w", i, err)
+	arena := make([]byte, len(rest)-int(count)*msgWireMin)
+	off, ao := 0, 0
+	for i := range block {
+		m := &block[i]
+		f := rest[off:]
+		m.To = EntityID(binary.LittleEndian.Uint64(f))
+		m.From = EntityID(binary.LittleEndian.Uint64(f[8:]))
+		m.Tag = int(int64(binary.LittleEndian.Uint64(f[16:])))
+		m.Hops = int(int64(binary.LittleEndian.Uint64(f[24:])))
+		m.Seq = binary.LittleEndian.Uint64(f[32:])
+		m.SendTime = math.Float64frombits(binary.LittleEndian.Uint64(f[40:]))
+		m.Arrival = math.Float64frombits(binary.LittleEndian.Uint64(f[48:]))
+		m.VTime = math.Float64frombits(binary.LittleEndian.Uint64(f[56:]))
+		n := int(binary.LittleEndian.Uint32(f[64:]))
+		off += msgWireMin
+		// Remaining fixed fields bound the payload room left: a forged
+		// length that would eat another message's fields fails here.
+		if n > len(rest)-off-(len(block)-1-i)*msgWireMin || n > len(arena)-ao {
+			return 0, nil, fmt.Errorf("comm: corrupt envelope message %d: data length %d", i, n)
 		}
+		m.Data = arena[ao : ao+n : ao+n]
+		copy(m.Data, rest[off:off+n])
+		off += n
+		ao += n
 		msgs[i] = m
 	}
-	if p.Remaining() != 0 {
-		return 0, nil, fmt.Errorf("comm: envelope carries %d trailing bytes", p.Remaining())
+	if off != len(rest) {
+		return 0, nil, fmt.Errorf("comm: envelope carries %d trailing bytes", len(rest)-off)
 	}
 	return int(dst), msgs, nil
 }

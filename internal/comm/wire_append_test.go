@@ -1,0 +1,61 @@
+package comm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendEnvelopeMatchesPup pins the hot-path encoder to the PUP
+// reference: for random envelopes, appendEnvelope must produce the
+// exact bytes EncodeEnvelope does (and envelopeWireSize their exact
+// length) — the zero-alloc path is an optimization, never a format.
+func TestAppendEnvelopeMatchesPup(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		pe := rng.Intn(1 << 20)
+		msgs := make([]*Message, rng.Intn(9))
+		for i := range msgs {
+			data := make([]byte, rng.Intn(300))
+			rng.Read(data)
+			msgs[i] = &Message{
+				To:       EntityID(rng.Uint64()),
+				From:     EntityID(rng.Uint64()),
+				Tag:      rng.Intn(1<<30) - (1 << 29),
+				Hops:     rng.Intn(100) - 50,
+				Seq:      rng.Uint64(),
+				SendTime: math.Float64frombits(rng.Uint64()),
+				Arrival:  rng.NormFloat64() * 1e9,
+				VTime:    rng.Float64() * 1e12,
+				Data:     data,
+			}
+		}
+		want, err := EncodeEnvelope(pe, msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendEnvelope(nil, pe, msgs)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: appendEnvelope diverges from EncodeEnvelope\n got %x\nwant %x", trial, got, want)
+		}
+		if len(got) != envelopeWireSize(msgs) {
+			t.Fatalf("trial %d: envelopeWireSize %d, encoded %d", trial, envelopeWireSize(msgs), len(got))
+		}
+		// And it must decode back bit-for-bit.
+		gotPE, back, err := DecodeEnvelope(got)
+		if err != nil || gotPE != pe || len(back) != len(msgs) {
+			t.Fatalf("trial %d: decode: pe %d/%d, %d msgs, err %v", trial, gotPE, pe, len(back), err)
+		}
+		for i, m := range back {
+			o := msgs[i]
+			if m.To != o.To || m.From != o.From || m.Tag != o.Tag || m.Hops != o.Hops || m.Seq != o.Seq ||
+				math.Float64bits(m.SendTime) != math.Float64bits(o.SendTime) ||
+				math.Float64bits(m.Arrival) != math.Float64bits(o.Arrival) ||
+				math.Float64bits(m.VTime) != math.Float64bits(o.VTime) ||
+				!bytes.Equal(m.Data, o.Data) {
+				t.Fatalf("trial %d: message %d did not round-trip", trial, i)
+			}
+		}
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
-	"net"
 	"sync"
 
 	"migflow/internal/ampi"
@@ -112,11 +111,11 @@ func runWorker(w *Worker, migrate int, sink *cellSink) (*Report, error) {
 }
 
 // RunJacobiWorker runs worker index's share of a sharded Jacobi job.
-func RunJacobiWorker(index, workers int, conns map[int]net.Conn, spec JacobiSpec) (*Report, error) {
+func RunJacobiWorker(index, workers int, fab Fabric, spec JacobiSpec) (*Report, error) {
 	cfg := spec.Cfg
 	sink := &cellSink{}
 	cfg.Observe = sink.observe
-	w, err := NewWorker(index, workers, cfg.PEs, conns, func(m *core.Machine) (*ampi.Job, error) {
+	w, err := NewWorker(index, workers, cfg.PEs, fab, func(m *core.Machine) (*ampi.Job, error) {
 		return ampi.NewJacobiOn(m, cfg)
 	})
 	if err != nil {
@@ -128,12 +127,12 @@ func RunJacobiWorker(index, workers int, conns map[int]net.Conn, spec JacobiSpec
 // RunBTMZWorker runs worker index's share of a sharded program-mode
 // BT-MZ job. Params.LB must be nil (the LB gate is a whole-machine
 // barrier; sharded runs move ranks with the record protocol instead).
-func RunBTMZWorker(index, workers int, conns map[int]net.Conn, spec BTMZSpec) (*Report, error) {
+func RunBTMZWorker(index, workers int, fab Fabric, spec BTMZSpec) (*Report, error) {
 	p := spec.Params
 	if p.LB != nil {
 		return nil, fmt.Errorf("shard: BT-MZ LB gate unsupported in sharded runs")
 	}
-	w, err := NewWorker(index, workers, p.NPEs, conns, func(m *core.Machine) (*ampi.Job, error) {
+	w, err := NewWorker(index, workers, p.NPEs, fab, func(m *core.Machine) (*ampi.Job, error) {
 		return npb.ProgramJob(m, p)
 	})
 	if err != nil {
@@ -243,18 +242,18 @@ func DecodeReports(raws []json.RawMessage) ([]*Report, error) {
 }
 
 func init() {
-	RegisterApp("jacobi", func(index, workers int, conns map[int]net.Conn, payload []byte) (any, error) {
+	RegisterApp("jacobi", func(index, workers int, fab Fabric, payload []byte) (any, error) {
 		var spec JacobiSpec
 		if err := json.Unmarshal(payload, &spec); err != nil {
 			return nil, err
 		}
-		return RunJacobiWorker(index, workers, conns, spec)
+		return RunJacobiWorker(index, workers, fab, spec)
 	})
-	RegisterApp("btmz", func(index, workers int, conns map[int]net.Conn, payload []byte) (any, error) {
+	RegisterApp("btmz", func(index, workers int, fab Fabric, payload []byte) (any, error) {
 		var spec BTMZSpec
 		if err := json.Unmarshal(payload, &spec); err != nil {
 			return nil, err
 		}
-		return RunBTMZWorker(index, workers, conns, spec)
+		return RunBTMZWorker(index, workers, fab, spec)
 	})
 }

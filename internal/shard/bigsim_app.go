@@ -4,7 +4,9 @@ package shard
 // simulating PEs (bigsim.Shard) and the per-step delta frames cross
 // the worker mesh as length-prefixed blobs directly on the rendezvous
 // sockets — BigSim has its own clocks and mailboxes, so it needs the
-// wire, not a comm.Network. Every worker reconstructs the identical
+// wire, not a comm.Network. On the shm fabric the same blobs travel
+// as ctrlBlob control frames through a control-only ShmTransport
+// (no comm.Network attached). Every worker reconstructs the identical
 // merged StepStats stream, and that stream must match the 1-process
 // simulator bit for bit.
 
@@ -17,6 +19,7 @@ import (
 	"net"
 
 	"migflow/internal/bigsim"
+	"migflow/internal/comm"
 )
 
 // BigSimSpec parameterizes a sharded BigSim run.
@@ -85,18 +88,9 @@ func readBlob(c net.Conn) ([]byte, error) {
 	return b, err
 }
 
-// RunBigSimWorker runs one slab of a sharded BigSim simulation over
-// the worker mesh.
-func RunBigSimWorker(index, workers int, conns map[int]net.Conn, spec BigSimSpec) (*BigSimReport, error) {
-	if spec.Steps < 1 {
-		return nil, fmt.Errorf("shard: bigsim wants ≥ 1 step, got %d", spec.Steps)
-	}
-	sh, err := bigsim.NewShard(spec.Cfg, index, workers)
-	if err != nil {
-		return nil, err
-	}
-	rep := &BigSimReport{Worker: index}
-	exchange := func(out [][]byte) ([][]byte, error) {
+// socketExchange builds the step-frame exchange over the socket mesh.
+func socketExchange(workers int, conns map[int]net.Conn) func(out [][]byte) ([][]byte, error) {
+	return func(out [][]byte) ([][]byte, error) {
 		// Writes drain on a separate goroutine: with every worker
 		// sending before receiving, two full socket buffers would
 		// deadlock a synchronous write-then-read at paper scale.
@@ -123,6 +117,72 @@ func RunBigSimWorker(index, workers int, conns map[int]net.Conn, spec BigSimSpec
 		}
 		return in, nil
 	}
+}
+
+// shmExchange ships step frames as ctrlBlob control frames through a
+// control-only ShmTransport. The handler runs on the per-peer ring
+// reader goroutines with a borrowed payload, so it copies before
+// queueing; channel depth 4 is generous — the step barrier keeps any
+// peer at most one frame ahead.
+func shmExchange(index, workers int, t *comm.ShmTransport) func(out [][]byte) ([][]byte, error) {
+	in := make([]chan []byte, workers)
+	for p := range in {
+		in[p] = make(chan []byte, 4)
+	}
+	t.SetControlHandler(func(from int, kind uint32, payload []byte) {
+		if kind != ctrlBlob {
+			panic(fmt.Sprintf("shard: bigsim worker %d: unexpected control kind %d from %d", index, kind, from))
+		}
+		in[from] <- append([]byte(nil), payload...)
+	})
+	return func(out [][]byte) ([][]byte, error) {
+		for p := 0; p < workers; p++ {
+			if p == index {
+				continue
+			}
+			if err := t.SendControl(p, ctrlBlob, out[p]); err != nil {
+				return nil, fmt.Errorf("shard: frame to worker %d: %w", p, err)
+			}
+		}
+		got := make([][]byte, workers)
+		for p := 0; p < workers; p++ {
+			if p == index {
+				continue
+			}
+			got[p] = <-in[p]
+		}
+		return got, nil
+	}
+}
+
+// RunBigSimWorker runs one slab of a sharded BigSim simulation over
+// the worker fabric.
+func RunBigSimWorker(index, workers int, fab Fabric, spec BigSimSpec) (*BigSimReport, error) {
+	if spec.Steps < 1 {
+		return nil, fmt.Errorf("shard: bigsim wants ≥ 1 step, got %d", spec.Steps)
+	}
+	sh, err := bigsim.NewShard(spec.Cfg, index, workers)
+	if err != nil {
+		return nil, err
+	}
+	var exchange func(out [][]byte) ([][]byte, error)
+	if fab.Net == "shm" {
+		t, err := comm.NewShmTransport(index, workers, nil, fab.Dir)
+		if err != nil {
+			return nil, err
+		}
+		exchange = shmExchange(index, workers, t)
+		if err := t.Start(); err != nil {
+			return nil, err
+		}
+		defer func() {
+			t.Retire()
+			t.Close()
+		}()
+	} else {
+		exchange = socketExchange(workers, fab.Conns)
+	}
+	rep := &BigSimReport{Worker: index}
 	for s := 0; s < spec.Steps; s++ {
 		st, err := sh.Step(exchange)
 		if err != nil {
@@ -161,11 +221,11 @@ func DecodeBigSimReports(raws []json.RawMessage) ([]*BigSimReport, error) {
 }
 
 func init() {
-	RegisterApp("bigsim", func(index, workers int, conns map[int]net.Conn, payload []byte) (any, error) {
+	RegisterApp("bigsim", func(index, workers int, fab Fabric, payload []byte) (any, error) {
 		var spec BigSimSpec
 		if err := json.Unmarshal(payload, &spec); err != nil {
 			return nil, fmt.Errorf("shard: bigsim spec: %w", err)
 		}
-		return RunBigSimWorker(index, workers, conns, spec)
+		return RunBigSimWorker(index, workers, fab, spec)
 	})
 }

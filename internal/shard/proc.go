@@ -10,6 +10,15 @@ package shard
 // registered app runs and the worker prints "RESULT <json>" (or
 // "ERROR <msg>"); any other stdout line is forwarded to the parent's
 // stderr. A worker that dies is a hard error for the whole run.
+//
+// The "shm" fabric skips the socket mesh entirely: the parent
+// pre-creates the full ring directory (comm.CreateShmMesh) in the
+// shared temp dir before spawning anyone, each worker prints a
+// placeholder "ADDR shm" to keep the rendezvous protocol uniform, and
+// opens the rings by path. Ring creation can fail (non-unix platform,
+// tmpfs quota); the parent then falls back to "unix" for the WHOLE
+// run — the fabric choice must be uniform, since a mixed mesh would
+// leave two workers waiting on fabrics the other never joins.
 
 import (
 	"bufio"
@@ -24,6 +33,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"migflow/internal/comm"
 )
 
 // Environment protocol between Run and WorkerMain.
@@ -43,10 +54,20 @@ const (
 // generous deadline keeps loaded CI machines from failing whole runs.
 const meshDialTimeout = 30 * time.Second
 
+// Fabric is the physical substrate a worker joined at rendezvous:
+// a socket mesh (Conns holds one connection per peer) or a
+// shared-memory ring directory (Dir) for co-located workers. Net is
+// "unix", "tcp", or "shm" and tells the worker which half is live.
+type Fabric struct {
+	Net   string
+	Dir   string           // shm only: directory holding the ring files
+	Conns map[int]net.Conn // socket fabrics only: one conn per peer
+}
+
 // App is a worker-side entry point: run this process's share given
-// the mesh and the spec payload; the returned value is marshaled as
+// the fabric and the spec payload; the returned value is marshaled as
 // the worker's RESULT.
-type App func(index, workers int, conns map[int]net.Conn, payload []byte) (any, error)
+type App func(index, workers int, fab Fabric, payload []byte) (any, error)
 
 var apps = map[string]App{}
 
@@ -57,7 +78,7 @@ func RegisterApp(name string, fn App) { apps[name] = fn }
 type ProcSpec struct {
 	App     string
 	Workers int
-	Net     string // "unix" (default) or "tcp"
+	Net     string // "unix" (default), "tcp", or "shm"
 	Payload any    // marshaled to JSON and handed to every worker
 }
 
@@ -72,8 +93,8 @@ func Run(spec ProcSpec) ([]json.RawMessage, error) {
 	if netKind == "" {
 		netKind = "unix"
 	}
-	if netKind != "unix" && netKind != "tcp" {
-		return nil, fmt.Errorf("shard: unknown net %q (want unix or tcp)", netKind)
+	if netKind != "unix" && netKind != "tcp" && netKind != "shm" {
+		return nil, fmt.Errorf("shard: unknown net %q (want unix, tcp, or shm)", netKind)
 	}
 	if _, ok := apps[spec.App]; !ok {
 		return nil, fmt.Errorf("shard: app %q not registered in this binary", spec.App)
@@ -86,11 +107,24 @@ func Run(spec ProcSpec) ([]json.RawMessage, error) {
 	if err != nil {
 		return nil, err
 	}
-	dir, err := os.MkdirTemp("", "migflow-shard-*")
+	// Rendezvous artifacts (socket files, ring files) live on tmpfs
+	// when the platform has one: shm ring mappings on a disk-backed
+	// filesystem pay writeback page faults on every publish.
+	dir, err := os.MkdirTemp(comm.ShmDir(), "migflow-shard-*")
 	if err != nil {
 		return nil, err
 	}
 	defer os.RemoveAll(dir)
+
+	// The shm fabric needs the full ring mesh on disk before any
+	// worker starts; if the platform can't provide it, the whole run
+	// falls back to unix sockets (a mixed-fabric mesh would deadlock).
+	if netKind == "shm" {
+		if err := comm.CreateShmMesh(dir, spec.Workers, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "shard: shm mesh unavailable (%v), falling back to unix sockets\n", err)
+			netKind = "unix"
+		}
+	}
 
 	type wproc struct {
 		cmd *exec.Cmd
@@ -207,12 +241,18 @@ func WorkerMain() bool {
 	}
 	netKind := os.Getenv(envNet)
 
+	// The shm fabric has no listeners: the parent pre-created the ring
+	// files, so the ADDR/ADDRS exchange is a pure liveness handshake
+	// (every ring is mapped only after all workers exist).
 	var l net.Listener
 	var addr string
-	if netKind == "unix" {
+	switch netKind {
+	case "shm":
+		addr = "shm"
+	case "unix":
 		addr = filepath.Join(os.Getenv(envDir), fmt.Sprintf("w%d.sock", index))
 		l, err1 = net.Listen("unix", addr)
-	} else {
+	default:
 		l, err1 = net.Listen("tcp", "127.0.0.1:0")
 		if err1 == nil {
 			addr = l.Addr().String()
@@ -231,13 +271,16 @@ func WorkerMain() bool {
 	if len(fields) != workers+1 || fields[0] != "ADDRS" {
 		workerFail(fmt.Errorf("bad ADDRS line %q", line))
 	}
-	conns, err := Mesh(index, workers, netKind, fields[1:], l)
-	if err != nil {
-		workerFail(fmt.Errorf("mesh: %w", err))
+	fab := Fabric{Net: netKind, Dir: os.Getenv(envDir)}
+	if netKind != "shm" {
+		fab.Conns, err = Mesh(index, workers, netKind, fields[1:], l)
+		if err != nil {
+			workerFail(fmt.Errorf("mesh: %w", err))
+		}
+		l.Close()
 	}
-	l.Close()
 
-	out, err := app(index, workers, conns, []byte(os.Getenv(envCfg)))
+	out, err := app(index, workers, fab, []byte(os.Getenv(envCfg)))
 	if err != nil {
 		workerFail(err)
 	}

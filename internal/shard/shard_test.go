@@ -20,6 +20,7 @@ import (
 
 	"migflow/internal/ampi"
 	"migflow/internal/bigsim"
+	"migflow/internal/comm"
 	"migflow/internal/core"
 	"migflow/internal/npb"
 )
@@ -110,6 +111,44 @@ func TestCrossProcessJacobiEquivalence(t *testing.T) {
 			t.Fatalf("trial %d: no envelopes crossed the socket — not a sharded run", trial)
 		}
 	}
+}
+
+// TestCrossProcessJacobiShm runs the equivalence check over the
+// shared-memory fabric: 2 OS processes joined by mmap'd rings instead
+// of sockets, same bitwise demands, and the RemoteEnv counter proves
+// envelopes actually crossed the rings.
+func TestCrossProcessJacobiShm(t *testing.T) {
+	cfg := ampi.JacobiConfig{
+		Mode: ampi.ModeEvent, Ranks: 48, Iters: 10, PEs: 4,
+		HaloBytes: 16, WorkNs: 800, ReduceEvery: 2, Overlap: true, BlockPlacement: true,
+	}
+	ref, err := RunJacobiReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runSharded(t, ProcSpec{App: "jacobi", Workers: 2, Net: "shm", Payload: JacobiSpec{Cfg: cfg}}, cfg.Ranks)
+	compareReports(t, ref, merged, cfg.Ranks)
+	if merged.RemoteEnv == 0 {
+		t.Fatal("no envelopes crossed the rings — not a sharded run")
+	}
+}
+
+// TestCrossProcessJacobiShmMigration ships event ranks across live
+// shared-memory rings mid-run; per-rank VT must still match the
+// in-process run bit for bit.
+func TestCrossProcessJacobiShmMigration(t *testing.T) {
+	cfg := ampi.JacobiConfig{
+		Mode: ampi.ModeEvent, Ranks: 64, Iters: 40, PEs: 4,
+		HaloBytes: 8, WorkNs: 1200, BlockPlacement: true,
+	}
+	ref, err := RunJacobiReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runSharded(t, ProcSpec{App: "jacobi", Workers: 2, Net: "shm",
+		Payload: JacobiSpec{Cfg: cfg, Migrate: 8}}, cfg.Ranks)
+	compareReports(t, ref, merged, cfg.Ranks)
+	t.Logf("migrated %d ranks across the rings", merged.Moved)
 }
 
 // TestCrossProcessJacobiTCP repeats one config over loopback TCP.
@@ -231,6 +270,42 @@ func TestCrossProcessBigSimEquivalence(t *testing.T) {
 	}
 }
 
+// TestCrossProcessBTMZShm repeats the BT-MZ equivalence over the
+// shared-memory fabric.
+func TestCrossProcessBTMZShm(t *testing.T) {
+	p := npb.Params{
+		Class: npb.GradedClass("T64", 8, 8, 1<<12, 8, 20),
+		Mode:  ampi.ModeEvent, NProcs: 32, NPEs: 4, Steps: 6, ReduceEvery: 3, HaloBytes: 2048,
+	}
+	ref, err := RunBTMZReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runSharded(t, ProcSpec{App: "btmz", Workers: 2, Net: "shm", Payload: BTMZSpec{Params: p}}, p.NProcs)
+	compareReports(t, ref, merged, p.NProcs)
+}
+
+// TestCrossProcessBigSimShm repeats the BigSim equivalence over the
+// shared-memory fabric: step frames travel as control blobs through
+// the rings, predictions must still match the serial run bit for bit.
+func TestCrossProcessBigSimShm(t *testing.T) {
+	for _, agg := range []bool{false, true} {
+		spec := BigSimSpec{
+			Cfg: bigsim.Config{
+				X: 10, Y: 8, Z: 4, SimPEs: 6, Mode: bigsim.ModeEvent,
+				AtomsPerCell: 180, WorkPerAtomNs: 25, GhostBytes: 2048,
+				Aggregate: agg,
+			},
+			Steps: 5,
+		}
+		ref, err := RunBigSimReference(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bigsimEqual(t, "serial vs shm-sharded", ref, runBigSimSharded(t, spec, 2, "shm"))
+	}
+}
+
 // TestCrossProcessBigSimPaperScale is the tentpole run: the paper's
 // 200,000-target machine (Figure 11 scale) simulated by 2 OS
 // processes, predictions bitwise-identical to 1 process.
@@ -277,23 +352,46 @@ func pairConns(tb testing.TB) (net.Conn, net.Conn) {
 	return dialed, accepted
 }
 
-// runPairJacobi drives both shard workers inside this test process
-// over a real socket — the configuration the race detector can see
-// into, unlike subprocess runs.
-func runPairJacobi(tb testing.TB, spec JacobiSpec) [2]*Report {
+// pairFabrics builds a two-worker fabric for an in-process run: real
+// unix sockets, or a shared-memory ring mesh on tmpfs (rings on a
+// disk-backed temp dir pay writeback page faults per publish).
+func pairFabrics(tb testing.TB, netKind string) [2]Fabric {
 	tb.Helper()
+	if netKind == "shm" {
+		dir, err := os.MkdirTemp(comm.ShmDir(), "migflow-test-*")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { os.RemoveAll(dir) })
+		if err := comm.CreateShmMesh(dir, 2, 0); err != nil {
+			tb.Fatal(err)
+		}
+		return [2]Fabric{{Net: "shm", Dir: dir}, {Net: "shm", Dir: dir}}
+	}
 	c0, c1 := pairConns(tb)
+	return [2]Fabric{
+		{Net: netKind, Conns: map[int]net.Conn{1: c0}},
+		{Net: netKind, Conns: map[int]net.Conn{0: c1}},
+	}
+}
+
+// runPairJacobi drives both shard workers inside this test process
+// over a real fabric (socket or shm rings) — the configuration the
+// race detector can see into, unlike subprocess runs.
+func runPairJacobi(tb testing.TB, spec JacobiSpec, netKind string) [2]*Report {
+	tb.Helper()
+	fabs := pairFabrics(tb, netKind)
 	var reps [2]*Report
 	var errs [2]error
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		reps[0], errs[0] = RunJacobiWorker(0, 2, map[int]net.Conn{1: c0}, spec)
+		reps[0], errs[0] = RunJacobiWorker(0, 2, fabs[0], spec)
 	}()
 	go func() {
 		defer wg.Done()
-		reps[1], errs[1] = RunJacobiWorker(1, 2, map[int]net.Conn{0: c1}, spec)
+		reps[1], errs[1] = RunJacobiWorker(1, 2, fabs[1], spec)
 	}()
 	wg.Wait()
 	for i, err := range errs {
@@ -315,7 +413,7 @@ func TestInProcessPairEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reps := runPairJacobi(t, JacobiSpec{Cfg: cfg})
+	reps := runPairJacobi(t, JacobiSpec{Cfg: cfg}, "unix")
 	merged, err := MergeReports(reps[:], cfg.Ranks)
 	if err != nil {
 		t.Fatal(err)
@@ -325,7 +423,7 @@ func TestInProcessPairEquivalence(t *testing.T) {
 
 // TestInProcessPairMigration runs the full sharded protocol — both
 // workers in this process, so -race watches every interleaving —
-// with the migration driver racing the job.
+// with the migration driver racing the job, over both fabrics.
 func TestInProcessPairMigration(t *testing.T) {
 	cfg := ampi.JacobiConfig{
 		Mode: ampi.ModeEvent, Ranks: 64, Iters: 40, PEs: 4,
@@ -335,13 +433,17 @@ func TestInProcessPairMigration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reps := runPairJacobi(t, JacobiSpec{Cfg: cfg, Migrate: 6})
-	merged, err := MergeReports(reps[:], cfg.Ranks)
-	if err != nil {
-		t.Fatal(err)
+	for _, netKind := range []string{"unix", "shm"} {
+		t.Run(netKind, func(t *testing.T) {
+			reps := runPairJacobi(t, JacobiSpec{Cfg: cfg, Migrate: 6}, netKind)
+			merged, err := MergeReports(reps[:], cfg.Ranks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareReports(t, ref, merged, cfg.Ranks)
+			t.Logf("moved %d ranks worker0→worker1 over %s", merged.Moved, netKind)
+		})
 	}
-	compareReports(t, ref, merged, cfg.Ranks)
-	t.Logf("moved %d ranks worker0→worker1", merged.Moved)
 }
 
 // TestShardedRejectsULT: sharded machines support event mode only —
@@ -351,7 +453,7 @@ func TestShardedRejectsULT(t *testing.T) {
 	defer c0.Close()
 	defer c1.Close()
 	cfg := ampi.JacobiConfig{Mode: ampi.ModeULT, Ranks: 8, Iters: 2, PEs: 4}
-	_, err := NewWorker(0, 2, 4, map[int]net.Conn{1: c0}, func(m *core.Machine) (*ampi.Job, error) {
+	_, err := NewWorker(0, 2, 4, Fabric{Net: "unix", Conns: map[int]net.Conn{1: c0}}, func(m *core.Machine) (*ampi.Job, error) {
 		return ampi.NewJacobiOn(m, cfg)
 	})
 	if err == nil {
@@ -450,7 +552,7 @@ func TestRecordRaceNotYetInstalled(t *testing.T) {
 			sink := &cellSink{}
 			c := cfg
 			c.Observe = sink.observe
-			w, err := NewWorker(i, workers, c.PEs, conns[i], func(m *core.Machine) (*ampi.Job, error) {
+			w, err := NewWorker(i, workers, c.PEs, Fabric{Net: "unix", Conns: conns[i]}, func(m *core.Machine) (*ampi.Job, error) {
 				return ampi.NewJacobiOn(m, c)
 			})
 			if err != nil {

@@ -1,7 +1,8 @@
 // Package shard runs one Machine as a group of OS processes: each
 // worker owns a contiguous PE range of the SAME machine configuration
 // and bridges the rest over unix-domain or TCP sockets
-// (comm.SocketTransport). Every worker builds the identical job —
+// (comm.SocketTransport) or, for co-located workers, shared-memory
+// rings (comm.ShmTransport). Every worker builds the identical job —
 // directories, entity IDs, and the program tree are deterministic
 // functions of the config — so the only cross-process state is
 // message envelopes, migration records, and the control frames of the
@@ -27,10 +28,10 @@ package shard
 import (
 	"encoding/binary"
 	"fmt"
-	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"migflow/internal/ampi"
 	"migflow/internal/comm"
@@ -44,6 +45,7 @@ const (
 	ctrlMoved      uint32 = 3 // u32 rank, u32 toPE → workers not party to a move
 	ctrlAck        uint32 = 4 // destination → source: record installed
 	ctrlStop       uint32 = 5 // coordinator → all: global termination
+	ctrlBlob       uint32 = 6 // bigsim step frame over the shm fabric
 )
 
 // Cut returns the first PE of worker i under the standard contiguous
@@ -61,15 +63,15 @@ func OwnerOf(numPEs, workers, pe int) int {
 }
 
 // Worker is one process's share of a sharded job: its machine (local
-// PE range), the job built on it, and the socket transport plus
-// termination-protocol state.
+// PE range), the job built on it, and the fabric transport (sockets
+// or shared-memory rings) plus termination-protocol state.
 type Worker struct {
 	Index   int
 	Workers int
 	NumPEs  int
 	M       *core.Machine
 	Job     *ampi.Job
-	T       *comm.SocketTransport
+	T       comm.ShardTransport
 
 	installs    atomic.Uint64 // records installed into this worker
 	acked       atomic.Uint64 // this worker's extracts acknowledged
@@ -89,11 +91,27 @@ type Worker struct {
 	peerExtra []uint64
 }
 
+// fabricTransport builds the ShardTransport the fabric selects:
+// shared-memory rings when fab.Net is "shm", a socket transport over
+// fab.Conns otherwise.
+func fabricTransport(index, workers int, owner func(pe int) int, fab Fabric) (comm.ShardTransport, error) {
+	if fab.Net == "shm" {
+		return comm.NewShmTransport(index, workers, owner, fab.Dir)
+	}
+	t := comm.NewSocketTransport(index, workers, owner)
+	for p, c := range fab.Conns {
+		if err := t.AddPeer(p, c); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
 // NewWorker builds worker index's shard: a machine owning PEs
-// [Cut(index), Cut(index+1)) of numPEs, the transport over conns (one
-// connection per peer worker), and the job produced by build on that
-// machine. The transport is started; the job is not.
-func NewWorker(index, workers, numPEs int, conns map[int]net.Conn, build func(*core.Machine) (*ampi.Job, error)) (*Worker, error) {
+// [Cut(index), Cut(index+1)) of numPEs, the transport over the
+// rendezvous fabric, and the job produced by build on that machine.
+// The transport is started; the job is not.
+func NewWorker(index, workers, numPEs int, fab Fabric, build func(*core.Machine) (*ampi.Job, error)) (*Worker, error) {
 	lo, hi := Cut(numPEs, workers, index), Cut(numPEs, workers, index+1)
 	if hi <= lo {
 		return nil, fmt.Errorf("shard: worker %d of %d owns no PEs (%d total)", index, workers, numPEs)
@@ -102,11 +120,9 @@ func NewWorker(index, workers, numPEs int, conns map[int]net.Conn, build func(*c
 	if err != nil {
 		return nil, err
 	}
-	t := comm.NewSocketTransport(index, workers, func(pe int) int { return OwnerOf(numPEs, workers, pe) })
-	for p, c := range conns {
-		if err := t.AddPeer(p, c); err != nil {
-			return nil, err
-		}
+	t, err := fabricTransport(index, workers, func(pe int) int { return OwnerOf(numPEs, workers, pe) }, fab)
+	if err != nil {
+		return nil, err
 	}
 	if err := t.Attach(m.Network(), lo, hi); err != nil {
 		return nil, err
@@ -237,6 +253,17 @@ func (w *Worker) Run() {
 // worker.
 func (w *Worker) Close() error { return w.T.Close() }
 
+// Backoff for MigrateRanks' unproductive scans, mirroring the shm
+// reader's ladder: a few scheduler yields, then OS yields (a bare
+// Gosched spin starves the netpoller and co-located worker processes
+// of the very CPU that would make a rank migratable — on one core it
+// degrades each wait to sysmon's 10ms forced preemption), then
+// millisecond naps once the job has been quiet for a while.
+const (
+	migSpinYields = 16
+	migYieldSpins = 256
+)
+
 // MigrateRanks extracts up to n local ranks (whichever are parked at
 // a plain Recv when scanned) and ships them to toWorker's first PE,
 // mid-run, concurrently with the job. Returns the count actually
@@ -247,7 +274,7 @@ func (w *Worker) MigrateRanks(n, toWorker int) int {
 		return 0
 	}
 	toPE := Cut(w.NumPEs, w.Workers, toWorker)
-	moved := 0
+	moved, idle := 0, 0
 	for moved < n && !w.stop.Load() && !w.Job.Done() {
 		progressed := false
 		for r := 0; r < w.Job.Size() && moved < n; r++ {
@@ -280,8 +307,18 @@ func (w *Worker) MigrateRanks(n, toWorker int) int {
 			moved++
 			progressed = true
 		}
-		if !progressed {
+		if progressed {
+			idle = 0
+			continue
+		}
+		idle++
+		switch {
+		case idle <= migSpinYields:
 			runtime.Gosched()
+		case idle <= migSpinYields+migYieldSpins:
+			comm.OSYield()
+		default:
+			time.Sleep(time.Millisecond)
 		}
 	}
 	w.movedOut.Add(int64(moved))
